@@ -1,0 +1,96 @@
+//===- bench/BenchUtil.h - Shared benchmark harness helpers -----*- C++ -*-===//
+///
+/// \file
+/// Timing and reporting helpers shared by the figure-reproduction
+/// binaries: interleaved repetition with medians (wall-clock noise on a
+/// shared machine dwarfs the effects otherwise), speedup computation and
+/// simple table printing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITVS_BENCH_BENCHUTIL_H
+#define JITVS_BENCH_BENCHUTIL_H
+
+#include "jit/Engine.h"
+#include "support/Stats.h"
+#include "support/Timer.h"
+#include "vm/Runtime.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace jitvs::bench {
+
+/// Number of repetitions (override with JITVS_BENCH_REPS). The paper ran
+/// each benchmark 100 times; the default here keeps the full table
+/// reproduction in the tens of seconds.
+inline int repetitions(int Default = 7) {
+  if (const char *Env = std::getenv("JITVS_BENCH_REPS"))
+    return std::max(1, std::atoi(Env));
+  return Default;
+}
+
+/// One timed execution of a workload under a config (nullptr = pure
+/// interpreter). Returns seconds; also surfaces engine stats if asked.
+inline double runOnce(const Workload &W, const OptConfig *Config,
+                      EngineStats *StatsOut = nullptr) {
+  Runtime RT;
+  std::unique_ptr<Engine> E;
+  if (Config)
+    E = std::make_unique<Engine>(RT, *Config);
+  Timer T;
+  RT.evaluate(W.Source);
+  double Seconds = T.seconds();
+  if (RT.hasError()) {
+    std::fprintf(stderr, "workload %s failed: %s\n", W.Name,
+                 RT.errorMessage().c_str());
+    std::exit(1);
+  }
+  if (StatsOut && E)
+    *StatsOut = E->stats();
+  return Seconds;
+}
+
+/// Interleaved measurement: for every (workload, config) cell, Reps
+/// samples taken round-robin, reduced to the median. Returns
+/// Result[workload][config] in seconds.
+inline std::vector<std::vector<double>>
+measureMatrix(const std::vector<Workload> &Works,
+              const std::vector<const OptConfig *> &Configs, int Reps) {
+  std::vector<std::vector<std::vector<double>>> Samples(
+      Works.size(),
+      std::vector<std::vector<double>>(Configs.size()));
+  for (int R = 0; R < Reps; ++R)
+    for (size_t WI = 0; WI != Works.size(); ++WI)
+      for (size_t CI = 0; CI != Configs.size(); ++CI)
+        Samples[WI][CI].push_back(runOnce(Works[WI], Configs[CI]));
+
+  std::vector<std::vector<double>> Out(
+      Works.size(), std::vector<double>(Configs.size(), 0.0));
+  for (size_t WI = 0; WI != Works.size(); ++WI)
+    for (size_t CI = 0; CI != Configs.size(); ++CI)
+      Out[WI][CI] = median(Samples[WI][CI]);
+  return Out;
+}
+
+/// Speedup in percent of \p Optimized relative to \p Baseline (positive
+/// means faster, as in Figure 9).
+inline double speedupPercent(double Baseline, double Optimized) {
+  if (Optimized <= 0.0)
+    return 0.0;
+  return (Baseline / Optimized - 1.0) * 100.0;
+}
+
+inline void printRule(size_t Width) {
+  for (size_t I = 0; I != Width; ++I)
+    std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+} // namespace jitvs::bench
+
+#endif // JITVS_BENCH_BENCHUTIL_H

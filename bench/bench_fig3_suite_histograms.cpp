@@ -1,0 +1,62 @@
+//===- bench/bench_fig3_suite_histograms.cpp - Figure 3 -------------------===//
+///
+/// \file
+/// Regenerates Figure 3: per-suite invocation histograms. Top: fraction
+/// of functions called n times. Bottom: fraction of functions called
+/// with n distinct argument sets. These are measured for real by
+/// instrumenting the interpreter while running our suite models.
+///
+//===----------------------------------------------------------------------===//
+
+#include "profiling/CallProfiler.h"
+#include "vm/Runtime.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace jitvs;
+
+int main() {
+  for (int SuiteIdx = 0; SuiteIdx != 3; ++SuiteIdx) {
+    CallProfiler Profiler;
+    for (const Workload &W : suiteWorkloads(SuiteNames[SuiteIdx])) {
+      Runtime RT;
+      Profiler.beginUnit();
+      RT.setCallObserver(&Profiler);
+      RT.evaluate(W.Source);
+      if (RT.hasError()) {
+        std::fprintf(stderr, "%s failed: %s\n", W.Name,
+                     RT.errorMessage().c_str());
+        return 1;
+      }
+    }
+
+    std::printf("== %s: %zu distinct functions, %llu calls ==\n",
+                SuiteTitles[SuiteIdx], Profiler.numFunctions(),
+                static_cast<unsigned long long>(Profiler.totalCalls()));
+
+    std::printf("(top) %% of functions called n times\n%s\n",
+                Profiler.callCountHistogram().toTable("calls").c_str());
+    std::printf("(bottom) %% of functions called with n distinct argument "
+                "sets\n%s\n",
+                Profiler.argSetHistogram().toTable("argsets").c_str());
+
+    auto [CalledName, CalledCount] = Profiler.mostCalled();
+    auto [VariedName, VariedCount] = Profiler.mostVaried();
+    std::printf("most called: %s (%llu); most varied: %s (%llu arg sets)\n",
+                CalledName.c_str(),
+                static_cast<unsigned long long>(CalledCount),
+                VariedName.c_str(),
+                static_cast<unsigned long long>(VariedCount));
+    std::printf("called once: %.2f%%; single arg set: %.2f%%\n\n",
+                Profiler.fractionCalledOnce() * 100.0,
+                Profiler.fractionSingleArgSet() * 100.0);
+  }
+
+  std::printf("Paper reference: called-once fractions 21.43%% (SunSpider),\n"
+              "4.68%% (V8), 39.79%% (Kraken); single-arg-set fractions\n"
+              "38.96%%, 40.62%% and 55.91%%. Expected shape: suites are\n"
+              "more varied than the web, yet a large share of functions\n"
+              "still sees a single argument set.\n");
+  return 0;
+}

@@ -1,0 +1,169 @@
+//===- bench/bench_policy_stats.cpp - Section 4 policy numbers ------------===//
+///
+/// \file
+/// Regenerates the in-text numbers of Section 4:
+///   - specialization policy outcomes per suite: how many functions were
+///     specialized, how many were "successful" (never called with
+///     different arguments before program end), how many deoptimized
+///     (paper: SunSpider 56/18/38, V8 37/11/26, Kraken 38/14/24);
+///   - the growth in recompilations caused by specialization (paper:
+///     +3.6% SunSpider, +4.35% V8, +7.58% Kraken);
+/// plus two ablations called out in DESIGN.md: the specialization-cache
+/// behavior and the relaxed bounds-check-elimination aliasing rule.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../bench/BenchUtil.h"
+
+#include "support/Timer.h"
+
+using namespace jitvs;
+using namespace jitvs::bench;
+
+int main() {
+  OptConfig Base = OptConfig::baseline();
+  OptConfig Spec = OptConfig::all();
+
+  std::printf("Section 4: specialization policy outcomes\n\n");
+  std::printf("%-12s %11s %10s %12s %9s %9s\n", "suite", "specialized",
+              "successful", "deoptimized", "recomp", "recomp+%");
+
+  for (int SuiteIdx = 0; SuiteIdx != 3; ++SuiteIdx) {
+    uint64_t Specialized = 0, Successful = 0, Deoptimized = 0;
+    uint64_t RecompBase = 0, RecompSpec = 0;
+    uint64_t CompBase = 0, CompSpec = 0;
+
+    for (const Workload &W : suiteWorkloads(SuiteNames[SuiteIdx])) {
+      {
+        EngineStats S;
+        runOnce(W, &Base, &S);
+        RecompBase += S.Recompilations;
+        CompBase += S.Compilations;
+      }
+      Runtime RT;
+      Engine E(RT, Spec);
+      RT.evaluate(W.Source);
+      if (RT.hasError()) {
+        std::fprintf(stderr, "%s failed: %s\n", W.Name,
+                     RT.errorMessage().c_str());
+        return 1;
+      }
+      RecompSpec += E.stats().Recompilations;
+      CompSpec += E.stats().Compilations;
+      for (const Engine::FunctionReport &R : E.functionReports()) {
+        if (!R.WasSpecialized)
+          continue;
+        ++Specialized;
+        if (R.Despecialized)
+          ++Deoptimized;
+        else
+          ++Successful;
+      }
+    }
+
+    double RecompGrowth =
+        CompBase ? (static_cast<double>(CompSpec) / CompBase - 1.0) * 100.0
+                 : 0.0;
+    std::printf("%-12s %11llu %10llu %12llu %4llu->%-4llu %8.2f%%\n",
+                SuiteNames[SuiteIdx],
+                static_cast<unsigned long long>(Specialized),
+                static_cast<unsigned long long>(Successful),
+                static_cast<unsigned long long>(Deoptimized),
+                static_cast<unsigned long long>(CompBase),
+                static_cast<unsigned long long>(CompSpec), RecompGrowth);
+  }
+
+  std::printf("\nPaper reference: 56/18/38 (SunSpider), 37/11/26 (V8),\n"
+              "38/14/24 (Kraken); recompilation growth 3.6%% / 4.35%% / "
+              "7.58%%.\n");
+  std::printf("Expected shape: deoptimizations outnumber successful\n"
+              "specializations, yet total compilation growth stays "
+              "moderate.\n\n");
+
+  // --- Ablation 1: cache effectiveness (same-args reuse). ---
+  std::printf("Ablation: specialization cache reuse under ALL\n");
+  std::printf("%-12s %12s %12s %14s\n", "suite", "native-calls",
+              "cache-hits", "despecialized");
+  for (int SuiteIdx = 0; SuiteIdx != 3; ++SuiteIdx) {
+    uint64_t Native = 0, Hits = 0, Despec = 0;
+    for (const Workload &W : suiteWorkloads(SuiteNames[SuiteIdx])) {
+      EngineStats S;
+      runOnce(W, &Spec, &S);
+      Native += S.NativeCalls;
+      Hits += S.CacheHits;
+      Despec += S.Despecializations;
+    }
+    std::printf("%-12s %12llu %12llu %14llu\n", SuiteNames[SuiteIdx],
+                static_cast<unsigned long long>(Native),
+                static_cast<unsigned long long>(Hits),
+                static_cast<unsigned long long>(Despec));
+  }
+
+  // --- Ablation 1b: cache depth (the paper's future-work heuristic:
+  // "we cache only one binary per function... more experiments are
+  // necessary to confirm this hypothesis"). Depth N keeps N specialized
+  // binaries keyed by argument set before falling back to generic.
+  std::printf("\nAblation: specialization cache depth (suite totals under "
+              "ALL)\n");
+  std::printf("%-12s %7s %12s %12s %14s %10s\n", "suite", "depth",
+              "spec-compiles", "cache-hits", "despecialized", "time");
+  for (int SuiteIdx = 0; SuiteIdx != 3; ++SuiteIdx) {
+    for (uint32_t Depth : {1u, 2u, 4u}) {
+      uint64_t SpecCompiles = 0, Hits = 0, Despec = 0;
+      double Seconds = 0.0;
+      for (const Workload &W : suiteWorkloads(SuiteNames[SuiteIdx])) {
+        Runtime RT;
+        Engine E(RT, Spec);
+        E.setCacheDepth(Depth);
+        Timer T;
+        RT.evaluate(W.Source);
+        Seconds += T.seconds();
+        if (RT.hasError()) {
+          std::fprintf(stderr, "%s failed: %s\n", W.Name,
+                       RT.errorMessage().c_str());
+          return 1;
+        }
+        SpecCompiles += E.stats().SpecializedCompiles;
+        Hits += E.stats().CacheHits;
+        Despec += E.stats().Despecializations;
+      }
+      std::printf("%-12s %7u %12llu %12llu %14llu %8.1fms\n",
+                  SuiteNames[SuiteIdx], Depth,
+                  static_cast<unsigned long long>(SpecCompiles),
+                  static_cast<unsigned long long>(Hits),
+                  static_cast<unsigned long long>(Despec),
+                  Seconds * 1e3);
+    }
+  }
+  std::printf("Expected shape: deeper caches convert despecializations\n"
+              "into extra specialized compiles and cache hits; whether\n"
+              "that pays off depends on how polymorphic the suite is.\n");
+
+  // --- Ablation 2: the paper's conservative BCE aliasing rule. ---
+  std::printf("\nAblation: bounds-check elimination aliasing rule "
+              "(PS+BCE, median of %d runs)\n",
+              repetitions(5));
+  OptConfig StrictBce;
+  StrictBce.ParameterSpecialization = true;
+  StrictBce.BoundsCheckElim = true;
+  OptConfig RelaxedBce = StrictBce;
+  RelaxedBce.RelaxedBCEAliasing = true;
+
+  std::vector<const OptConfig *> Configs = {&Base, &StrictBce, &RelaxedBce};
+  std::printf("%-12s %12s %12s\n", "suite", "strict", "relaxed");
+  for (int SuiteIdx = 0; SuiteIdx != 3; ++SuiteIdx) {
+    std::vector<Workload> Works = suiteWorkloads(SuiteNames[SuiteIdx]);
+    auto Times = measureMatrix(Works, Configs, repetitions(5));
+    std::vector<double> StrictPct, RelaxedPct;
+    for (size_t WI = 0; WI != Works.size(); ++WI) {
+      StrictPct.push_back(speedupPercent(Times[WI][0], Times[WI][1]));
+      RelaxedPct.push_back(speedupPercent(Times[WI][0], Times[WI][2]));
+    }
+    std::printf("%-12s %11.2f%% %11.2f%%\n", SuiteNames[SuiteIdx],
+                arithmeticMean(StrictPct), arithmeticMean(RelaxedPct));
+  }
+  std::printf("Expected shape: the paper's any-store rule leaves little\n"
+              "for BCE (it reported no substantial BCE speedup); the\n"
+              "relaxed rule recovers some of it on store-heavy kernels.\n");
+  return 0;
+}

@@ -1,0 +1,136 @@
+//===- examples/run_workload.cpp - Run suite workloads from the CLI -------===//
+///
+/// \file
+/// Command-line driver over the built-in benchmark suites: run one
+/// workload (or a whole suite, or a .js file) under a chosen
+/// optimization configuration and report runtime plus engine statistics.
+///
+/// Usage:
+///   run_workload                       # list workloads and configs
+///   run_workload <name> [config]      # e.g. run_workload math-cordic ALL
+///   run_workload suite:<suite> [cfg]   # e.g. run_workload suite:kraken PS
+///   run_workload file:<path.js> [cfg] # run your own MiniJS program
+///
+/// Configs: interp, baseline, or any Figure 9 name (PS, CP, PS+CP, ...,
+/// ALL).
+///
+//===----------------------------------------------------------------------===//
+
+#include "jit/Engine.h"
+#include "support/Timer.h"
+#include "vm/Runtime.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace jitvs;
+
+namespace {
+
+void listEverything() {
+  std::printf("workloads:\n");
+  for (const Workload &W : allWorkloads())
+    std::printf("  %-12s %s\n", W.Suite, W.Name);
+  std::printf("\nconfigs: interp baseline");
+  for (const NamedConfig &NC : figure9Configs())
+    std::printf(" %s", NC.Name);
+  std::printf("\n");
+}
+
+bool resolveConfig(const char *Name, bool &UseEngine, OptConfig &Out) {
+  if (!std::strcmp(Name, "interp")) {
+    UseEngine = false;
+    return true;
+  }
+  UseEngine = true;
+  if (!std::strcmp(Name, "baseline")) {
+    Out = OptConfig::baseline();
+    return true;
+  }
+  for (const NamedConfig &NC : figure9Configs()) {
+    if (!std::strcmp(Name, NC.Name)) {
+      Out = NC.Config;
+      return true;
+    }
+  }
+  return false;
+}
+
+int runOne(const char *Name, const std::string &Source, bool UseEngine,
+           const OptConfig &Config) {
+  Runtime RT;
+  std::unique_ptr<Engine> E;
+  if (UseEngine)
+    E = std::make_unique<Engine>(RT, Config);
+
+  Timer T;
+  RT.evaluate(Source);
+  double Seconds = T.seconds();
+  if (RT.hasError()) {
+    std::fprintf(stderr, "%s: error: %s\n", Name, RT.errorMessage().c_str());
+    return 1;
+  }
+
+  std::printf("-- %s --\n%s", Name, RT.output().c_str());
+  std::printf("time: %.3f ms", Seconds * 1e3);
+  if (E) {
+    const EngineStats &S = E->stats();
+    std::printf("  (compiles=%llu spec=%llu cachehits=%llu despec=%llu "
+                "bailouts=%llu osr=%llu compile=%.2fms)",
+                static_cast<unsigned long long>(S.Compilations),
+                static_cast<unsigned long long>(S.SpecializedCompiles),
+                static_cast<unsigned long long>(S.CacheHits),
+                static_cast<unsigned long long>(S.Despecializations),
+                static_cast<unsigned long long>(S.Bailouts),
+                static_cast<unsigned long long>(S.OsrEntries),
+                S.CompileSeconds * 1e3);
+  }
+  std::printf("\n\n");
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    listEverything();
+    return 0;
+  }
+
+  bool UseEngine = true;
+  OptConfig Config = OptConfig::all();
+  if (argc >= 3 && !resolveConfig(argv[2], UseEngine, Config)) {
+    std::fprintf(stderr, "unknown config '%s'\n", argv[2]);
+    return 1;
+  }
+
+  const char *Spec = argv[1];
+  if (!std::strncmp(Spec, "suite:", 6)) {
+    int Rc = 0;
+    for (const Workload &W : suiteWorkloads(Spec + 6))
+      Rc |= runOne(W.Name, W.Source, UseEngine, Config);
+    return Rc;
+  }
+  if (!std::strncmp(Spec, "file:", 5)) {
+    std::ifstream In(Spec + 5);
+    if (!In) {
+      std::fprintf(stderr, "cannot open %s\n", Spec + 5);
+      return 1;
+    }
+    std::stringstream SS;
+    SS << In.rdbuf();
+    return runOne(Spec + 5, SS.str(), UseEngine, Config);
+  }
+
+  const Workload *W = findWorkload(Spec);
+  if (!W) {
+    std::fprintf(stderr, "unknown workload '%s' (run with no arguments "
+                         "for the list)\n",
+                 Spec);
+    return 1;
+  }
+  return runOne(W->Name, W->Source, UseEngine, Config);
+}

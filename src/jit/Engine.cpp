@@ -1,0 +1,393 @@
+//===- jit/Engine.cpp - Compilation driving and deoptimization ------------===//
+
+#include "jit/Engine.h"
+
+#include "lir/Codegen.h"
+#include "mir/MIRBuilder.h"
+#include "mir/Verifier.h"
+#include "support/Timer.h"
+#include "vm/Interpreter.h"
+
+using namespace jitvs;
+
+/// Roots everything the engine keeps alive across GC: cached argument
+/// sets, cached OSR slot values, and the constant pools of all compiled
+/// binaries. A compiling MIR graph is rooted separately via GraphRoots.
+class Engine::EngineRoots final : public RootSource {
+public:
+  explicit EngineRoots(Engine &E) : E(E) { E.RT.heap().addRootSource(this); }
+  ~EngineRoots() override { E.RT.heap().removeRootSource(this); }
+
+  void markRoots(GCMarker &Marker) override {
+    for (auto &[Info, FS] : E.States) {
+      for (const Value &V : FS.CachedArgs)
+        Marker.mark(V);
+      for (const Value &V : FS.CachedOsrSlots)
+        Marker.mark(V);
+      for (const auto &[Args, Code] : FS.ExtraSpecializations)
+        for (const Value &V : Args)
+          Marker.mark(V);
+    }
+    for (const auto &Code : E.AllCode)
+      for (const Value &V : Code->ConstPool)
+        Marker.mark(V);
+  }
+
+private:
+  Engine &E;
+};
+
+namespace {
+
+/// Temporarily roots a MIR graph's constants while passes run (constant
+/// folding may allocate strings, which can trigger a collection).
+class GraphRoots final : public RootSource {
+public:
+  GraphRoots(Heap &H, MIRGraph &Graph) : H(H), Graph(Graph) {
+    H.addRootSource(this);
+  }
+  ~GraphRoots() override { H.removeRootSource(this); }
+
+  void markRoots(GCMarker &Marker) override {
+    Graph.forEachConstant([&Marker](const Value &V) { Marker.mark(V); });
+  }
+
+private:
+  Heap &H;
+  MIRGraph &Graph;
+};
+
+} // namespace
+
+Engine::Engine(Runtime &RT, const OptConfig &Config)
+    : RT(RT), Config(Config), Exec(RT) {
+  Roots = std::make_unique<EngineRoots>(*this);
+  RT.setHooks(this);
+}
+
+Engine::~Engine() {
+  if (RT.hooks() == this)
+    RT.setHooks(nullptr);
+}
+
+Engine::FuncState &Engine::state(FunctionInfo *Info) {
+  return States[Info];
+}
+
+bool Engine::argsMatch(const std::vector<Value> &Cached, const Value *Args,
+                       size_t NumArgs) const {
+  if (Cached.size() != NumArgs)
+    return false;
+  for (size_t I = 0; I != NumArgs; ++I)
+    if (!Cached[I].sameSpecializationValue(Args[I]))
+      return false;
+  return true;
+}
+
+std::shared_ptr<NativeCode>
+Engine::compile(FunctionInfo *Info, const std::vector<Value> *SpecArgs,
+                const uint32_t *OsrPc, const std::vector<Value> *OsrSlots) {
+  Timer T;
+
+  BuildOptions Opts;
+  if (SpecArgs)
+    Opts.SpecializedArgs = *SpecArgs;
+  if (OsrPc) {
+    Opts.OsrPc = *OsrPc;
+    if (OsrSlots)
+      Opts.OsrSlotValues = *OsrSlots;
+  }
+
+  std::unique_ptr<MIRGraph> Graph = buildMIR(Info, Opts);
+  GraphRoots RootGuard(RT.heap(), *Graph);
+
+  // §3.7: closures passed as parameters become constant callees under
+  // specialization; inline them immediately, without guards.
+  if (Config.ParameterSpecialization)
+    runClosureInlining(*Graph, RT, Config);
+
+  runOptimizationPipeline(*Graph, RT, Config);
+
+#ifndef NDEBUG
+  std::string Violation = verifyGraph(*Graph);
+  if (!Violation.empty()) {
+    std::fprintf(stderr, "MIR verification failed for %s: %s\n",
+                 Info->Name.c_str(), Violation.c_str());
+    reportFatal("MIR verifier failure");
+  }
+#endif
+
+  std::shared_ptr<NativeCode> Code = generateCode(*Graph);
+  AllCode.push_back(Code);
+
+  double Seconds = T.seconds();
+  Stats.CompileSeconds += Seconds;
+  ++Stats.Compilations;
+  if (SpecArgs)
+    ++Stats.SpecializedCompiles;
+  else
+    ++Stats.GenericCompiles;
+
+  FuncState &FS = state(Info);
+  ++FS.Compiles;
+  if (FS.Compiles > 1)
+    ++Stats.Recompilations;
+  FS.MinCodeSize = std::min(FS.MinCodeSize, Code->sizeInInstructions());
+  return Code;
+}
+
+Value Engine::execute(FuncState &FS, FunctionInfo *Info, const Value &ThisV,
+                      const Value *Args, size_t NumArgs, bool AtOsr,
+                      const std::vector<Value> *OsrSlots, Environment *Env,
+                      Environment *ClosureEnv,
+                      std::shared_ptr<NativeCode> CodeOverride) {
+  // Keep the binary alive: nested calls may despecialize this function
+  // and discard FS.Code while we are still executing it.
+  std::shared_ptr<NativeCode> Code =
+      CodeOverride ? std::move(CodeOverride) : FS.Code;
+  ExecResult R = Exec.run(*Code, ThisV, Args, NumArgs, AtOsr,
+                          OsrSlots ? OsrSlots->data() : nullptr,
+                          OsrSlots ? OsrSlots->size() : 0, Env, ClosureEnv);
+  if (R.K == ExecResult::Ok)
+    return R.Result;
+  if (R.K == ExecResult::Error)
+    return Value::undefined();
+
+  // --- Bailout: deoptimize to the interpreter. ---
+  ++Stats.Bailouts;
+  ++FS.Bailouts;
+  const Snapshot &S = Code->Snapshots[R.SnapshotId];
+#ifdef JITVS_DEBUG_BAIL
+  fprintf(stderr, "BAIL fn=%s pc=%u op=%s entries=%zu frameslots=%u\n",
+          Info->Name.c_str(), S.PC, nopName(R.BailOp), S.Entries.size(),
+          S.NumFrameSlots);
+#endif
+
+  // Feed the failure back so the next compile avoids this guard.
+  switch (R.BailOp) {
+  case NOp::AddI:
+  case NOp::SubI:
+  case NOp::MulI:
+  case NOp::ModI:
+  case NOp::NegI:
+    Info->Feedback.at(S.PC).SawIntOverflow = true;
+    break;
+  case NOp::BoundsCheck:
+    Info->Feedback.at(S.PC).SawOutOfBounds = true;
+    break;
+  default:
+    break; // Tag guards: the interpreter re-records operand types.
+  }
+
+  // Reconstruct the interpreter frame from the snapshot.
+  InterpFrame Frame(RT, Info);
+  Frame.PC = S.PC;
+  Frame.ThisV = ThisV;
+  Frame.ClosureEnv = ClosureEnv;
+  Frame.OrigArgs.assign(Args, Args + NumArgs);
+  // The environment in effect is whatever the native frame was using
+  // (adopted at OSR entry or created by the native prologue); reuse it so
+  // mutations performed before the guard failure are preserved. No
+  // allocation may happen between here and populating the frame: the
+  // snapshot values in RegsAtBail are not GC roots.
+  Frame.Env = R.EnvAtBail;
+
+  auto DecodeEntry = [&](const SnapshotEntry &E) {
+    if (E.IsConst)
+      return Code->ConstPool[E.Index];
+    return R.RegsAtBail[E.Index];
+  };
+  size_t NumEntries = S.Entries.size();
+  for (size_t I = 0; I != NumEntries; ++I) {
+    Value V = DecodeEntry(S.Entries[I]);
+    if (I < S.NumFrameSlots) {
+      if (I < Frame.Slots.size())
+        Frame.Slots[I] = V;
+    } else {
+      Frame.Stack.push_back(V);
+    }
+  }
+
+  // Repeated bailouts: the speculation was wrong. Discard the binary
+  // BEFORE resuming — the resumed interpreter may immediately re-trigger
+  // OSR, and re-entering the same failing code would nest bail/resume
+  // cycles on the C++ stack for the rest of the loop. Discarding first
+  // bounds the nesting: the next compile uses the refreshed feedback.
+  if (FS.Bailouts >= BailoutLimit && FS.Code == Code) {
+    FS.Code.reset();
+    FS.Bailouts = 0;
+    FS.Specialized = false;
+  }
+
+  return RT.resumeFrame(Frame);
+}
+
+bool Engine::onCall(JSFunction *Callee, const Value &ThisV,
+                    const Value *Args, size_t NumArgs, Value &Result) {
+  FunctionInfo *Info = Callee->info();
+  FuncState &FS = state(Info);
+
+  if (FS.Code) {
+    if (FS.Specialized) {
+      if (argsMatch(FS.CachedArgs, Args, NumArgs)) {
+        ++Stats.CacheHits;
+        ++Stats.NativeCalls;
+        Result = execute(FS, Info, ThisV, Args, NumArgs, /*AtOsr=*/false,
+                         nullptr, nullptr, Callee->environment());
+        return true;
+      }
+      // Cache depth > 1 (the paper's future-work heuristic): other
+      // cached argument sets, then free slots.
+      for (auto &[CachedArgs, CachedCode] : FS.ExtraSpecializations) {
+        if (argsMatch(CachedArgs, Args, NumArgs)) {
+          ++Stats.CacheHits;
+          ++Stats.NativeCalls;
+          Result = execute(FS, Info, ThisV, Args, NumArgs, /*AtOsr=*/false,
+                           nullptr, nullptr, Callee->environment(),
+                           CachedCode);
+          return true;
+        }
+      }
+      if (FS.ExtraSpecializations.size() + 1 < CacheDepth) {
+        std::vector<Value> ArgVec(Args, Args + NumArgs);
+        std::shared_ptr<NativeCode> NewCode =
+            compile(Info, &ArgVec, nullptr, nullptr);
+        FS.ExtraSpecializations.emplace_back(std::move(ArgVec), NewCode);
+        ++Stats.NativeCalls;
+        Result = execute(FS, Info, ThisV, Args, NumArgs, /*AtOsr=*/false,
+                         nullptr, nullptr, Callee->environment(), NewCode);
+        return true;
+      }
+      // Different arguments: discard, recompile generic, never try again.
+      ++Stats.Despecializations;
+      FS.EverDespecialized = true;
+      FS.Code.reset();
+      FS.Specialized = false;
+      FS.NeverSpecialize = true;
+      FS.CachedArgs.clear();
+      FS.ExtraSpecializations.clear();
+      FS.Code = compile(Info, nullptr, nullptr, nullptr);
+      ++Stats.NativeCalls;
+      Result = execute(FS, Info, ThisV, Args, NumArgs, /*AtOsr=*/false,
+                       nullptr, nullptr, Callee->environment());
+      return true;
+    }
+    ++Stats.NativeCalls;
+    Result = execute(FS, Info, ThisV, Args, NumArgs, /*AtOsr=*/false,
+                     nullptr, nullptr, Callee->environment());
+    return true;
+  }
+
+  if (Info->CallCount < CallThreshold) {
+    ++Stats.InterpretedCalls;
+    return false;
+  }
+
+  bool Specialize =
+      Config.ParameterSpecialization && !FS.NeverSpecialize;
+  if (Specialize) {
+    std::vector<Value> ArgVec(Args, Args + NumArgs);
+    FS.Code = compile(Info, &ArgVec, nullptr, nullptr);
+    FS.Specialized = true;
+    FS.EverSpecialized = true;
+    FS.CachedArgs = std::move(ArgVec);
+  } else {
+    FS.Code = compile(Info, nullptr, nullptr, nullptr);
+  }
+  ++Stats.NativeCalls;
+  Result = execute(FS, Info, ThisV, Args, NumArgs, /*AtOsr=*/false, nullptr,
+                   nullptr, Callee->environment());
+  return true;
+}
+
+bool Engine::onLoopHead(InterpFrame &Frame, uint32_t PC, Value &Result) {
+  FunctionInfo *Info = Frame.Info;
+  if (Info->BackEdgeCount < LoopThreshold)
+    return false;
+  FuncState &FS = state(Info);
+
+  bool Specialize =
+      Config.ParameterSpecialization && !FS.NeverSpecialize;
+
+  if (FS.Code && FS.Code->OsrPc == PC) {
+    // Existing binary has an OSR entry here; specialized code baked the
+    // OSR frame values in, so revalidate them.
+    if (FS.Specialized &&
+        !argsMatch(FS.CachedOsrSlots, Frame.Slots.data(),
+                   Frame.Slots.size())) {
+      ++Stats.Despecializations;
+      FS.EverDespecialized = true;
+      FS.Code.reset();
+      FS.Specialized = false;
+      FS.NeverSpecialize = true;
+      FS.CachedArgs.clear();
+      FS.CachedOsrSlots.clear();
+      FS.Code = compile(Info, nullptr, &PC, nullptr);
+    }
+  } else {
+    // Compile (or recompile) with an OSR entry at this loop head.
+    if (FS.Specialized && FS.Code &&
+        !argsMatch(FS.CachedArgs, Frame.OrigArgs.data(),
+                   Frame.OrigArgs.size())) {
+      // The running frame's arguments differ from the cached
+      // specialization; fall back to generic for this function.
+      ++Stats.Despecializations;
+      FS.EverDespecialized = true;
+      FS.Specialized = false;
+      FS.NeverSpecialize = true;
+      FS.CachedArgs.clear();
+      FS.CachedOsrSlots.clear();
+      Specialize = false;
+    }
+    // Avoid compile storms when several hot loops alternate in one
+    // function: after a few rebuilds, leave the loop to the interpreter.
+    if (FS.Code && FS.Compiles > 8)
+      return false;
+    FS.Code.reset();
+    if (Specialize) {
+      std::vector<Value> ArgVec = Frame.OrigArgs;
+      std::vector<Value> SlotVec = Frame.Slots;
+      FS.Code = compile(Info, &ArgVec, &PC, &SlotVec);
+      FS.Specialized = true;
+      FS.EverSpecialized = true;
+      FS.CachedArgs = std::move(ArgVec);
+      FS.CachedOsrSlots = std::move(SlotVec);
+    } else {
+      FS.Code = compile(Info, nullptr, &PC, nullptr);
+    }
+  }
+
+  if (!FS.Code || FS.Code->OsrOffset == ~0u)
+    return false; // No usable OSR entry (e.g. unreachable loop head).
+
+  ++Stats.OsrEntries;
+  std::vector<Value> OsrSlots = Frame.Slots;
+  Result = execute(FS, Info, Frame.ThisV, Frame.OrigArgs.data(),
+                   Frame.OrigArgs.size(), /*AtOsr=*/true, &OsrSlots,
+                   Frame.Env, Frame.ClosureEnv);
+  return true;
+}
+
+std::vector<Engine::FunctionReport> Engine::functionReports() const {
+  std::vector<FunctionReport> Out;
+  for (const auto &[Info, FS] : States) {
+    FunctionReport R;
+    R.Name = Info->Name;
+    R.WasSpecialized = FS.EverSpecialized;
+    R.Despecialized = FS.EverDespecialized;
+    R.Compiles = FS.Compiles;
+    R.MinCodeSize = FS.MinCodeSize;
+    Out.push_back(std::move(R));
+  }
+  return Out;
+}
+
+NativeCode *Engine::compileNow(FunctionInfo *Info,
+                               const std::vector<Value> *Args) {
+  FuncState &FS = state(Info);
+  FS.Code = compile(Info, Args, nullptr, nullptr);
+  FS.Specialized = Args != nullptr;
+  if (Args)
+    FS.CachedArgs = *Args;
+  return FS.Code.get();
+}

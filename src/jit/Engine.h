@@ -1,0 +1,159 @@
+//===- jit/Engine.h - The JIT engine and specialization policy --*- C++ -*-===//
+///
+/// \file
+/// The engine ties everything together, implementing the paper's policy
+/// (Section 4, "Specialization policy"):
+///
+///  - hot functions (by call count or loop back-edge count) are compiled;
+///  - under parameter specialization, the actual arguments are baked into
+///    the binary and cached; a later call with the *same* arguments
+///    reuses the binary;
+///  - a call with *different* arguments discards the binary, recompiles a
+///    generic version, and marks the function so it is never specialized
+///    again;
+///  - guard failures (overflow, type, bounds) bail out: the interpreter
+///    frame is reconstructed from the snapshot and execution resumes in
+///    the interpreter; repeated bailouts discard the binary so the next
+///    compile uses the refreshed type feedback.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITVS_JIT_ENGINE_H
+#define JITVS_JIT_ENGINE_H
+
+#include "native/Executor.h"
+#include "native/NativeCode.h"
+#include "passes/Passes.h"
+#include "vm/Runtime.h"
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace jitvs {
+
+/// Aggregate engine statistics (Figure 9/10 and the Section 4 numbers).
+struct EngineStats {
+  uint64_t Compilations = 0;
+  uint64_t Recompilations = 0; ///< Compiles beyond a function's first.
+  uint64_t SpecializedCompiles = 0;
+  uint64_t GenericCompiles = 0;
+  uint64_t Despecializations = 0; ///< Different-arguments deopts.
+  uint64_t CacheHits = 0;  ///< Specialized code reused with same args.
+  uint64_t Bailouts = 0;
+  uint64_t OsrEntries = 0;
+  uint64_t NativeCalls = 0;      ///< Calls executed in native code.
+  uint64_t InterpretedCalls = 0; ///< Calls the engine left to the interp.
+  double CompileSeconds = 0.0;
+};
+
+/// Per-function code-size record for Figure 10 (the paper reports the
+/// smallest version each compilation mode produced per function).
+struct CodeSizeRecord {
+  std::string Name;
+  size_t MinSize = SIZE_MAX;
+  uint32_t Compiles = 0;
+};
+
+/// The JIT engine. Attach to a Runtime via Runtime::setHooks.
+class Engine final : public ExecutionHooks {
+public:
+  Engine(Runtime &RT, const OptConfig &Config);
+  ~Engine() override;
+
+  bool onCall(JSFunction *Callee, const Value &ThisV, const Value *Args,
+              size_t NumArgs, Value &Result) override;
+  bool onLoopHead(InterpFrame &Frame, uint32_t PC, Value &Result) override;
+
+  const EngineStats &stats() const { return Stats; }
+  const OptConfig &config() const { return Config; }
+
+  /// Hotness thresholds.
+  void setCallThreshold(uint32_t N) { CallThreshold = N; }
+  void setLoopThreshold(uint32_t N) { LoopThreshold = N; }
+  void setBailoutLimit(uint32_t N) { BailoutLimit = N; }
+
+  /// Future-work knob from the paper's conclusion: how many specialized
+  /// binaries (argument sets) to cache per function. The paper uses 1
+  /// ("we cache only one binary per function. Thus, we can specialize
+  /// only two different parameter sets" — the specialized one plus the
+  /// generic fallback); with depth N, a call whose arguments miss all N
+  /// cached sets either fills a free slot or triggers the usual
+  /// despecialize-to-generic policy.
+  void setCacheDepth(uint32_t N) { CacheDepth = std::max(1u, N); }
+
+  /// Per-function facts for the reports.
+  struct FunctionReport {
+    std::string Name;
+    bool WasSpecialized = false;
+    bool Despecialized = false;
+    uint32_t Compiles = 0;
+    size_t MinCodeSize = SIZE_MAX;
+  };
+  std::vector<FunctionReport> functionReports() const;
+
+  /// Compiles \p Info immediately (test/bench hook). Returns the code (or
+  /// nullptr on unsupported shapes). \p Args non-null => specialized.
+  NativeCode *compileNow(FunctionInfo *Info, const std::vector<Value> *Args);
+
+private:
+  struct FuncState {
+    /// Shared: in-flight executions (including recursive ones) keep the
+    /// binary alive after the engine discards it.
+    std::shared_ptr<NativeCode> Code;
+    bool Specialized = false;
+    bool NeverSpecialize = false;
+    bool EverSpecialized = false;
+    bool EverDespecialized = false;
+    std::vector<Value> CachedArgs;     ///< GC-rooted via EngineRoots.
+    std::vector<Value> CachedOsrSlots; ///< For OSR-entry revalidation.
+    /// Extra specialized binaries when the cache depth exceeds 1 (the
+    /// paper's future-work heuristic). Each entry pairs an argument set
+    /// with its binary.
+    std::vector<std::pair<std::vector<Value>, std::shared_ptr<NativeCode>>>
+        ExtraSpecializations;
+    uint32_t Compiles = 0;
+    uint32_t Bailouts = 0;
+    size_t MinCodeSize = SIZE_MAX;
+  };
+
+  FuncState &state(FunctionInfo *Info);
+
+  /// Compiles \p Info. \p SpecArgs non-null => parameter specialization.
+  /// \p OsrPc/\p OsrSlots build an OSR entry.
+  std::shared_ptr<NativeCode>
+  compile(FunctionInfo *Info, const std::vector<Value> *SpecArgs,
+          const uint32_t *OsrPc, const std::vector<Value> *OsrSlots);
+
+  /// Runs FS.Code (or \p CodeOverride), handling bailouts
+  /// (deoptimization to the interpreter).
+  Value execute(FuncState &FS, FunctionInfo *Info, const Value &ThisV,
+                const Value *Args, size_t NumArgs, bool AtOsr,
+                const std::vector<Value> *OsrSlots, Environment *Env,
+                Environment *ClosureEnv,
+                std::shared_ptr<NativeCode> CodeOverride = nullptr);
+
+  bool argsMatch(const std::vector<Value> &Cached, const Value *Args,
+                 size_t NumArgs) const;
+
+  Runtime &RT;
+  OptConfig Config;
+  Executor Exec;
+  std::unordered_map<FunctionInfo *, FuncState> States;
+  /// Every binary ever produced: keeps constant pools GC-rooted for the
+  /// lifetime of any in-flight execution and feeds the code-size tables.
+  std::vector<std::shared_ptr<NativeCode>> AllCode;
+  EngineStats Stats;
+
+  uint32_t CallThreshold = 8;
+  uint32_t LoopThreshold = 100;
+  uint32_t BailoutLimit = 12;
+  uint32_t CacheDepth = 1; ///< The paper's policy.
+
+  class EngineRoots;
+  std::unique_ptr<EngineRoots> Roots;
+};
+
+} // namespace jitvs
+
+#endif // JITVS_JIT_ENGINE_H

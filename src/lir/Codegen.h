@@ -1,0 +1,36 @@
+//===- lir/Codegen.h - MIR -> native code generation ------------*- C++ -*-===//
+///
+/// \file
+/// The backend: lowers MIR to virtual-register LIR, runs liveness
+/// analysis and linear-scan register allocation (16 physical registers,
+/// spill slots with explicit load/store code), resolves phis into
+/// parallel moves on split edges, and emits the final NativeCode with
+/// bailout snapshots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITVS_LIR_CODEGEN_H
+#define JITVS_LIR_CODEGEN_H
+
+#include "native/NativeCode.h"
+
+#include <memory>
+
+namespace jitvs {
+
+class MIRGraph;
+
+/// Statistics from one code generation run.
+struct CodegenStats {
+  uint32_t NumVirtualRegs = 0;
+  uint32_t NumSpills = 0;
+  uint32_t NumInstructions = 0;
+};
+
+/// Generates executable native code for \p Graph.
+std::unique_ptr<NativeCode> generateCode(MIRGraph &Graph,
+                                         CodegenStats *Stats = nullptr);
+
+} // namespace jitvs
+
+#endif // JITVS_LIR_CODEGEN_H

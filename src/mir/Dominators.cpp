@@ -1,0 +1,175 @@
+//===- mir/Dominators.cpp - Dominator tree and natural loops --------------===//
+
+#include "mir/Dominators.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace jitvs;
+
+void DominatorTree::build(MIRGraph &Graph) {
+  std::vector<MBasicBlock *> RPO = Graph.reversePostOrder();
+  std::unordered_map<const MBasicBlock *, uint32_t> RpoIndex;
+  for (uint32_t I = 0, E = static_cast<uint32_t>(RPO.size()); I != E; ++I) {
+    RpoIndex[RPO[I]] = I;
+    RPO[I]->setImmediateDominator(nullptr);
+  }
+
+  // Roots: the entries dominate themselves (IDom == self marks "root").
+  // A computed IDom of nullptr means the *virtual* root above both
+  // entries, which is distinct from "not processed yet".
+  std::vector<bool> Processed(RPO.size(), false);
+  MBasicBlock *Entry = Graph.entry();
+  MBasicBlock *Osr = Graph.osrBlock();
+  if (Entry) {
+    Entry->setImmediateDominator(Entry);
+    Processed[RpoIndex[Entry]] = true;
+  }
+  if (Osr && !Osr->isDead()) {
+    Osr->setImmediateDominator(Osr);
+    Processed[RpoIndex[Osr]] = true;
+  }
+
+  auto Intersect = [&](MBasicBlock *A, MBasicBlock *B) -> MBasicBlock * {
+    // Walk both fingers up; nullptr means the virtual root.
+    while (A != B) {
+      if (!A || !B)
+        return nullptr;
+      uint32_t IA = RpoIndex[A], IB = RpoIndex[B];
+      if (IA > IB) {
+        MBasicBlock *Up = A->immediateDominator();
+        A = (Up == A) ? nullptr : Up; // Root's parent is the virtual root.
+      } else if (IB > IA) {
+        MBasicBlock *Up = B->immediateDominator();
+        B = (Up == B) ? nullptr : Up;
+      } else {
+        // Equal indices but different nodes cannot happen.
+        return nullptr;
+      }
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (MBasicBlock *B : RPO) {
+      if (B == Entry || B == Osr)
+        continue;
+      MBasicBlock *NewIDom = nullptr;
+      bool First = true;
+      bool SawVirtualRoot = false;
+      for (MBasicBlock *Pred : B->predecessors()) {
+        auto It = RpoIndex.find(Pred);
+        if (It == RpoIndex.end())
+          continue; // Unreachable predecessor.
+        if (!Processed[It->second])
+          continue; // Not processed yet.
+        if (First) {
+          NewIDom = Pred;
+          First = false;
+        } else if (!SawVirtualRoot) {
+          NewIDom = Intersect(NewIDom, Pred);
+        }
+        if (!First && !NewIDom)
+          SawVirtualRoot = true; // Converged to the virtual root.
+      }
+      if (First)
+        continue; // No processed predecessors yet.
+      size_t Idx = RpoIndex[B];
+      if (!Processed[Idx] || B->immediateDominator() != NewIDom) {
+        Processed[Idx] = true;
+        B->setImmediateDominator(NewIDom);
+        Changed = true;
+      }
+    }
+  }
+
+  // Assign preorder ranges over the dominator forest for O(1) queries.
+  // Children lists.
+  std::unordered_map<const MBasicBlock *, std::vector<MBasicBlock *>> Kids;
+  std::vector<MBasicBlock *> Roots;
+  for (MBasicBlock *B : RPO) {
+    MBasicBlock *IDom = B->immediateDominator();
+    if (!IDom || IDom == B)
+      Roots.push_back(B);
+    else
+      Kids[IDom].push_back(B);
+  }
+  uint32_t Counter = 0;
+  // Iterative preorder with subtree-exit bookkeeping.
+  struct Item {
+    MBasicBlock *Block;
+    size_t NextKid;
+  };
+  for (MBasicBlock *Root : Roots) {
+    std::vector<Item> Stack;
+    Root->setDomRange(Counter, Counter);
+    ++Counter;
+    Stack.push_back({Root, 0});
+    while (!Stack.empty()) {
+      Item &Top = Stack.back();
+      auto &Children = Kids[Top.Block];
+      if (Top.NextKid < Children.size()) {
+        MBasicBlock *Kid = Children[Top.NextKid++];
+        Kid->setDomRange(Counter, Counter);
+        ++Counter;
+        Stack.push_back({Kid, 0});
+        continue;
+      }
+      // Subtree finished: extend ancestors' last index.
+      uint32_t Last = Counter - 1;
+      Top.Block->setDomRange(Top.Block->domIndex(), Last);
+      Stack.pop_back();
+    }
+  }
+}
+
+std::vector<NaturalLoop> jitvs::findNaturalLoops(MIRGraph &Graph) {
+  std::vector<NaturalLoop> Loops;
+  std::unordered_map<const MBasicBlock *, size_t> HeaderToLoop;
+
+  for (MBasicBlock *B : Graph.reversePostOrder()) {
+    for (size_t S = 0, E = B->numSuccessors(); S != E; ++S) {
+      MBasicBlock *H = B->successor(S);
+      if (!H->dominates(B))
+        continue; // Not a back edge.
+      size_t LoopIdx;
+      auto It = HeaderToLoop.find(H);
+      if (It == HeaderToLoop.end()) {
+        LoopIdx = Loops.size();
+        HeaderToLoop[H] = LoopIdx;
+        Loops.emplace_back();
+        Loops[LoopIdx].Header = H;
+        Loops[LoopIdx].Body.push_back(H);
+      } else {
+        LoopIdx = It->second;
+      }
+      Loops[LoopIdx].BackEdgePreds.push_back(B);
+
+      // Natural loop body: reverse reachability from the latch to the
+      // header.
+      std::unordered_set<MBasicBlock *> InBody(Loops[LoopIdx].Body.begin(),
+                                               Loops[LoopIdx].Body.end());
+      std::vector<MBasicBlock *> Work;
+      if (!InBody.count(B)) {
+        InBody.insert(B);
+        Loops[LoopIdx].Body.push_back(B);
+        Work.push_back(B);
+      }
+      while (!Work.empty()) {
+        MBasicBlock *X = Work.back();
+        Work.pop_back();
+        for (MBasicBlock *P : X->predecessors()) {
+          if (InBody.count(P))
+            continue;
+          InBody.insert(P);
+          Loops[LoopIdx].Body.push_back(P);
+          Work.push_back(P);
+        }
+      }
+    }
+  }
+  return Loops;
+}

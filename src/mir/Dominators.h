@@ -1,0 +1,47 @@
+//===- mir/Dominators.h - Dominator tree over the MIR CFG -------*- C++ -*-===//
+///
+/// \file
+/// Cooper-Harvey-Kennedy dominator computation. Because a MIR graph can
+/// have two entry points (function entry + OSR block), the forest is
+/// rooted at a virtual node whose children are the entries; dominance
+/// queries treat the virtual root as dominating everything.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITVS_MIR_DOMINATORS_H
+#define JITVS_MIR_DOMINATORS_H
+
+#include "mir/MIRGraph.h"
+
+#include <vector>
+
+namespace jitvs {
+
+/// Builds dominator information into the graph's blocks (IDom pointers
+/// and preorder ranges for O(1) dominates() queries).
+class DominatorTree {
+public:
+  /// Computes dominators for \p Graph. Invalidated by any CFG mutation.
+  static void build(MIRGraph &Graph);
+};
+
+/// A natural loop discovered from back edges.
+struct NaturalLoop {
+  MBasicBlock *Header = nullptr;
+  std::vector<MBasicBlock *> BackEdgePreds; ///< Latch blocks.
+  std::vector<MBasicBlock *> Body;          ///< Includes the header.
+
+  bool contains(const MBasicBlock *B) const {
+    for (const MBasicBlock *X : Body)
+      if (X == B)
+        return true;
+    return false;
+  }
+};
+
+/// Finds all natural loops (requires a fresh DominatorTree::build).
+std::vector<NaturalLoop> findNaturalLoops(MIRGraph &Graph);
+
+} // namespace jitvs
+
+#endif // JITVS_MIR_DOMINATORS_H

@@ -1,0 +1,485 @@
+//===- mir/MIR.cpp - MIR instruction implementation -----------------------===//
+
+#include "mir/MIR.h"
+
+#include "mir/MIRGraph.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace jitvs;
+
+const char *jitvs::mirTypeName(MIRType T) {
+  switch (T) {
+  case MIRType::Any:
+    return "Value";
+  case MIRType::Int32:
+    return "Int32";
+  case MIRType::Double:
+    return "Double";
+  case MIRType::Boolean:
+    return "Boolean";
+  case MIRType::String:
+    return "String";
+  case MIRType::Object:
+    return "Object";
+  case MIRType::Array:
+    return "Array";
+  case MIRType::Function:
+    return "Function";
+  case MIRType::Undefined:
+    return "Undefined";
+  case MIRType::Null:
+    return "Null";
+  case MIRType::None:
+    return "None";
+  }
+  JITVS_UNREACHABLE("bad MIRType");
+}
+
+MIRType jitvs::mirTypeOfValue(const Value &V) {
+  switch (V.tag()) {
+  case ValueTag::Undefined:
+    return MIRType::Undefined;
+  case ValueTag::Null:
+    return MIRType::Null;
+  case ValueTag::Boolean:
+    return MIRType::Boolean;
+  case ValueTag::Int32:
+    return MIRType::Int32;
+  case ValueTag::Double:
+    return MIRType::Double;
+  case ValueTag::String:
+    return MIRType::String;
+  case ValueTag::Object:
+    return MIRType::Object;
+  case ValueTag::Array:
+    return MIRType::Array;
+  case ValueTag::Function:
+    return MIRType::Function;
+  }
+  JITVS_UNREACHABLE("bad ValueTag");
+}
+
+const char *jitvs::mirOpName(MirOp O) {
+  switch (O) {
+  case MirOp::Start:
+    return "start";
+  case MirOp::Constant:
+    return "constant";
+  case MirOp::Parameter:
+    return "parameter";
+  case MirOp::OsrValue:
+    return "osrvalue";
+  case MirOp::GetThis:
+    return "getthis";
+  case MirOp::Phi:
+    return "phi";
+  case MirOp::Goto:
+    return "goto";
+  case MirOp::Test:
+    return "test";
+  case MirOp::Return:
+    return "return";
+  case MirOp::Unbox:
+    return "unbox";
+  case MirOp::ToDouble:
+    return "todouble";
+  case MirOp::TruncateToInt32:
+    return "truncatetoint32";
+  case MirOp::TypeBarrier:
+    return "typebarrier";
+  case MirOp::AddI:
+    return "addi";
+  case MirOp::SubI:
+    return "subi";
+  case MirOp::MulI:
+    return "muli";
+  case MirOp::ModI:
+    return "modi";
+  case MirOp::NegI:
+    return "negi";
+  case MirOp::AddD:
+    return "addd";
+  case MirOp::SubD:
+    return "subd";
+  case MirOp::MulD:
+    return "muld";
+  case MirOp::DivD:
+    return "divd";
+  case MirOp::ModD:
+    return "modd";
+  case MirOp::NegD:
+    return "negd";
+  case MirOp::BitAnd:
+    return "bitand";
+  case MirOp::BitOr:
+    return "bitor";
+  case MirOp::BitXor:
+    return "bitxor";
+  case MirOp::Shl:
+    return "shl";
+  case MirOp::Shr:
+    return "shr";
+  case MirOp::UShr:
+    return "ushr";
+  case MirOp::BitNot:
+    return "bitnot";
+  case MirOp::CompareI:
+    return "comparei";
+  case MirOp::CompareD:
+    return "compared";
+  case MirOp::CompareS:
+    return "compares";
+  case MirOp::CompareGeneric:
+    return "comparegeneric";
+  case MirOp::Not:
+    return "not";
+  case MirOp::Concat:
+    return "concat";
+  case MirOp::TypeOf:
+    return "typeof";
+  case MirOp::CheckOverRecursed:
+    return "checkoverrecursed";
+  case MirOp::BoundsCheck:
+    return "boundscheck";
+  case MirOp::GuardArrayLength:
+    return "guardarraylength";
+  case MirOp::ArrayLength:
+    return "arraylength";
+  case MirOp::StringLength:
+    return "stringlength";
+  case MirOp::LoadElement:
+    return "loadelement";
+  case MirOp::StoreElement:
+    return "storeelement";
+  case MirOp::FromCharCode:
+    return "fromcharcode";
+  case MirOp::CharCodeAt:
+    return "charcodeat";
+  case MirOp::GenericBinop:
+    return "genericbinop";
+  case MirOp::GenericUnop:
+    return "genericunop";
+  case MirOp::GenericGetElem:
+    return "genericgetelem";
+  case MirOp::GenericSetElem:
+    return "genericsetelem";
+  case MirOp::GenericGetProp:
+    return "genericgetprop";
+  case MirOp::GenericSetProp:
+    return "genericsetprop";
+  case MirOp::GetGlobal:
+    return "getglobal";
+  case MirOp::SetGlobal:
+    return "setglobal";
+  case MirOp::GetEnvSlot:
+    return "getenvslot";
+  case MirOp::SetEnvSlot:
+    return "setenvslot";
+  case MirOp::NewArray:
+    return "newarray";
+  case MirOp::NewArrayLen:
+    return "newarraylen";
+  case MirOp::NewObject:
+    return "newobject";
+  case MirOp::InitProp:
+    return "initprop";
+  case MirOp::MakeClosure:
+    return "makeclosure";
+  case MirOp::Call:
+    return "call";
+  case MirOp::CallMethod:
+    return "callmethod";
+  case MirOp::New:
+    return "new";
+  case MirOp::MathFunction:
+    return "mathfunction";
+  }
+  JITVS_UNREACHABLE("bad MirOp");
+}
+
+const char *jitvs::mathIntrinsicName(MathIntrinsic F) {
+  switch (F) {
+  case MathIntrinsic::Sin:
+    return "sin";
+  case MathIntrinsic::Cos:
+    return "cos";
+  case MathIntrinsic::Tan:
+    return "tan";
+  case MathIntrinsic::Atan:
+    return "atan";
+  case MathIntrinsic::Sqrt:
+    return "sqrt";
+  case MathIntrinsic::Abs:
+    return "abs";
+  case MathIntrinsic::Floor:
+    return "floor";
+  case MathIntrinsic::Ceil:
+    return "ceil";
+  case MathIntrinsic::Round:
+    return "round";
+  case MathIntrinsic::Log:
+    return "log";
+  case MathIntrinsic::Exp:
+    return "exp";
+  case MathIntrinsic::Pow:
+    return "pow";
+  case MathIntrinsic::Atan2:
+    return "atan2";
+  }
+  JITVS_UNREACHABLE("bad MathIntrinsic");
+}
+
+//===----------------------------------------------------------------------===//
+// Resume points
+//===----------------------------------------------------------------------===//
+
+void MResumePoint::appendEntry(MInstr *Def) {
+  assert(Def && "null resume point entry");
+  Def->addRPUse(this, static_cast<uint32_t>(Entries.size()));
+  Entries.push_back(Def);
+}
+
+void MResumePoint::replaceEntry(size_t I, MInstr *Def) {
+  assert(I < Entries.size() && "bad resume point entry index");
+  Entries[I]->removeRPUse(this, static_cast<uint32_t>(I));
+  Entries[I] = Def;
+  Def->addRPUse(this, static_cast<uint32_t>(I));
+}
+
+void MResumePoint::clearEntries() {
+  for (size_t I = 0, E = Entries.size(); I != E; ++I)
+    Entries[I]->removeRPUse(this, static_cast<uint32_t>(I));
+  Entries.clear();
+}
+
+//===----------------------------------------------------------------------===//
+// Use tracking
+//===----------------------------------------------------------------------===//
+
+void MInstr::addUse(MInstr *Consumer, uint32_t Index) {
+  Use U;
+  U.ConsumerInstr = Consumer;
+  U.Index = Index;
+  Uses.push_back(U);
+}
+
+void MInstr::addRPUse(MResumePoint *Consumer, uint32_t Index) {
+  Use U;
+  U.ConsumerRP = Consumer;
+  U.Index = Index;
+  Uses.push_back(U);
+}
+
+void MInstr::removeUse(MInstr *Consumer, uint32_t Index) {
+  for (size_t I = 0, E = Uses.size(); I != E; ++I) {
+    if (Uses[I].ConsumerInstr == Consumer && Uses[I].Index == Index) {
+      Uses[I] = Uses.back();
+      Uses.pop_back();
+      return;
+    }
+  }
+  JITVS_UNREACHABLE("removing unknown instruction use");
+}
+
+void MInstr::removeRPUse(MResumePoint *Consumer, uint32_t Index) {
+  for (size_t I = 0, E = Uses.size(); I != E; ++I) {
+    if (Uses[I].ConsumerRP == Consumer && Uses[I].Index == Index) {
+      Uses[I] = Uses.back();
+      Uses.pop_back();
+      return;
+    }
+  }
+  JITVS_UNREACHABLE("removing unknown resume point use");
+}
+
+void MInstr::setOperand(size_t I, MInstr *Def) {
+  assert(I < Operands.size() && "operand index out of range");
+  if (Operands[I])
+    Operands[I]->removeUse(this, static_cast<uint32_t>(I));
+  Operands[I] = Def;
+  if (Def)
+    Def->addUse(this, static_cast<uint32_t>(I));
+}
+
+void MInstr::appendOperand(MInstr *Def) {
+  assert(Def && "null operand");
+  Def->addUse(this, static_cast<uint32_t>(Operands.size()));
+  Operands.push_back(Def);
+}
+
+void MInstr::clearOperands() {
+  for (size_t I = 0, E = Operands.size(); I != E; ++I)
+    if (Operands[I])
+      Operands[I]->removeUse(this, static_cast<uint32_t>(I));
+  Operands.clear();
+}
+
+size_t MInstr::numInstrUses() const {
+  size_t N = 0;
+  for (const Use &U : Uses)
+    if (U.ConsumerInstr)
+      ++N;
+  return N;
+}
+
+void MInstr::replaceAllUsesWith(MInstr *Repl) {
+  assert(Repl != this && "replacing a definition with itself");
+  // Uses mutates as we rewrite; iterate over a snapshot.
+  std::vector<Use> Snapshot = Uses;
+  for (const Use &U : Snapshot) {
+    if (U.ConsumerInstr)
+      U.ConsumerInstr->setOperand(U.Index, Repl);
+    else
+      U.ConsumerRP->replaceEntry(U.Index, Repl);
+  }
+  assert(Uses.empty() && "stale uses after replaceAllUsesWith");
+}
+
+//===----------------------------------------------------------------------===//
+// Properties
+//===----------------------------------------------------------------------===//
+
+bool MInstr::isGuard() const {
+  switch (Op) {
+  case MirOp::AddI:
+  case MirOp::SubI:
+  case MirOp::MulI:
+    return AuxB != 1; // AuxB==1: overflow check eliminated.
+  case MirOp::Unbox:
+  case MirOp::TypeBarrier:
+  case MirOp::ModI:
+  case MirOp::NegI:
+  case MirOp::BoundsCheck:
+  case MirOp::GuardArrayLength:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool MInstr::isEffectful() const {
+  switch (Op) {
+  case MirOp::StoreElement:
+  case MirOp::GenericSetElem:
+  case MirOp::GenericSetProp:
+  case MirOp::GenericGetElem:  // May report an error (null base).
+  case MirOp::GenericGetProp:  // May report an error (null base).
+  case MirOp::SetGlobal:
+  case MirOp::SetEnvSlot:
+  case MirOp::InitProp:
+  case MirOp::Call:
+  case MirOp::CallMethod:
+  case MirOp::New:
+  case MirOp::CheckOverRecursed:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool MInstr::isRemovableIfUnused() const {
+  if (isEffectful() || isControl() || isGuard())
+    return false;
+  switch (Op) {
+  case MirOp::Start:
+  case MirOp::Parameter: // Kept: they define the frame contract.
+  case MirOp::OsrValue:
+    return false;
+  default:
+    return true;
+  }
+}
+
+bool MInstr::isCongruenceCandidate() const {
+  if (isEffectful() || isControl() || isPhi())
+    return false;
+  switch (Op) {
+  case MirOp::Start:
+  case MirOp::Parameter:
+  case MirOp::OsrValue:
+  case MirOp::GetThis:
+  case MirOp::NewArray:
+  case MirOp::NewArrayLen:
+  case MirOp::NewObject:
+  case MirOp::MakeClosure: // Distinct identities per evaluation.
+  case MirOp::ArrayLength: // Mutable between stores.
+  case MirOp::LoadElement:
+  case MirOp::GetGlobal:
+  case MirOp::GetEnvSlot:
+    return false;
+  default:
+    return true;
+  }
+}
+
+bool MInstr::congruentTo(const MInstr *Other) const {
+  if (Op != Other->Op || Type != Other->Type || AuxA != Other->AuxA ||
+      AuxB != Other->AuxB)
+    return false;
+  if (Op == MirOp::Constant && !ConstVal.sameSpecializationValue(
+                                   Other->ConstVal))
+    return false;
+  if (Operands.size() != Other->Operands.size())
+    return false;
+  for (size_t I = 0, E = Operands.size(); I != E; ++I)
+    if (Operands[I] != Other->Operands[I])
+      return false;
+  return true;
+}
+
+uint64_t MInstr::valueHash() const {
+  uint64_t H = static_cast<uint64_t>(Op) * 0x9e3779b97f4a7c15ull;
+  auto Mix = [&H](uint64_t X) {
+    H ^= X + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
+  };
+  Mix(static_cast<uint64_t>(Type));
+  Mix(AuxA);
+  Mix(AuxB);
+  if (Op == MirOp::Constant)
+    Mix(ConstVal.specializationHash());
+  for (const MInstr *Operand : Operands)
+    Mix(Operand->Id);
+  return H;
+}
+
+std::string MInstr::toString() const {
+  char Buf[64];
+  std::string Out;
+  std::snprintf(Buf, sizeof(Buf), "%u", Id);
+  if (Type != MIRType::None) {
+    Out += "v";
+    Out += Buf;
+    Out += " = ";
+  }
+  Out += mirOpName(Op);
+  if (Op == MirOp::Constant) {
+    Out += " ";
+    Out += ConstVal.toDisplayString();
+    Out += " ";
+    Out += mirTypeName(mirTypeOfValue(ConstVal));
+    return Out;
+  }
+  for (const MInstr *Operand : Operands) {
+    std::snprintf(Buf, sizeof(Buf), " v%u", Operand->Id);
+    Out += Buf;
+  }
+  if (AuxA || AuxB) {
+    std::snprintf(Buf, sizeof(Buf), " [%u,%u]", AuxA, AuxB);
+    Out += Buf;
+  }
+  if (numSuccessors() >= 1) {
+    std::snprintf(Buf, sizeof(Buf), " -> B%u", Succs[0]->id());
+    Out += Buf;
+    if (numSuccessors() == 2) {
+      std::snprintf(Buf, sizeof(Buf), ", B%u", Succs[1]->id());
+      Out += Buf;
+    }
+  }
+  if (Type != MIRType::None && Type != MIRType::Any) {
+    Out += " : ";
+    Out += mirTypeName(Type);
+  }
+  return Out;
+}

@@ -1,0 +1,330 @@
+//===- mir/MIR.h - SSA middle-level IR --------------------------*- C++ -*-===//
+///
+/// \file
+/// The MIR: a three-address SSA IR mirroring IonMonkey's middle-level
+/// representation (Section 3.1 of the paper). Instructions carry a static
+/// MIRType; guard instructions (type barriers, bounds checks, overflow-
+/// checked int32 arithmetic) reference a resume point describing the
+/// interpreter state to reconstruct on bailout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITVS_MIR_MIR_H
+#define JITVS_MIR_MIR_H
+
+#include "vm/Bytecode.h"
+#include "vm/Value.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jitvs {
+
+class MBasicBlock;
+class MIRGraph;
+class MInstr;
+
+/// Static type of an SSA definition. `Any` is a boxed value of unknown
+/// tag; the others assert a known tag (the payload is still a boxed Value
+/// in our register machine, but typed ops read payloads unchecked).
+enum class MIRType : uint8_t {
+  Any,
+  Int32,
+  Double,
+  Boolean,
+  String,
+  Object,
+  Array,
+  Function,
+  Undefined,
+  Null,
+  None, ///< Control instructions produce no value.
+};
+
+const char *mirTypeName(MIRType T);
+
+/// \returns the MIRType matching a runtime value tag.
+MIRType mirTypeOfValue(const Value &V);
+
+/// MIR operation codes.
+enum class MirOp : uint8_t {
+  // Meta.
+  Start,
+  Constant,  ///< ConstVal.
+  Parameter, ///< AuxA = parameter index.
+  OsrValue,  ///< AuxA = frame slot index (read from the OSR frame).
+  GetThis,   ///< The frame's `this` value.
+  Phi,
+
+  // Control flow (block terminators).
+  Goto,
+  Test, ///< Operand 0: condition. Successors: [true, false].
+  Return,
+
+  // Type conversions and guards.
+  Unbox,            ///< AuxA = target MIRType; guard, bails on tag mismatch.
+  ToDouble,         ///< Numeric -> unboxed double (int32 widens). Pure.
+  TruncateToInt32,  ///< JS ToInt32 on any value. Pure, never bails.
+  TypeBarrier,      ///< AuxA = expected ValueTag; guard, passes through.
+
+  // Int32 arithmetic (bails on overflow / invalid).
+  AddI,
+  SubI,
+  MulI,
+  ModI,
+  NegI,
+
+  // Double arithmetic (pure).
+  AddD,
+  SubD,
+  MulD,
+  DivD,
+  ModD,
+  NegD,
+
+  // Bitwise (int32 in, int32 out; UShr may produce double).
+  BitAnd,
+  BitOr,
+  BitXor,
+  Shl,
+  Shr,
+  UShr,
+  BitNot,
+
+  // Comparisons (produce Boolean). AuxA = comparison bytecode Op.
+  CompareI,
+  CompareD,
+  CompareS,
+  CompareGeneric,
+
+  Not,    ///< Boolean negation of ToBoolean(operand). Pure.
+  Concat, ///< String concatenation (allocates).
+  TypeOf, ///< Produces one of the six interned typeof strings.
+
+  CheckOverRecursed, ///< Call-depth guard; reports an error, not a bailout.
+
+  // Arrays and strings.
+  BoundsCheck,      ///< Operands: index, array. Guard, bails when OOB.
+  GuardArrayLength, ///< AuxA = expected length. Guard on constant arrays
+                    ///< whose per-iteration checks were eliminated.
+  ArrayLength,
+  StringLength,
+  LoadElement,  ///< Operands: array, index. In-bounds guaranteed.
+  StoreElement, ///< Operands: array, index, value. In-bounds guaranteed.
+  FromCharCode, ///< Int32 char code -> 1-char string.
+  CharCodeAt,   ///< Operands: string, index (in-bounds). -> Int32.
+
+  // Generic (helper-call) fallbacks. AuxA = bytecode Op where relevant.
+  GenericBinop,
+  GenericUnop,
+  GenericGetElem,
+  GenericSetElem,
+  GenericGetProp, ///< AuxA = name id.
+  GenericSetProp, ///< AuxA = name id.
+
+  // Globals and environments.
+  GetGlobal, ///< AuxA = global slot.
+  SetGlobal, ///< AuxA = global slot.
+  GetEnvSlot, ///< AuxA = slot, AuxB = depth.
+  SetEnvSlot, ///< AuxA = slot, AuxB = depth.
+
+  // Allocation.
+  NewArray,    ///< Operands: elements.
+  NewArrayLen, ///< AuxA = length (new Array(n) fast path).
+  NewObject,
+  InitProp,    ///< Operands: object, value. AuxA = name id.
+  MakeClosure, ///< AuxA = function index.
+
+  // Calls. Operands: callee/recv, then args. AuxA = argc (CallMethod:
+  // AuxA = name id, argc = numOperands()-1).
+  Call,
+  CallMethod,
+  New,
+
+  // Inlined Math intrinsics. AuxA = MathIntrinsic.
+  MathFunction,
+};
+
+const char *mirOpName(MirOp O);
+
+/// Inlined Math builtins (deterministic ones only).
+enum class MathIntrinsic : uint8_t {
+  Sin,
+  Cos,
+  Tan,
+  Atan,
+  Sqrt,
+  Abs,
+  Floor,
+  Ceil,
+  Round,
+  Log,
+  Exp,
+  Pow,   ///< Two operands.
+  Atan2, ///< Two operands.
+};
+
+const char *mathIntrinsicName(MathIntrinsic F);
+
+/// A resume point: the interpreter state (bytecode pc plus the values of
+/// every frame slot and operand-stack entry) needed to deoptimize back to
+/// interpretation. Bailout semantics re-execute the bytecode op at PC.
+class MResumePoint {
+public:
+  MResumePoint(uint32_t PC, uint32_t NumFrameSlots)
+      : PC(PC), NumFrameSlots(NumFrameSlots) {}
+
+  uint32_t pc() const { return PC; }
+  /// Number of leading entries that are frame slots; the rest is stack.
+  uint32_t numFrameSlots() const { return NumFrameSlots; }
+
+  size_t numEntries() const { return Entries.size(); }
+  MInstr *entry(size_t I) const { return Entries[I]; }
+  void appendEntry(MInstr *Def);
+  void replaceEntry(size_t I, MInstr *Def);
+  void clearEntries();
+
+  /// Identifier assigned at codegen time.
+  uint32_t SnapshotId = ~0u;
+
+  /// One of the guard instructions this resume point belongs to (several
+  /// guards created for the same bytecode op share one resume point; all
+  /// sharers live in the same block).
+  MInstr *Owner = nullptr;
+
+  /// Reference counting: entries are released only when the last sharing
+  /// guard is removed.
+  void retain() { ++RefCount; }
+  void release() {
+    assert(RefCount > 0 && "resume point over-released");
+    if (--RefCount == 0)
+      clearEntries();
+  }
+
+private:
+  friend class MIRGraph;
+  uint32_t PC;
+  uint32_t NumFrameSlots;
+  uint32_t RefCount = 0;
+  std::vector<MInstr *> Entries;
+};
+
+/// One SSA instruction. A single concrete class: the operation is the
+/// MirOp tag, with a small uniform payload (constant value + two aux
+/// words) instead of a per-op class hierarchy.
+class MInstr {
+public:
+  MirOp op() const { return Op; }
+  uint32_t id() const { return Id; }
+  MIRType type() const { return Type; }
+  void setType(MIRType T) { Type = T; }
+
+  MBasicBlock *block() const { return Block; }
+
+  // --- Operands ---
+  size_t numOperands() const { return Operands.size(); }
+  MInstr *operand(size_t I) const {
+    assert(I < Operands.size() && "operand index out of range");
+    return Operands[I];
+  }
+  void setOperand(size_t I, MInstr *Def);
+  void appendOperand(MInstr *Def);
+  void clearOperands();
+
+  // --- Uses ---
+  struct Use {
+    MInstr *ConsumerInstr = nullptr;       ///< Either this...
+    MResumePoint *ConsumerRP = nullptr;    ///< ...or this is set.
+    uint32_t Index = 0;
+  };
+  const std::vector<Use> &uses() const { return Uses; }
+  bool hasUses() const { return !Uses.empty(); }
+  /// Number of uses from real instructions (excluding resume points).
+  size_t numInstrUses() const;
+
+  /// Rewrites every use of this definition (including resume-point
+  /// entries) to use \p Repl instead.
+  void replaceAllUsesWith(MInstr *Repl);
+
+  // --- Payload ---
+  const Value &constValue() const {
+    assert(Op == MirOp::Constant && "not a constant");
+    return ConstVal;
+  }
+  Value ConstVal;
+  uint32_t AuxA = 0;
+  uint32_t AuxB = 0;
+
+  // --- Control successors (terminators only) ---
+  MBasicBlock *successor(size_t I) const {
+    assert(I < 2 && Succs[I] && "bad successor");
+    return Succs[I];
+  }
+  size_t numSuccessors() const { return !Succs[0] ? 0 : (!Succs[1] ? 1 : 2); }
+  void setSuccessor(size_t I, MBasicBlock *B) { Succs[I] = B; }
+
+  // --- Resume point for bailing instructions ---
+  MResumePoint *resumePoint() const { return RP; }
+  void setResumePoint(MResumePoint *R) {
+    assert(!RP && "instruction already has a resume point");
+    RP = R;
+    if (R) {
+      R->Owner = this;
+      R->retain();
+    }
+  }
+  /// Detaches the resume point, releasing its entries when this was the
+  /// last sharer.
+  void dropResumePoint() {
+    if (RP)
+      RP->release();
+    RP = nullptr;
+  }
+
+  // --- Properties ---
+  bool isGuard() const;        ///< May bail out to the interpreter.
+  bool isEffectful() const;    ///< Observable effect; never removed/moved.
+  bool isRemovableIfUnused() const;
+  bool isControl() const {
+    return Op == MirOp::Goto || Op == MirOp::Test || Op == MirOp::Return;
+  }
+  bool isPhi() const { return Op == MirOp::Phi; }
+  /// Eligible for GVN congruence (pure, or a guard keyed on its operands).
+  bool isCongruenceCandidate() const;
+
+  /// Structural equality for GVN: same op, aux payload and operands.
+  bool congruentTo(const MInstr *Other) const;
+  /// Hash consistent with congruentTo.
+  uint64_t valueHash() const;
+
+  std::string toString() const;
+
+  bool isDead() const { return Dead; }
+
+private:
+  friend class MIRGraph;
+  friend class MBasicBlock;
+  friend class MResumePoint;
+
+  explicit MInstr(MirOp Op) : Op(Op) {}
+
+  void addUse(MInstr *Consumer, uint32_t Index);
+  void addRPUse(MResumePoint *Consumer, uint32_t Index);
+  void removeUse(MInstr *Consumer, uint32_t Index);
+  void removeRPUse(MResumePoint *Consumer, uint32_t Index);
+
+  MirOp Op;
+  MIRType Type = MIRType::Any;
+  uint32_t Id = 0;
+  MBasicBlock *Block = nullptr;
+  bool Dead = false;
+  std::vector<MInstr *> Operands;
+  std::vector<Use> Uses;
+  MBasicBlock *Succs[2] = {nullptr, nullptr};
+  MResumePoint *RP = nullptr;
+};
+
+} // namespace jitvs
+
+#endif // JITVS_MIR_MIR_H

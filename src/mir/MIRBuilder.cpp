@@ -1,0 +1,1253 @@
+//===- mir/MIRBuilder.cpp - Bytecode -> SSA translation -------------------===//
+///
+/// \file
+/// Abstract interpretation of the operand stack over bytecode basic
+/// blocks, in offset order. Loop headers (LoopHead opcodes, the only
+/// back-edge targets our emitter produces) get pessimistic phis for every
+/// slot; other merges create phis lazily; trivial phis are pruned at the
+/// end. Resume points capture the interpreter state at the start of the
+/// bytecode op that created each guard.
+///
+//===----------------------------------------------------------------------===//
+
+#include "mir/MIRBuilder.h"
+
+#include "support/Assert.h"
+#include "vm/Bytecode.h"
+#include "vm/Object.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+using namespace jitvs;
+
+namespace {
+
+/// Net operand-stack effect of the bytecode op at \p PC.
+int stackDelta(const FunctionInfo *Info, uint32_t PC) {
+  switch (Info->opAt(PC)) {
+  case Op::PushConst:
+  case Op::PushInt8:
+  case Op::PushUndefined:
+  case Op::PushNull:
+  case Op::PushTrue:
+  case Op::PushFalse:
+  case Op::GetSlot:
+  case Op::GetEnvSlot:
+  case Op::GetGlobal:
+  case Op::Dup:
+  case Op::NewObject:
+  case Op::MakeClosure:
+  case Op::GetThis:
+    return +1;
+  case Op::Dup2:
+    return +2;
+  case Op::SetSlot:
+  case Op::SetEnvSlot:
+  case Op::SetGlobal:
+  case Op::Pop:
+  case Op::JumpIfFalse:
+  case Op::JumpIfTrue:
+  case Op::Return:
+  case Op::InitProp:
+  case Op::GetElem:
+  case Op::SetProp:
+    return -1;
+  case Op::Add:
+  case Op::Sub:
+  case Op::Mul:
+  case Op::Div:
+  case Op::Mod:
+  case Op::BitAnd:
+  case Op::BitOr:
+  case Op::BitXor:
+  case Op::Shl:
+  case Op::Shr:
+  case Op::UShr:
+  case Op::Lt:
+  case Op::Le:
+  case Op::Gt:
+  case Op::Ge:
+  case Op::Eq:
+  case Op::Ne:
+  case Op::StrictEq:
+  case Op::StrictNe:
+    return -1;
+  case Op::SetElem:
+    return -2;
+  case Op::Call:
+  case Op::New:
+    return -static_cast<int>(Info->u8At(PC + 1));
+  case Op::CallMethod:
+    return -static_cast<int>(Info->u8At(PC + 3));
+  case Op::NewArray:
+    return 1 - static_cast<int>(Info->u16At(PC + 1));
+  default:
+    return 0;
+  }
+}
+
+struct BCBlock {
+  uint32_t Start = 0;
+  uint32_t End = 0; ///< Exclusive.
+  bool IsLoopHead = false;
+  int EntryDepth = -1; ///< -1 = unreachable.
+  MBasicBlock *MBB = nullptr;
+  std::vector<MInstr *> EntryState;
+  unsigned LinkedPreds = 0;
+};
+
+class Builder {
+public:
+  Builder(MIRGraph &Graph, FunctionInfo *Info, const BuildOptions &Opts,
+          bool InlineMode, const std::vector<MInstr *> &InlineArgs)
+      : Graph(Graph), Info(Info), Opts(Opts), InlineMode(InlineMode),
+        InlineArgs(InlineArgs) {
+    LengthNameId = Info->Parent->names().lookup("length");
+  }
+
+  bool run();
+  InlineBuildResult takeInlineResult() { return std::move(InlineResult); }
+
+private:
+  // --- Analysis ---
+  void findBlockBoundaries();
+  void propagateDepths();
+  BCBlock &blockAt(uint32_t Offset) {
+    auto It = BlockIndex.find(Offset);
+    assert(It != BlockIndex.end() && "no block at offset");
+    return BCBlocks[It->second];
+  }
+
+  // --- Graph construction helpers ---
+  MInstr *ins(MirOp OpC, MIRType T, std::initializer_list<MInstr *> Ops,
+              uint32_t AuxA = 0, uint32_t AuxB = 0) {
+    MInstr *I = Graph.create(OpC, T);
+    for (MInstr *O : Ops)
+      I->appendOperand(O);
+    I->AuxA = AuxA;
+    I->AuxB = AuxB;
+    Cur->append(I);
+    return I;
+  }
+  MInstr *guard(MirOp OpC, MIRType T, std::initializer_list<MInstr *> Ops,
+                uint32_t AuxA = 0, uint32_t AuxB = 0) {
+    assert(!Opts.GenericOnly && "guards are forbidden in generic-only mode");
+    MInstr *I = ins(OpC, T, Ops, AuxA, AuxB);
+    I->setResumePoint(makeRP());
+    return I;
+  }
+  MInstr *constant(const Value &V) {
+    MInstr *I = Graph.createConstant(V);
+    Cur->append(I);
+    return I;
+  }
+  MResumePoint *makeRP() {
+    if (!CurRP) {
+      CurRP = Graph.createResumePoint(CurOpPC, Info->NumSlots);
+      for (MInstr *Def : PreOpState)
+        CurRP->appendEntry(Def);
+    }
+    return CurRP;
+  }
+
+  // --- State / stack abstraction ---
+  MInstr *&slot(size_t I) { return State[I]; }
+  void push(MInstr *Def) { State.push_back(Def); }
+  MInstr *pop() {
+    assert(State.size() > Info->NumSlots && "abstract stack underflow");
+    MInstr *Def = State.back();
+    State.pop_back();
+    return Def;
+  }
+  MInstr *top() {
+    assert(State.size() > Info->NumSlots && "abstract stack underflow");
+    return State.back();
+  }
+
+  // --- Type knowledge ---
+  static bool isNumericType(MIRType T) {
+    return T == MIRType::Int32 || T == MIRType::Double;
+  }
+  MIRType knowledge(MInstr *Def, const TypeSet &FB) const {
+    if (Def->type() != MIRType::Any)
+      return Def->type();
+    if (FB.isOnlyInt32())
+      return MIRType::Int32;
+    if (FB.isOnlyNumber())
+      return MIRType::Double;
+    if (FB.isOnlyString())
+      return MIRType::String;
+    if (FB.isOnlyArray())
+      return MIRType::Array;
+    if (FB.isOnlyBoolean())
+      return MIRType::Boolean;
+    return MIRType::Any;
+  }
+
+  /// \returns a definition of type \p T from \p Def, emitting ToDouble /
+  /// Unbox as needed. Must only be called when allowed (see canUnboxTo).
+  MInstr *unboxTo(MIRType T, MInstr *Def) {
+    if (Def->type() == T)
+      return Def;
+    if (T == MIRType::Double && Def->type() == MIRType::Int32)
+      return ins(MirOp::ToDouble, MIRType::Double, {Def});
+    if (T == MIRType::Double)
+      return guard(MirOp::Unbox, MIRType::Double, {Def},
+                   static_cast<uint32_t>(MIRType::Double));
+    return guard(MirOp::Unbox, T, {Def}, static_cast<uint32_t>(T));
+  }
+
+  /// True if unboxTo(T, Def) would not need a bailing guard.
+  static bool unboxIsFree(MIRType T, const MInstr *Def) {
+    if (Def->type() == T)
+      return true;
+    return T == MIRType::Double && Def->type() == MIRType::Int32;
+  }
+  /// Typed paths are permitted when either guards are allowed or all
+  /// required unboxings are free.
+  bool mayUnbox(MIRType T, const MInstr *Def) const {
+    return !Opts.GenericOnly || unboxIsFree(T, Def);
+  }
+
+  // --- Edges ---
+  void linkEdge(MBasicBlock *From, const std::vector<MInstr *> &ExitState,
+                BCBlock &Target);
+
+  // --- Prologue / OSR ---
+  void buildPrologue();
+  void buildOsrEntry(BCBlock &Header);
+
+  // --- Translation ---
+  bool translateBlock(BCBlock &B);
+  /// Translates one op; returns true if it terminated the block.
+  bool translateOp(uint32_t PC, uint32_t Len);
+  void translateBinary(Op O);
+  void translateCompare(Op O);
+  void translateBitop(Op O);
+  void translateCall(uint32_t PC);
+  void translateCallMethod(uint32_t PC);
+  void translateNew(uint32_t PC);
+  void translateGetElem(uint32_t PC);
+  void translateSetElem(uint32_t PC);
+
+  const SiteFeedback *feedback(uint32_t PC) const {
+    return Info->Feedback.find(PC);
+  }
+
+  // --- Cleanup ---
+  void prunePhis();
+  void inferPhiTypes();
+
+  MIRGraph &Graph;
+  FunctionInfo *Info;
+  const BuildOptions &Opts;
+  bool InlineMode;
+  std::vector<MInstr *> InlineArgs;
+  InlineBuildResult InlineResult;
+
+  std::vector<BCBlock> BCBlocks;
+  std::map<uint32_t, size_t> BlockIndex;
+
+  MBasicBlock *Cur = nullptr;
+  std::vector<MInstr *> State;
+  uint32_t CurOpPC = 0;
+  std::vector<MInstr *> PreOpState;
+  MResumePoint *CurRP = nullptr;
+  MInstr *ThisDef = nullptr;
+
+  uint32_t LengthNameId = ~0u;
+};
+
+void Builder::findBlockBoundaries() {
+  std::vector<uint32_t> Starts;
+  Starts.push_back(0);
+  const uint32_t Size = static_cast<uint32_t>(Info->Code.size());
+  for (uint32_t PC = 0; PC < Size; PC += Info->instructionLength(PC)) {
+    switch (Info->opAt(PC)) {
+    case Op::Jump:
+    case Op::JumpIfFalse:
+    case Op::JumpIfTrue:
+      Starts.push_back(Info->u32At(PC + 1));
+      Starts.push_back(PC + Info->instructionLength(PC));
+      break;
+    case Op::Return:
+    case Op::ReturnUndefined:
+      Starts.push_back(PC + Info->instructionLength(PC));
+      break;
+    case Op::LoopHead:
+      Starts.push_back(PC);
+      break;
+    default:
+      break;
+    }
+  }
+  std::sort(Starts.begin(), Starts.end());
+  Starts.erase(std::unique(Starts.begin(), Starts.end()), Starts.end());
+  while (!Starts.empty() && Starts.back() >= Size)
+    Starts.pop_back();
+
+  for (size_t I = 0, E = Starts.size(); I != E; ++I) {
+    BCBlock B;
+    B.Start = Starts[I];
+    B.End = (I + 1 < E) ? Starts[I + 1] : Size;
+    B.IsLoopHead = Info->opAt(B.Start) == Op::LoopHead;
+    BlockIndex[B.Start] = I;
+    BCBlocks.push_back(std::move(B));
+  }
+}
+
+void Builder::propagateDepths() {
+  // Worklist over bytecode blocks starting at offset 0 with depth 0.
+  std::vector<size_t> Work;
+  BCBlocks[0].EntryDepth = 0;
+  Work.push_back(0);
+  while (!Work.empty()) {
+    size_t Idx = Work.back();
+    Work.pop_back();
+    BCBlock &B = BCBlocks[Idx];
+    int Depth = B.EntryDepth;
+    uint32_t PC = B.Start;
+    bool Terminated = false;
+    auto Flow = [&](uint32_t Target, int D) {
+      BCBlock &T = blockAt(Target);
+      if (T.EntryDepth < 0) {
+        T.EntryDepth = D;
+        Work.push_back(BlockIndex[Target]);
+      } else {
+        assert(T.EntryDepth == D && "inconsistent stack depth at join");
+      }
+    };
+    while (PC < B.End) {
+      Op O = Info->opAt(PC);
+      uint32_t Len = Info->instructionLength(PC);
+      switch (O) {
+      case Op::Jump:
+        Flow(Info->u32At(PC + 1), Depth);
+        Terminated = true;
+        break;
+      case Op::JumpIfFalse:
+      case Op::JumpIfTrue:
+        Depth -= 1;
+        Flow(Info->u32At(PC + 1), Depth);
+        break;
+      case Op::Return:
+      case Op::ReturnUndefined:
+        Terminated = true;
+        break;
+      default:
+        Depth += stackDelta(Info, PC);
+        break;
+      }
+      if (Terminated)
+        break;
+      PC += Len;
+    }
+    if (!Terminated && PC < Info->Code.size())
+      Flow(PC, Depth);
+  }
+}
+
+void Builder::linkEdge(MBasicBlock *From,
+                       const std::vector<MInstr *> &ExitState,
+                       BCBlock &Target) {
+  assert(Target.EntryDepth >= 0 && "edge into unreachable block");
+  size_t NumSlots = Info->NumSlots + static_cast<size_t>(Target.EntryDepth);
+  assert(ExitState.size() == NumSlots && "state size mismatch on edge");
+
+  Target.MBB->addPredecessor(From);
+
+  if (Target.IsLoopHead) {
+    if (Target.EntryState.empty()) {
+      for (size_t I = 0; I != NumSlots; ++I) {
+        MInstr *Phi = Graph.create(MirOp::Phi, MIRType::Any);
+        Target.MBB->addPhi(Phi);
+        Target.EntryState.push_back(Phi);
+      }
+    }
+    for (size_t I = 0; I != NumSlots; ++I)
+      Target.EntryState[I]->appendOperand(ExitState[I]);
+    ++Target.LinkedPreds;
+    return;
+  }
+
+  if (Target.LinkedPreds == 0) {
+    Target.EntryState = ExitState;
+    ++Target.LinkedPreds;
+    return;
+  }
+
+  for (size_t I = 0; I != NumSlots; ++I) {
+    MInstr *Existing = Target.EntryState[I];
+    bool IsLocalPhi =
+        Existing->isPhi() && Existing->block() == Target.MBB;
+    if (IsLocalPhi) {
+      Existing->appendOperand(ExitState[I]);
+      continue;
+    }
+    if (Existing == ExitState[I])
+      continue;
+    // Diverging values: phi-ify this slot.
+    MInstr *Phi = Graph.create(MirOp::Phi, MIRType::Any);
+    for (unsigned P = 0; P != Target.LinkedPreds; ++P)
+      Phi->appendOperand(Existing);
+    Phi->appendOperand(ExitState[I]);
+    Target.MBB->addPhi(Phi);
+    Target.EntryState[I] = Phi;
+  }
+  // Slots that stayed identical across the new predecessor are fine, but
+  // previously-created local phis for other slots needed the operand
+  // appended above. Now account for slots that were equal but already had
+  // local phis (handled), and bump the pred count.
+  ++Target.LinkedPreds;
+}
+
+void Builder::buildPrologue() {
+  Cur = Graph.createBlock();
+  if (!InlineMode)
+    Graph.setEntry(Cur);
+  else
+    InlineResult.EntryBlock = Cur;
+
+  if (!InlineMode)
+    ins(MirOp::Start, MIRType::None, {});
+
+  State.clear();
+  MInstr *UndefConst = constant(Value::undefined());
+
+  for (uint32_t I = 0; I != Info->NumSlots; ++I) {
+    if (I < Info->NumParams) {
+      if (InlineMode) {
+        State.push_back(I < InlineArgs.size() ? InlineArgs[I] : UndefConst);
+        continue;
+      }
+      if (Opts.SpecializedArgs) {
+        const auto &Args = *Opts.SpecializedArgs;
+        Value V = I < Args.size() ? Args[I] : Value::undefined();
+        State.push_back(constant(V));
+        continue;
+      }
+      MInstr *Param = ins(MirOp::Parameter, MIRType::Any, {}, I);
+      State.push_back(Param);
+      continue;
+    }
+    State.push_back(UndefConst);
+  }
+
+  // `this` is never specialized (the cache keys on parameters only).
+  if (InlineMode)
+    ThisDef = UndefConst;
+  else
+    ThisDef = ins(MirOp::GetThis, MIRType::Any, {});
+
+  if (!InlineMode && Opts.EmitEntryChecks)
+    ins(MirOp::CheckOverRecursed, MIRType::None, {});
+
+  if (!InlineMode) {
+    // Record the entry frame state so later passes (bounds-check
+    // elimination) can attach entry guards that bail before any side
+    // effect has happened.
+    MResumePoint *RP = Graph.createResumePoint(/*PC=*/0, Info->NumSlots);
+    for (MInstr *Def : State)
+      RP->appendEntry(Def);
+    Cur->setEntryResumePoint(RP);
+  }
+
+  MInstr *Jump = ins(MirOp::Goto, MIRType::None, {});
+  Jump->setSuccessor(0, BCBlocks[0].MBB);
+  linkEdge(Cur, State, BCBlocks[0]);
+}
+
+void Builder::buildOsrEntry(BCBlock &Header) {
+  assert(!InlineMode && "no OSR in inlined code");
+  assert(Header.EntryDepth == 0 && "operand stack not empty at OSR point");
+
+  MBasicBlock *SaveCur = Cur;
+  std::vector<MInstr *> SaveState = State;
+
+  MBasicBlock *OsrMBB = Graph.createBlock();
+  Graph.setOsrBlock(OsrMBB);
+  Cur = OsrMBB;
+
+  std::vector<MInstr *> OsrState;
+  for (uint32_t I = 0; I != Info->NumSlots; ++I) {
+    if (Opts.SpecializedArgs) {
+      // Paper Figure 7(a): OSR inputs are specialized to the live frame
+      // values as well.
+      Value V = I < Opts.OsrSlotValues.size() ? Opts.OsrSlotValues[I]
+                                              : Value::undefined();
+      OsrState.push_back(constant(V));
+    } else {
+      OsrState.push_back(ins(MirOp::OsrValue, MIRType::Any, {}, I));
+    }
+  }
+
+  MResumePoint *RP = Graph.createResumePoint(*Opts.OsrPc, Info->NumSlots);
+  for (MInstr *Def : OsrState)
+    RP->appendEntry(Def);
+  OsrMBB->setEntryResumePoint(RP);
+
+  MInstr *Jump = ins(MirOp::Goto, MIRType::None, {});
+  Jump->setSuccessor(0, Header.MBB);
+  linkEdge(OsrMBB, OsrState, Header);
+
+  Cur = SaveCur;
+  State = std::move(SaveState);
+}
+
+bool Builder::translateBlock(BCBlock &B) {
+  Cur = B.MBB;
+  State = B.EntryState;
+  uint32_t PC = B.Start;
+  bool Terminated = false;
+  while (PC < B.End) {
+    CurOpPC = PC;
+    CurRP = nullptr;
+    PreOpState = State;
+    uint32_t Len = Info->instructionLength(PC);
+    Terminated = translateOp(PC, Len);
+    if (Terminated)
+      break;
+    PC += Len;
+  }
+  if (!Terminated) {
+    assert(PC < Info->Code.size() && "bytecode fell off the end");
+    BCBlock &Next = blockAt(PC);
+    MInstr *Jump = ins(MirOp::Goto, MIRType::None, {});
+    Jump->setSuccessor(0, Next.MBB);
+    linkEdge(Cur, State, Next);
+  }
+  return true;
+}
+
+void Builder::translateBinary(Op O) {
+  MInstr *B = pop(), *A = pop();
+  const SiteFeedback *FB = feedback(CurOpPC);
+  TypeSet Empty;
+  MIRType KA = knowledge(A, FB ? FB->A : Empty);
+  MIRType KB = knowledge(B, FB ? FB->B : Empty);
+  bool OverflowSeen = FB && FB->SawIntOverflow;
+
+  if (O == Op::Div) {
+    if (isNumericType(KA) && isNumericType(KB) &&
+        mayUnbox(MIRType::Double, A) && mayUnbox(MIRType::Double, B)) {
+      MInstr *DA = unboxTo(MIRType::Double, A);
+      MInstr *DB = unboxTo(MIRType::Double, B);
+      push(ins(MirOp::DivD, MIRType::Double, {DA, DB}));
+      return;
+    }
+    push(ins(MirOp::GenericBinop, MIRType::Any, {A, B},
+             static_cast<uint32_t>(O)));
+    return;
+  }
+
+  MirOp IntOp, DoubleOp;
+  switch (O) {
+  case Op::Add:
+    IntOp = MirOp::AddI;
+    DoubleOp = MirOp::AddD;
+    break;
+  case Op::Sub:
+    IntOp = MirOp::SubI;
+    DoubleOp = MirOp::SubD;
+    break;
+  case Op::Mul:
+    IntOp = MirOp::MulI;
+    DoubleOp = MirOp::MulD;
+    break;
+  case Op::Mod:
+    IntOp = MirOp::ModI;
+    DoubleOp = MirOp::ModD;
+    break;
+  default:
+    JITVS_UNREACHABLE("bad binary op");
+  }
+
+  // Int32 fast path with overflow guards.
+  if (!Opts.GenericOnly && KA == MIRType::Int32 && KB == MIRType::Int32 &&
+      !OverflowSeen) {
+    MInstr *IA = unboxTo(MIRType::Int32, A);
+    MInstr *IB = unboxTo(MIRType::Int32, B);
+    push(guard(IntOp, MIRType::Int32, {IA, IB}));
+    return;
+  }
+  // Double path.
+  if (isNumericType(KA) && isNumericType(KB) &&
+      mayUnbox(MIRType::Double, A) && mayUnbox(MIRType::Double, B)) {
+    MInstr *DA = unboxTo(MIRType::Double, A);
+    MInstr *DB = unboxTo(MIRType::Double, B);
+    push(ins(DoubleOp, MIRType::Double, {DA, DB}));
+    return;
+  }
+  // String concatenation.
+  if (O == Op::Add && KA == MIRType::String && KB == MIRType::String &&
+      mayUnbox(MIRType::String, A) && mayUnbox(MIRType::String, B)) {
+    MInstr *SA = unboxTo(MIRType::String, A);
+    MInstr *SB = unboxTo(MIRType::String, B);
+    push(ins(MirOp::Concat, MIRType::String, {SA, SB}));
+    return;
+  }
+  push(ins(MirOp::GenericBinop, MIRType::Any, {A, B},
+           static_cast<uint32_t>(O)));
+}
+
+void Builder::translateCompare(Op O) {
+  MInstr *B = pop(), *A = pop();
+  const SiteFeedback *FB = feedback(CurOpPC);
+  TypeSet Empty;
+  MIRType KA = knowledge(A, FB ? FB->A : Empty);
+  MIRType KB = knowledge(B, FB ? FB->B : Empty);
+
+  if (KA == MIRType::Int32 && KB == MIRType::Int32 &&
+      mayUnbox(MIRType::Int32, A) && mayUnbox(MIRType::Int32, B)) {
+    MInstr *IA = unboxTo(MIRType::Int32, A);
+    MInstr *IB = unboxTo(MIRType::Int32, B);
+    push(ins(MirOp::CompareI, MIRType::Boolean, {IA, IB},
+             static_cast<uint32_t>(O)));
+    return;
+  }
+  if (isNumericType(KA) && isNumericType(KB) &&
+      mayUnbox(MIRType::Double, A) && mayUnbox(MIRType::Double, B)) {
+    MInstr *DA = unboxTo(MIRType::Double, A);
+    MInstr *DB = unboxTo(MIRType::Double, B);
+    push(ins(MirOp::CompareD, MIRType::Boolean, {DA, DB},
+             static_cast<uint32_t>(O)));
+    return;
+  }
+  if (KA == MIRType::String && KB == MIRType::String &&
+      mayUnbox(MIRType::String, A) && mayUnbox(MIRType::String, B)) {
+    MInstr *SA = unboxTo(MIRType::String, A);
+    MInstr *SB = unboxTo(MIRType::String, B);
+    push(ins(MirOp::CompareS, MIRType::Boolean, {SA, SB},
+             static_cast<uint32_t>(O)));
+    return;
+  }
+  push(ins(MirOp::CompareGeneric, MIRType::Boolean, {A, B},
+           static_cast<uint32_t>(O)));
+}
+
+void Builder::translateBitop(Op O) {
+  MirOp M;
+  switch (O) {
+  case Op::BitAnd:
+    M = MirOp::BitAnd;
+    break;
+  case Op::BitOr:
+    M = MirOp::BitOr;
+    break;
+  case Op::BitXor:
+    M = MirOp::BitXor;
+    break;
+  case Op::Shl:
+    M = MirOp::Shl;
+    break;
+  case Op::Shr:
+    M = MirOp::Shr;
+    break;
+  case Op::UShr:
+    M = MirOp::UShr;
+    break;
+  default:
+    JITVS_UNREACHABLE("bad bitop");
+  }
+  MInstr *B = pop(), *A = pop();
+  // ToInt32 never bails; bit ops are always typed.
+  MInstr *IA = A->type() == MIRType::Int32
+                   ? A
+                   : ins(MirOp::TruncateToInt32, MIRType::Int32, {A});
+  MInstr *IB = B->type() == MIRType::Int32
+                   ? B
+                   : ins(MirOp::TruncateToInt32, MIRType::Int32, {B});
+  // UShr can produce values above INT32_MAX; its result is a double.
+  MIRType RT = M == MirOp::UShr ? MIRType::Double : MIRType::Int32;
+  push(ins(M, RT, {IA, IB}));
+}
+
+void Builder::translateGetElem(uint32_t PC) {
+  MInstr *Index = pop(), *Obj = pop();
+  const SiteFeedback *FB = feedback(PC);
+  TypeSet Empty;
+  MIRType KO = knowledge(Obj, FB ? FB->A : Empty);
+  MIRType KI = knowledge(Index, FB ? FB->B : Empty);
+  bool OobSeen = FB && FB->SawOutOfBounds;
+
+  if (!Opts.GenericOnly && KO == MIRType::Array && KI == MIRType::Int32 &&
+      !OobSeen) {
+    MInstr *Arr = unboxTo(MIRType::Array, Obj);
+    MInstr *Idx = unboxTo(MIRType::Int32, Index);
+    MInstr *Len = ins(MirOp::ArrayLength, MIRType::Int32, {Arr});
+    guard(MirOp::BoundsCheck, MIRType::None, {Idx, Len});
+    push(ins(MirOp::LoadElement, MIRType::Any, {Arr, Idx}));
+    return;
+  }
+  push(ins(MirOp::GenericGetElem, MIRType::Any, {Obj, Index}));
+}
+
+void Builder::translateSetElem(uint32_t PC) {
+  MInstr *V = pop(), *Index = pop(), *Obj = pop();
+  const SiteFeedback *FB = feedback(PC);
+  TypeSet Empty;
+  MIRType KO = knowledge(Obj, FB ? FB->A : Empty);
+  MIRType KI = knowledge(Index, FB ? FB->B : Empty);
+  bool OobSeen = FB && FB->SawOutOfBounds;
+
+  if (!Opts.GenericOnly && KO == MIRType::Array && KI == MIRType::Int32 &&
+      !OobSeen) {
+    MInstr *Arr = unboxTo(MIRType::Array, Obj);
+    MInstr *Idx = unboxTo(MIRType::Int32, Index);
+    MInstr *Len = ins(MirOp::ArrayLength, MIRType::Int32, {Arr});
+    guard(MirOp::BoundsCheck, MIRType::None, {Idx, Len});
+    ins(MirOp::StoreElement, MIRType::None, {Arr, Idx, V});
+    push(V);
+    return;
+  }
+  push(ins(MirOp::GenericSetElem, MIRType::Any, {Obj, Index, V}));
+}
+
+void Builder::translateCall(uint32_t PC) {
+  uint8_t Argc = Info->u8At(PC + 1);
+  std::vector<MInstr *> Args(Argc);
+  for (int I = Argc - 1; I >= 0; --I)
+    Args[I] = pop();
+  MInstr *Callee = pop();
+
+  // new Array(n) / Array(n) fast path when the callee is a known builtin.
+  if (Callee->op() == MirOp::Constant && Callee->constValue().isFunction()) {
+    JSFunction *F = Callee->constValue().asFunction();
+    if (F->isNative() && F->nativeName() == "Array" && Argc == 1 &&
+        Args[0]->type() == MIRType::Int32) {
+      push(ins(MirOp::NewArrayLen, MIRType::Array, {Args[0]}));
+      return;
+    }
+  }
+
+  MInstr *Call = Graph.create(MirOp::Call, MIRType::Any);
+  Call->appendOperand(Callee);
+  for (MInstr *A : Args)
+    Call->appendOperand(A);
+  Call->AuxA = Argc;
+  Cur->append(Call);
+  push(Call);
+}
+
+void Builder::translateCallMethod(uint32_t PC) {
+  uint16_t NameId = Info->u16At(PC + 1);
+  uint8_t Argc = Info->u8At(PC + 3);
+  std::vector<MInstr *> Args(Argc);
+  for (int I = Argc - 1; I >= 0; --I)
+    Args[I] = pop();
+  MInstr *Recv = pop();
+
+  const SiteFeedback *FB = feedback(PC);
+  TypeSet Empty;
+  MIRType KR = knowledge(Recv, FB ? FB->A : Empty);
+  const std::string &Name = Info->Parent->names().name(NameId);
+
+  // Math.* and String.fromCharCode intrinsics on constant receivers.
+  // Sound under the standard frozen-builtins assumption (see DESIGN.md).
+  if (Recv->op() == MirOp::Constant && Recv->constValue().isObject()) {
+    JSObject *Obj = Recv->constValue().asObject();
+    Value Prop = Obj->getProperty(NameId);
+    if (Prop.isFunction() && Prop.asFunction()->isNative()) {
+      const std::string &NN = Prop.asFunction()->nativeName();
+      struct IntrinsicDesc {
+        const char *Name;
+        MathIntrinsic Fn;
+        unsigned Arity;
+      };
+      static const IntrinsicDesc Intrinsics[] = {
+          {"sin", MathIntrinsic::Sin, 1},   {"cos", MathIntrinsic::Cos, 1},
+          {"tan", MathIntrinsic::Tan, 1},   {"atan", MathIntrinsic::Atan, 1},
+          {"sqrt", MathIntrinsic::Sqrt, 1}, {"abs", MathIntrinsic::Abs, 1},
+          {"floor", MathIntrinsic::Floor, 1},
+          {"ceil", MathIntrinsic::Ceil, 1},
+          {"round", MathIntrinsic::Round, 1},
+          {"log", MathIntrinsic::Log, 1},   {"exp", MathIntrinsic::Exp, 1},
+          {"pow", MathIntrinsic::Pow, 2},
+          {"atan2", MathIntrinsic::Atan2, 2},
+      };
+      for (const IntrinsicDesc &D : Intrinsics) {
+        if (NN != D.Name || Argc != D.Arity)
+          continue;
+        bool AllNumeric = true;
+        for (MInstr *A : Args) {
+          TypeSet None;
+          MIRType K = knowledge(A, None);
+          if (!isNumericType(K) || !mayUnbox(MIRType::Double, A)) {
+            AllNumeric = false;
+            break;
+          }
+        }
+        if (!AllNumeric)
+          break;
+        MInstr *MF = Graph.create(MirOp::MathFunction, MIRType::Double);
+        for (MInstr *A : Args)
+          MF->appendOperand(unboxTo(MIRType::Double, A));
+        MF->AuxA = static_cast<uint32_t>(D.Fn);
+        Cur->append(MF);
+        push(MF);
+        return;
+      }
+      if (NN == "fromCharCode" && Argc == 1) {
+        MInstr *Code = Args[0]->type() == MIRType::Int32
+                           ? Args[0]
+                           : ins(MirOp::TruncateToInt32, MIRType::Int32,
+                                 {Args[0]});
+        push(ins(MirOp::FromCharCode, MIRType::String, {Code}));
+        return;
+      }
+    }
+  }
+
+  // String charCodeAt fast path.
+  if (!Opts.GenericOnly && KR == MIRType::String && Name == "charCodeAt" &&
+      Argc == 1) {
+    if (knowledge(Args[0], FB ? FB->B : Empty) == MIRType::Int32 &&
+        !(FB && FB->SawOutOfBounds)) {
+      MInstr *Str = unboxTo(MIRType::String, Recv);
+      MInstr *Idx = unboxTo(MIRType::Int32, Args[0]);
+      MInstr *Len = ins(MirOp::StringLength, MIRType::Int32, {Str});
+      guard(MirOp::BoundsCheck, MIRType::None, {Idx, Len});
+      push(ins(MirOp::CharCodeAt, MIRType::Int32, {Str, Idx}));
+      return;
+    }
+  }
+
+  MInstr *Call = Graph.create(MirOp::CallMethod, MIRType::Any);
+  Call->appendOperand(Recv);
+  for (MInstr *A : Args)
+    Call->appendOperand(A);
+  Call->AuxA = NameId;
+  Cur->append(Call);
+  push(Call);
+}
+
+void Builder::translateNew(uint32_t PC) {
+  uint8_t Argc = Info->u8At(PC + 1);
+  std::vector<MInstr *> Args(Argc);
+  for (int I = Argc - 1; I >= 0; --I)
+    Args[I] = pop();
+  MInstr *Callee = pop();
+
+  if (Callee->op() == MirOp::Constant && Callee->constValue().isFunction()) {
+    JSFunction *F = Callee->constValue().asFunction();
+    if (F->isNative() && F->nativeName() == "Array" && Argc == 1 &&
+        Args[0]->type() == MIRType::Int32) {
+      push(ins(MirOp::NewArrayLen, MIRType::Array, {Args[0]}));
+      return;
+    }
+  }
+
+  MInstr *New = Graph.create(MirOp::New, MIRType::Any);
+  New->appendOperand(Callee);
+  for (MInstr *A : Args)
+    New->appendOperand(A);
+  New->AuxA = Argc;
+  Cur->append(New);
+  push(New);
+}
+
+bool Builder::translateOp(uint32_t PC, uint32_t Len) {
+  Op O = Info->opAt(PC);
+  switch (O) {
+  case Op::Nop:
+    return false;
+
+  case Op::PushConst:
+    push(constant(Info->Constants[Info->u16At(PC + 1)]));
+    return false;
+  case Op::PushInt8:
+    push(constant(Value::int32(Info->i8At(PC + 1))));
+    return false;
+  case Op::PushUndefined:
+    push(constant(Value::undefined()));
+    return false;
+  case Op::PushNull:
+    push(constant(Value::null()));
+    return false;
+  case Op::PushTrue:
+    push(constant(Value::boolean(true)));
+    return false;
+  case Op::PushFalse:
+    push(constant(Value::boolean(false)));
+    return false;
+
+  case Op::GetSlot:
+    push(slot(Info->u16At(PC + 1)));
+    return false;
+  case Op::SetSlot:
+    slot(Info->u16At(PC + 1)) = pop();
+    return false;
+  case Op::GetEnvSlot:
+    push(ins(MirOp::GetEnvSlot, MIRType::Any, {}, Info->u16At(PC + 2),
+             Info->u8At(PC + 1)));
+    return false;
+  case Op::SetEnvSlot: {
+    MInstr *V = pop();
+    ins(MirOp::SetEnvSlot, MIRType::None, {V}, Info->u16At(PC + 2),
+        Info->u8At(PC + 1));
+    return false;
+  }
+  case Op::GetGlobal:
+    push(ins(MirOp::GetGlobal, MIRType::Any, {}, Info->u16At(PC + 1)));
+    return false;
+  case Op::SetGlobal: {
+    MInstr *V = pop();
+    ins(MirOp::SetGlobal, MIRType::None, {V}, Info->u16At(PC + 1));
+    return false;
+  }
+
+  case Op::Dup:
+    push(top());
+    return false;
+  case Op::Dup2: {
+    MInstr *B = State[State.size() - 1];
+    MInstr *A = State[State.size() - 2];
+    push(A);
+    push(B);
+    return false;
+  }
+  case Op::Pop:
+    pop();
+    return false;
+  case Op::Swap:
+    std::swap(State[State.size() - 1], State[State.size() - 2]);
+    return false;
+
+  case Op::Add:
+  case Op::Sub:
+  case Op::Mul:
+  case Op::Div:
+  case Op::Mod:
+    translateBinary(O);
+    return false;
+
+  case Op::Neg: {
+    MInstr *A = pop();
+    const SiteFeedback *FB = feedback(PC);
+    TypeSet Empty;
+    MIRType K = knowledge(A, FB ? FB->A : Empty);
+    if (!Opts.GenericOnly && K == MIRType::Int32 &&
+        !(FB && FB->SawIntOverflow)) {
+      push(guard(MirOp::NegI, MIRType::Int32, {unboxTo(MIRType::Int32, A)}));
+    } else if (isNumericType(K) && mayUnbox(MIRType::Double, A)) {
+      push(ins(MirOp::NegD, MIRType::Double, {unboxTo(MIRType::Double, A)}));
+    } else {
+      push(ins(MirOp::GenericUnop, MIRType::Any, {A},
+               static_cast<uint32_t>(O)));
+    }
+    return false;
+  }
+  case Op::Pos: {
+    MInstr *A = pop();
+    const SiteFeedback *FB = feedback(PC);
+    TypeSet Empty;
+    MIRType K = knowledge(A, FB ? FB->A : Empty);
+    if (isNumericType(K) && A->type() != MIRType::Any) {
+      push(A); // Already a number; ToNumber is the identity.
+    } else if (!Opts.GenericOnly && K == MIRType::Int32) {
+      push(unboxTo(MIRType::Int32, A));
+    } else if (!Opts.GenericOnly && K == MIRType::Double) {
+      push(unboxTo(MIRType::Double, A));
+    } else {
+      push(ins(MirOp::GenericUnop, MIRType::Any, {A},
+               static_cast<uint32_t>(O)));
+    }
+    return false;
+  }
+  case Op::Not:
+    push(ins(MirOp::Not, MIRType::Boolean, {pop()}));
+    return false;
+  case Op::BitNot: {
+    MInstr *A = pop();
+    MInstr *IA = A->type() == MIRType::Int32
+                     ? A
+                     : ins(MirOp::TruncateToInt32, MIRType::Int32, {A});
+    push(ins(MirOp::BitNot, MIRType::Int32, {IA}));
+    return false;
+  }
+
+  case Op::BitAnd:
+  case Op::BitOr:
+  case Op::BitXor:
+  case Op::Shl:
+  case Op::Shr:
+  case Op::UShr:
+    translateBitop(O);
+    return false;
+
+  case Op::Lt:
+  case Op::Le:
+  case Op::Gt:
+  case Op::Ge:
+  case Op::Eq:
+  case Op::Ne:
+  case Op::StrictEq:
+  case Op::StrictNe:
+    translateCompare(O);
+    return false;
+
+  case Op::TypeOf:
+    push(ins(MirOp::TypeOf, MIRType::String, {pop()}));
+    return false;
+
+  case Op::Jump: {
+    BCBlock &T = blockAt(Info->u32At(PC + 1));
+    MInstr *J = ins(MirOp::Goto, MIRType::None, {});
+    J->setSuccessor(0, T.MBB);
+    linkEdge(Cur, State, T);
+    return true;
+  }
+  case Op::JumpIfFalse:
+  case Op::JumpIfTrue: {
+    MInstr *Cond = pop();
+    BCBlock &Target = blockAt(Info->u32At(PC + 1));
+    BCBlock &Fall = blockAt(PC + Len);
+    BCBlock &TrueB = O == Op::JumpIfTrue ? Target : Fall;
+    BCBlock &FalseB = O == Op::JumpIfTrue ? Fall : Target;
+    MInstr *T = ins(MirOp::Test, MIRType::None, {Cond});
+    T->setSuccessor(0, TrueB.MBB);
+    T->setSuccessor(1, FalseB.MBB);
+    linkEdge(Cur, State, TrueB);
+    linkEdge(Cur, State, FalseB);
+    return true;
+  }
+  case Op::LoopHead:
+    Cur->setLoopHeader(true);
+    if (Opts.OsrPc && *Opts.OsrPc == PC)
+      buildOsrEntry(blockAt(PC));
+    return false;
+
+  case Op::Call:
+    translateCall(PC);
+    return false;
+  case Op::CallMethod:
+    translateCallMethod(PC);
+    return false;
+  case Op::New:
+    translateNew(PC);
+    return false;
+
+  case Op::Return: {
+    MInstr *V = pop();
+    if (InlineMode) {
+      InlineResult.Returns.emplace_back(Cur, V);
+      return true;
+    }
+    ins(MirOp::Return, MIRType::None, {V});
+    return true;
+  }
+  case Op::ReturnUndefined: {
+    MInstr *V = constant(Value::undefined());
+    if (InlineMode) {
+      InlineResult.Returns.emplace_back(Cur, V);
+      return true;
+    }
+    ins(MirOp::Return, MIRType::None, {V});
+    return true;
+  }
+
+  case Op::NewArray: {
+    uint16_t Count = Info->u16At(PC + 1);
+    std::vector<MInstr *> Elems(Count);
+    for (int I = Count - 1; I >= 0; --I)
+      Elems[I] = pop();
+    MInstr *Arr = Graph.create(MirOp::NewArray, MIRType::Array);
+    for (MInstr *E : Elems)
+      Arr->appendOperand(E);
+    Cur->append(Arr);
+    push(Arr);
+    return false;
+  }
+  case Op::NewObject:
+    push(ins(MirOp::NewObject, MIRType::Object, {}));
+    return false;
+  case Op::InitProp: {
+    MInstr *V = pop();
+    MInstr *Obj = top();
+    ins(MirOp::InitProp, MIRType::None, {Obj, V}, Info->u16At(PC + 1));
+    return false;
+  }
+  case Op::GetElem:
+    translateGetElem(PC);
+    return false;
+  case Op::SetElem:
+    translateSetElem(PC);
+    return false;
+  case Op::GetProp: {
+    uint16_t NameId = Info->u16At(PC + 1);
+    MInstr *Obj = pop();
+    const SiteFeedback *FB = feedback(PC);
+    TypeSet Empty;
+    MIRType K = knowledge(Obj, FB ? FB->A : Empty);
+    if (NameId == LengthNameId && K == MIRType::Array &&
+        mayUnbox(MIRType::Array, Obj)) {
+      push(ins(MirOp::ArrayLength, MIRType::Int32,
+               {unboxTo(MIRType::Array, Obj)}));
+      return false;
+    }
+    if (NameId == LengthNameId && K == MIRType::String &&
+        mayUnbox(MIRType::String, Obj)) {
+      push(ins(MirOp::StringLength, MIRType::Int32,
+               {unboxTo(MIRType::String, Obj)}));
+      return false;
+    }
+    push(ins(MirOp::GenericGetProp, MIRType::Any, {Obj}, NameId));
+    return false;
+  }
+  case Op::SetProp: {
+    MInstr *V = pop(), *Obj = pop();
+    push(ins(MirOp::GenericSetProp, MIRType::Any, {Obj, V},
+             Info->u16At(PC + 1)));
+    return false;
+  }
+
+  case Op::MakeClosure:
+    assert(!InlineMode && "closures inside inlined bodies are rejected");
+    push(ins(MirOp::MakeClosure, MIRType::Function, {},
+             Info->u16At(PC + 1)));
+    return false;
+  case Op::GetThis:
+    push(ThisDef);
+    return false;
+  }
+  JITVS_UNREACHABLE("bad bytecode op");
+}
+
+void Builder::prunePhis() {
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &BPtr : Graph.blocks()) {
+      if (BPtr->isDead())
+        continue;
+      std::vector<MInstr *> Phis = BPtr->phis();
+      for (MInstr *Phi : Phis) {
+        MInstr *Unique = nullptr;
+        bool Trivial = true;
+        for (size_t I = 0, E = Phi->numOperands(); I != E; ++I) {
+          MInstr *Operand = Phi->operand(I);
+          if (Operand == Phi)
+            continue;
+          if (!Unique) {
+            Unique = Operand;
+          } else if (Unique != Operand) {
+            Trivial = false;
+            break;
+          }
+        }
+        if (!Trivial || !Unique)
+          continue;
+        Phi->replaceAllUsesWith(Unique);
+        BPtr->removePhi(Phi);
+        Changed = true;
+      }
+    }
+  }
+}
+
+void Builder::inferPhiTypes() {
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &BPtr : Graph.blocks()) {
+      if (BPtr->isDead())
+        continue;
+      for (MInstr *Phi : BPtr->phis()) {
+        MIRType Unified = MIRType::None;
+        for (size_t I = 0, E = Phi->numOperands(); I != E; ++I) {
+          MInstr *Operand = Phi->operand(I);
+          if (Operand == Phi)
+            continue;
+          MIRType T = Operand->type();
+          if (Unified == MIRType::None)
+            Unified = T;
+          else if (Unified != T)
+            Unified = MIRType::Any;
+        }
+        if (Unified == MIRType::None)
+          Unified = MIRType::Any;
+        if (Phi->type() != Unified && Unified != MIRType::Any) {
+          // Only narrow monotonically from Any.
+          if (Phi->type() == MIRType::Any) {
+            Phi->setType(Unified);
+            Changed = true;
+          }
+        }
+      }
+    }
+  }
+}
+
+bool Builder::run() {
+  findBlockBoundaries();
+  propagateDepths();
+
+  // Create machine blocks for reachable bytecode blocks.
+  for (BCBlock &B : BCBlocks) {
+    if (B.EntryDepth < 0)
+      continue;
+    B.MBB = Graph.createBlock();
+    if (B.IsLoopHead)
+      B.MBB->setLoopHeader(true);
+  }
+
+  buildPrologue();
+
+  for (BCBlock &B : BCBlocks) {
+    if (B.EntryDepth < 0)
+      continue;
+    translateBlock(B);
+  }
+
+  prunePhis();
+  inferPhiTypes();
+  return true;
+}
+
+} // namespace
+
+std::unique_ptr<MIRGraph> jitvs::buildMIR(FunctionInfo *Info,
+                                          const BuildOptions &Opts) {
+  auto Graph = std::make_unique<MIRGraph>(Info);
+  Builder B(*Graph, Info, Opts, /*InlineMode=*/false, {});
+  B.run();
+  return Graph;
+}
+
+InlineBuildResult jitvs::buildInlineMIR(MIRGraph &Graph, FunctionInfo *Info,
+                                        const std::vector<MInstr *> &ArgDefs) {
+  InlineBuildResult Bad;
+  if (!isInlinableFunction(Info, /*MaxBytecodeSize=*/400))
+    return Bad;
+  BuildOptions Opts;
+  Opts.GenericOnly = true;
+  Opts.EmitEntryChecks = false;
+  Builder B(Graph, Info, Opts, /*InlineMode=*/true, ArgDefs);
+  if (!B.run())
+    return Bad;
+  InlineBuildResult R = B.takeInlineResult();
+  R.Ok = true;
+  return R;
+}
+
+bool jitvs::isInlinableFunction(const FunctionInfo *Info,
+                                size_t MaxBytecodeSize) {
+  if (Info->Code.size() > MaxBytecodeSize)
+    return false;
+  if (Info->UsesEnvironment || Info->NumEnvSlots > 0)
+    return false;
+  for (uint32_t PC = 0; PC < Info->Code.size();
+       PC += Info->instructionLength(PC)) {
+    switch (Info->opAt(PC)) {
+    case Op::GetEnvSlot:
+    case Op::SetEnvSlot:
+    case Op::MakeClosure:
+      return false;
+    default:
+      break;
+    }
+  }
+  return true;
+}

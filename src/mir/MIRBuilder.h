@@ -1,0 +1,75 @@
+//===- mir/MIRBuilder.h - Bytecode -> SSA MIR translation -------*- C++ -*-===//
+///
+/// \file
+/// Translates stack bytecode into SSA MIR by abstract interpretation of
+/// the operand stack, exactly as IonMonkey builds its graphs. This is
+/// where the paper's core optimization lives: under parameter
+/// specialization (Section 3.2) the builder emits constants in place of
+/// parameter definitions — in both the function entry block and the OSR
+/// block — at zero additional pipeline cost.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITVS_MIR_MIRBUILDER_H
+#define JITVS_MIR_MIRBUILDER_H
+
+#include "mir/MIRGraph.h"
+#include "vm/Value.h"
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace jitvs {
+
+struct FunctionInfo;
+
+/// Options controlling graph construction.
+struct BuildOptions {
+  /// Parameter specialization: bake these runtime argument values in as
+  /// constants (empty optional = generic compilation).
+  std::optional<std::vector<Value>> SpecializedArgs;
+
+  /// OSR: build an on-stack-replacement entry targeting this LoopHead
+  /// bytecode offset. When specializing, OsrSlotValues carries the live
+  /// frame-slot values to bake in (paper Figure 7(a) specializes both
+  /// entry points).
+  std::optional<uint32_t> OsrPc;
+  std::vector<Value> OsrSlotValues;
+
+  /// Guard-free mode used for inlined bodies: never emit bailing guards;
+  /// fall back to generic helper ops instead. (Bailouts cannot reconstruct
+  /// inlined frames, so inlined code must not bail; see DESIGN.md.)
+  bool GenericOnly = false;
+
+  /// Emit the CheckOverRecursed entry guard.
+  bool EmitEntryChecks = true;
+};
+
+/// Result of inline-building a callee into an existing graph.
+struct InlineBuildResult {
+  MBasicBlock *EntryBlock = nullptr;
+  /// Each return site: the block that ends with a Goto that the inliner
+  /// must point at the join block, plus the returned definition.
+  std::vector<std::pair<MBasicBlock *, MInstr *>> Returns;
+  bool Ok = false;
+};
+
+/// Builds a fresh MIR graph for \p Info.
+std::unique_ptr<MIRGraph> buildMIR(FunctionInfo *Info,
+                                   const BuildOptions &Opts);
+
+/// Builds \p Info's body directly into \p Graph for inlining, using
+/// \p ArgDefs as the parameter definitions. Always guard-free. Returns
+/// Ok=false when the callee is not inlinable (uses environments or
+/// `this`-dependent features the inliner does not support).
+InlineBuildResult buildInlineMIR(MIRGraph &Graph, FunctionInfo *Info,
+                                 const std::vector<MInstr *> &ArgDefs);
+
+/// \returns true if \p Info can be inlined (no environment access, no
+/// OSR-relevant constructs required, body within size limits).
+bool isInlinableFunction(const FunctionInfo *Info, size_t MaxBytecodeSize);
+
+} // namespace jitvs
+
+#endif // JITVS_MIR_MIRBUILDER_H

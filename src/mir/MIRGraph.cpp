@@ -1,0 +1,229 @@
+//===- mir/MIRGraph.cpp - CFG implementation ------------------------------===//
+
+#include "mir/MIRGraph.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+using namespace jitvs;
+
+void MBasicBlock::addPhi(MInstr *Phi) {
+  assert(Phi->isPhi() && "addPhi on non-phi");
+  Phi->Block = this;
+  Phis.push_back(Phi);
+}
+
+void MBasicBlock::removePhi(MInstr *Phi) {
+  auto It = std::find(Phis.begin(), Phis.end(), Phi);
+  assert(It != Phis.end() && "removing phi not in block");
+  Phis.erase(It);
+  Phi->clearOperands();
+  Phi->Dead = true;
+}
+
+void MBasicBlock::append(MInstr *I) {
+  assert(!I->isPhi() && "phis go through addPhi");
+  I->Block = this;
+  Instrs.push_back(I);
+}
+
+void MBasicBlock::insertBefore(MInstr *Before, MInstr *I) {
+  auto It = std::find(Instrs.begin(), Instrs.end(), Before);
+  assert(It != Instrs.end() && "anchor not in block");
+  I->Block = this;
+  Instrs.insert(It, I);
+}
+
+void MBasicBlock::remove(MInstr *I) {
+  auto It = std::find(Instrs.begin(), Instrs.end(), I);
+  assert(It != Instrs.end() && "removing instruction not in block");
+  Instrs.erase(It);
+  I->clearOperands();
+  I->dropResumePoint();
+  I->Dead = true;
+}
+
+void MBasicBlock::removePredecessor(MBasicBlock *Pred) {
+  size_t Idx = indexOfPredecessor(Pred);
+  Preds.erase(Preds.begin() + Idx);
+  for (MInstr *Phi : Phis) {
+    assert(Phi->numOperands() == Preds.size() + 1 &&
+           "phi arity out of sync with predecessors");
+    // Drop the operand at Idx, preserving the order of the others so phi
+    // operands stay aligned with the (order-preserving) Preds erase.
+    for (size_t J = Idx + 1, E = Phi->numOperands(); J != E; ++J)
+      Phi->setOperand(J - 1, Phi->operand(J));
+    Phi->setOperand(Phi->numOperands() - 1, nullptr);
+    Phi->Operands.pop_back();
+  }
+}
+
+void MBasicBlock::transferTailTo(MBasicBlock *Dest, size_t FromIdx) {
+  assert(FromIdx <= Instrs.size() && "bad split index");
+  for (size_t I = FromIdx, E = Instrs.size(); I != E; ++I) {
+    Instrs[I]->Block = Dest;
+    Dest->Instrs.push_back(Instrs[I]);
+  }
+  Instrs.resize(FromIdx);
+}
+
+void MBasicBlock::replacePredecessor(MBasicBlock *OldPred,
+                                     MBasicBlock *NewPred) {
+  size_t Idx = indexOfPredecessor(OldPred);
+  Preds[Idx] = NewPred;
+}
+
+size_t MBasicBlock::indexOfPredecessor(const MBasicBlock *Pred) const {
+  for (size_t I = 0, E = Preds.size(); I != E; ++I)
+    if (Preds[I] == Pred)
+      return I;
+  JITVS_UNREACHABLE("predecessor not found");
+}
+
+MBasicBlock *MIRGraph::createBlock() {
+  Blocks.emplace_back(new MBasicBlock(NextBlockId++));
+  ++NumLiveBlocks;
+  return Blocks.back().get();
+}
+
+MInstr *MIRGraph::create(MirOp Op, MIRType Type) {
+  Instrs.emplace_back(new MInstr(Op));
+  MInstr *I = Instrs.back().get();
+  I->Id = NextId++;
+  I->Type = Type;
+  return I;
+}
+
+MInstr *MIRGraph::createConstant(const Value &V) {
+  MInstr *I = create(MirOp::Constant, mirTypeOfValue(V));
+  I->ConstVal = V;
+  return I;
+}
+
+MResumePoint *MIRGraph::createResumePoint(uint32_t PC,
+                                          uint32_t NumFrameSlots) {
+  ResumePoints.emplace_back(new MResumePoint(PC, NumFrameSlots));
+  return ResumePoints.back().get();
+}
+
+void MIRGraph::removeBlock(MBasicBlock *B) {
+  assert(!B->Dead && "removing dead block");
+  // Unlink from successors' predecessor lists.
+  if (MInstr *T = B->terminator())
+    for (size_t I = 0, E = T->numSuccessors(); I != E; ++I)
+      T->successor(I)->removePredecessor(B);
+  // Drop operand uses so defs in other blocks lose these references.
+  for (MInstr *Phi : B->Phis) {
+    Phi->clearOperands();
+    Phi->Dead = true;
+  }
+  for (MInstr *I : B->Instrs) {
+    I->dropResumePoint();
+    I->clearOperands();
+    I->Dead = true;
+  }
+  if (B->EntryRP)
+    B->EntryRP->release();
+  B->Phis.clear();
+  B->Instrs.clear();
+  B->Dead = true;
+  --NumLiveBlocks;
+  if (Osr == B)
+    Osr = nullptr;
+}
+
+std::vector<MBasicBlock *> MIRGraph::liveBlocks() const {
+  std::vector<MBasicBlock *> Out;
+  for (const auto &B : Blocks)
+    if (!B->Dead)
+      Out.push_back(B.get());
+  return Out;
+}
+
+std::vector<MBasicBlock *> MIRGraph::reversePostOrder() const {
+  std::unordered_set<const MBasicBlock *> Visited;
+
+  // Iterative DFS with explicit stack. Each root's RPO segment is placed
+  // in order, entry first, so the entry block always leads the layout.
+  struct Item {
+    MBasicBlock *Block;
+    size_t NextSucc;
+  };
+  std::vector<MBasicBlock *> Out;
+  auto DFS = [&](MBasicBlock *Root) {
+    if (!Root || Root->isDead() || Visited.count(Root))
+      return;
+    std::vector<MBasicBlock *> Post;
+    std::vector<Item> Stack;
+    Visited.insert(Root);
+    Stack.push_back({Root, 0});
+    while (!Stack.empty()) {
+      Item &Top = Stack.back();
+      if (Top.NextSucc < Top.Block->numSuccessors()) {
+        MBasicBlock *Succ = Top.Block->successor(Top.NextSucc++);
+        if (!Visited.count(Succ)) {
+          Visited.insert(Succ);
+          Stack.push_back({Succ, 0});
+        }
+        continue;
+      }
+      Post.push_back(Top.Block);
+      Stack.pop_back();
+    }
+    Out.insert(Out.end(), Post.rbegin(), Post.rend());
+  };
+  DFS(Entry);
+  DFS(Osr);
+  return Out;
+}
+
+size_t MIRGraph::numInstructions() const {
+  size_t N = 0;
+  for (const auto &B : Blocks)
+    if (!B->Dead)
+      N += B->phis().size() + B->instructions().size();
+  return N;
+}
+
+void MIRGraph::forEachConstant(
+    const std::function<void(const Value &)> &Fn) const {
+  for (const auto &I : Instrs)
+    if (I->op() == MirOp::Constant)
+      Fn(I->ConstVal);
+}
+
+std::string MIRGraph::toString() const {
+  std::string Out;
+  char Buf[128];
+  for (MBasicBlock *B : reversePostOrder()) {
+    const char *Marker = "";
+    if (B == Entry)
+      Marker = "  ; function entry point";
+    else if (B == Osr)
+      Marker = "  ; on stack replacement";
+    else if (B->isLoopHeader())
+      Marker = "  ; loop header";
+    std::snprintf(Buf, sizeof(Buf), "B%u:%s\n", B->id(), Marker);
+    Out += Buf;
+    if (B->numPredecessors()) {
+      Out += "  ; preds:";
+      for (MBasicBlock *P : B->predecessors()) {
+        std::snprintf(Buf, sizeof(Buf), " B%u", P->id());
+        Out += Buf;
+      }
+      Out += '\n';
+    }
+    for (const MInstr *Phi : B->phis()) {
+      Out += "  ";
+      Out += Phi->toString();
+      Out += '\n';
+    }
+    for (const MInstr *I : B->instructions()) {
+      Out += "  ";
+      Out += I->toString();
+      Out += '\n';
+    }
+  }
+  return Out;
+}

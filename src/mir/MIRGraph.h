@@ -1,0 +1,176 @@
+//===- mir/MIRGraph.h - Basic blocks and the MIR control-flow graph -------===//
+///
+/// \file
+/// The MIR CFG. Like IonMonkey's graphs (Figure 6), a graph can have two
+/// entry points: the function entry block and an optional on-stack-
+/// replacement (OSR) block that the interpreter jumps into when a hot
+/// loop is compiled mid-execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITVS_MIR_MIRGRAPH_H
+#define JITVS_MIR_MIRGRAPH_H
+
+#include "mir/MIR.h"
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace jitvs {
+
+struct FunctionInfo;
+
+/// A basic block: phis, a body of instructions ending in a terminator,
+/// and predecessor links (successors live on the terminator).
+class MBasicBlock {
+public:
+  uint32_t id() const { return Id; }
+
+  // --- Phis ---
+  const std::vector<MInstr *> &phis() const { return Phis; }
+  void addPhi(MInstr *Phi);
+  void removePhi(MInstr *Phi);
+
+  // --- Instructions ---
+  const std::vector<MInstr *> &instructions() const { return Instrs; }
+  void append(MInstr *I);
+  /// Inserts \p I immediately before \p Before in this block.
+  void insertBefore(MInstr *Before, MInstr *I);
+  void remove(MInstr *I);
+  MInstr *terminator() const {
+    return Instrs.empty() ? nullptr : Instrs.back();
+  }
+
+  /// Moves the instructions from index \p FromIdx to the end of this
+  /// block into \p Dest (appended), preserving operands and uses. Used
+  /// for block splitting.
+  void transferTailTo(MBasicBlock *Dest, size_t FromIdx);
+
+  /// Replaces predecessor \p OldPred with \p NewPred in place (keeping
+  /// phi operand alignment).
+  void replacePredecessor(MBasicBlock *OldPred, MBasicBlock *NewPred);
+
+  // --- CFG ---
+  const std::vector<MBasicBlock *> &predecessors() const { return Preds; }
+  size_t numPredecessors() const { return Preds.size(); }
+  MBasicBlock *predecessor(size_t I) const { return Preds[I]; }
+  void addPredecessor(MBasicBlock *Pred) { Preds.push_back(Pred); }
+  /// Removes \p Pred and drops the matching phi operand from every phi.
+  void removePredecessor(MBasicBlock *Pred);
+  /// Index of \p Pred in the predecessor list.
+  size_t indexOfPredecessor(const MBasicBlock *Pred) const;
+
+  size_t numSuccessors() const {
+    MInstr *T = terminator();
+    return T ? T->numSuccessors() : 0;
+  }
+  MBasicBlock *successor(size_t I) const { return terminator()->successor(I); }
+
+  // --- Loop structure ---
+  bool isLoopHeader() const { return LoopHeader; }
+  void setLoopHeader(bool B) { LoopHeader = B; }
+
+  /// Entry resume point: interpreter state at the start of this block
+  /// (used when instructions in the block need a bail point).
+  MResumePoint *entryResumePoint() const { return EntryRP; }
+  void setEntryResumePoint(MResumePoint *RP) {
+    EntryRP = RP;
+    if (RP)
+      RP->retain();
+  }
+
+  // --- Dominator info (filled by DominatorTree) ---
+  MBasicBlock *immediateDominator() const { return IDom; }
+  void setImmediateDominator(MBasicBlock *D) { IDom = D; }
+  uint32_t domIndex() const { return DomIdx; }    ///< Preorder number.
+  uint32_t domLastIndex() const { return DomLast; } ///< Subtree end.
+  void setDomRange(uint32_t Idx, uint32_t Last) {
+    DomIdx = Idx;
+    DomLast = Last;
+  }
+  /// \returns true if this block dominates \p Other (requires a fresh
+  /// DominatorTree::build).
+  bool dominates(const MBasicBlock *Other) const {
+    return DomIdx <= Other->DomIdx && Other->DomIdx <= DomLast;
+  }
+
+  bool isDead() const { return Dead; }
+
+private:
+  friend class MIRGraph;
+  explicit MBasicBlock(uint32_t Id) : Id(Id) {}
+
+  uint32_t Id;
+  std::vector<MInstr *> Phis;
+  std::vector<MInstr *> Instrs;
+  std::vector<MBasicBlock *> Preds;
+  bool LoopHeader = false;
+  bool Dead = false;
+  MResumePoint *EntryRP = nullptr;
+  MBasicBlock *IDom = nullptr;
+  uint32_t DomIdx = 0, DomLast = 0;
+};
+
+/// The whole-function MIR graph; owns all blocks, instructions and resume
+/// points.
+class MIRGraph {
+public:
+  explicit MIRGraph(FunctionInfo *Info) : Info(Info) {}
+  MIRGraph(const MIRGraph &) = delete;
+  MIRGraph &operator=(const MIRGraph &) = delete;
+
+  FunctionInfo *functionInfo() const { return Info; }
+
+  // --- Construction ---
+  MBasicBlock *createBlock();
+  MInstr *create(MirOp Op, MIRType Type);
+  MInstr *createConstant(const Value &V);
+  MResumePoint *createResumePoint(uint32_t PC, uint32_t NumFrameSlots);
+
+  // --- Entry points ---
+  MBasicBlock *entry() const { return Entry; }
+  void setEntry(MBasicBlock *B) { Entry = B; }
+  MBasicBlock *osrBlock() const { return Osr; }
+  void setOsrBlock(MBasicBlock *B) { Osr = B; }
+
+  const std::vector<std::unique_ptr<MBasicBlock>> &blocks() const {
+    return Blocks;
+  }
+  size_t numBlocks() const { return NumLiveBlocks; }
+
+  /// Removes \p B from the graph: unlinks it from successors and marks it
+  /// dead (storage persists until the graph dies).
+  void removeBlock(MBasicBlock *B);
+
+  /// Reverse-postorder over live blocks reachable from the entry points.
+  std::vector<MBasicBlock *> reversePostOrder() const;
+
+  /// All live (reachable-from-entries) blocks in creation order.
+  std::vector<MBasicBlock *> liveBlocks() const;
+
+  /// Total number of instructions (incl. phis) in live blocks.
+  size_t numInstructions() const;
+
+  /// Values owned by the graph's constants (GC roots while compiling).
+  void forEachConstant(const std::function<void(const Value &)> &Fn) const;
+
+  std::string toString() const;
+
+  uint32_t nextInstrId() const { return NextId; }
+
+private:
+  FunctionInfo *Info;
+  std::vector<std::unique_ptr<MBasicBlock>> Blocks;
+  std::vector<std::unique_ptr<MInstr>> Instrs;
+  std::vector<std::unique_ptr<MResumePoint>> ResumePoints;
+  MBasicBlock *Entry = nullptr;
+  MBasicBlock *Osr = nullptr;
+  uint32_t NextId = 0;
+  uint32_t NextBlockId = 0;
+  size_t NumLiveBlocks = 0;
+};
+
+} // namespace jitvs
+
+#endif // JITVS_MIR_MIRGRAPH_H

@@ -1,0 +1,141 @@
+//===- mir/Verifier.cpp - MIR invariant checks ------------------------------===//
+
+#include "mir/Verifier.h"
+
+#include "mir/Dominators.h"
+#include "mir/MIRGraph.h"
+
+#include <cstdio>
+#include <unordered_set>
+
+using namespace jitvs;
+
+namespace {
+
+std::string describe(const MBasicBlock *B, const MInstr *I,
+                     const char *Problem) {
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf), "B%u: %s: %s", B->id(),
+                I ? I->toString().c_str() : "<block>", Problem);
+  return Buf;
+}
+
+} // namespace
+
+std::string jitvs::verifyGraph(MIRGraph &Graph) {
+  if (!Graph.entry())
+    return "graph has no entry block";
+
+  std::vector<MBasicBlock *> Live = Graph.reversePostOrder();
+  std::unordered_set<const MBasicBlock *> LiveSet(Live.begin(), Live.end());
+  std::unordered_set<const MInstr *> LiveDefs;
+
+  // Collect live definitions first.
+  for (MBasicBlock *B : Live) {
+    for (MInstr *Phi : B->phis())
+      LiveDefs.insert(Phi);
+    for (MInstr *I : B->instructions())
+      LiveDefs.insert(I);
+  }
+
+  for (MBasicBlock *B : Live) {
+    // Terminator discipline.
+    MInstr *Term = B->terminator();
+    if (!Term)
+      return describe(B, nullptr, "block has no terminator");
+    if (!Term->isControl())
+      return describe(B, Term, "last instruction is not a terminator");
+    for (MInstr *I : B->instructions())
+      if (I->isControl() && I != Term)
+        return describe(B, I, "control instruction before block end");
+
+    // Successor/predecessor symmetry.
+    for (size_t S = 0, E = Term->numSuccessors(); S != E; ++S) {
+      MBasicBlock *Succ = Term->successor(S);
+      if (!LiveSet.count(Succ))
+        return describe(B, Term, "successor is dead/unreachable");
+      bool Linked = false;
+      for (MBasicBlock *P : Succ->predecessors())
+        if (P == B)
+          Linked = true;
+      if (!Linked)
+        return describe(B, Term, "successor lacks predecessor back-link");
+    }
+    for (MBasicBlock *P : B->predecessors()) {
+      if (!LiveSet.count(P))
+        return describe(B, nullptr, "predecessor is dead/unreachable");
+      bool Linked = false;
+      for (size_t S = 0, E = P->numSuccessors(); S != E; ++S)
+        if (P->successor(S) == B)
+          Linked = true;
+      if (!Linked)
+        return describe(B, nullptr, "predecessor lacks successor link");
+    }
+
+    // Phi arity and operand liveness.
+    for (MInstr *Phi : B->phis()) {
+      if (Phi->numOperands() != B->numPredecessors())
+        return describe(B, Phi, "phi arity != predecessor count");
+      for (size_t I = 0, E = Phi->numOperands(); I != E; ++I) {
+        MInstr *Operand = Phi->operand(I);
+        if (Operand->isDead() ||
+            (!LiveDefs.count(Operand) &&
+             Operand->op() != MirOp::Constant))
+          return describe(B, Phi, "phi operand is dead");
+      }
+    }
+
+    // Instruction operands live; guards have resume points.
+    for (MInstr *I : B->instructions()) {
+      for (size_t OpIdx = 0, E = I->numOperands(); OpIdx != E; ++OpIdx) {
+        MInstr *Operand = I->operand(OpIdx);
+        if (Operand->isDead())
+          return describe(B, I, "operand is a removed instruction");
+        if (!LiveDefs.count(Operand))
+          return describe(B, I, "operand defined in unreachable code");
+        if (Operand->type() == MIRType::None)
+          return describe(B, I, "operand has no value (None type)");
+      }
+      if (I->isGuard() && !I->resumePoint())
+        return describe(B, I, "guard without a resume point");
+      if (MResumePoint *RP = I->resumePoint()) {
+        for (size_t EIdx = 0, E = RP->numEntries(); EIdx != E; ++EIdx) {
+          MInstr *Entry = RP->entry(EIdx);
+          if (Entry->isDead())
+            return describe(B, I, "resume point entry is dead");
+        }
+      }
+    }
+  }
+
+  // Dominance of non-phi uses. Constants are rematerialized at use sites
+  // by the backend, so they are exempt.
+  DominatorTree::build(Graph);
+  for (MBasicBlock *B : Live) {
+    for (MInstr *I : B->instructions()) {
+      for (size_t OpIdx = 0, E = I->numOperands(); OpIdx != E; ++OpIdx) {
+        MInstr *Operand = I->operand(OpIdx);
+        if (Operand->op() == MirOp::Constant)
+          continue;
+        MBasicBlock *DefBlock = Operand->block();
+        if (!DefBlock || !DefBlock->dominates(B))
+          return describe(B, I, "operand does not dominate use");
+      }
+    }
+    // Phi operands must be available at the end of the matching pred.
+    for (MInstr *Phi : B->phis()) {
+      for (size_t I = 0, E = Phi->numOperands(); I != E; ++I) {
+        MInstr *Operand = Phi->operand(I);
+        if (Operand->op() == MirOp::Constant || Operand == Phi)
+          continue;
+        MBasicBlock *Pred = B->predecessor(I);
+        MBasicBlock *DefBlock = Operand->block();
+        if (!DefBlock || !DefBlock->dominates(Pred))
+          return describe(B, Phi,
+                          "phi operand not available in predecessor");
+      }
+    }
+  }
+
+  return "";
+}

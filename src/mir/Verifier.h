@@ -1,0 +1,27 @@
+//===- mir/Verifier.h - MIR graph invariant checking ------------*- C++ -*-===//
+///
+/// \file
+/// Structural verification of MIR graphs, run between passes in debug
+/// builds: phi arity matches predecessor counts, terminators are last,
+/// operands are live and dominate their uses, successor/predecessor
+/// links are symmetric, and resume points reference live definitions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITVS_MIR_VERIFIER_H
+#define JITVS_MIR_VERIFIER_H
+
+#include <string>
+
+namespace jitvs {
+
+class MIRGraph;
+
+/// Checks the graph's structural invariants.
+/// \returns an empty string when the graph is well-formed, otherwise a
+/// description of the first violation found.
+std::string verifyGraph(MIRGraph &Graph);
+
+} // namespace jitvs
+
+#endif // JITVS_MIR_VERIFIER_H

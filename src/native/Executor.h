@@ -1,0 +1,54 @@
+//===- native/Executor.h - Native-code execution ----------------*- C++ -*-===//
+///
+/// \file
+/// The dispatch loop for NativeCode. Guard failures surface as Bailout
+/// results carrying a snapshot id plus the live register file, from which
+/// the JIT engine reconstructs an interpreter frame (deoptimization).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITVS_NATIVE_EXECUTOR_H
+#define JITVS_NATIVE_EXECUTOR_H
+
+#include "native/NativeCode.h"
+#include "vm/GC.h"
+#include "vm/Object.h"
+
+#include <vector>
+
+namespace jitvs {
+
+class Runtime;
+
+/// Outcome of a native execution.
+struct ExecResult {
+  enum Kind { Ok, Bailout, Error } K = Ok;
+  Value Result;
+  uint32_t SnapshotId = 0;
+  NOp BailOp = NOp::Nop;
+  /// Live register file at the bailout point (FrameSize entries).
+  std::vector<Value> RegsAtBail;
+  /// Environment the native frame was using at the bailout point (either
+  /// adopted from the OSR frame or created by the native prologue).
+  Environment *EnvAtBail = nullptr;
+};
+
+/// Executes native code frames.
+class Executor {
+public:
+  explicit Executor(Runtime &RT) : RT(RT) {}
+
+  /// Runs \p Code. Entering at the OSR offset requires \p OsrSlots (the
+  /// interpreter frame slots) and the frame's environments.
+  ExecResult run(const NativeCode &Code, const Value &ThisV,
+                 const Value *Args, size_t NumArgs, bool AtOsr,
+                 const Value *OsrSlots, size_t NumOsrSlots,
+                 Environment *Env, Environment *ClosureEnv);
+
+private:
+  Runtime &RT;
+};
+
+} // namespace jitvs
+
+#endif // JITVS_NATIVE_EXECUTOR_H

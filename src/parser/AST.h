@@ -1,0 +1,207 @@
+//===- parser/AST.h - MiniJS abstract syntax tree ---------------*- C++ -*-===//
+///
+/// \file
+/// AST node definitions for MiniJS. Nodes use kind-tag dispatch (no RTTI).
+/// The variable resolver annotates identifier nodes and function nodes in
+/// place before bytecode emission.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITVS_PARSER_AST_H
+#define JITVS_PARSER_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace jitvs {
+
+struct Expr;
+struct Stmt;
+struct FunctionNode;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class ExprKind : uint8_t {
+  NumberLit,
+  StringLit,
+  BoolLit,
+  NullLit,
+  UndefinedLit,
+  Ident,
+  This,
+  Unary,
+  Binary,
+  Logical,
+  Assign,
+  Conditional,
+  Call,
+  New,
+  Member,
+  Index,
+  ArrayLit,
+  ObjectLit,
+  Function,
+  IncDec,
+};
+
+enum class UnaryOp : uint8_t { Neg, Pos, Not, BitNot, TypeOf };
+
+enum class BinaryOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  BitAnd,
+  BitOr,
+  BitXor,
+  Shl,
+  Shr,
+  UShr,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne,
+  StrictEq,
+  StrictNe,
+};
+
+enum class LogicalOp : uint8_t { And, Or };
+
+/// How the resolver bound an identifier.
+enum class RefKind : uint8_t {
+  Unresolved,
+  Local,  ///< Frame slot of the enclosing function.
+  Env,    ///< Environment slot (captured variable), Depth levels up.
+  Global, ///< Program global slot.
+};
+
+struct ResolvedRef {
+  RefKind Kind = RefKind::Unresolved;
+  uint32_t Slot = 0;
+  uint32_t Depth = 0; ///< For Env refs: lexical hops from the use site.
+};
+
+struct Expr {
+  ExprKind Kind;
+  uint32_t Line = 0;
+
+  // NumberLit.
+  double Num = 0;
+  bool IsIntLiteral = false;
+  // StringLit / Ident / Member property name.
+  std::string Str;
+  // BoolLit.
+  bool BoolVal = false;
+  // Ident resolution (filled by the resolver).
+  ResolvedRef Ref;
+
+  // Unary / IncDec.
+  UnaryOp UOp = UnaryOp::Neg;
+  bool IsPrefix = false; ///< IncDec: ++x vs x++.
+  bool IsIncrement = false;
+
+  BinaryOp BOp = BinaryOp::Add;
+  LogicalOp LOp = LogicalOp::And;
+
+  // Operand slots, by kind:
+  //   Unary/IncDec: A
+  //   Binary/Logical/Index/Assign (target=A, value=B): A, B
+  //   Conditional: A (cond), B (then), C (else)
+  //   Member: A (object), Str (property)
+  //   Call/New: A (callee), Args
+  ExprPtr A, B, C;
+  std::vector<ExprPtr> Args;
+
+  // Assign: compound operator (BOp used when IsCompound).
+  bool IsCompound = false;
+
+  // ArrayLit elements live in Args; ObjectLit uses Props.
+  std::vector<std::pair<std::string, ExprPtr>> Props;
+
+  // Function expression / declaration body.
+  std::unique_ptr<FunctionNode> Fn;
+
+  explicit Expr(ExprKind K) : Kind(K) {}
+};
+
+enum class StmtKind : uint8_t {
+  Expression,
+  VarDecl,
+  FuncDecl,
+  If,
+  While,
+  DoWhile,
+  For,
+  Return,
+  Break,
+  Continue,
+  Block,
+  Empty,
+};
+
+struct Stmt {
+  StmtKind Kind;
+  uint32_t Line = 0;
+
+  ExprPtr E;                      ///< Expression / condition / return value.
+  StmtPtr Body, ElseBody;         ///< if/loops bodies.
+  std::vector<StmtPtr> Stmts;     ///< Block contents.
+  // VarDecl: parallel vectors of names, refs and optional initializers.
+  std::vector<std::string> Names;
+  std::vector<ResolvedRef> Refs;
+  std::vector<ExprPtr> Inits;
+  // For: init statement (VarDecl or Expression), update expression.
+  StmtPtr ForInit;
+  ExprPtr ForUpdate;
+  // FuncDecl.
+  std::unique_ptr<FunctionNode> Fn;
+  ResolvedRef FnRef; ///< Where the declared function value is stored.
+
+  explicit Stmt(StmtKind K) : Kind(K) {}
+};
+
+/// A variable declared in a function's scope (parameter or var).
+struct LocalVar {
+  std::string Name;
+  bool IsParam = false;
+  bool Captured = false; ///< Accessed by a nested function.
+  uint32_t FrameSlot = 0;
+  uint32_t EnvSlot = 0;
+};
+
+/// A parsed function: parameters, body, and resolver results.
+struct FunctionNode {
+  std::string Name; ///< Empty for anonymous function expressions.
+  std::vector<std::string> Params;
+  std::vector<StmtPtr> Body;
+  uint32_t Line = 0;
+
+  // --- Resolver annotations ---
+  FunctionNode *EnclosingFn = nullptr;
+  std::vector<LocalVar> Locals; ///< Params first, then vars (hoisted).
+  uint32_t NumFrameSlots = 0;
+  uint32_t NumEnvSlots = 0;
+  bool UsesThis = false;
+
+  /// \returns the local named \p N, or nullptr.
+  LocalVar *findLocal(const std::string &N) {
+    for (LocalVar &L : Locals)
+      if (L.Name == N)
+        return &L;
+    return nullptr;
+  }
+};
+
+/// A parsed program: top-level statements (executed as function 0).
+struct ProgramNode {
+  std::vector<StmtPtr> Body;
+};
+
+} // namespace jitvs
+
+#endif // JITVS_PARSER_AST_H

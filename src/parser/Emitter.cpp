@@ -1,0 +1,1213 @@
+//===- parser/Emitter.cpp - Resolver and bytecode emitter -----------------===//
+///
+/// \file
+/// Two stages: a resolver that hoists declarations, marks variables
+/// captured by nested closures and assigns frame/environment slots; and a
+/// bytecode emitter that walks the AST producing stack code.
+///
+//===----------------------------------------------------------------------===//
+
+#include "parser/Emitter.h"
+
+#include "parser/AST.h"
+#include "parser/Parser.h"
+#include "support/Assert.h"
+#include "vm/GC.h"
+#include "vm/Object.h"
+
+#include <map>
+#include <unordered_map>
+
+using namespace jitvs;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Resolver
+//===----------------------------------------------------------------------===//
+
+/// Declares locals (hoisting vars and function declarations), marks
+/// captured variables, then assigns frame and environment slots.
+class Resolver {
+public:
+  explicit Resolver(FunctionNode &Main) : Main(Main) {}
+
+  void run() {
+    declareFunction(Main, nullptr);
+    markCaptures(Main);
+    assignSlotsRecursively(Main);
+  }
+
+  /// Resolves \p Name as seen from \p From. Must run after run().
+  static ResolvedRef resolve(FunctionNode *From, const std::string &Name,
+                             FunctionNode *Main) {
+    for (FunctionNode *F = From; F; F = F->EnclosingFn) {
+      // Top-level "locals" are globals, handled by the miss path.
+      if (F == Main)
+        break;
+      LocalVar *L = F->findLocal(Name);
+      if (!L)
+        continue;
+      ResolvedRef R;
+      if (!L->Captured) {
+        assert(F == From && "uncaptured local referenced from nested fn");
+        R.Kind = RefKind::Local;
+        R.Slot = L->FrameSlot;
+        return R;
+      }
+      R.Kind = RefKind::Env;
+      R.Slot = L->EnvSlot;
+      R.Depth = envDepth(From, F);
+      return R;
+    }
+    ResolvedRef R;
+    R.Kind = RefKind::Global;
+    return R;
+  }
+
+private:
+  /// Number of environment-creating functions from \p From (inclusive) up
+  /// to \p Def (exclusive); this is how many hops separate From's current
+  /// environment from Def's environment.
+  static uint32_t envDepth(FunctionNode *From, FunctionNode *Def) {
+    uint32_t D = 0;
+    for (FunctionNode *F = From; F != Def; F = F->EnclosingFn) {
+      assert(F && "definition not on the lexical chain");
+      if (F->NumEnvSlots > 0)
+        ++D;
+    }
+    return D;
+  }
+
+  void declareLocal(FunctionNode &Fn, const std::string &Name, bool IsParam) {
+    if (&Fn == &Main)
+      return; // Top-level declarations are globals.
+    if (Fn.findLocal(Name))
+      return; // Redeclaration is a no-op (var semantics).
+    LocalVar L;
+    L.Name = Name;
+    L.IsParam = IsParam;
+    Fn.Locals.push_back(std::move(L));
+  }
+
+  void declareFunction(FunctionNode &Fn, FunctionNode *Enclosing) {
+    Fn.EnclosingFn = Enclosing;
+    for (const std::string &P : Fn.Params)
+      declareLocal(Fn, P, /*IsParam=*/true);
+    for (const StmtPtr &S : Fn.Body)
+      declareInStmt(Fn, *S);
+  }
+
+  void declareInStmt(FunctionNode &Fn, Stmt &S) {
+    switch (S.Kind) {
+    case StmtKind::VarDecl:
+      for (const std::string &N : S.Names)
+        declareLocal(Fn, N, /*IsParam=*/false);
+      for (const ExprPtr &I : S.Inits)
+        if (I)
+          declareInExpr(Fn, *I);
+      break;
+    case StmtKind::FuncDecl:
+      declareLocal(Fn, S.Fn->Name, /*IsParam=*/false);
+      declareFunction(*S.Fn, &Fn);
+      break;
+    case StmtKind::Expression:
+    case StmtKind::Return:
+      if (S.E)
+        declareInExpr(Fn, *S.E);
+      break;
+    case StmtKind::If:
+      declareInExpr(Fn, *S.E);
+      declareInStmt(Fn, *S.Body);
+      if (S.ElseBody)
+        declareInStmt(Fn, *S.ElseBody);
+      break;
+    case StmtKind::While:
+    case StmtKind::DoWhile:
+      declareInExpr(Fn, *S.E);
+      declareInStmt(Fn, *S.Body);
+      break;
+    case StmtKind::For:
+      if (S.ForInit)
+        declareInStmt(Fn, *S.ForInit);
+      if (S.E)
+        declareInExpr(Fn, *S.E);
+      if (S.ForUpdate)
+        declareInExpr(Fn, *S.ForUpdate);
+      declareInStmt(Fn, *S.Body);
+      break;
+    case StmtKind::Block:
+      for (const StmtPtr &Sub : S.Stmts)
+        declareInStmt(Fn, *Sub);
+      break;
+    case StmtKind::Break:
+    case StmtKind::Continue:
+    case StmtKind::Empty:
+      break;
+    }
+  }
+
+  void declareInExpr(FunctionNode &Fn, Expr &E) {
+    if (E.Kind == ExprKind::Function) {
+      declareFunction(*E.Fn, &Fn);
+      return;
+    }
+    if (E.A)
+      declareInExpr(Fn, *E.A);
+    if (E.B)
+      declareInExpr(Fn, *E.B);
+    if (E.C)
+      declareInExpr(Fn, *E.C);
+    for (const ExprPtr &Arg : E.Args)
+      declareInExpr(Fn, *Arg);
+    for (auto &[K, V] : E.Props)
+      declareInExpr(Fn, *V);
+  }
+
+  /// Marks a use of \p Name from \p From: if it binds to a local of an
+  /// enclosing function, that local becomes captured.
+  void markUse(FunctionNode *From, const std::string &Name) {
+    for (FunctionNode *F = From; F; F = F->EnclosingFn) {
+      if (F == &Main)
+        return; // Global.
+      LocalVar *L = F->findLocal(Name);
+      if (!L)
+        continue;
+      if (F != From)
+        L->Captured = true;
+      return;
+    }
+  }
+
+  void markCaptures(FunctionNode &Fn) {
+    for (const StmtPtr &S : Fn.Body)
+      markInStmt(Fn, *S);
+  }
+
+  void markInStmt(FunctionNode &Fn, Stmt &S) {
+    switch (S.Kind) {
+    case StmtKind::VarDecl:
+      for (const std::string &N : S.Names)
+        markUse(&Fn, N);
+      for (const ExprPtr &I : S.Inits)
+        if (I)
+          markInExpr(Fn, *I);
+      break;
+    case StmtKind::FuncDecl:
+      markUse(&Fn, S.Fn->Name);
+      markCaptures(*S.Fn);
+      break;
+    case StmtKind::Expression:
+    case StmtKind::Return:
+      if (S.E)
+        markInExpr(Fn, *S.E);
+      break;
+    case StmtKind::If:
+      markInExpr(Fn, *S.E);
+      markInStmt(Fn, *S.Body);
+      if (S.ElseBody)
+        markInStmt(Fn, *S.ElseBody);
+      break;
+    case StmtKind::While:
+    case StmtKind::DoWhile:
+      markInExpr(Fn, *S.E);
+      markInStmt(Fn, *S.Body);
+      break;
+    case StmtKind::For:
+      if (S.ForInit)
+        markInStmt(Fn, *S.ForInit);
+      if (S.E)
+        markInExpr(Fn, *S.E);
+      if (S.ForUpdate)
+        markInExpr(Fn, *S.ForUpdate);
+      markInStmt(Fn, *S.Body);
+      break;
+    case StmtKind::Block:
+      for (const StmtPtr &Sub : S.Stmts)
+        markInStmt(Fn, *Sub);
+      break;
+    case StmtKind::Break:
+    case StmtKind::Continue:
+    case StmtKind::Empty:
+      break;
+    }
+  }
+
+  void markInExpr(FunctionNode &Fn, Expr &E) {
+    if (E.Kind == ExprKind::Ident) {
+      markUse(&Fn, E.Str);
+      return;
+    }
+    if (E.Kind == ExprKind::Function) {
+      markCaptures(*E.Fn);
+      return;
+    }
+    if (E.A)
+      markInExpr(Fn, *E.A);
+    if (E.B)
+      markInExpr(Fn, *E.B);
+    if (E.C)
+      markInExpr(Fn, *E.C);
+    for (const ExprPtr &Arg : E.Args)
+      markInExpr(Fn, *Arg);
+    for (auto &[K, V] : E.Props)
+      markInExpr(Fn, *V);
+  }
+
+  void assignSlots(FunctionNode &Fn) {
+    uint32_t FrameSlot = static_cast<uint32_t>(Fn.Params.size());
+    uint32_t EnvSlot = 0;
+    uint32_t ParamIdx = 0;
+    for (LocalVar &L : Fn.Locals) {
+      if (L.IsParam)
+        L.FrameSlot = ParamIdx++;
+      if (L.Captured) {
+        L.EnvSlot = EnvSlot++;
+        continue;
+      }
+      if (!L.IsParam)
+        L.FrameSlot = FrameSlot++;
+    }
+    Fn.NumFrameSlots = FrameSlot;
+    Fn.NumEnvSlots = EnvSlot;
+  }
+
+  void assignSlotsRecursively(FunctionNode &Fn) {
+    assignSlots(Fn);
+    for (const StmtPtr &S : Fn.Body)
+      visitNested(*S, [this](FunctionNode &Inner) {
+        assignSlotsRecursively(Inner);
+      });
+  }
+
+  template <typename Callback> void visitNested(Stmt &S, Callback CB) {
+    if (S.Kind == StmtKind::FuncDecl) {
+      CB(*S.Fn);
+      return;
+    }
+    if (S.E)
+      visitNestedExpr(*S.E, CB);
+    if (S.Body)
+      visitNested(*S.Body, CB);
+    if (S.ElseBody)
+      visitNested(*S.ElseBody, CB);
+    if (S.ForInit)
+      visitNested(*S.ForInit, CB);
+    if (S.ForUpdate)
+      visitNestedExpr(*S.ForUpdate, CB);
+    for (const StmtPtr &Sub : S.Stmts)
+      visitNested(*Sub, CB);
+    for (const ExprPtr &I : S.Inits)
+      if (I)
+        visitNestedExpr(*I, CB);
+  }
+
+  template <typename Callback> void visitNestedExpr(Expr &E, Callback CB) {
+    if (E.Kind == ExprKind::Function) {
+      CB(*E.Fn);
+      return;
+    }
+    if (E.A)
+      visitNestedExpr(*E.A, CB);
+    if (E.B)
+      visitNestedExpr(*E.B, CB);
+    if (E.C)
+      visitNestedExpr(*E.C, CB);
+    for (const ExprPtr &Arg : E.Args)
+      visitNestedExpr(*Arg, CB);
+    for (auto &[K, V] : E.Props)
+      visitNestedExpr(*V, CB);
+  }
+
+  FunctionNode &Main;
+};
+
+//===----------------------------------------------------------------------===//
+// Emitter
+//===----------------------------------------------------------------------===//
+
+class ProgramEmitter;
+
+/// Emits bytecode for a single function.
+class FunctionEmitter {
+public:
+  FunctionEmitter(ProgramEmitter &PE, FunctionNode &Fn, FunctionInfo &Info,
+                  FunctionNode &Main)
+      : PE(PE), Fn(Fn), Info(Info), Main(Main) {}
+
+  void run();
+
+private:
+  struct LoopCtx {
+    std::vector<size_t> BreakFixups;
+    std::vector<size_t> ContinueFixups;
+  };
+
+  // --- Low-level emission ---
+  void emitOp(Op O) { Info.Code.push_back(static_cast<uint8_t>(O)); }
+  void emitU8(uint8_t V) { Info.Code.push_back(V); }
+  void emitU16(uint16_t V) {
+    Info.Code.push_back(static_cast<uint8_t>(V));
+    Info.Code.push_back(static_cast<uint8_t>(V >> 8));
+  }
+  void emitU32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Info.Code.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  uint32_t here() const { return static_cast<uint32_t>(Info.Code.size()); }
+
+  size_t emitJump(Op O) {
+    emitOp(O);
+    size_t Fixup = Info.Code.size();
+    emitU32(0);
+    return Fixup;
+  }
+  void patchJump(size_t Fixup) { patchJumpTo(Fixup, here()); }
+  void patchJumpTo(size_t Fixup, uint32_t Target) {
+    for (int I = 0; I < 4; ++I)
+      Info.Code[Fixup + I] = static_cast<uint8_t>(Target >> (8 * I));
+  }
+  void emitJumpTo(Op O, uint32_t Target) {
+    emitOp(O);
+    emitU32(Target);
+  }
+
+  uint16_t constantIndex(const Value &V);
+  uint16_t internName(const std::string &Name);
+  uint32_t globalSlot(const std::string &Name);
+  uint16_t scratchSlot(unsigned Which);
+
+  void note(int Delta) {
+    Depth += Delta;
+    assert(Depth >= 0 && "operand stack underflow during emission");
+    if (static_cast<uint32_t>(Depth) > Info.MaxStackDepth)
+      Info.MaxStackDepth = static_cast<uint32_t>(Depth);
+  }
+
+  // --- Variable access ---
+  ResolvedRef resolve(const std::string &Name) {
+    ResolvedRef R = Resolver::resolve(&Fn, Name, &Main);
+    return R;
+  }
+  void emitLoadRef(const ResolvedRef &R, const std::string &Name);
+  void emitStoreRef(const ResolvedRef &R, const std::string &Name);
+
+  /// Emits the arithmetic op of a compound assignment; pops one value.
+  void emitCompoundOp(BinaryOp BOp) {
+    switch (BOp) {
+    case BinaryOp::Add:
+      emitOp(Op::Add);
+      break;
+    case BinaryOp::Sub:
+      emitOp(Op::Sub);
+      break;
+    case BinaryOp::Mul:
+      emitOp(Op::Mul);
+      break;
+    case BinaryOp::Div:
+      emitOp(Op::Div);
+      break;
+    case BinaryOp::Mod:
+      emitOp(Op::Mod);
+      break;
+    case BinaryOp::BitAnd:
+      emitOp(Op::BitAnd);
+      break;
+    case BinaryOp::BitOr:
+      emitOp(Op::BitOr);
+      break;
+    case BinaryOp::BitXor:
+      emitOp(Op::BitXor);
+      break;
+    case BinaryOp::Shl:
+      emitOp(Op::Shl);
+      break;
+    case BinaryOp::Shr:
+      emitOp(Op::Shr);
+      break;
+    case BinaryOp::UShr:
+      emitOp(Op::UShr);
+      break;
+    default:
+      JITVS_UNREACHABLE("bad compound assignment operator");
+    }
+    note(-1);
+  }
+
+  // --- Statements / expressions ---
+  void emitHoistedFunctions();
+  void emitStmt(Stmt &S);
+  void emitVarDecl(Stmt &S);
+  void emitExpr(Expr &E, bool ValueNeeded);
+  void emitAssign(Expr &E, bool ValueNeeded);
+  void emitIncDec(Expr &E, bool ValueNeeded);
+  void emitCall(Expr &E, bool ValueNeeded);
+
+  ProgramEmitter &PE;
+  FunctionNode &Fn;
+  FunctionInfo &Info;
+  FunctionNode &Main;
+  int Depth = 0;
+  std::vector<LoopCtx> Loops;
+  std::map<uint64_t, uint16_t> NumConstCache;
+  std::map<std::string, uint16_t> StrConstCache;
+  uint16_t ScratchBase = 0;
+  unsigned NumScratch = 0;
+};
+
+/// Drives per-function emission over a whole program.
+class ProgramEmitter {
+public:
+  ProgramEmitter(Heap &TheHeap) : TheHeap(TheHeap) {}
+
+  std::unique_ptr<Program> run(FunctionNode &Main) {
+    Prog = std::make_unique<Program>();
+    FunctionInfo *MainInfo = Prog->createFunction("<main>");
+    FuncIds[&Main] = MainInfo->Id;
+    emitFunction(Main, *MainInfo, Main);
+    return std::move(Prog);
+  }
+
+  /// \returns the function id for \p Fn, compiling it on first use.
+  uint32_t functionId(FunctionNode &Fn, FunctionNode &Main) {
+    auto It = FuncIds.find(&Fn);
+    if (It != FuncIds.end())
+      return It->second;
+    std::string Name = Fn.Name.empty() ? "<anonymous>" : Fn.Name;
+    FunctionInfo *Info = Prog->createFunction(Name);
+    FuncIds[&Fn] = Info->Id;
+    emitFunction(Fn, *Info, Main);
+    return Info->Id;
+  }
+
+  Program &program() { return *Prog; }
+  Heap &heap() { return TheHeap; }
+
+private:
+  void emitFunction(FunctionNode &Fn, FunctionInfo &Info, FunctionNode &Main) {
+    Info.NumParams = static_cast<uint32_t>(Fn.Params.size());
+    Info.NumSlots = Fn.NumFrameSlots;
+    Info.NumEnvSlots = Fn.NumEnvSlots;
+    Info.UsesEnvironment = Fn.NumEnvSlots > 0;
+    for (const LocalVar &L : Fn.Locals)
+      if (L.IsParam && L.Captured)
+        Info.CapturedParams.emplace_back(static_cast<uint16_t>(L.FrameSlot),
+                                         static_cast<uint16_t>(L.EnvSlot));
+    FunctionEmitter FE(*this, Fn, Info, Main);
+    FE.run();
+  }
+
+  Heap &TheHeap;
+  std::unique_ptr<Program> Prog;
+  std::unordered_map<FunctionNode *, uint32_t> FuncIds;
+};
+
+uint16_t FunctionEmitter::constantIndex(const Value &V) {
+  if (V.isString()) {
+    const std::string &S = V.asString()->str();
+    auto It = StrConstCache.find(S);
+    if (It != StrConstCache.end())
+      return It->second;
+    uint16_t Idx = static_cast<uint16_t>(Info.Constants.size());
+    Info.Constants.push_back(V);
+    StrConstCache[S] = Idx;
+    return Idx;
+  }
+  uint64_t Key = V.specializationHash();
+  auto It = NumConstCache.find(Key);
+  if (It != NumConstCache.end())
+    return It->second;
+  uint16_t Idx = static_cast<uint16_t>(Info.Constants.size());
+  Info.Constants.push_back(V);
+  NumConstCache[Key] = Idx;
+  return Idx;
+}
+
+uint16_t FunctionEmitter::internName(const std::string &Name) {
+  return static_cast<uint16_t>(PE.program().names().intern(Name));
+}
+
+uint32_t FunctionEmitter::globalSlot(const std::string &Name) {
+  return PE.program().globalSlot(Name);
+}
+
+uint16_t FunctionEmitter::scratchSlot(unsigned Which) {
+  if (ScratchBase == 0)
+    ScratchBase = static_cast<uint16_t>(Fn.NumFrameSlots);
+  if (Which + 1 > NumScratch)
+    NumScratch = Which + 1;
+  uint32_t Total = Fn.NumFrameSlots + NumScratch;
+  if (Total > Info.NumSlots)
+    Info.NumSlots = Total;
+  return static_cast<uint16_t>(ScratchBase + Which);
+}
+
+void FunctionEmitter::emitLoadRef(const ResolvedRef &R,
+                                  const std::string &Name) {
+  switch (R.Kind) {
+  case RefKind::Local:
+    emitOp(Op::GetSlot);
+    emitU16(static_cast<uint16_t>(R.Slot));
+    break;
+  case RefKind::Env:
+    emitOp(Op::GetEnvSlot);
+    emitU8(static_cast<uint8_t>(R.Depth));
+    emitU16(static_cast<uint16_t>(R.Slot));
+    break;
+  case RefKind::Global:
+    emitOp(Op::GetGlobal);
+    emitU16(static_cast<uint16_t>(globalSlot(Name)));
+    break;
+  case RefKind::Unresolved:
+    JITVS_UNREACHABLE("unresolved reference at emission");
+  }
+  note(+1);
+}
+
+void FunctionEmitter::emitStoreRef(const ResolvedRef &R,
+                                   const std::string &Name) {
+  switch (R.Kind) {
+  case RefKind::Local:
+    emitOp(Op::SetSlot);
+    emitU16(static_cast<uint16_t>(R.Slot));
+    break;
+  case RefKind::Env:
+    emitOp(Op::SetEnvSlot);
+    emitU8(static_cast<uint8_t>(R.Depth));
+    emitU16(static_cast<uint16_t>(R.Slot));
+    break;
+  case RefKind::Global:
+    emitOp(Op::SetGlobal);
+    emitU16(static_cast<uint16_t>(globalSlot(Name)));
+    break;
+  case RefKind::Unresolved:
+    JITVS_UNREACHABLE("unresolved reference at emission");
+  }
+  note(-1);
+}
+
+void FunctionEmitter::run() {
+  emitHoistedFunctions();
+  for (const StmtPtr &S : Fn.Body)
+    emitStmt(*S);
+  emitOp(Op::ReturnUndefined);
+}
+
+void FunctionEmitter::emitHoistedFunctions() {
+  for (const StmtPtr &S : Fn.Body) {
+    if (S->Kind != StmtKind::FuncDecl)
+      continue;
+    uint32_t Id = PE.functionId(*S->Fn, Main);
+    emitOp(Op::MakeClosure);
+    emitU16(static_cast<uint16_t>(Id));
+    note(+1);
+    emitStoreRef(resolve(S->Fn->Name), S->Fn->Name);
+  }
+}
+
+void FunctionEmitter::emitStmt(Stmt &S) {
+  switch (S.Kind) {
+  case StmtKind::Expression:
+    emitExpr(*S.E, /*ValueNeeded=*/false);
+    return;
+  case StmtKind::VarDecl:
+    emitVarDecl(S);
+    return;
+  case StmtKind::FuncDecl:
+    // Hoisted; nothing to do at the original position when this is a
+    // direct child of the function body. (Nested declarations inside
+    // blocks were also hoisted by emitHoistedFunctions only if direct
+    // children; emit them here otherwise.)
+    return;
+  case StmtKind::If: {
+    emitExpr(*S.E, /*ValueNeeded=*/true);
+    note(-1);
+    size_t ElseJump = emitJump(Op::JumpIfFalse);
+    emitStmt(*S.Body);
+    if (S.ElseBody) {
+      size_t EndJump = emitJump(Op::Jump);
+      patchJump(ElseJump);
+      emitStmt(*S.ElseBody);
+      patchJump(EndJump);
+    } else {
+      patchJump(ElseJump);
+    }
+    return;
+  }
+  case StmtKind::While: {
+    uint32_t Head = here();
+    emitOp(Op::LoopHead);
+    emitExpr(*S.E, /*ValueNeeded=*/true);
+    note(-1);
+    size_t EndJump = emitJump(Op::JumpIfFalse);
+    Loops.emplace_back();
+    emitStmt(*S.Body);
+    LoopCtx Ctx = std::move(Loops.back());
+    Loops.pop_back();
+    for (size_t F : Ctx.ContinueFixups)
+      patchJumpTo(F, Head);
+    emitJumpTo(Op::Jump, Head);
+    patchJump(EndJump);
+    for (size_t F : Ctx.BreakFixups)
+      patchJump(F);
+    return;
+  }
+  case StmtKind::DoWhile: {
+    uint32_t Head = here();
+    emitOp(Op::LoopHead);
+    Loops.emplace_back();
+    emitStmt(*S.Body);
+    LoopCtx Ctx = std::move(Loops.back());
+    Loops.pop_back();
+    uint32_t CondPos = here();
+    for (size_t F : Ctx.ContinueFixups)
+      patchJumpTo(F, CondPos);
+    emitExpr(*S.E, /*ValueNeeded=*/true);
+    note(-1);
+    emitJumpTo(Op::JumpIfTrue, Head);
+    for (size_t F : Ctx.BreakFixups)
+      patchJump(F);
+    return;
+  }
+  case StmtKind::For: {
+    if (S.ForInit)
+      emitStmt(*S.ForInit);
+    uint32_t Head = here();
+    emitOp(Op::LoopHead);
+    size_t EndJump = 0;
+    bool HasCond = S.E != nullptr;
+    if (HasCond) {
+      emitExpr(*S.E, /*ValueNeeded=*/true);
+      note(-1);
+      EndJump = emitJump(Op::JumpIfFalse);
+    }
+    Loops.emplace_back();
+    emitStmt(*S.Body);
+    LoopCtx Ctx = std::move(Loops.back());
+    Loops.pop_back();
+    uint32_t UpdatePos = here();
+    for (size_t F : Ctx.ContinueFixups)
+      patchJumpTo(F, UpdatePos);
+    if (S.ForUpdate)
+      emitExpr(*S.ForUpdate, /*ValueNeeded=*/false);
+    emitJumpTo(Op::Jump, Head);
+    if (HasCond)
+      patchJump(EndJump);
+    for (size_t F : Ctx.BreakFixups)
+      patchJump(F);
+    return;
+  }
+  case StmtKind::Return:
+    if (S.E) {
+      emitExpr(*S.E, /*ValueNeeded=*/true);
+      emitOp(Op::Return);
+      note(-1);
+    } else {
+      emitOp(Op::ReturnUndefined);
+    }
+    return;
+  case StmtKind::Break:
+    assert(!Loops.empty() && "break outside of loop");
+    Loops.back().BreakFixups.push_back(emitJump(Op::Jump));
+    return;
+  case StmtKind::Continue:
+    assert(!Loops.empty() && "continue outside of loop");
+    Loops.back().ContinueFixups.push_back(emitJump(Op::Jump));
+    return;
+  case StmtKind::Block:
+    for (const StmtPtr &Sub : S.Stmts) {
+      if (Sub->Kind == StmtKind::FuncDecl) {
+        // Function declaration nested in a block: create it here.
+        uint32_t Id = PE.functionId(*Sub->Fn, Main);
+        emitOp(Op::MakeClosure);
+        emitU16(static_cast<uint16_t>(Id));
+        note(+1);
+        emitStoreRef(resolve(Sub->Fn->Name), Sub->Fn->Name);
+        continue;
+      }
+      emitStmt(*Sub);
+    }
+    return;
+  case StmtKind::Empty:
+    return;
+  }
+  JITVS_UNREACHABLE("bad StmtKind");
+}
+
+void FunctionEmitter::emitVarDecl(Stmt &S) {
+  for (size_t I = 0, E = S.Names.size(); I != E; ++I) {
+    if (!S.Inits[I])
+      continue;
+    emitExpr(*S.Inits[I], /*ValueNeeded=*/true);
+    emitStoreRef(resolve(S.Names[I]), S.Names[I]);
+  }
+}
+
+void FunctionEmitter::emitExpr(Expr &E, bool ValueNeeded) {
+  switch (E.Kind) {
+  case ExprKind::NumberLit: {
+    if (!ValueNeeded)
+      return;
+    Value V = Value::number(E.Num);
+    if (V.isInt32() && V.asInt32() >= -128 && V.asInt32() <= 127) {
+      emitOp(Op::PushInt8);
+      emitU8(static_cast<uint8_t>(static_cast<int8_t>(V.asInt32())));
+    } else {
+      emitOp(Op::PushConst);
+      emitU16(constantIndex(V));
+    }
+    note(+1);
+    return;
+  }
+  case ExprKind::StringLit: {
+    if (!ValueNeeded)
+      return;
+    JSString *S = PE.heap().allocate<JSString>(E.Str);
+    emitOp(Op::PushConst);
+    emitU16(constantIndex(Value::string(S)));
+    note(+1);
+    return;
+  }
+  case ExprKind::BoolLit:
+    if (!ValueNeeded)
+      return;
+    emitOp(E.BoolVal ? Op::PushTrue : Op::PushFalse);
+    note(+1);
+    return;
+  case ExprKind::NullLit:
+    if (!ValueNeeded)
+      return;
+    emitOp(Op::PushNull);
+    note(+1);
+    return;
+  case ExprKind::UndefinedLit:
+    if (!ValueNeeded)
+      return;
+    emitOp(Op::PushUndefined);
+    note(+1);
+    return;
+  case ExprKind::Ident:
+    if (!ValueNeeded)
+      return;
+    emitLoadRef(resolve(E.Str), E.Str);
+    return;
+  case ExprKind::This:
+    if (!ValueNeeded)
+      return;
+    emitOp(Op::GetThis);
+    note(+1);
+    return;
+  case ExprKind::Unary: {
+    emitExpr(*E.A, /*ValueNeeded=*/true);
+    switch (E.UOp) {
+    case UnaryOp::Neg:
+      emitOp(Op::Neg);
+      break;
+    case UnaryOp::Pos:
+      emitOp(Op::Pos);
+      break;
+    case UnaryOp::Not:
+      emitOp(Op::Not);
+      break;
+    case UnaryOp::BitNot:
+      emitOp(Op::BitNot);
+      break;
+    case UnaryOp::TypeOf:
+      emitOp(Op::TypeOf);
+      break;
+    }
+    if (!ValueNeeded) {
+      emitOp(Op::Pop);
+      note(-1);
+    }
+    return;
+  }
+  case ExprKind::Binary: {
+    emitExpr(*E.A, /*ValueNeeded=*/true);
+    emitExpr(*E.B, /*ValueNeeded=*/true);
+    switch (E.BOp) {
+    case BinaryOp::Add:
+      emitOp(Op::Add);
+      break;
+    case BinaryOp::Sub:
+      emitOp(Op::Sub);
+      break;
+    case BinaryOp::Mul:
+      emitOp(Op::Mul);
+      break;
+    case BinaryOp::Div:
+      emitOp(Op::Div);
+      break;
+    case BinaryOp::Mod:
+      emitOp(Op::Mod);
+      break;
+    case BinaryOp::BitAnd:
+      emitOp(Op::BitAnd);
+      break;
+    case BinaryOp::BitOr:
+      emitOp(Op::BitOr);
+      break;
+    case BinaryOp::BitXor:
+      emitOp(Op::BitXor);
+      break;
+    case BinaryOp::Shl:
+      emitOp(Op::Shl);
+      break;
+    case BinaryOp::Shr:
+      emitOp(Op::Shr);
+      break;
+    case BinaryOp::UShr:
+      emitOp(Op::UShr);
+      break;
+    case BinaryOp::Lt:
+      emitOp(Op::Lt);
+      break;
+    case BinaryOp::Le:
+      emitOp(Op::Le);
+      break;
+    case BinaryOp::Gt:
+      emitOp(Op::Gt);
+      break;
+    case BinaryOp::Ge:
+      emitOp(Op::Ge);
+      break;
+    case BinaryOp::Eq:
+      emitOp(Op::Eq);
+      break;
+    case BinaryOp::Ne:
+      emitOp(Op::Ne);
+      break;
+    case BinaryOp::StrictEq:
+      emitOp(Op::StrictEq);
+      break;
+    case BinaryOp::StrictNe:
+      emitOp(Op::StrictNe);
+      break;
+    }
+    note(-1);
+    if (!ValueNeeded) {
+      emitOp(Op::Pop);
+      note(-1);
+    }
+    return;
+  }
+  case ExprKind::Logical: {
+    emitExpr(*E.A, /*ValueNeeded=*/true);
+    emitOp(Op::Dup);
+    note(+1);
+    note(-1);
+    size_t End = emitJump(E.LOp == LogicalOp::And ? Op::JumpIfFalse
+                                                  : Op::JumpIfTrue);
+    emitOp(Op::Pop);
+    note(-1);
+    emitExpr(*E.B, /*ValueNeeded=*/true);
+    patchJump(End);
+    if (!ValueNeeded) {
+      emitOp(Op::Pop);
+      note(-1);
+    }
+    return;
+  }
+  case ExprKind::Assign:
+    emitAssign(E, ValueNeeded);
+    return;
+  case ExprKind::Conditional: {
+    emitExpr(*E.A, /*ValueNeeded=*/true);
+    note(-1);
+    size_t ElseJump = emitJump(Op::JumpIfFalse);
+    emitExpr(*E.B, ValueNeeded);
+    size_t EndJump = emitJump(Op::Jump);
+    if (ValueNeeded)
+      note(-1); // Both arms produce one value; count it once.
+    patchJump(ElseJump);
+    emitExpr(*E.C, ValueNeeded);
+    patchJump(EndJump);
+    return;
+  }
+  case ExprKind::Call:
+  case ExprKind::New:
+    emitCall(E, ValueNeeded);
+    return;
+  case ExprKind::Member: {
+    emitExpr(*E.A, /*ValueNeeded=*/true);
+    emitOp(Op::GetProp);
+    emitU16(internName(E.Str));
+    if (!ValueNeeded) {
+      emitOp(Op::Pop);
+      note(-1);
+    }
+    return;
+  }
+  case ExprKind::Index: {
+    emitExpr(*E.A, /*ValueNeeded=*/true);
+    emitExpr(*E.B, /*ValueNeeded=*/true);
+    emitOp(Op::GetElem);
+    note(-1);
+    if (!ValueNeeded) {
+      emitOp(Op::Pop);
+      note(-1);
+    }
+    return;
+  }
+  case ExprKind::ArrayLit: {
+    for (const ExprPtr &Elem : E.Args)
+      emitExpr(*Elem, /*ValueNeeded=*/true);
+    emitOp(Op::NewArray);
+    emitU16(static_cast<uint16_t>(E.Args.size()));
+    note(-static_cast<int>(E.Args.size()));
+    note(+1);
+    if (!ValueNeeded) {
+      emitOp(Op::Pop);
+      note(-1);
+    }
+    return;
+  }
+  case ExprKind::ObjectLit: {
+    emitOp(Op::NewObject);
+    note(+1);
+    for (auto &[Key, V] : E.Props) {
+      emitExpr(*V, /*ValueNeeded=*/true);
+      emitOp(Op::InitProp);
+      emitU16(internName(Key));
+      note(-1);
+    }
+    if (!ValueNeeded) {
+      emitOp(Op::Pop);
+      note(-1);
+    }
+    return;
+  }
+  case ExprKind::Function: {
+    uint32_t Id = PE.functionId(*E.Fn, Main);
+    emitOp(Op::MakeClosure);
+    emitU16(static_cast<uint16_t>(Id));
+    note(+1);
+    if (!ValueNeeded) {
+      emitOp(Op::Pop);
+      note(-1);
+    }
+    return;
+  }
+  case ExprKind::IncDec:
+    emitIncDec(E, ValueNeeded);
+    return;
+  }
+  JITVS_UNREACHABLE("bad ExprKind");
+}
+
+void FunctionEmitter::emitAssign(Expr &E, bool ValueNeeded) {
+  Expr &Target = *E.A;
+  if (Target.Kind == ExprKind::Ident) {
+    if (E.IsCompound) {
+      emitLoadRef(resolve(Target.Str), Target.Str);
+      emitExpr(*E.B, /*ValueNeeded=*/true);
+      emitCompoundOp(E.BOp);
+    } else {
+      emitExpr(*E.B, /*ValueNeeded=*/true);
+    }
+    if (ValueNeeded) {
+      emitOp(Op::Dup);
+      note(+1);
+    }
+    emitStoreRef(resolve(Target.Str), Target.Str);
+    return;
+  }
+
+  if (Target.Kind == ExprKind::Member) {
+    emitExpr(*Target.A, /*ValueNeeded=*/true);
+    if (E.IsCompound) {
+      emitOp(Op::Dup);
+      note(+1);
+      emitOp(Op::GetProp);
+      emitU16(internName(Target.Str));
+      emitExpr(*E.B, /*ValueNeeded=*/true);
+      emitCompoundOp(E.BOp);
+    } else {
+      emitExpr(*E.B, /*ValueNeeded=*/true);
+    }
+    emitOp(Op::SetProp);
+    emitU16(internName(Target.Str));
+    note(-1); // [obj, value] -> [value]
+    if (!ValueNeeded) {
+      emitOp(Op::Pop);
+      note(-1);
+    }
+    return;
+  }
+
+  assert(Target.Kind == ExprKind::Index && "bad assignment target");
+  emitExpr(*Target.A, /*ValueNeeded=*/true);
+  emitExpr(*Target.B, /*ValueNeeded=*/true);
+  if (E.IsCompound) {
+    emitOp(Op::Dup2);
+    note(+2);
+    emitOp(Op::GetElem);
+    note(-1);
+    emitExpr(*E.B, /*ValueNeeded=*/true);
+    emitCompoundOp(E.BOp);
+  } else {
+    emitExpr(*E.B, /*ValueNeeded=*/true);
+  }
+  emitOp(Op::SetElem);
+  note(-2); // [obj, idx, value] -> [value]
+  if (!ValueNeeded) {
+    emitOp(Op::Pop);
+    note(-1);
+  }
+}
+
+void FunctionEmitter::emitIncDec(Expr &E, bool ValueNeeded) {
+  Expr &Target = *E.A;
+  Op Combine = E.IsIncrement ? Op::Add : Op::Sub;
+
+  auto EmitOne = [this] {
+    emitOp(Op::PushInt8);
+    emitU8(1);
+    note(+1);
+  };
+
+  if (Target.Kind == ExprKind::Ident) {
+    ResolvedRef R = resolve(Target.Str);
+    emitLoadRef(R, Target.Str);
+    // Numeric coercion so that postfix returns a number even for
+    // non-number inputs (matches JS ToNumber semantics).
+    emitOp(Op::Pos);
+    if (!E.IsPrefix && ValueNeeded) {
+      emitOp(Op::Dup);
+      note(+1);
+    }
+    EmitOne();
+    emitOp(Combine);
+    note(-1);
+    if (E.IsPrefix && ValueNeeded) {
+      emitOp(Op::Dup);
+      note(+1);
+    }
+    emitStoreRef(R, Target.Str);
+    return;
+  }
+
+  if (Target.Kind == ExprKind::Member) {
+    uint16_t NameId = internName(Target.Str);
+    uint16_t Scratch = scratchSlot(0);
+    emitExpr(*Target.A, /*ValueNeeded=*/true);
+    emitOp(Op::Dup);
+    note(+1);
+    emitOp(Op::GetProp);
+    emitU16(NameId);
+    emitOp(Op::Pos);
+    emitOp(Op::SetSlot); // Save old numeric value.
+    emitU16(Scratch);
+    note(-1);
+    emitOp(Op::GetSlot);
+    emitU16(Scratch);
+    note(+1);
+    EmitOne();
+    emitOp(Combine);
+    note(-1);
+    emitOp(Op::SetProp);
+    emitU16(NameId);
+    note(-1);
+    if (!ValueNeeded) {
+      emitOp(Op::Pop);
+      note(-1);
+      return;
+    }
+    if (!E.IsPrefix) {
+      emitOp(Op::Pop);
+      note(-1);
+      emitOp(Op::GetSlot);
+      emitU16(Scratch);
+      note(+1);
+    }
+    return;
+  }
+
+  assert(Target.Kind == ExprKind::Index && "bad ++/-- target");
+  uint16_t Scratch = scratchSlot(0);
+  emitExpr(*Target.A, /*ValueNeeded=*/true);
+  emitExpr(*Target.B, /*ValueNeeded=*/true);
+  emitOp(Op::Dup2);
+  note(+2);
+  emitOp(Op::GetElem);
+  note(-1);
+  emitOp(Op::Pos);
+  emitOp(Op::SetSlot);
+  emitU16(Scratch);
+  note(-1);
+  emitOp(Op::GetSlot);
+  emitU16(Scratch);
+  note(+1);
+  EmitOne();
+  emitOp(Combine);
+  note(-1);
+  emitOp(Op::SetElem);
+  note(-2);
+  if (!ValueNeeded) {
+    emitOp(Op::Pop);
+    note(-1);
+    return;
+  }
+  if (!E.IsPrefix) {
+    emitOp(Op::Pop);
+    note(-1);
+    emitOp(Op::GetSlot);
+    emitU16(Scratch);
+    note(+1);
+  }
+}
+
+void FunctionEmitter::emitCall(Expr &E, bool ValueNeeded) {
+  assert(E.Args.size() <= 255 && "too many call arguments");
+  if (E.Kind == ExprKind::New) {
+    emitExpr(*E.A, /*ValueNeeded=*/true);
+    for (const ExprPtr &Arg : E.Args)
+      emitExpr(*Arg, /*ValueNeeded=*/true);
+    emitOp(Op::New);
+    emitU8(static_cast<uint8_t>(E.Args.size()));
+    note(-static_cast<int>(E.Args.size()));
+  } else if (E.A->Kind == ExprKind::Member) {
+    // Method call: receiver on the stack, CallMethod binds `this`.
+    emitExpr(*E.A->A, /*ValueNeeded=*/true);
+    for (const ExprPtr &Arg : E.Args)
+      emitExpr(*Arg, /*ValueNeeded=*/true);
+    emitOp(Op::CallMethod);
+    emitU16(internName(E.A->Str));
+    emitU8(static_cast<uint8_t>(E.Args.size()));
+    note(-static_cast<int>(E.Args.size()));
+  } else {
+    emitExpr(*E.A, /*ValueNeeded=*/true);
+    for (const ExprPtr &Arg : E.Args)
+      emitExpr(*Arg, /*ValueNeeded=*/true);
+    emitOp(Op::Call);
+    emitU8(static_cast<uint8_t>(E.Args.size()));
+    note(-static_cast<int>(E.Args.size()));
+  }
+  if (!ValueNeeded) {
+    emitOp(Op::Pop);
+    note(-1);
+  }
+}
+
+} // namespace
+
+CompileResult jitvs::compileSource(const std::string &Source, Heap &TheHeap) {
+  CompileResult Result;
+  ParseResult Parsed = parseProgram(Source);
+  if (!Parsed.ok()) {
+    Result.Error = Parsed.Error;
+    return Result;
+  }
+
+  // Wrap the top level in a synthetic main function for resolution.
+  FunctionNode Main;
+  Main.Name = "<main>";
+  Main.Body = std::move(Parsed.Program->Body);
+
+  Resolver R(Main);
+  R.run();
+
+  ProgramEmitter PE(TheHeap);
+  Result.Prog = PE.run(Main);
+  return Result;
+}

@@ -1,0 +1,38 @@
+//===- parser/Emitter.h - AST -> bytecode compilation -----------*- C++ -*-===//
+///
+/// \file
+/// Front-end entry point: parses MiniJS source, resolves variable
+/// bindings (frame slots, captured environment slots, globals) and emits
+/// stack bytecode into a Program. Heap-allocated constants (string
+/// literals) are created through the caller-provided Heap and rooted by
+/// the Program for its lifetime via Runtime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITVS_PARSER_EMITTER_H
+#define JITVS_PARSER_EMITTER_H
+
+#include "vm/Bytecode.h"
+
+#include <memory>
+#include <string>
+
+namespace jitvs {
+
+class Heap;
+
+/// Result of compiling source to bytecode.
+struct CompileResult {
+  std::unique_ptr<Program> Prog;
+  std::string Error;
+
+  bool ok() const { return Prog != nullptr; }
+};
+
+/// Parses and compiles \p Source. String constants are allocated in
+/// \p TheHeap (the caller must keep the resulting Program rooted).
+CompileResult compileSource(const std::string &Source, Heap &TheHeap);
+
+} // namespace jitvs
+
+#endif // JITVS_PARSER_EMITTER_H

@@ -1,0 +1,298 @@
+//===- parser/Lexer.cpp - MiniJS tokenizer --------------------------------===//
+
+#include "parser/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace jitvs;
+
+Lexer::Lexer(std::string Source) : Src(std::move(Source)) {}
+
+char Lexer::advance() {
+  char C = Src[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+bool Lexer::match(char C) {
+  if (peek() != C)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipTrivia() {
+  while (Pos < Src.size()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Src.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (Pos < Src.size() && !(peek() == '*' && peek(1) == '/'))
+        advance();
+      if (Pos < Src.size()) {
+        advance();
+        advance();
+      }
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::makeToken(TokKind Kind) {
+  Token T;
+  T.Kind = Kind;
+  T.Line = TokLine;
+  T.Column = TokColumn;
+  return T;
+}
+
+Token Lexer::errorToken(const std::string &Msg) {
+  Token T = makeToken(TokKind::Error);
+  T.Text = Msg;
+  return T;
+}
+
+Token Lexer::lexNumber() {
+  size_t Start = Pos;
+  bool IsInt = true;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    advance();
+    advance();
+    while (std::isxdigit(static_cast<unsigned char>(peek())))
+      advance();
+    Token T = makeToken(TokKind::Number);
+    T.NumValue = static_cast<double>(
+        std::strtoull(Src.substr(Start + 2, Pos - Start - 2).c_str(), nullptr,
+                      16));
+    T.IsIntLiteral = true;
+    return T;
+  }
+  while (std::isdigit(static_cast<unsigned char>(peek())))
+    advance();
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    IsInt = false;
+    advance();
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    IsInt = false;
+    advance();
+    if (peek() == '+' || peek() == '-')
+      advance();
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+  }
+  Token T = makeToken(TokKind::Number);
+  T.NumValue = std::strtod(Src.substr(Start, Pos - Start).c_str(), nullptr);
+  T.IsIntLiteral = IsInt;
+  return T;
+}
+
+Token Lexer::lexString(char Quote) {
+  std::string Text;
+  while (Pos < Src.size() && peek() != Quote) {
+    char C = advance();
+    if (C == '\\' && Pos < Src.size()) {
+      char E = advance();
+      switch (E) {
+      case 'n':
+        Text += '\n';
+        break;
+      case 't':
+        Text += '\t';
+        break;
+      case 'r':
+        Text += '\r';
+        break;
+      case '0':
+        Text += '\0';
+        break;
+      case '\\':
+      case '"':
+      case '\'':
+        Text += E;
+        break;
+      default:
+        Text += E;
+        break;
+      }
+      continue;
+    }
+    Text += C;
+  }
+  if (Pos >= Src.size())
+    return errorToken("unterminated string literal");
+  advance(); // Closing quote.
+  Token T = makeToken(TokKind::String);
+  T.Text = std::move(Text);
+  return T;
+}
+
+Token Lexer::lexIdentifier() {
+  static const std::unordered_map<std::string, TokKind> Keywords = {
+      {"var", TokKind::KwVar},           {"function", TokKind::KwFunction},
+      {"if", TokKind::KwIf},             {"else", TokKind::KwElse},
+      {"while", TokKind::KwWhile},       {"do", TokKind::KwDo},
+      {"for", TokKind::KwFor},           {"return", TokKind::KwReturn},
+      {"break", TokKind::KwBreak},       {"continue", TokKind::KwContinue},
+      {"true", TokKind::KwTrue},         {"false", TokKind::KwFalse},
+      {"null", TokKind::KwNull},         {"undefined", TokKind::KwUndefined},
+      {"this", TokKind::KwThis},         {"new", TokKind::KwNew},
+      {"typeof", TokKind::KwTypeof},
+  };
+  size_t Start = Pos;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_' ||
+         peek() == '$')
+    advance();
+  std::string Text = Src.substr(Start, Pos - Start);
+  auto It = Keywords.find(Text);
+  if (It != Keywords.end())
+    return makeToken(It->second);
+  Token T = makeToken(TokKind::Identifier);
+  T.Text = std::move(Text);
+  return T;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  TokLine = Line;
+  TokColumn = Column;
+  if (Pos >= Src.size())
+    return makeToken(TokKind::Eof);
+
+  char C = peek();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == '$')
+    return lexIdentifier();
+  if (C == '"' || C == '\'') {
+    advance();
+    return lexString(C);
+  }
+
+  advance();
+  switch (C) {
+  case '(':
+    return makeToken(TokKind::LParen);
+  case ')':
+    return makeToken(TokKind::RParen);
+  case '{':
+    return makeToken(TokKind::LBrace);
+  case '}':
+    return makeToken(TokKind::RBrace);
+  case '[':
+    return makeToken(TokKind::LBracket);
+  case ']':
+    return makeToken(TokKind::RBracket);
+  case ';':
+    return makeToken(TokKind::Semicolon);
+  case ',':
+    return makeToken(TokKind::Comma);
+  case '.':
+    return makeToken(TokKind::Dot);
+  case ':':
+    return makeToken(TokKind::Colon);
+  case '?':
+    return makeToken(TokKind::Question);
+  case '+':
+    if (match('+'))
+      return makeToken(TokKind::PlusPlus);
+    if (match('='))
+      return makeToken(TokKind::PlusAssign);
+    return makeToken(TokKind::Plus);
+  case '-':
+    if (match('-'))
+      return makeToken(TokKind::MinusMinus);
+    if (match('='))
+      return makeToken(TokKind::MinusAssign);
+    return makeToken(TokKind::Minus);
+  case '*':
+    if (match('='))
+      return makeToken(TokKind::StarAssign);
+    return makeToken(TokKind::Star);
+  case '/':
+    if (match('='))
+      return makeToken(TokKind::SlashAssign);
+    return makeToken(TokKind::Slash);
+  case '%':
+    if (match('='))
+      return makeToken(TokKind::PercentAssign);
+    return makeToken(TokKind::Percent);
+  case '&':
+    if (match('&'))
+      return makeToken(TokKind::AmpAmp);
+    if (match('='))
+      return makeToken(TokKind::AmpAssign);
+    return makeToken(TokKind::Amp);
+  case '|':
+    if (match('|'))
+      return makeToken(TokKind::PipePipe);
+    if (match('='))
+      return makeToken(TokKind::PipeAssign);
+    return makeToken(TokKind::Pipe);
+  case '^':
+    if (match('='))
+      return makeToken(TokKind::CaretAssign);
+    return makeToken(TokKind::Caret);
+  case '~':
+    return makeToken(TokKind::Tilde);
+  case '!':
+    if (match('=')) {
+      if (match('='))
+        return makeToken(TokKind::NotEqEq);
+      return makeToken(TokKind::NotEq);
+    }
+    return makeToken(TokKind::Bang);
+  case '=':
+    if (match('=')) {
+      if (match('='))
+        return makeToken(TokKind::EqEqEq);
+      return makeToken(TokKind::EqEq);
+    }
+    return makeToken(TokKind::Assign);
+  case '<':
+    if (match('<')) {
+      if (match('='))
+        return makeToken(TokKind::ShlAssign);
+      return makeToken(TokKind::Shl);
+    }
+    if (match('='))
+      return makeToken(TokKind::Le);
+    return makeToken(TokKind::Lt);
+  case '>':
+    if (match('>')) {
+      if (match('>')) {
+        if (match('='))
+          return makeToken(TokKind::UShrAssign);
+        return makeToken(TokKind::UShr);
+      }
+      if (match('='))
+        return makeToken(TokKind::ShrAssign);
+      return makeToken(TokKind::Shr);
+    }
+    if (match('='))
+      return makeToken(TokKind::Ge);
+    return makeToken(TokKind::Gt);
+  default:
+    break;
+  }
+  return errorToken(std::string("unexpected character '") + C + "'");
+}

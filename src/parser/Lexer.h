@@ -1,0 +1,143 @@
+//===- parser/Lexer.h - MiniJS tokenizer ------------------------*- C++ -*-===//
+///
+/// \file
+/// Tokenizer for the MiniJS language: the JavaScript subset used by the
+/// workloads (numbers with int/double/hex literals, strings, the full C
+/// operator set plus ===/!==/>>>/typeof, and JS keywords).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITVS_PARSER_LEXER_H
+#define JITVS_PARSER_LEXER_H
+
+#include <cstdint>
+#include <string>
+
+namespace jitvs {
+
+enum class TokKind : uint8_t {
+  Eof,
+  Error,
+  Identifier,
+  Number,
+  String,
+
+  // Keywords.
+  KwVar,
+  KwFunction,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwDo,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwTrue,
+  KwFalse,
+  KwNull,
+  KwUndefined,
+  KwThis,
+  KwNew,
+  KwTypeof,
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semicolon,
+  Comma,
+  Dot,
+  Colon,
+  Question,
+
+  Assign,       // =
+  PlusAssign,   // +=
+  MinusAssign,  // -=
+  StarAssign,   // *=
+  SlashAssign,  // /=
+  PercentAssign,// %=
+  AmpAssign,    // &=
+  PipeAssign,   // |=
+  CaretAssign,  // ^=
+  ShlAssign,    // <<=
+  ShrAssign,    // >>=
+  UShrAssign,   // >>>=
+
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  PlusPlus,
+  MinusMinus,
+
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Shl,
+  Shr,
+  UShr,
+
+  AmpAmp,
+  PipePipe,
+  Bang,
+
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  EqEq,
+  NotEq,
+  EqEqEq,
+  NotEqEq,
+};
+
+/// A single token with its source position (for diagnostics).
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;    ///< Identifier spelling or string contents.
+  double NumValue = 0; ///< Numeric literal value.
+  bool IsIntLiteral = false;
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+};
+
+/// Streaming tokenizer over a source buffer.
+class Lexer {
+public:
+  explicit Lexer(std::string Source);
+
+  /// Scans and returns the next token. On a lexical error returns a token
+  /// of kind Error whose Text holds the message.
+  Token next();
+
+private:
+  char peek(size_t Ahead = 0) const {
+    size_t I = Pos + Ahead;
+    return I < Src.size() ? Src[I] : '\0';
+  }
+  char advance();
+  bool match(char C);
+  void skipTrivia();
+  Token makeToken(TokKind Kind);
+  Token errorToken(const std::string &Msg);
+  Token lexNumber();
+  Token lexString(char Quote);
+  Token lexIdentifier();
+
+  std::string Src;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+  uint32_t TokLine = 1;
+  uint32_t TokColumn = 1;
+};
+
+} // namespace jitvs
+
+#endif // JITVS_PARSER_LEXER_H

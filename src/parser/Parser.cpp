@@ -1,0 +1,755 @@
+//===- parser/Parser.cpp - Recursive-descent MiniJS parser ----------------===//
+
+#include "parser/Parser.h"
+
+#include "support/Assert.h"
+
+#include <cstdio>
+
+using namespace jitvs;
+
+namespace {
+
+/// Internal parser state. On error, sets HadError and unwinds by having
+/// every production check failed() after each sub-parse.
+class Parser {
+public:
+  explicit Parser(const std::string &Source) : Lex(Source) {
+    Cur = Lex.next();
+    Next = Lex.next();
+  }
+
+  std::unique_ptr<ProgramNode> run(std::string &ErrorOut) {
+    auto Prog = std::make_unique<ProgramNode>();
+    while (!check(TokKind::Eof) && !HadError)
+      Prog->Body.push_back(parseStatement());
+    if (HadError) {
+      ErrorOut = ErrorMsg;
+      return nullptr;
+    }
+    return Prog;
+  }
+
+private:
+  bool failed() const { return HadError; }
+
+  void error(const std::string &Msg) {
+    if (HadError)
+      return;
+    HadError = true;
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%u:%u: ", Cur.Line, Cur.Column);
+    ErrorMsg = std::string(Buf) + Msg;
+  }
+
+  void advance() {
+    if (Cur.Kind == TokKind::Error) {
+      error(Cur.Text);
+      return;
+    }
+    Cur = Next;
+    Next = Lex.next();
+    if (Cur.Kind == TokKind::Error)
+      error(Cur.Text);
+  }
+
+  bool check(TokKind K) const { return Cur.Kind == K; }
+  bool match(TokKind K) {
+    if (!check(K))
+      return false;
+    advance();
+    return true;
+  }
+  void expect(TokKind K, const char *What) {
+    if (check(K)) {
+      advance();
+      return;
+    }
+    error(std::string("expected ") + What);
+  }
+
+  ExprPtr makeExpr(ExprKind K) {
+    auto E = std::make_unique<Expr>(K);
+    E->Line = Cur.Line;
+    return E;
+  }
+  StmtPtr makeStmt(StmtKind K) {
+    auto S = std::make_unique<Stmt>(K);
+    S->Line = Cur.Line;
+    return S;
+  }
+  ExprPtr errorExpr() { return std::make_unique<Expr>(ExprKind::NullLit); }
+  StmtPtr errorStmt() { return std::make_unique<Stmt>(StmtKind::Empty); }
+
+  // --- Statements ---
+
+  StmtPtr parseStatement() {
+    switch (Cur.Kind) {
+    case TokKind::KwVar:
+      return parseVarDecl(/*ConsumeSemicolon=*/true);
+    case TokKind::KwFunction:
+      return parseFuncDecl();
+    case TokKind::KwIf:
+      return parseIf();
+    case TokKind::KwWhile:
+      return parseWhile();
+    case TokKind::KwDo:
+      return parseDoWhile();
+    case TokKind::KwFor:
+      return parseFor();
+    case TokKind::KwReturn:
+      return parseReturn();
+    case TokKind::KwBreak: {
+      auto S = makeStmt(StmtKind::Break);
+      advance();
+      expect(TokKind::Semicolon, "';'");
+      return S;
+    }
+    case TokKind::KwContinue: {
+      auto S = makeStmt(StmtKind::Continue);
+      advance();
+      expect(TokKind::Semicolon, "';'");
+      return S;
+    }
+    case TokKind::LBrace:
+      return parseBlock();
+    case TokKind::Semicolon: {
+      auto S = makeStmt(StmtKind::Empty);
+      advance();
+      return S;
+    }
+    default: {
+      auto S = makeStmt(StmtKind::Expression);
+      S->E = parseExpression();
+      expect(TokKind::Semicolon, "';'");
+      return S;
+    }
+    }
+  }
+
+  StmtPtr parseVarDecl(bool ConsumeSemicolon) {
+    auto S = makeStmt(StmtKind::VarDecl);
+    expect(TokKind::KwVar, "'var'");
+    while (!HadError) {
+      if (!check(TokKind::Identifier)) {
+        error("expected variable name");
+        return errorStmt();
+      }
+      S->Names.push_back(Cur.Text);
+      advance();
+      if (match(TokKind::Assign))
+        S->Inits.push_back(parseAssignment());
+      else
+        S->Inits.push_back(nullptr);
+      if (!match(TokKind::Comma))
+        break;
+    }
+    S->Refs.resize(S->Names.size());
+    if (ConsumeSemicolon)
+      expect(TokKind::Semicolon, "';'");
+    return S;
+  }
+
+  StmtPtr parseFuncDecl() {
+    auto S = makeStmt(StmtKind::FuncDecl);
+    expect(TokKind::KwFunction, "'function'");
+    if (!check(TokKind::Identifier)) {
+      error("expected function name");
+      return errorStmt();
+    }
+    std::string Name = Cur.Text;
+    advance();
+    S->Fn = parseFunctionRest(Name);
+    return S;
+  }
+
+  std::unique_ptr<FunctionNode> parseFunctionRest(std::string Name) {
+    auto Fn = std::make_unique<FunctionNode>();
+    Fn->Name = std::move(Name);
+    Fn->Line = Cur.Line;
+    expect(TokKind::LParen, "'('");
+    if (!check(TokKind::RParen)) {
+      while (!HadError) {
+        if (!check(TokKind::Identifier)) {
+          error("expected parameter name");
+          return Fn;
+        }
+        Fn->Params.push_back(Cur.Text);
+        advance();
+        if (!match(TokKind::Comma))
+          break;
+      }
+    }
+    expect(TokKind::RParen, "')'");
+    expect(TokKind::LBrace, "'{'");
+    while (!check(TokKind::RBrace) && !check(TokKind::Eof) && !HadError)
+      Fn->Body.push_back(parseStatement());
+    expect(TokKind::RBrace, "'}'");
+    return Fn;
+  }
+
+  StmtPtr parseIf() {
+    auto S = makeStmt(StmtKind::If);
+    expect(TokKind::KwIf, "'if'");
+    expect(TokKind::LParen, "'('");
+    S->E = parseExpression();
+    expect(TokKind::RParen, "')'");
+    S->Body = parseStatement();
+    if (match(TokKind::KwElse))
+      S->ElseBody = parseStatement();
+    return S;
+  }
+
+  StmtPtr parseWhile() {
+    auto S = makeStmt(StmtKind::While);
+    expect(TokKind::KwWhile, "'while'");
+    expect(TokKind::LParen, "'('");
+    S->E = parseExpression();
+    expect(TokKind::RParen, "')'");
+    S->Body = parseStatement();
+    return S;
+  }
+
+  StmtPtr parseDoWhile() {
+    auto S = makeStmt(StmtKind::DoWhile);
+    expect(TokKind::KwDo, "'do'");
+    S->Body = parseStatement();
+    expect(TokKind::KwWhile, "'while'");
+    expect(TokKind::LParen, "'('");
+    S->E = parseExpression();
+    expect(TokKind::RParen, "')'");
+    expect(TokKind::Semicolon, "';'");
+    return S;
+  }
+
+  StmtPtr parseFor() {
+    auto S = makeStmt(StmtKind::For);
+    expect(TokKind::KwFor, "'for'");
+    expect(TokKind::LParen, "'('");
+    if (check(TokKind::KwVar)) {
+      S->ForInit = parseVarDecl(/*ConsumeSemicolon=*/false);
+      expect(TokKind::Semicolon, "';'");
+    } else if (!check(TokKind::Semicolon)) {
+      auto Init = makeStmt(StmtKind::Expression);
+      Init->E = parseExpression();
+      S->ForInit = std::move(Init);
+      expect(TokKind::Semicolon, "';'");
+    } else {
+      expect(TokKind::Semicolon, "';'");
+    }
+    if (!check(TokKind::Semicolon))
+      S->E = parseExpression();
+    expect(TokKind::Semicolon, "';'");
+    if (!check(TokKind::RParen))
+      S->ForUpdate = parseExpression();
+    expect(TokKind::RParen, "')'");
+    S->Body = parseStatement();
+    return S;
+  }
+
+  StmtPtr parseReturn() {
+    auto S = makeStmt(StmtKind::Return);
+    expect(TokKind::KwReturn, "'return'");
+    if (!check(TokKind::Semicolon))
+      S->E = parseExpression();
+    expect(TokKind::Semicolon, "';'");
+    return S;
+  }
+
+  StmtPtr parseBlock() {
+    auto S = makeStmt(StmtKind::Block);
+    expect(TokKind::LBrace, "'{'");
+    while (!check(TokKind::RBrace) && !check(TokKind::Eof) && !HadError)
+      S->Stmts.push_back(parseStatement());
+    expect(TokKind::RBrace, "'}'");
+    return S;
+  }
+
+  // --- Expressions (precedence climbing) ---
+
+  ExprPtr parseExpression() { return parseAssignment(); }
+
+  bool isAssignOp(TokKind K) const {
+    switch (K) {
+    case TokKind::Assign:
+    case TokKind::PlusAssign:
+    case TokKind::MinusAssign:
+    case TokKind::StarAssign:
+    case TokKind::SlashAssign:
+    case TokKind::PercentAssign:
+    case TokKind::AmpAssign:
+    case TokKind::PipeAssign:
+    case TokKind::CaretAssign:
+    case TokKind::ShlAssign:
+    case TokKind::ShrAssign:
+    case TokKind::UShrAssign:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  BinaryOp compoundOp(TokKind K) const {
+    switch (K) {
+    case TokKind::PlusAssign:
+      return BinaryOp::Add;
+    case TokKind::MinusAssign:
+      return BinaryOp::Sub;
+    case TokKind::StarAssign:
+      return BinaryOp::Mul;
+    case TokKind::SlashAssign:
+      return BinaryOp::Div;
+    case TokKind::PercentAssign:
+      return BinaryOp::Mod;
+    case TokKind::AmpAssign:
+      return BinaryOp::BitAnd;
+    case TokKind::PipeAssign:
+      return BinaryOp::BitOr;
+    case TokKind::CaretAssign:
+      return BinaryOp::BitXor;
+    case TokKind::ShlAssign:
+      return BinaryOp::Shl;
+    case TokKind::ShrAssign:
+      return BinaryOp::Shr;
+    case TokKind::UShrAssign:
+      return BinaryOp::UShr;
+    default:
+      JITVS_UNREACHABLE("not a compound assignment token");
+    }
+  }
+
+  ExprPtr parseAssignment() {
+    ExprPtr Lhs = parseConditional();
+    if (!isAssignOp(Cur.Kind))
+      return Lhs;
+    if (Lhs->Kind != ExprKind::Ident && Lhs->Kind != ExprKind::Member &&
+        Lhs->Kind != ExprKind::Index) {
+      error("invalid assignment target");
+      return errorExpr();
+    }
+    TokKind OpTok = Cur.Kind;
+    advance();
+    auto E = makeExpr(ExprKind::Assign);
+    E->IsCompound = OpTok != TokKind::Assign;
+    if (E->IsCompound)
+      E->BOp = compoundOp(OpTok);
+    E->A = std::move(Lhs);
+    E->B = parseAssignment();
+    return E;
+  }
+
+  ExprPtr parseConditional() {
+    ExprPtr Cond = parseLogicalOr();
+    if (!match(TokKind::Question))
+      return Cond;
+    auto E = makeExpr(ExprKind::Conditional);
+    E->A = std::move(Cond);
+    E->B = parseAssignment();
+    expect(TokKind::Colon, "':'");
+    E->C = parseConditional();
+    return E;
+  }
+
+  ExprPtr parseLogicalOr() {
+    ExprPtr Lhs = parseLogicalAnd();
+    while (check(TokKind::PipePipe)) {
+      advance();
+      auto E = makeExpr(ExprKind::Logical);
+      E->LOp = LogicalOp::Or;
+      E->A = std::move(Lhs);
+      E->B = parseLogicalAnd();
+      Lhs = std::move(E);
+    }
+    return Lhs;
+  }
+
+  ExprPtr parseLogicalAnd() {
+    ExprPtr Lhs = parseBitOr();
+    while (check(TokKind::AmpAmp)) {
+      advance();
+      auto E = makeExpr(ExprKind::Logical);
+      E->LOp = LogicalOp::And;
+      E->A = std::move(Lhs);
+      E->B = parseBitOr();
+      Lhs = std::move(E);
+    }
+    return Lhs;
+  }
+
+  ExprPtr binary(BinaryOp Op, ExprPtr Lhs, ExprPtr Rhs) {
+    auto E = makeExpr(ExprKind::Binary);
+    E->BOp = Op;
+    E->A = std::move(Lhs);
+    E->B = std::move(Rhs);
+    return E;
+  }
+
+  ExprPtr parseBitOr() {
+    ExprPtr Lhs = parseBitXor();
+    while (check(TokKind::Pipe)) {
+      advance();
+      Lhs = binary(BinaryOp::BitOr, std::move(Lhs), parseBitXor());
+    }
+    return Lhs;
+  }
+
+  ExprPtr parseBitXor() {
+    ExprPtr Lhs = parseBitAnd();
+    while (check(TokKind::Caret)) {
+      advance();
+      Lhs = binary(BinaryOp::BitXor, std::move(Lhs), parseBitAnd());
+    }
+    return Lhs;
+  }
+
+  ExprPtr parseBitAnd() {
+    ExprPtr Lhs = parseEquality();
+    while (check(TokKind::Amp)) {
+      advance();
+      Lhs = binary(BinaryOp::BitAnd, std::move(Lhs), parseEquality());
+    }
+    return Lhs;
+  }
+
+  ExprPtr parseEquality() {
+    ExprPtr Lhs = parseRelational();
+    while (true) {
+      BinaryOp Op;
+      if (check(TokKind::EqEq))
+        Op = BinaryOp::Eq;
+      else if (check(TokKind::NotEq))
+        Op = BinaryOp::Ne;
+      else if (check(TokKind::EqEqEq))
+        Op = BinaryOp::StrictEq;
+      else if (check(TokKind::NotEqEq))
+        Op = BinaryOp::StrictNe;
+      else
+        return Lhs;
+      advance();
+      Lhs = binary(Op, std::move(Lhs), parseRelational());
+    }
+  }
+
+  ExprPtr parseRelational() {
+    ExprPtr Lhs = parseShift();
+    while (true) {
+      BinaryOp Op;
+      if (check(TokKind::Lt))
+        Op = BinaryOp::Lt;
+      else if (check(TokKind::Le))
+        Op = BinaryOp::Le;
+      else if (check(TokKind::Gt))
+        Op = BinaryOp::Gt;
+      else if (check(TokKind::Ge))
+        Op = BinaryOp::Ge;
+      else
+        return Lhs;
+      advance();
+      Lhs = binary(Op, std::move(Lhs), parseShift());
+    }
+  }
+
+  ExprPtr parseShift() {
+    ExprPtr Lhs = parseAdditive();
+    while (true) {
+      BinaryOp Op;
+      if (check(TokKind::Shl))
+        Op = BinaryOp::Shl;
+      else if (check(TokKind::Shr))
+        Op = BinaryOp::Shr;
+      else if (check(TokKind::UShr))
+        Op = BinaryOp::UShr;
+      else
+        return Lhs;
+      advance();
+      Lhs = binary(Op, std::move(Lhs), parseAdditive());
+    }
+  }
+
+  ExprPtr parseAdditive() {
+    ExprPtr Lhs = parseMultiplicative();
+    while (true) {
+      BinaryOp Op;
+      if (check(TokKind::Plus))
+        Op = BinaryOp::Add;
+      else if (check(TokKind::Minus))
+        Op = BinaryOp::Sub;
+      else
+        return Lhs;
+      advance();
+      Lhs = binary(Op, std::move(Lhs), parseMultiplicative());
+    }
+  }
+
+  ExprPtr parseMultiplicative() {
+    ExprPtr Lhs = parseUnary();
+    while (true) {
+      BinaryOp Op;
+      if (check(TokKind::Star))
+        Op = BinaryOp::Mul;
+      else if (check(TokKind::Slash))
+        Op = BinaryOp::Div;
+      else if (check(TokKind::Percent))
+        Op = BinaryOp::Mod;
+      else
+        return Lhs;
+      advance();
+      Lhs = binary(Op, std::move(Lhs), parseUnary());
+    }
+  }
+
+  ExprPtr parseUnary() {
+    UnaryOp Op;
+    if (check(TokKind::Minus))
+      Op = UnaryOp::Neg;
+    else if (check(TokKind::Plus))
+      Op = UnaryOp::Pos;
+    else if (check(TokKind::Bang))
+      Op = UnaryOp::Not;
+    else if (check(TokKind::Tilde))
+      Op = UnaryOp::BitNot;
+    else if (check(TokKind::KwTypeof))
+      Op = UnaryOp::TypeOf;
+    else if (check(TokKind::PlusPlus) || check(TokKind::MinusMinus)) {
+      bool IsInc = check(TokKind::PlusPlus);
+      advance();
+      auto E = makeExpr(ExprKind::IncDec);
+      E->IsPrefix = true;
+      E->IsIncrement = IsInc;
+      E->A = parseUnary();
+      return E;
+    } else {
+      return parsePostfix();
+    }
+    advance();
+    auto E = makeExpr(ExprKind::Unary);
+    E->UOp = Op;
+    E->A = parseUnary();
+    return E;
+  }
+
+  ExprPtr parsePostfix() {
+    ExprPtr E = parseCallMember();
+    if (check(TokKind::PlusPlus) || check(TokKind::MinusMinus)) {
+      bool IsInc = check(TokKind::PlusPlus);
+      advance();
+      auto P = makeExpr(ExprKind::IncDec);
+      P->IsPrefix = false;
+      P->IsIncrement = IsInc;
+      P->A = std::move(E);
+      return P;
+    }
+    return E;
+  }
+
+  ExprPtr parseCallMember() {
+    ExprPtr E;
+    if (check(TokKind::KwNew)) {
+      advance();
+      auto N = makeExpr(ExprKind::New);
+      N->A = parseCallMemberNoCall();
+      expect(TokKind::LParen, "'('");
+      parseArgs(N->Args);
+      E = std::move(N);
+    } else {
+      E = parsePrimary();
+    }
+    return parseCallMemberSuffixes(std::move(E));
+  }
+
+  /// Parses the callee of `new`: primary plus member accesses but no
+  /// call-parenthesis consumption (those belong to the `new`).
+  ExprPtr parseCallMemberNoCall() {
+    ExprPtr E = parsePrimary();
+    while (!HadError) {
+      if (match(TokKind::Dot)) {
+        if (!check(TokKind::Identifier)) {
+          error("expected property name");
+          return errorExpr();
+        }
+        auto M = makeExpr(ExprKind::Member);
+        M->Str = Cur.Text;
+        advance();
+        M->A = std::move(E);
+        E = std::move(M);
+        continue;
+      }
+      if (check(TokKind::LBracket)) {
+        advance();
+        auto I = makeExpr(ExprKind::Index);
+        I->A = std::move(E);
+        I->B = parseExpression();
+        expect(TokKind::RBracket, "']'");
+        E = std::move(I);
+        continue;
+      }
+      break;
+    }
+    return E;
+  }
+
+  ExprPtr parseCallMemberSuffixes(ExprPtr E) {
+    while (!HadError) {
+      if (match(TokKind::Dot)) {
+        if (!check(TokKind::Identifier)) {
+          error("expected property name");
+          return errorExpr();
+        }
+        auto M = makeExpr(ExprKind::Member);
+        M->Str = Cur.Text;
+        advance();
+        M->A = std::move(E);
+        E = std::move(M);
+        continue;
+      }
+      if (check(TokKind::LBracket)) {
+        advance();
+        auto I = makeExpr(ExprKind::Index);
+        I->A = std::move(E);
+        I->B = parseExpression();
+        expect(TokKind::RBracket, "']'");
+        E = std::move(I);
+        continue;
+      }
+      if (check(TokKind::LParen)) {
+        advance();
+        auto C = makeExpr(ExprKind::Call);
+        C->A = std::move(E);
+        parseArgs(C->Args);
+        E = std::move(C);
+        continue;
+      }
+      break;
+    }
+    return E;
+  }
+
+  void parseArgs(std::vector<ExprPtr> &Args) {
+    if (match(TokKind::RParen))
+      return;
+    while (!HadError) {
+      Args.push_back(parseAssignment());
+      if (!match(TokKind::Comma))
+        break;
+    }
+    expect(TokKind::RParen, "')'");
+  }
+
+  ExprPtr parsePrimary() {
+    switch (Cur.Kind) {
+    case TokKind::Number: {
+      auto E = makeExpr(ExprKind::NumberLit);
+      E->Num = Cur.NumValue;
+      E->IsIntLiteral = Cur.IsIntLiteral;
+      advance();
+      return E;
+    }
+    case TokKind::String: {
+      auto E = makeExpr(ExprKind::StringLit);
+      E->Str = Cur.Text;
+      advance();
+      return E;
+    }
+    case TokKind::KwTrue:
+    case TokKind::KwFalse: {
+      auto E = makeExpr(ExprKind::BoolLit);
+      E->BoolVal = Cur.Kind == TokKind::KwTrue;
+      advance();
+      return E;
+    }
+    case TokKind::KwNull: {
+      auto E = makeExpr(ExprKind::NullLit);
+      advance();
+      return E;
+    }
+    case TokKind::KwUndefined: {
+      auto E = makeExpr(ExprKind::UndefinedLit);
+      advance();
+      return E;
+    }
+    case TokKind::KwThis: {
+      auto E = makeExpr(ExprKind::This);
+      advance();
+      return E;
+    }
+    case TokKind::Identifier: {
+      auto E = makeExpr(ExprKind::Ident);
+      E->Str = Cur.Text;
+      advance();
+      return E;
+    }
+    case TokKind::LParen: {
+      advance();
+      ExprPtr E = parseExpression();
+      expect(TokKind::RParen, "')'");
+      return E;
+    }
+    case TokKind::LBracket: {
+      advance();
+      auto E = makeExpr(ExprKind::ArrayLit);
+      if (!check(TokKind::RBracket)) {
+        while (!HadError) {
+          E->Args.push_back(parseAssignment());
+          if (!match(TokKind::Comma))
+            break;
+        }
+      }
+      expect(TokKind::RBracket, "']'");
+      return E;
+    }
+    case TokKind::LBrace: {
+      advance();
+      auto E = makeExpr(ExprKind::ObjectLit);
+      if (!check(TokKind::RBrace)) {
+        while (!HadError) {
+          std::string Key;
+          if (check(TokKind::Identifier) || check(TokKind::String)) {
+            Key = Cur.Text;
+            advance();
+          } else if (check(TokKind::Number)) {
+            Key = std::to_string(static_cast<int64_t>(Cur.NumValue));
+            advance();
+          } else {
+            error("expected property key");
+            return errorExpr();
+          }
+          expect(TokKind::Colon, "':'");
+          E->Props.emplace_back(std::move(Key), parseAssignment());
+          if (!match(TokKind::Comma))
+            break;
+        }
+      }
+      expect(TokKind::RBrace, "'}'");
+      return E;
+    }
+    case TokKind::KwFunction: {
+      advance();
+      std::string Name;
+      if (check(TokKind::Identifier)) {
+        Name = Cur.Text;
+        advance();
+      }
+      auto E = makeExpr(ExprKind::Function);
+      E->Fn = parseFunctionRest(Name);
+      return E;
+    }
+    default:
+      error("unexpected token in expression");
+      return errorExpr();
+    }
+  }
+
+  Lexer Lex;
+  Token Cur, Next;
+  bool HadError = false;
+  std::string ErrorMsg;
+};
+
+} // namespace
+
+ParseResult jitvs::parseProgram(const std::string &Source) {
+  Parser P(Source);
+  ParseResult Result;
+  Result.Program = P.run(Result.Error);
+  return Result;
+}

@@ -1,0 +1,33 @@
+//===- parser/Parser.h - Recursive-descent MiniJS parser --------*- C++ -*-===//
+///
+/// \file
+/// Parses MiniJS source into an AST. Errors are reported through the
+/// returned ParseResult; no exceptions are used.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITVS_PARSER_PARSER_H
+#define JITVS_PARSER_PARSER_H
+
+#include "parser/AST.h"
+#include "parser/Lexer.h"
+
+#include <memory>
+#include <string>
+
+namespace jitvs {
+
+/// Outcome of parsing: either a program or an error message with position.
+struct ParseResult {
+  std::unique_ptr<ProgramNode> Program;
+  std::string Error;
+
+  bool ok() const { return Program != nullptr; }
+};
+
+/// Parses \p Source as a MiniJS program.
+ParseResult parseProgram(const std::string &Source);
+
+} // namespace jitvs
+
+#endif // JITVS_PARSER_PARSER_H

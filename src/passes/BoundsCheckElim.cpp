@@ -1,0 +1,258 @@
+//===- passes/BoundsCheckElim.cpp - Array bounds check elimination ---------===//
+///
+/// \file
+/// Section 3.6: removes BoundsCheck guards for indices that are induction
+/// variables of the paper's pattern i0 = c; i1 = phi(i0, i2); i2 = i1 + c2
+/// whose loop bound is a compile-time constant not exceeding the length
+/// of a compile-time-constant array (a specialized parameter).
+///
+/// Aliasing follows the paper's deliberately crude rule: "if there exists
+/// any store instruction in the script being compiled, the elimination of
+/// bound check instructions is considered unsafe and is not performed".
+/// The relaxed mode (an ablation) additionally tolerates in-bounds
+/// StoreElement instructions, which cannot change any array's length.
+///
+/// Because a specialized binary may be re-entered on a later call after
+/// other code mutated the array, each eliminated check is covered by one
+/// GuardArrayLength at both entry points, validating the compile-time
+/// length before any side effect happens (bailing there re-runs the whole
+/// call in the interpreter).
+///
+//===----------------------------------------------------------------------===//
+
+#include "passes/Passes.h"
+
+#include "mir/Dominators.h"
+#include "vm/Object.h"
+
+#include <unordered_set>
+
+using namespace jitvs;
+
+namespace {
+
+/// Induction-variable facts for one BoundsCheck index.
+struct IndexRange {
+  bool Known = false;
+  int32_t Min = 0;
+  int32_t Max = 0; ///< Inclusive.
+};
+
+/// Matches the paper's induction pattern on \p Idx inside \p Loop:
+/// Idx = phi(c0, AddI(Idx, step)) with step >= 1 and a loop-controlling
+/// CompareI(Lt/Le) against a constant bound. Returns the value range the
+/// index can take at the check.
+IndexRange analyzeInductionIndex(MInstr *Idx, const NaturalLoop &Loop) {
+  IndexRange R;
+  if (!Idx->isPhi() || Idx->block() != Loop.Header)
+    return R;
+  if (Idx->numOperands() < 2)
+    return R;
+
+  // Identify the increment operand and the constant initial value(s).
+  MInstr *Inc = nullptr;
+  int64_t InitMin = INT64_MAX, InitMax = INT64_MIN;
+  for (size_t I = 0, E = Idx->numOperands(); I != E; ++I) {
+    MInstr *Operand = Idx->operand(I);
+    if (Operand->op() == MirOp::Constant &&
+        Operand->constValue().isInt32()) {
+      int32_t C = Operand->constValue().asInt32();
+      InitMin = std::min<int64_t>(InitMin, C);
+      InitMax = std::max<int64_t>(InitMax, C);
+      continue;
+    }
+    if (Operand->op() == MirOp::AddI &&
+        (Operand->operand(0) == Idx || Operand->operand(1) == Idx)) {
+      MInstr *Step = Operand->operand(0) == Idx ? Operand->operand(1)
+                                                : Operand->operand(0);
+      if (Step->op() != MirOp::Constant || !Step->constValue().isInt32() ||
+          Step->constValue().asInt32() < 1)
+        return R;
+      if (Inc && Inc != Operand)
+        return R;
+      Inc = Operand;
+      continue;
+    }
+    return R; // Unknown operand shape.
+  }
+  if (!Inc || InitMin == INT64_MAX || InitMin < 0)
+    return R;
+
+  // Find the loop-controlling comparison: a CompareI(Lt/Le) on Idx or Inc
+  // against a constant, feeding a Test whose in-loop side is the
+  // comparison's true side. We accept the test in the header (while
+  // shape) or in a latch (inverted shape); either bounds Idx by the same
+  // limit (the wrapper conditional of an inverted loop protects the first
+  // iteration).
+  int64_t Bound = INT64_MIN; // Exclusive upper bound on Idx.
+  for (MBasicBlock *B : Loop.Body) {
+    MInstr *T = B->terminator();
+    if (!T || T->op() != MirOp::Test)
+      continue;
+    MInstr *Cond = T->operand(0);
+    if (Cond->op() != MirOp::CompareI)
+      continue;
+    bool OnIdx = Cond->operand(0) == Idx;
+    bool OnInc = Cond->operand(0) == Inc;
+    if (!OnIdx && !OnInc)
+      continue;
+    MInstr *Limit = Cond->operand(1);
+    if (Limit->op() != MirOp::Constant || !Limit->constValue().isInt32())
+      continue;
+    // The in-loop ("continue iterating") side must be the true side.
+    if (!Loop.contains(T->successor(0)))
+      continue;
+    Op CmpOp = static_cast<Op>(Cond->AuxA);
+    int64_t L = Limit->constValue().asInt32();
+    int64_t ThisBound;
+    if (CmpOp == Op::Lt)
+      ThisBound = L; // idx < L  (or next < L, same bound for idx).
+    else if (CmpOp == Op::Le)
+      ThisBound = L + 1;
+    else
+      continue;
+    Bound = std::max(Bound, ThisBound);
+  }
+  if (Bound == INT64_MIN || Bound > INT32_MAX)
+    return R;
+  // First iteration: Idx == Init, which must itself be below the bound;
+  // a wrapper/header test guarantees the loop body only runs when the
+  // condition held, so Init < Bound whenever the check executes.
+  R.Known = true;
+  R.Min = static_cast<int32_t>(InitMin);
+  R.Max = static_cast<int32_t>(Bound - 1);
+  return R;
+}
+
+/// \returns the compile-time length limit of the BoundsCheck's length
+/// operand, and (for arrays) the constant array that needs an entry
+/// guard. Strings are immutable, so no guard is needed for them.
+struct LengthFact {
+  bool Known = false;
+  int32_t Length = 0;
+  MInstr *GuardArrayConst = nullptr; ///< Constant array needing a guard.
+};
+
+LengthFact analyzeLength(MInstr *Len) {
+  LengthFact F;
+  if (Len->op() == MirOp::Constant && Len->constValue().isInt32()) {
+    F.Known = true;
+    F.Length = Len->constValue().asInt32();
+    return F;
+  }
+  if (Len->op() == MirOp::ArrayLength) {
+    MInstr *Arr = Len->operand(0);
+    if (Arr->op() == MirOp::Constant && Arr->constValue().isArray()) {
+      F.Known = true;
+      F.Length =
+          static_cast<int32_t>(Arr->constValue().asArray()->length());
+      F.GuardArrayConst = Arr;
+      return F;
+    }
+    return F;
+  }
+  if (Len->op() == MirOp::StringLength) {
+    MInstr *Str = Len->operand(0);
+    if (Str->op() == MirOp::Constant && Str->constValue().isString()) {
+      F.Known = true;
+      F.Length =
+          static_cast<int32_t>(Str->constValue().asString()->length());
+      return F;
+    }
+  }
+  return F;
+}
+
+/// The paper's alias rule. \returns true when elimination is allowed.
+bool graphPermitsElimination(MIRGraph &Graph, bool Relaxed) {
+  for (MBasicBlock *B : Graph.liveBlocks()) {
+    for (MInstr *I : B->instructions()) {
+      switch (I->op()) {
+      case MirOp::StoreElement:
+        if (!Relaxed)
+          return false; // Any store => unsafe (paper rule).
+        break;           // In-bounds stores cannot change lengths.
+      case MirOp::GenericSetElem:
+      case MirOp::GenericSetProp:
+      case MirOp::InitProp:
+      case MirOp::SetGlobal:
+      case MirOp::SetEnvSlot:
+      case MirOp::Call:
+      case MirOp::CallMethod:
+      case MirOp::New:
+        return false; // May mutate arrays (directly or via callees).
+      default:
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+/// Inserts a GuardArrayLength for \p ArrConst at the end of \p B (before
+/// the terminator), reusing the block's entry resume point: bailing at an
+/// entry point re-runs the call (or resumes at the OSR loop head) before
+/// any side effect has happened.
+void insertEntryGuard(MIRGraph &Graph, MBasicBlock *B, MInstr *ArrConst,
+                      int32_t ExpectedLen) {
+  MResumePoint *RP = B->entryResumePoint();
+  assert(RP && "entry block lacks an entry resume point");
+  MInstr *Guard = Graph.create(MirOp::GuardArrayLength, MIRType::None);
+  Guard->appendOperand(ArrConst);
+  Guard->AuxA = static_cast<uint32_t>(ExpectedLen);
+  Guard->setResumePoint(RP);
+  MInstr *Term = B->terminator();
+  assert(Term && "entry block without terminator");
+  B->insertBefore(Term, Guard);
+}
+
+} // namespace
+
+void jitvs::runBoundsCheckElimination(MIRGraph &Graph, bool RelaxedAliasing) {
+  if (!graphPermitsElimination(Graph, RelaxedAliasing))
+    return;
+
+  DominatorTree::build(Graph);
+  std::vector<NaturalLoop> Loops = findNaturalLoops(Graph);
+  if (Loops.empty())
+    return;
+
+  std::unordered_set<MInstr *> GuardedArrays;
+
+  for (const NaturalLoop &Loop : Loops) {
+    for (MBasicBlock *B : Loop.Body) {
+      std::vector<MInstr *> Body = B->instructions();
+      for (MInstr *I : Body) {
+        if (I->op() != MirOp::BoundsCheck)
+          continue;
+        MInstr *Idx = I->operand(0);
+        MInstr *Len = I->operand(1);
+
+        LengthFact LF = analyzeLength(Len);
+        if (!LF.Known)
+          continue;
+
+        IndexRange IR = analyzeInductionIndex(Idx, Loop);
+        if (!IR.Known)
+          continue;
+        if (IR.Min < 0 || IR.Max >= LF.Length)
+          continue;
+
+        // Safe: drop the per-iteration check.
+        if (I->resumePoint())
+          I->resumePoint()->clearEntries();
+        B->remove(I);
+
+        // Revalidate mutable array lengths at the entry points (once per
+        // array).
+        if (LF.GuardArrayConst &&
+            GuardedArrays.insert(LF.GuardArrayConst).second) {
+          insertEntryGuard(Graph, Graph.entry(), LF.GuardArrayConst,
+                           LF.Length);
+          if (MBasicBlock *Osr = Graph.osrBlock())
+            insertEntryGuard(Graph, Osr, LF.GuardArrayConst, LF.Length);
+        }
+      }
+    }
+  }
+}

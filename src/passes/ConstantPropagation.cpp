@@ -1,0 +1,134 @@
+//===- passes/ConstantPropagation.cpp - Constant propagation & folding ----===//
+///
+/// \file
+/// The paper's Section 3.3: the classic Aho et al. constant propagation,
+/// deliberately without conditional-branch information (contrast with
+/// Wegman-Zadeck SCCP). On SSA this is a worklist to a fixed point:
+/// whenever every operand of a foldable instruction is constant, the
+/// instruction is evaluated at compile time and folded; phis whose
+/// operands agree on one constant value fold as well. Folding uses the
+/// runtime's own generic helpers so compile-time evaluation matches
+/// interpreter semantics bit for bit. Guards whose property is statically
+/// true (type barriers, unboxes, in-range bounds checks) fold away — this
+/// is what eliminates the "two type guards in block L3" of Figure 7(b).
+///
+//===----------------------------------------------------------------------===//
+
+#include "passes/Passes.h"
+
+#include "passes/Folding.h"
+#include "vm/Interpreter.h"
+#include "vm/Object.h"
+#include "vm/Runtime.h"
+
+#include <cmath>
+#include <optional>
+
+using namespace jitvs;
+
+namespace {
+
+bool isConst(const MInstr *I) { return I->op() == MirOp::Constant; }
+
+/// \returns true when every operand of \p I is a constant.
+bool allOperandsConstant(const MInstr *I) {
+  if (I->numOperands() == 0)
+    return false;
+  for (size_t Idx = 0, E = I->numOperands(); Idx != E; ++Idx)
+    if (!isConst(I->operand(Idx)))
+      return false;
+  return true;
+}
+
+} // namespace
+
+void jitvs::runConstantPropagation(MIRGraph &Graph, Runtime &RT) {
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (MBasicBlock *B : Graph.reversePostOrder()) {
+      // Phis: meet over operands; c ^ c = c, anything else = top.
+      std::vector<MInstr *> Phis = B->phis();
+      for (MInstr *Phi : Phis) {
+        if (Phi->numOperands() == 0)
+          continue;
+        bool AllSameConst = true;
+        Value First;
+        bool HaveFirst = false;
+        for (size_t I = 0, E = Phi->numOperands(); I != E; ++I) {
+          MInstr *Operand = Phi->operand(I);
+          if (Operand == Phi)
+            continue;
+          if (!isConst(Operand)) {
+            AllSameConst = false;
+            break;
+          }
+          if (!HaveFirst) {
+            First = Operand->constValue();
+            HaveFirst = true;
+          } else if (!First.sameSpecializationValue(
+                         Operand->constValue())) {
+            AllSameConst = false;
+            break;
+          }
+        }
+        if (!AllSameConst || !HaveFirst)
+          continue;
+        // Place a fresh constant in this block so it dominates all uses.
+        MInstr *NewConst = Graph.createConstant(First);
+        if (B->instructions().empty())
+          B->append(NewConst);
+        else
+          B->insertBefore(B->instructions().front(), NewConst);
+        Phi->replaceAllUsesWith(NewConst);
+        B->removePhi(Phi);
+        Changed = true;
+      }
+
+      std::vector<MInstr *> Body = B->instructions();
+      for (MInstr *I : Body) {
+        if (I->isDead() || isConst(I))
+          continue;
+
+        // Foldable guards with no produced value (bounds checks).
+        if (I->op() == MirOp::BoundsCheck && allOperandsConstant(I)) {
+          int32_t Idx = I->operand(0)->constValue().asInt32();
+          int32_t Len = I->operand(1)->constValue().asInt32();
+          if (Idx >= 0 && Idx < Len) {
+            B->remove(I);
+            Changed = true;
+          }
+          continue;
+        }
+
+        if (!allOperandsConstant(I))
+          continue;
+        std::optional<Value> Folded = evaluatePureInstr(
+            I, RT, [](const MInstr *Operand) -> std::optional<Value> {
+              if (Operand->op() == MirOp::Constant)
+                return Operand->constValue();
+              return std::nullopt;
+            });
+        if (!Folded)
+          continue;
+        // The folded value must be representable in the instruction's
+        // static type: Double-typed instructions keep the Double tag, and
+        // an Int32-typed op whose folding overflowed (the guard would
+        // have bailed at runtime) is left alone so it deoptimizes.
+        if (I->type() == MIRType::Double && Folded->isNumber())
+          Folded = Value::makeDouble(Folded->asNumber());
+        else if (I->type() == MIRType::Int32 && !Folded->isInt32())
+          continue;
+        else if (I->type() != MIRType::Any &&
+                 mirTypeOfValue(*Folded) != I->type())
+          continue;
+
+        MInstr *NewConst = Graph.createConstant(*Folded);
+        B->insertBefore(I, NewConst);
+        I->replaceAllUsesWith(NewConst);
+        B->remove(I);
+        Changed = true;
+      }
+    }
+  }
+}

@@ -1,0 +1,161 @@
+//===- passes/DCE.cpp - Dead-code elimination ------------------------------===//
+///
+/// \file
+/// Section 3.5: runs after constant propagation so that folded branch
+/// conditions turn conditional jumps into gotos; blocks that become
+/// unreachable are removed. The function entry block is always kept even
+/// when the OSR path is the only live one — the engine caches binaries
+/// and re-enters through the function entry on a later call with the same
+/// arguments (see the paper's discussion of Figure 8(a)). A final sweep
+/// removes pure instructions with no remaining uses.
+///
+//===----------------------------------------------------------------------===//
+
+#include "passes/Passes.h"
+
+#include "passes/Folding.h"
+#include "vm/Runtime.h"
+
+#include <unordered_set>
+
+using namespace jitvs;
+
+namespace {
+
+/// Turns Tests with compile-time-decidable conditions into Gotos. The
+/// condition need not be a literal Constant: after loop inversion the
+/// wrapping conditional computes over the loop's initial values, and
+/// evaluating that chain here is what lets DCE "remove the wrapping
+/// conditional" as the paper describes (Section 3.4/3.5) even when the
+/// constant-propagation pass is not part of the configuration.
+bool foldBranches(MIRGraph &Graph, Runtime &RT) {
+  bool Changed = false;
+  for (MBasicBlock *B : Graph.liveBlocks()) {
+    MInstr *T = B->terminator();
+    if (!T || T->op() != MirOp::Test)
+      continue;
+    MInstr *Cond = T->operand(0);
+    std::optional<Value> CondValue = evaluateToConstant(Cond, RT);
+    if (!CondValue)
+      continue;
+    bool Taken = CondValue->toBoolean();
+    MBasicBlock *Kept = T->successor(Taken ? 0 : 1);
+    MBasicBlock *Dropped = T->successor(Taken ? 1 : 0);
+
+    B->remove(T);
+    MInstr *J = Graph.create(MirOp::Goto, MIRType::None);
+    J->setSuccessor(0, Kept);
+    B->append(J);
+    if (Dropped != Kept)
+      Dropped->removePredecessor(B);
+    Changed = true;
+  }
+  return Changed;
+}
+
+/// Removes blocks unreachable from the entry points. The function entry
+/// block and the OSR block are both roots.
+bool removeUnreachableBlocks(MIRGraph &Graph) {
+  std::unordered_set<MBasicBlock *> Reachable;
+  std::vector<MBasicBlock *> Work;
+  auto Root = [&](MBasicBlock *B) {
+    if (B && !B->isDead() && Reachable.insert(B).second)
+      Work.push_back(B);
+  };
+  Root(Graph.entry());
+  Root(Graph.osrBlock());
+  while (!Work.empty()) {
+    MBasicBlock *B = Work.back();
+    Work.pop_back();
+    for (size_t I = 0, E = B->numSuccessors(); I != E; ++I)
+      Root(B->successor(I));
+  }
+
+  bool Changed = false;
+  for (MBasicBlock *B : Graph.liveBlocks()) {
+    if (Reachable.count(B))
+      continue;
+    Graph.removeBlock(B);
+    Changed = true;
+  }
+  return Changed;
+}
+
+/// Replaces single-operand phis left behind by edge removal.
+bool pruneDegeneratePhis(MIRGraph &Graph) {
+  bool Changed = false;
+  for (MBasicBlock *B : Graph.liveBlocks()) {
+    std::vector<MInstr *> Phis = B->phis();
+    for (MInstr *Phi : Phis) {
+      MInstr *Unique = nullptr;
+      bool Trivial = true;
+      for (size_t I = 0, E = Phi->numOperands(); I != E; ++I) {
+        MInstr *Operand = Phi->operand(I);
+        if (Operand == Phi)
+          continue;
+        if (!Unique)
+          Unique = Operand;
+        else if (Unique != Operand) {
+          Trivial = false;
+          break;
+        }
+      }
+      if (!Trivial || !Unique)
+        continue;
+      Phi->replaceAllUsesWith(Unique);
+      B->removePhi(Phi);
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+} // namespace
+
+unsigned jitvs::removeUnusedInstructions(MIRGraph &Graph) {
+  unsigned Removed = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (MBasicBlock *B : Graph.liveBlocks()) {
+      std::vector<MInstr *> Body = B->instructions();
+      // Walk backwards so use-chains collapse in one sweep.
+      for (auto It = Body.rbegin(), E = Body.rend(); It != E; ++It) {
+        MInstr *I = *It;
+        if (I->isDead() || I->hasUses() || !I->isRemovableIfUnused())
+          continue;
+        B->remove(I);
+        ++Removed;
+        Changed = true;
+      }
+      std::vector<MInstr *> Phis = B->phis();
+      for (MInstr *Phi : Phis) {
+        // A phi is dead when its only uses (if any) are itself.
+        bool OnlySelfUses = true;
+        for (const MInstr::Use &U : Phi->uses()) {
+          if (U.ConsumerInstr != Phi) {
+            OnlySelfUses = false;
+            break;
+          }
+        }
+        if (!OnlySelfUses)
+          continue;
+        B->removePhi(Phi);
+        ++Removed;
+        Changed = true;
+      }
+    }
+  }
+  return Removed;
+}
+
+void jitvs::runDeadCodeElimination(MIRGraph &Graph, Runtime &RT) {
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    Changed |= foldBranches(Graph, RT);
+    Changed |= removeUnreachableBlocks(Graph);
+    Changed |= pruneDegeneratePhis(Graph);
+  }
+  removeUnusedInstructions(Graph);
+}

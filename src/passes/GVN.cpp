@@ -1,0 +1,98 @@
+//===- passes/GVN.cpp - Global value numbering ----------------------------===//
+///
+/// \file
+/// Hash-based global value numbering in the style of Alpern, Wegman and
+/// Zadeck — the baseline IonMonkey optimization the paper compares
+/// against ("IonMonkey's global value numbering already eliminates most
+/// of the constants in the scripts"). Walks blocks in reverse postorder
+/// and replaces each congruent instruction with an earlier, dominating
+/// equivalent. Guards are deduplicated too: a dominating identical check
+/// already established the property on the same SSA value.
+///
+//===----------------------------------------------------------------------===//
+
+#include "passes/Passes.h"
+
+#include "mir/Dominators.h"
+
+#include <unordered_map>
+
+using namespace jitvs;
+
+void jitvs::runGVN(MIRGraph &Graph) {
+  DominatorTree::build(Graph);
+
+  // Array lengths are congruence-eligible when nothing in the graph can
+  // change a length during this activation: in-bounds StoreElement cannot
+  // resize, but generic element/property writes and calls can. This is
+  // the same crude-but-sound aliasing discipline the paper's Section 3.6
+  // uses.
+  bool LengthsStable = true;
+  for (const auto &BPtr : Graph.blocks()) {
+    if (BPtr->isDead() || !LengthsStable)
+      continue;
+    for (const MInstr *I : BPtr->instructions()) {
+      switch (I->op()) {
+      case MirOp::GenericSetElem:
+      case MirOp::GenericSetProp:
+      case MirOp::Call:
+      case MirOp::CallMethod:
+      case MirOp::New:
+        LengthsStable = false;
+        break;
+      default:
+        break;
+      }
+      if (!LengthsStable)
+        break;
+    }
+  }
+
+  std::unordered_map<uint64_t, std::vector<MInstr *>> Table;
+
+  for (MBasicBlock *B : Graph.reversePostOrder()) {
+    // Take a snapshot: we remove instructions while iterating.
+    std::vector<MInstr *> Body = B->instructions();
+    for (MInstr *I : Body) {
+      // Typed-identity simplification: an unbox whose operand is already
+      // statically known to have the target type is a no-op (this arises
+      // after phi typing and inlining). IonMonkey folds these in GVN too.
+      if (I->op() == MirOp::Unbox &&
+          I->operand(0)->type() == static_cast<MIRType>(I->AuxA) &&
+          static_cast<MIRType>(I->AuxA) != MIRType::Double) {
+        MInstr *Operand = I->operand(0);
+        I->replaceAllUsesWith(Operand);
+        B->remove(I);
+        continue;
+      }
+      if (I->op() == MirOp::ToDouble &&
+          I->operand(0)->type() == MIRType::Double) {
+        MInstr *Operand = I->operand(0);
+        I->replaceAllUsesWith(Operand);
+        B->remove(I);
+        continue;
+      }
+      bool Eligible = I->isCongruenceCandidate() ||
+                      (LengthsStable && I->op() == MirOp::ArrayLength);
+      if (!Eligible)
+        continue;
+      uint64_t H = I->valueHash();
+      auto &Bucket = Table[H];
+      MInstr *Found = nullptr;
+      for (MInstr *Cand : Bucket) {
+        if (Cand->isDead() || !Cand->congruentTo(I))
+          continue;
+        if (!Cand->block()->dominates(B))
+          continue;
+        Found = Cand;
+        break;
+      }
+      if (Found) {
+        I->replaceAllUsesWith(Found);
+        B->remove(I);
+        continue;
+      }
+      Bucket.push_back(I);
+    }
+  }
+}

@@ -1,0 +1,142 @@
+//===- passes/Inliner.cpp - Guard-free closure inlining --------------------===//
+///
+/// \file
+/// Section 3.7: "We inline functions passed as arguments, whenever
+/// possible... We inline a closure as soon as we compile the host
+/// function, and we do not use guards. In case the function is called
+/// again [with different arguments], our entire code will be discarded;
+/// hence, these guards would not be necessary."
+///
+/// A call is inlined when its callee is a *constant* user function —
+/// which is exactly what parameter specialization produces for closures
+/// passed as arguments. The callee body is built directly into the host
+/// graph in guard-free mode (inlined frames cannot be reconstructed on
+/// bailout, so inlined code never bails; generic helper ops are used
+/// where a guard would be needed; see DESIGN.md). The call block is
+/// split and returns merge through a phi.
+///
+//===----------------------------------------------------------------------===//
+
+#include "passes/Passes.h"
+
+#include "mir/MIRBuilder.h"
+#include "vm/Bytecode.h"
+#include "vm/Object.h"
+#include "vm/Runtime.h"
+
+using namespace jitvs;
+
+namespace {
+
+/// Inlines one call site whose callee resolved to \p Callee.
+/// \returns true on success.
+bool inlineCallSite(MIRGraph &Graph, MInstr *Call, FunctionInfo *Callee,
+                    const OptConfig &Config) {
+  if (!isInlinableFunction(Callee, Config.InlineMaxBytecode))
+    return false;
+
+  MBasicBlock *B = Call->block();
+
+  std::vector<MInstr *> Args;
+  for (size_t I = 1, E = Call->numOperands(); I != E; ++I)
+    Args.push_back(Call->operand(I));
+
+  InlineBuildResult Built = buildInlineMIR(Graph, Callee, Args);
+  if (!Built.Ok || Built.Returns.empty())
+    return false;
+
+  // Split B after the call.
+  const std::vector<MInstr *> &Body = B->instructions();
+  size_t CallPos = 0;
+  while (CallPos < Body.size() && Body[CallPos] != Call)
+    ++CallPos;
+  assert(CallPos < Body.size() && "call not found in its block");
+
+  MBasicBlock *After = Graph.createBlock();
+  B->transferTailTo(After, CallPos + 1);
+
+  // Successors of the moved terminator now flow from After.
+  if (MInstr *Term = After->terminator())
+    for (size_t S = 0, E = Term->numSuccessors(); S != E; ++S)
+      Term->successor(S)->replacePredecessor(B, After);
+
+  // B jumps into the inlined entry.
+  B->remove(Call); // Detach the call (uses rewritten below).
+  MInstr *EnterJ = Graph.create(MirOp::Goto, MIRType::None);
+  EnterJ->setSuccessor(0, Built.EntryBlock);
+  B->append(EnterJ);
+  Built.EntryBlock->addPredecessor(B);
+
+  // Return sites jump to After; the merged value replaces the call.
+  MInstr *Result = nullptr;
+  if (Built.Returns.size() == 1) {
+    auto &[RetBlock, RetDef] = Built.Returns.front();
+    MInstr *J = Graph.create(MirOp::Goto, MIRType::None);
+    J->setSuccessor(0, After);
+    RetBlock->append(J);
+    After->addPredecessor(RetBlock);
+    Result = RetDef;
+  } else {
+    MInstr *Phi = Graph.create(MirOp::Phi, MIRType::Any);
+    for (auto &[RetBlock, RetDef] : Built.Returns) {
+      MInstr *J = Graph.create(MirOp::Goto, MIRType::None);
+      J->setSuccessor(0, After);
+      RetBlock->append(J);
+      After->addPredecessor(RetBlock);
+      Phi->appendOperand(RetDef);
+    }
+    After->addPhi(Phi);
+    Result = Phi;
+  }
+
+  Call->replaceAllUsesWith(Result);
+  return true;
+}
+
+/// \returns the callee FunctionInfo when \p Call is an inlinable direct
+/// call to a constant user function.
+FunctionInfo *constantCallee(MIRGraph &Graph, MInstr *Call) {
+  if (Call->op() != MirOp::Call)
+    return nullptr;
+  MInstr *Callee = Call->operand(0);
+  if (Callee->op() != MirOp::Constant || !Callee->constValue().isFunction())
+    return nullptr;
+  JSFunction *F = Callee->constValue().asFunction();
+  if (F->isNative())
+    return nullptr;
+  if (F->info() == Graph.functionInfo())
+    return nullptr; // No self-inlining.
+  return F->info();
+}
+
+} // namespace
+
+unsigned jitvs::runClosureInlining(MIRGraph &Graph, Runtime &RT,
+                                   const OptConfig &Config) {
+  unsigned TotalInlined = 0;
+  for (unsigned Depth = 0; Depth < Config.InlineMaxDepth; ++Depth) {
+    bool Any = false;
+    // Snapshot the live blocks: inlining adds blocks mid-iteration.
+    std::vector<MBasicBlock *> Blocks = Graph.liveBlocks();
+    for (MBasicBlock *B : Blocks) {
+      if (B->isDead())
+        continue;
+      std::vector<MInstr *> Body = B->instructions();
+      for (MInstr *I : Body) {
+        if (I->isDead() || I->block() != B)
+          continue; // Moved by a previous split in this block.
+        FunctionInfo *Callee = constantCallee(Graph, I);
+        if (!Callee)
+          continue;
+        if (inlineCallSite(Graph, I, Callee, Config)) {
+          ++TotalInlined;
+          Any = true;
+          break; // Block was split; restart from the snapshot.
+        }
+      }
+    }
+    if (!Any)
+      break;
+  }
+  return TotalInlined;
+}

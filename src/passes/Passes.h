@@ -1,0 +1,96 @@
+//===- passes/Passes.h - MIR optimization passes ----------------*- C++ -*-===//
+///
+/// \file
+/// The optimization pipeline: IonMonkey's baseline global value numbering
+/// plus the paper's five value-specialization-enabled optimizations
+/// (Sections 3.2-3.7). OptConfig mirrors the configuration matrix of
+/// Figure 9.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITVS_PASSES_PASSES_H
+#define JITVS_PASSES_PASSES_H
+
+#include "mir/MIRGraph.h"
+
+#include <string>
+
+namespace jitvs {
+
+class Runtime;
+
+/// Which optimizations to run (Figure 9's configuration axes).
+struct OptConfig {
+  /// §3.2: replace parameters by their runtime values (and §3.7: inline
+  /// closures passed as constants — the paper's PARAMETERSPEC column
+  /// always pairs them).
+  bool ParameterSpecialization = false;
+  /// §3.3: constant propagation (Aho-style; no branch information).
+  bool ConstantPropagation = false;
+  /// §3.4: loop inversion (while -> do-while with wrapping conditional).
+  bool LoopInversion = false;
+  /// §3.5: dead-code elimination (branch folding + unreachable blocks).
+  bool DeadCodeElim = false;
+  /// §3.6: array-bounds-check elimination on induction-variable patterns.
+  bool BoundsCheckElim = false;
+  /// Relaxed BCE aliasing (ablation): allow in-bounds StoreElement in the
+  /// graph (the paper's rule rejects any store).
+  bool RelaxedBCEAliasing = false;
+  /// Extension from the paper's conclusion: range-analysis-based
+  /// overflow-check elimination (Sol et al.), most effective under
+  /// parameter specialization. Not part of the Figure 9 matrix.
+  bool OverflowCheckElim = false;
+  /// Baseline IonMonkey pass, always on in the paper's comparisons.
+  bool GlobalValueNumbering = true;
+
+  /// Inlining budget for §3.7 (bytecode bytes).
+  uint32_t InlineMaxBytecode = 400;
+  uint32_t InlineMaxDepth = 3;
+
+  static OptConfig baseline() { return OptConfig(); }
+  static OptConfig all() {
+    OptConfig C;
+    C.ParameterSpecialization = true;
+    C.ConstantPropagation = true;
+    C.LoopInversion = true;
+    C.DeadCodeElim = true;
+    C.BoundsCheckElim = true;
+    return C;
+  }
+
+  std::string describe() const;
+};
+
+/// The ten configurations of Figure 9 (see DESIGN.md for the
+/// reconstruction of the bullet matrix).
+struct NamedConfig {
+  const char *Name;
+  OptConfig Config;
+};
+std::vector<NamedConfig> figure9Configs();
+
+/// Runs the configured pipeline (after graph construction / inlining).
+void runOptimizationPipeline(MIRGraph &Graph, Runtime &RT,
+                             const OptConfig &Config);
+
+// Individual passes (exposed for unit tests and the pass-order ablation).
+void runGVN(MIRGraph &Graph);
+void runConstantPropagation(MIRGraph &Graph, Runtime &RT);
+void runLoopInversion(MIRGraph &Graph);
+void runDeadCodeElimination(MIRGraph &Graph, Runtime &RT);
+void runBoundsCheckElimination(MIRGraph &Graph, bool RelaxedAliasing);
+/// Extension (paper conclusion): removes overflow bailouts from int32
+/// arithmetic whose result range provably fits. \returns checks removed.
+unsigned runOverflowCheckElimination(MIRGraph &Graph);
+/// §3.7: inlines calls whose callee is a constant user function (arises
+/// from parameter specialization). \returns number of call sites inlined.
+unsigned runClosureInlining(MIRGraph &Graph, Runtime &RT,
+                            const OptConfig &Config);
+
+/// Removes instructions that are unused and removable. Shared by DCE and
+/// tests. \returns number removed.
+unsigned removeUnusedInstructions(MIRGraph &Graph);
+
+} // namespace jitvs
+
+#endif // JITVS_PASSES_PASSES_H

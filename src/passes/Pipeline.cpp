@@ -1,0 +1,70 @@
+//===- passes/Pipeline.cpp - Pass ordering and Figure 9 configs -----------===//
+
+#include "passes/Passes.h"
+
+using namespace jitvs;
+
+std::string OptConfig::describe() const {
+  std::string S;
+  auto Add = [&S](const char *N) {
+    if (!S.empty())
+      S += "+";
+    S += N;
+  };
+  if (ParameterSpecialization)
+    Add("PS");
+  if (ConstantPropagation)
+    Add("CP");
+  if (LoopInversion)
+    Add("LI");
+  if (DeadCodeElim)
+    Add("DCE");
+  if (BoundsCheckElim)
+    Add("BCE");
+  if (S.empty())
+    S = "baseline";
+  return S;
+}
+
+std::vector<NamedConfig> jitvs::figure9Configs() {
+  auto Make = [](bool PS, bool CP, bool LI, bool DCE, bool BCE) {
+    OptConfig C;
+    C.ParameterSpecialization = PS;
+    C.ConstantPropagation = CP;
+    C.LoopInversion = LI;
+    C.DeadCodeElim = DCE;
+    C.BoundsCheckElim = BCE;
+    return C;
+  };
+  return {
+      {"PS", Make(true, false, false, false, false)},
+      {"CP", Make(false, true, false, false, false)},
+      {"PS+CP", Make(true, true, false, false, false)},
+      {"PS+LI", Make(true, false, true, false, false)},
+      {"PS+CP+DCE", Make(true, true, false, true, false)},
+      {"PS+CP+LI", Make(true, true, true, false, false)},
+      {"PS+BCE", Make(true, false, false, false, true)},
+      {"PS+CP+LI+DCE", Make(true, true, true, true, false)},
+      {"PS+CP+DCE+BCE", Make(true, true, false, true, true)},
+      {"ALL", Make(true, true, true, true, true)},
+  };
+}
+
+void jitvs::runOptimizationPipeline(MIRGraph &Graph, Runtime &RT,
+                                    const OptConfig &Config) {
+  // Closure inlining happens before the pipeline (it needs the builder);
+  // see jit::Engine. Pass order follows the paper: GVN (baseline), then
+  // CP -> LI -> DCE -> BCE.
+  if (Config.GlobalValueNumbering)
+    runGVN(Graph);
+  if (Config.ConstantPropagation)
+    runConstantPropagation(Graph, RT);
+  if (Config.LoopInversion)
+    runLoopInversion(Graph);
+  if (Config.DeadCodeElim)
+    runDeadCodeElimination(Graph, RT);
+  if (Config.BoundsCheckElim)
+    runBoundsCheckElimination(Graph, Config.RelaxedBCEAliasing);
+  if (Config.OverflowCheckElim)
+    runOverflowCheckElimination(Graph);
+}

@@ -1,0 +1,209 @@
+//===- profiling/WebSession.cpp - Synthetic web session generator ----------===//
+
+#include "profiling/WebSession.h"
+
+#include "support/Assert.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+using namespace jitvs;
+
+unsigned jitvs::sampleZipf(RNG &Rand, double Alpha, unsigned Max) {
+  // Cache the normalization constants per (alpha, max).
+  static std::map<std::pair<double, unsigned>, std::vector<double>> CdfCache;
+  auto Key = std::make_pair(Alpha, Max);
+  auto It = CdfCache.find(Key);
+  if (It == CdfCache.end()) {
+    std::vector<double> Cdf(Max);
+    double Sum = 0.0;
+    for (unsigned K = 1; K <= Max; ++K) {
+      Sum += 1.0 / std::pow(static_cast<double>(K), Alpha);
+      Cdf[K - 1] = Sum;
+    }
+    for (double &C : Cdf)
+      C /= Sum;
+    It = CdfCache.emplace(Key, std::move(Cdf)).first;
+  }
+  const std::vector<double> &Cdf = It->second;
+  double U = Rand.nextDouble();
+  // Binary search for the first bucket with CDF >= U.
+  size_t Lo = 0, Hi = Cdf.size() - 1;
+  while (Lo < Hi) {
+    size_t Mid = (Lo + Hi) / 2;
+    if (Cdf[Mid] < U)
+      Lo = Mid + 1;
+    else
+      Hi = Mid;
+  }
+  return static_cast<unsigned>(Lo + 1);
+}
+
+namespace {
+
+enum class ParamKind {
+  Object,
+  String,
+  Int,
+  Double,
+  Bool,
+  Undefined,
+  Array,
+  Function,
+  Null
+};
+
+ParamKind sampleKind(RNG &Rand, const WebSessionModel &M) {
+  double U = Rand.nextDouble();
+  double Acc = M.PObject;
+  if (U < Acc)
+    return ParamKind::Object;
+  if (U < (Acc += M.PString))
+    return ParamKind::String;
+  if (U < (Acc += M.PInt))
+    return ParamKind::Int;
+  if (U < (Acc += M.PDouble))
+    return ParamKind::Double;
+  if (U < (Acc += M.PBool))
+    return ParamKind::Bool;
+  if (U < (Acc += M.PUndefined))
+    return ParamKind::Undefined;
+  if (U < (Acc += M.PArray))
+    return ParamKind::Array;
+  if (U < (Acc += M.PFunction))
+    return ParamKind::Function;
+  return ParamKind::Null;
+}
+
+const char *poolName(ParamKind K) {
+  switch (K) {
+  case ParamKind::Object:
+    return "pool_obj";
+  case ParamKind::String:
+    return "pool_str";
+  case ParamKind::Int:
+    return "pool_int";
+  case ParamKind::Double:
+    return "pool_dbl";
+  case ParamKind::Bool:
+    return "pool_bool";
+  case ParamKind::Undefined:
+    return "pool_undef";
+  case ParamKind::Array:
+    return "pool_arr";
+  case ParamKind::Function:
+    return "pool_fn";
+  case ParamKind::Null:
+    return "pool_null";
+  }
+  JITVS_UNREACHABLE("bad ParamKind");
+}
+
+/// Number of distinguishable values a kind can supply.
+unsigned kindCardinality(ParamKind K, unsigned PoolSize) {
+  switch (K) {
+  case ParamKind::Bool:
+    return 2;
+  case ParamKind::Undefined:
+  case ParamKind::Null:
+    return 1;
+  default:
+    return PoolSize;
+  }
+}
+
+} // namespace
+
+std::string jitvs::generateWebSessionProgram(const WebSessionModel &Model,
+                                             uint64_t Seed) {
+  RNG Rand(Seed);
+  std::string Out;
+  Out.reserve(1 << 20);
+  char Buf[160];
+
+  constexpr unsigned PoolSize = 64;
+
+  // Argument pools: distinct identities/contents per entry.
+  Out += "var pool_obj = [];\n"
+         "var pool_arr = [];\n"
+         "var pool_fn = [];\n"
+         "var pool_str = [];\n"
+         "var pool_int = [];\n"
+         "var pool_dbl = [];\n";
+  std::snprintf(Buf, sizeof(Buf), "for (var i = 0; i < %u; i++) {\n",
+                PoolSize);
+  Out += Buf;
+  Out += "  pool_obj.push({id: i});\n"
+         "  pool_arr.push([i]);\n"
+         "  pool_fn.push(function() { return 0; });\n"
+         "  pool_str.push('s' + i);\n"
+         "  pool_int.push(i * 3 + 1);\n"
+         "  pool_dbl.push(i + 0.5);\n"
+         "}\n";
+  Out += "var pool_bool = [true, false];\n"
+         "var pool_undef = [undefined];\n"
+         "var pool_null = [null];\n"
+         "var sink = 0;\n";
+
+  // Function population.
+  struct FuncPlan {
+    ParamKind Kind;
+    unsigned Calls;
+    unsigned DistinctArgs;
+  };
+  std::vector<FuncPlan> Plans(Model.NumFunctions);
+  for (unsigned F = 0; F != Model.NumFunctions; ++F) {
+    FuncPlan &P = Plans[F];
+    P.Kind = sampleKind(Rand, Model);
+    P.Calls = sampleZipf(Rand, Model.CallZipfAlpha, Model.MaxCalls);
+    unsigned Card = kindCardinality(P.Kind, PoolSize);
+    if (P.Calls == 1 ||
+        Rand.nextDouble() < Model.MonomorphicGivenMultiCall) {
+      P.DistinctArgs = 1;
+    } else {
+      unsigned MaxDistinct = std::min(P.Calls, Card);
+      if (MaxDistinct <= 1)
+        P.DistinctArgs = 1;
+      else
+        P.DistinctArgs = std::min(
+            1 + sampleZipf(Rand, Model.ArgZipfAlpha, MaxDistinct - 1),
+            MaxDistinct);
+    }
+
+    std::snprintf(Buf, sizeof(Buf),
+                  "function wf%u(p) { sink = sink + 1; return p; }\n", F);
+    Out += Buf;
+  }
+
+  // The session: each function's calls, the first distinct value taking
+  // the bulk, one call for each further distinct value (a power-law-ish
+  // within-function distribution, matching how event handlers behave).
+  for (unsigned F = 0; F != Model.NumFunctions; ++F) {
+    const FuncPlan &P = Plans[F];
+    unsigned BulkCalls = P.Calls - (P.DistinctArgs - 1);
+    unsigned BaseIdx = Rand.nextBelow(PoolSize);
+    const char *Pool = poolName(P.Kind);
+    unsigned Card = kindCardinality(P.Kind, PoolSize);
+    if (BulkCalls == 1) {
+      std::snprintf(Buf, sizeof(Buf), "wf%u(%s[%u]);\n", F, Pool,
+                    BaseIdx % Card);
+      Out += Buf;
+    } else {
+      std::snprintf(Buf, sizeof(Buf),
+                    "for (var i = 0; i < %u; i++) wf%u(%s[%u]);\n",
+                    BulkCalls, F, Pool, BaseIdx % Card);
+      Out += Buf;
+    }
+    for (unsigned D = 1; D < P.DistinctArgs; ++D) {
+      std::snprintf(Buf, sizeof(Buf), "wf%u(%s[%u]);\n", F, Pool,
+                    (BaseIdx + D) % Card);
+      Out += Buf;
+    }
+  }
+
+  Out += "print('session done', sink);\n";
+  return Out;
+}

@@ -1,0 +1,34 @@
+//===- support/Assert.h - Fatal errors and unreachable markers -*- C++ -*-===//
+///
+/// \file
+/// Lightweight assertion helpers used across the library: a fatal-error
+/// reporter that prints a message and aborts, and an unreachable marker
+/// used in fully-covered switches over enumerations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITVS_SUPPORT_ASSERT_H
+#define JITVS_SUPPORT_ASSERT_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace jitvs {
+
+/// Prints \p Msg to stderr and aborts. Used for invariant violations that
+/// must be diagnosed even in builds without assertions.
+[[noreturn]] inline void reportFatal(const char *Msg) {
+  std::fprintf(stderr, "jitvs fatal error: %s\n", Msg);
+  std::abort();
+}
+
+} // namespace jitvs
+
+/// Marks a point in the code that must never be reached.
+#define JITVS_UNREACHABLE(msg)                                                 \
+  do {                                                                         \
+    ::jitvs::reportFatal("unreachable: " msg);                                 \
+  } while (false)
+
+#endif // JITVS_SUPPORT_ASSERT_H

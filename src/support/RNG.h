@@ -1,0 +1,46 @@
+//===- support/RNG.h - Deterministic pseudo-random numbers ------*- C++ -*-===//
+///
+/// \file
+/// A splitmix64-based deterministic RNG. Used for Math.random() inside the
+/// VM and for the synthetic web-session workload generator, so every
+/// experiment in the repository is reproducible bit-for-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITVS_SUPPORT_RNG_H
+#define JITVS_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace jitvs {
+
+/// Deterministic 64-bit PRNG (splitmix64). Not cryptographic.
+class RNG {
+public:
+  explicit RNG(uint64_t Seed = 0x9e3779b97f4a7c15ull) : State(Seed) {}
+
+  /// \returns the next 64-bit pseudo-random value.
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// \returns a double uniformly distributed in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// \returns an integer uniformly distributed in [0, Bound).
+  uint64_t nextBelow(uint64_t Bound) {
+    return Bound == 0 ? 0 : next() % Bound;
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace jitvs
+
+#endif // JITVS_SUPPORT_RNG_H

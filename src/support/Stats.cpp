@@ -1,0 +1,17 @@
+//===- support/Stats.cpp - Aggregation helpers ----------------------------===//
+
+#include "support/Stats.h"
+
+#include <algorithm>
+
+using namespace jitvs;
+
+double jitvs::median(std::vector<double> Xs) {
+  if (Xs.empty())
+    return 0.0;
+  std::sort(Xs.begin(), Xs.end());
+  size_t N = Xs.size();
+  if (N % 2 == 1)
+    return Xs[N / 2];
+  return (Xs[N / 2 - 1] + Xs[N / 2]) / 2.0;
+}

@@ -1,0 +1,46 @@
+//===- support/Stats.h - Arithmetic and geometric aggregates ----*- C++ -*-===//
+///
+/// \file
+/// Aggregation helpers used when reproducing the paper's tables: Figure 9
+/// reports both the arithmetic and the geometric mean of per-benchmark
+/// speedup percentages.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITVS_SUPPORT_STATS_H
+#define JITVS_SUPPORT_STATS_H
+
+#include <cmath>
+#include <vector>
+
+namespace jitvs {
+
+/// \returns the arithmetic mean of \p Xs, or 0 for an empty input.
+inline double arithmeticMean(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double X : Xs)
+    Sum += X;
+  return Sum / static_cast<double>(Xs.size());
+}
+
+/// Geometric mean of speedup *percentages*: each entry is interpreted as a
+/// ratio (1 + X/100); the result is converted back to a percentage. This is
+/// how JIT papers (including ours) aggregate signed speedups, since a plain
+/// geometric mean is undefined for negative entries.
+inline double geometricMeanPercent(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double X : Xs)
+    LogSum += std::log(1.0 + X / 100.0);
+  return (std::exp(LogSum / static_cast<double>(Xs.size())) - 1.0) * 100.0;
+}
+
+/// \returns the median of \p Xs (input copied; 0 for an empty input).
+double median(std::vector<double> Xs);
+
+} // namespace jitvs
+
+#endif // JITVS_SUPPORT_STATS_H

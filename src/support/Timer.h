@@ -1,0 +1,36 @@
+//===- support/Timer.h - Monotonic wall-clock timing ------------*- C++ -*-===//
+///
+/// \file
+/// A tiny monotonic stopwatch used by the benchmark harnesses and by the
+/// JIT engine's compile-time accounting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITVS_SUPPORT_TIMER_H
+#define JITVS_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace jitvs {
+
+/// Monotonic stopwatch measuring elapsed seconds as a double.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// \returns seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace jitvs
+
+#endif // JITVS_SUPPORT_TIMER_H

@@ -1,0 +1,263 @@
+//===- vm/Bytecode.cpp - Bytecode metadata and disassembly ----------------===//
+
+#include "vm/Bytecode.h"
+
+#include <cstdio>
+
+using namespace jitvs;
+
+const char *jitvs::opName(Op O) {
+  switch (O) {
+  case Op::Nop:
+    return "nop";
+  case Op::PushConst:
+    return "pushconst";
+  case Op::PushInt8:
+    return "pushint8";
+  case Op::PushUndefined:
+    return "pushundefined";
+  case Op::PushNull:
+    return "pushnull";
+  case Op::PushTrue:
+    return "pushtrue";
+  case Op::PushFalse:
+    return "pushfalse";
+  case Op::GetSlot:
+    return "getslot";
+  case Op::SetSlot:
+    return "setslot";
+  case Op::GetEnvSlot:
+    return "getenvslot";
+  case Op::SetEnvSlot:
+    return "setenvslot";
+  case Op::GetGlobal:
+    return "getglobal";
+  case Op::SetGlobal:
+    return "setglobal";
+  case Op::Dup:
+    return "dup";
+  case Op::Dup2:
+    return "dup2";
+  case Op::Pop:
+    return "pop";
+  case Op::Swap:
+    return "swap";
+  case Op::Add:
+    return "add";
+  case Op::Sub:
+    return "sub";
+  case Op::Mul:
+    return "mul";
+  case Op::Div:
+    return "div";
+  case Op::Mod:
+    return "mod";
+  case Op::Neg:
+    return "neg";
+  case Op::Pos:
+    return "pos";
+  case Op::Not:
+    return "not";
+  case Op::BitNot:
+    return "bitnot";
+  case Op::BitAnd:
+    return "bitand";
+  case Op::BitOr:
+    return "bitor";
+  case Op::BitXor:
+    return "bitxor";
+  case Op::Shl:
+    return "shl";
+  case Op::Shr:
+    return "shr";
+  case Op::UShr:
+    return "ushr";
+  case Op::Lt:
+    return "lt";
+  case Op::Le:
+    return "le";
+  case Op::Gt:
+    return "gt";
+  case Op::Ge:
+    return "ge";
+  case Op::Eq:
+    return "eq";
+  case Op::Ne:
+    return "ne";
+  case Op::StrictEq:
+    return "stricteq";
+  case Op::StrictNe:
+    return "strictne";
+  case Op::TypeOf:
+    return "typeof";
+  case Op::Jump:
+    return "jump";
+  case Op::JumpIfFalse:
+    return "jumpiffalse";
+  case Op::JumpIfTrue:
+    return "jumpiftrue";
+  case Op::LoopHead:
+    return "loophead";
+  case Op::Call:
+    return "call";
+  case Op::CallMethod:
+    return "callmethod";
+  case Op::New:
+    return "new";
+  case Op::Return:
+    return "return";
+  case Op::ReturnUndefined:
+    return "returnundefined";
+  case Op::NewArray:
+    return "newarray";
+  case Op::NewObject:
+    return "newobject";
+  case Op::InitProp:
+    return "initprop";
+  case Op::GetElem:
+    return "getelem";
+  case Op::SetElem:
+    return "setelem";
+  case Op::GetProp:
+    return "getprop";
+  case Op::SetProp:
+    return "setprop";
+  case Op::MakeClosure:
+    return "makeclosure";
+  case Op::GetThis:
+    return "getthis";
+  }
+  JITVS_UNREACHABLE("bad Op");
+}
+
+uint32_t FunctionInfo::instructionLength(uint32_t PC) const {
+  switch (opAt(PC)) {
+  case Op::PushInt8:
+    return 2;
+  case Op::PushConst:
+  case Op::GetSlot:
+  case Op::SetSlot:
+  case Op::GetGlobal:
+  case Op::SetGlobal:
+  case Op::NewArray:
+  case Op::InitProp:
+  case Op::GetProp:
+  case Op::SetProp:
+  case Op::MakeClosure:
+    return 3;
+  case Op::GetEnvSlot:
+  case Op::SetEnvSlot:
+    return 4; // opcode + u8 depth + u16 slot
+  case Op::Jump:
+  case Op::JumpIfFalse:
+  case Op::JumpIfTrue:
+    return 5;
+  case Op::Call:
+  case Op::New:
+    return 2;
+  case Op::CallMethod:
+    return 4; // opcode + u16 name + u8 argc
+  default:
+    return 1;
+  }
+}
+
+std::string FunctionInfo::disassemble() const {
+  std::string Out;
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf), "function %s (params=%u slots=%u env=%u)\n",
+                Name.c_str(), NumParams, NumSlots, NumEnvSlots);
+  Out += Buf;
+  for (uint32_t PC = 0; PC < Code.size(); PC += instructionLength(PC)) {
+    Op O = opAt(PC);
+    std::snprintf(Buf, sizeof(Buf), "  %5u: %-14s", PC, opName(O));
+    Out += Buf;
+    switch (O) {
+    case Op::PushInt8:
+      std::snprintf(Buf, sizeof(Buf), " %d", i8At(PC + 1));
+      Out += Buf;
+      break;
+    case Op::PushConst: {
+      uint16_t Idx = u16At(PC + 1);
+      std::snprintf(Buf, sizeof(Buf), " #%u  ; %s", Idx,
+                    Constants[Idx].toDisplayString().c_str());
+      Out += Buf;
+      break;
+    }
+    case Op::GetSlot:
+    case Op::SetSlot:
+    case Op::GetGlobal:
+    case Op::SetGlobal:
+    case Op::NewArray:
+    case Op::MakeClosure:
+      std::snprintf(Buf, sizeof(Buf), " %u", u16At(PC + 1));
+      Out += Buf;
+      break;
+    case Op::InitProp:
+    case Op::GetProp:
+    case Op::SetProp: {
+      uint16_t NameId = u16At(PC + 1);
+      std::snprintf(Buf, sizeof(Buf), " %u  ; %s", NameId,
+                    Parent ? Parent->names().name(NameId).c_str() : "?");
+      Out += Buf;
+      break;
+    }
+    case Op::GetEnvSlot:
+    case Op::SetEnvSlot:
+      std::snprintf(Buf, sizeof(Buf), " depth=%u slot=%u", u8At(PC + 1),
+                    u16At(PC + 2));
+      Out += Buf;
+      break;
+    case Op::Jump:
+    case Op::JumpIfFalse:
+    case Op::JumpIfTrue:
+      std::snprintf(Buf, sizeof(Buf), " -> %u", u32At(PC + 1));
+      Out += Buf;
+      break;
+    case Op::Call:
+    case Op::New:
+      std::snprintf(Buf, sizeof(Buf), " argc=%u", u8At(PC + 1));
+      Out += Buf;
+      break;
+    case Op::CallMethod:
+      std::snprintf(Buf, sizeof(Buf), " name=%u argc=%u", u16At(PC + 1),
+                    u8At(PC + 3));
+      Out += Buf;
+      break;
+    default:
+      break;
+    }
+    Out += '\n';
+  }
+  return Out;
+}
+
+FunctionInfo *Program::createFunction(std::string Name) {
+  auto Info = std::make_unique<FunctionInfo>();
+  Info->Name = std::move(Name);
+  Info->Id = static_cast<uint32_t>(Functions.size());
+  Info->Parent = this;
+  Functions.push_back(std::move(Info));
+  return Functions.back().get();
+}
+
+uint32_t NameTable::intern(const std::string &Name) {
+  auto [It, Inserted] =
+      Ids.try_emplace(Name, static_cast<uint32_t>(Names.size()));
+  if (Inserted)
+    Names.push_back(Name);
+  return It->second;
+}
+
+uint32_t NameTable::lookup(const std::string &Name) const {
+  auto It = Ids.find(Name);
+  return It == Ids.end() ? ~0u : It->second;
+}
+
+uint32_t Program::globalSlot(const std::string &Name) {
+  auto [It, Inserted] =
+      GlobalSlots.try_emplace(Name, static_cast<uint32_t>(GlobalNames.size()));
+  if (Inserted)
+    GlobalNames.push_back(Name);
+  return It->second;
+}

@@ -1,0 +1,63 @@
+//===- vm/GC.cpp - Mark-sweep collection ----------------------------------===//
+
+#include "vm/GC.h"
+
+#include "vm/Object.h"
+
+#include <algorithm>
+
+using namespace jitvs;
+
+RootSource::~RootSource() = default;
+
+TempRoots::TempRoots(Heap &H) : TheHeap(H) { TheHeap.addRootSource(this); }
+
+TempRoots::~TempRoots() { TheHeap.removeRootSource(this); }
+
+Heap::~Heap() {
+  GCObject *Obj = Head;
+  while (Obj) {
+    GCObject *Next = Obj->Next;
+    delete Obj;
+    Obj = Next;
+  }
+}
+
+void Heap::addRootSource(RootSource *Source) { Sources.push_back(Source); }
+
+void Heap::removeRootSource(RootSource *Source) {
+  // Sources nest like a stack (frames, temp-root scopes), so the match is
+  // almost always at the back.
+  auto It = std::find(Sources.rbegin(), Sources.rend(), Source);
+  assert(It != Sources.rend() && "removing unregistered root source");
+  Sources.erase(std::next(It).base());
+}
+
+void Heap::collect() {
+  AllocationsSinceGC = 0;
+  ++NumCollections;
+
+  // Mark phase.
+  std::vector<GCObject *> Stack;
+  GCMarker Marker(Stack);
+  for (RootSource *Source : Sources)
+    Source->markRoots(Marker);
+  while (!Stack.empty()) {
+    GCObject *Obj = Stack.back();
+    Stack.pop_back();
+    traceObject(Obj, Marker);
+  }
+
+  // Sweep phase.
+  GCObject **Link = &Head;
+  while (GCObject *Obj = *Link) {
+    if (Obj->Marked) {
+      Obj->Marked = false;
+      Link = &Obj->Next;
+      continue;
+    }
+    *Link = Obj->Next;
+    delete Obj;
+    --NumObjects;
+  }
+}

@@ -1,0 +1,149 @@
+//===- vm/GC.h - Mark-sweep heap for MiniJS objects -------------*- C++ -*-===//
+///
+/// \file
+/// A precise stop-the-world mark-sweep collector. Roots are enumerated
+/// through RootSource objects that register with the heap for their
+/// lifetime (interpreter frames, native executor frames, the runtime's
+/// global table, and temporary root scopes around allocation windows).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITVS_VM_GC_H
+#define JITVS_VM_GC_H
+
+#include "vm/Value.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace jitvs {
+
+class Heap;
+
+/// Kind discriminator for heap objects (hand-rolled RTTI).
+enum class GCKind : uint8_t {
+  String,
+  Array,
+  Object,
+  Function,
+  Environment,
+};
+
+/// Base class of every heap-allocated VM object.
+class GCObject {
+public:
+  GCKind kind() const { return Kind; }
+
+protected:
+  explicit GCObject(GCKind K) : Kind(K) {}
+
+private:
+  friend class Heap;
+  friend class GCMarker;
+  GCObject *Next = nullptr;
+  GCKind Kind;
+  bool Marked = false;
+};
+
+/// Visitor handed to root sources and to object tracing during marking.
+class GCMarker {
+public:
+  explicit GCMarker(std::vector<GCObject *> &Stack) : Stack(Stack) {}
+
+  /// Marks \p Obj live and schedules it for tracing.
+  void mark(GCObject *Obj) {
+    if (!Obj || Obj->Marked)
+      return;
+    Obj->Marked = true;
+    Stack.push_back(Obj);
+  }
+
+  /// Marks the GC thing held by \p V, if any.
+  void mark(const Value &V) {
+    if (V.isGCThing())
+      mark(V.asGCThing());
+  }
+
+private:
+  std::vector<GCObject *> &Stack;
+};
+
+/// Anything that can hold live values across a collection. Sources
+/// register themselves with the heap for their lifetime.
+class RootSource {
+public:
+  virtual ~RootSource();
+  /// Reports every live value/object this source holds.
+  virtual void markRoots(GCMarker &Marker) = 0;
+};
+
+/// RAII list of temporary roots protecting values during windows where
+/// they are held only on the C++ stack (e.g. popped operands that are
+/// still needed while allocating their result).
+class TempRoots final : public RootSource {
+public:
+  explicit TempRoots(Heap &H);
+  ~TempRoots() override;
+
+  void add(const Value &V) { Values.push_back(V); }
+  void markRoots(GCMarker &Marker) override {
+    for (const Value &V : Values)
+      Marker.mark(V);
+  }
+
+private:
+  Heap &TheHeap;
+  std::vector<Value> Values;
+};
+
+/// The mark-sweep heap. Allocation may trigger a collection when the
+/// number of live allocations since the last GC crosses a threshold.
+class Heap {
+public:
+  Heap() = default;
+  ~Heap();
+  Heap(const Heap &) = delete;
+  Heap &operator=(const Heap &) = delete;
+
+  /// Allocates a T (must derive from GCObject). May collect first.
+  template <typename T, typename... Args> T *allocate(Args &&...As) {
+    maybeCollect();
+    T *Obj = new T(std::forward<Args>(As)...);
+    Obj->Next = Head;
+    Head = Obj;
+    ++NumObjects;
+    ++AllocationsSinceGC;
+    return Obj;
+  }
+
+  void addRootSource(RootSource *Source);
+  void removeRootSource(RootSource *Source);
+
+  /// Runs a full collection immediately.
+  void collect();
+
+  /// Number of collections performed so far.
+  size_t gcCount() const { return NumCollections; }
+  /// Number of objects currently on the heap.
+  size_t objectCount() const { return NumObjects; }
+
+  /// Sets how many allocations are allowed between collections.
+  void setGCThreshold(size_t N) { Threshold = N; }
+
+private:
+  void maybeCollect() {
+    if (AllocationsSinceGC >= Threshold)
+      collect();
+  }
+
+  GCObject *Head = nullptr;
+  std::vector<RootSource *> Sources;
+  size_t NumObjects = 0;
+  size_t AllocationsSinceGC = 0;
+  size_t Threshold = 1 << 18;
+  size_t NumCollections = 0;
+};
+
+} // namespace jitvs
+
+#endif // JITVS_VM_GC_H

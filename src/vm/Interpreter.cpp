@@ -1,0 +1,422 @@
+//===- vm/Interpreter.cpp - Bytecode interpreter dispatch loop ------------===//
+
+#include "vm/Interpreter.h"
+
+#include "support/Assert.h"
+
+using namespace jitvs;
+
+InterpFrame::InterpFrame(Runtime &RT, FunctionInfo *Info)
+    : RT(RT), Info(Info) {
+  Slots.resize(Info->NumSlots);
+  Stack.reserve(Info->MaxStackDepth);
+  RT.heap().addRootSource(this);
+}
+
+InterpFrame::~InterpFrame() { RT.heap().removeRootSource(this); }
+
+void InterpFrame::markRoots(GCMarker &Marker) {
+  for (const Value &V : Slots)
+    Marker.mark(V);
+  for (const Value &V : Stack)
+    Marker.mark(V);
+  for (const Value &V : OrigArgs)
+    Marker.mark(V);
+  Marker.mark(ThisV);
+  if (Env)
+    Marker.mark(static_cast<GCObject *>(Env));
+  if (ClosureEnv)
+    Marker.mark(static_cast<GCObject *>(ClosureEnv));
+}
+
+Value Interpreter::invoke(JSFunction *Callee, const Value &ThisV,
+                          const Value *Args, size_t NumArgs) {
+  FunctionInfo *Info = Callee->info();
+  assert(Info && "invoke() requires a user function");
+
+  InterpFrame Frame(RT, Info);
+  Frame.ThisV = ThisV;
+  Frame.ClosureEnv = Callee->environment();
+  Frame.OrigArgs.assign(Args, Args + NumArgs);
+  for (size_t I = 0, E = std::min<size_t>(NumArgs, Info->NumParams); I != E;
+       ++I)
+    Frame.Slots[I] = Args[I];
+  if (Info->NumEnvSlots > 0) {
+    Frame.Env =
+        RT.heap().allocate<Environment>(Frame.ClosureEnv, Info->NumEnvSlots);
+    for (auto [ParamSlot, EnvSlot] : Info->CapturedParams)
+      Frame.Env->setSlot(EnvSlot, Frame.Slots[ParamSlot]);
+  }
+  return execute(Frame);
+}
+
+Value Interpreter::execute(InterpFrame &Frame) {
+  FunctionInfo *Info = Frame.Info;
+  std::vector<Value> &Stack = Frame.Stack;
+  std::vector<Value> &Slots = Frame.Slots;
+  uint32_t PC = Frame.PC;
+
+  auto Push = [&Stack](const Value &V) { Stack.push_back(V); };
+  auto Pop = [&Stack]() {
+    assert(!Stack.empty() && "operand stack underflow");
+    Value V = Stack.back();
+    Stack.pop_back();
+    return V;
+  };
+  auto Top = [&Stack]() -> Value & {
+    assert(!Stack.empty() && "operand stack underflow");
+    return Stack.back();
+  };
+
+  // Records operand tags for a two-operand site.
+  auto Feedback2 = [Info](uint32_t SitePC, const Value &A, const Value &B) {
+    SiteFeedback &FB = Info->Feedback.at(SitePC);
+    FB.A.add(A.tag());
+    FB.B.add(B.tag());
+  };
+  auto Feedback1 = [Info](uint32_t SitePC, const Value &A) {
+    Info->Feedback.at(SitePC).A.add(A.tag());
+  };
+
+  while (true) {
+    if (RT.hasError())
+      return Value::undefined();
+    assert(PC < Info->Code.size() && "pc ran off the end of the bytecode");
+    uint32_t OpPC = PC;
+    Op O = Info->opAt(PC);
+    PC += Info->instructionLength(PC);
+
+    switch (O) {
+    case Op::Nop:
+      break;
+
+    case Op::PushConst:
+      Push(Info->Constants[Info->u16At(OpPC + 1)]);
+      break;
+    case Op::PushInt8:
+      Push(Value::int32(Info->i8At(OpPC + 1)));
+      break;
+    case Op::PushUndefined:
+      Push(Value::undefined());
+      break;
+    case Op::PushNull:
+      Push(Value::null());
+      break;
+    case Op::PushTrue:
+      Push(Value::boolean(true));
+      break;
+    case Op::PushFalse:
+      Push(Value::boolean(false));
+      break;
+
+    case Op::GetSlot:
+      Push(Slots[Info->u16At(OpPC + 1)]);
+      break;
+    case Op::SetSlot:
+      Slots[Info->u16At(OpPC + 1)] = Pop();
+      break;
+    case Op::GetEnvSlot: {
+      Environment *E = Frame.currentEnv()->hop(Info->u8At(OpPC + 1));
+      Push(E->getSlot(Info->u16At(OpPC + 2)));
+      break;
+    }
+    case Op::SetEnvSlot: {
+      Environment *E = Frame.currentEnv()->hop(Info->u8At(OpPC + 1));
+      E->setSlot(Info->u16At(OpPC + 2), Pop());
+      break;
+    }
+    case Op::GetGlobal:
+      Push(RT.global(Info->u16At(OpPC + 1)));
+      break;
+    case Op::SetGlobal:
+      RT.global(Info->u16At(OpPC + 1)) = Pop();
+      break;
+
+    case Op::Dup:
+      Push(Top());
+      break;
+    case Op::Dup2: {
+      assert(Stack.size() >= 2 && "dup2 underflow");
+      Value B = Stack[Stack.size() - 1];
+      Value A = Stack[Stack.size() - 2];
+      Push(A);
+      Push(B);
+      break;
+    }
+    case Op::Pop:
+      Pop();
+      break;
+    case Op::Swap: {
+      assert(Stack.size() >= 2 && "swap underflow");
+      std::swap(Stack[Stack.size() - 1], Stack[Stack.size() - 2]);
+      break;
+    }
+
+    case Op::Add: {
+      Value B = Pop(), A = Pop();
+      Feedback2(OpPC, A, B);
+      Value R = RT.genericAdd(A, B);
+      if (RT.tookIntOverflow())
+        Info->Feedback.at(OpPC).SawIntOverflow = true;
+      Push(R);
+      break;
+    }
+    case Op::Sub: {
+      Value B = Pop(), A = Pop();
+      Feedback2(OpPC, A, B);
+      Value R = RT.genericSub(A, B);
+      if (RT.tookIntOverflow())
+        Info->Feedback.at(OpPC).SawIntOverflow = true;
+      Push(R);
+      break;
+    }
+    case Op::Mul: {
+      Value B = Pop(), A = Pop();
+      Feedback2(OpPC, A, B);
+      Value R = RT.genericMul(A, B);
+      if (RT.tookIntOverflow())
+        Info->Feedback.at(OpPC).SawIntOverflow = true;
+      Push(R);
+      break;
+    }
+    case Op::Div: {
+      Value B = Pop(), A = Pop();
+      Feedback2(OpPC, A, B);
+      Push(RT.genericDiv(A, B));
+      break;
+    }
+    case Op::Mod: {
+      Value B = Pop(), A = Pop();
+      Feedback2(OpPC, A, B);
+      Push(RT.genericMod(A, B));
+      break;
+    }
+    case Op::Neg: {
+      Value A = Pop();
+      Feedback1(OpPC, A);
+      Push(RT.genericNeg(A));
+      break;
+    }
+    case Op::Pos: {
+      Value A = Pop();
+      Feedback1(OpPC, A);
+      Push(Value::number(Runtime::toNumber(A)));
+      break;
+    }
+    case Op::Not:
+      Top() = Value::boolean(!Top().toBoolean());
+      break;
+    case Op::BitNot: {
+      Value A = Pop();
+      Feedback1(OpPC, A);
+      Push(RT.genericBitNot(A));
+      break;
+    }
+    case Op::BitAnd:
+    case Op::BitOr:
+    case Op::BitXor:
+    case Op::Shl:
+    case Op::Shr:
+    case Op::UShr: {
+      Value B = Pop(), A = Pop();
+      Feedback2(OpPC, A, B);
+      Push(RT.genericBitOp(O, A, B));
+      break;
+    }
+
+    case Op::Lt: {
+      Value B = Pop(), A = Pop();
+      Feedback2(OpPC, A, B);
+      Push(Value::boolean(RT.genericLess(A, B)));
+      break;
+    }
+    case Op::Le: {
+      Value B = Pop(), A = Pop();
+      Feedback2(OpPC, A, B);
+      Push(Value::boolean(RT.genericLessEq(A, B)));
+      break;
+    }
+    case Op::Gt: {
+      Value B = Pop(), A = Pop();
+      Feedback2(OpPC, A, B);
+      Push(Value::boolean(RT.genericLess(B, A)));
+      break;
+    }
+    case Op::Ge: {
+      Value B = Pop(), A = Pop();
+      Feedback2(OpPC, A, B);
+      Push(Value::boolean(RT.genericLessEq(B, A)));
+      break;
+    }
+    case Op::Eq: {
+      Value B = Pop(), A = Pop();
+      Feedback2(OpPC, A, B);
+      Push(Value::boolean(RT.genericLooseEquals(A, B)));
+      break;
+    }
+    case Op::Ne: {
+      Value B = Pop(), A = Pop();
+      Feedback2(OpPC, A, B);
+      Push(Value::boolean(!RT.genericLooseEquals(A, B)));
+      break;
+    }
+    case Op::StrictEq: {
+      Value B = Pop(), A = Pop();
+      Feedback2(OpPC, A, B);
+      Push(Value::boolean(A.strictEquals(B)));
+      break;
+    }
+    case Op::StrictNe: {
+      Value B = Pop(), A = Pop();
+      Feedback2(OpPC, A, B);
+      Push(Value::boolean(!A.strictEquals(B)));
+      break;
+    }
+
+    case Op::TypeOf: {
+      Value A = Pop();
+      Push(RT.typeOfValue(A));
+      break;
+    }
+
+    case Op::Jump:
+      PC = Info->u32At(OpPC + 1);
+      break;
+    case Op::JumpIfFalse: {
+      Value C = Pop();
+      if (!C.toBoolean())
+        PC = Info->u32At(OpPC + 1);
+      break;
+    }
+    case Op::JumpIfTrue: {
+      Value C = Pop();
+      if (C.toBoolean())
+        PC = Info->u32At(OpPC + 1);
+      break;
+    }
+    case Op::LoopHead: {
+      ++Info->BackEdgeCount;
+      if (ExecutionHooks *H = RT.hooks()) {
+        assert(Stack.empty() && "operand stack must be empty at loop head");
+        Frame.PC = OpPC;
+        Value Result;
+        if (H->onLoopHead(Frame, OpPC, Result))
+          return Result;
+        // The hook may have compiled but declined to enter; continue.
+        PC = Frame.PC + Info->instructionLength(Frame.PC);
+      }
+      break;
+    }
+
+    case Op::Call: {
+      uint8_t Argc = Info->u8At(OpPC + 1);
+      assert(Stack.size() >= Argc + 1u && "call stack underflow");
+      size_t Base = Stack.size() - Argc;
+      Value Callee = Stack[Base - 1];
+      Value R = RT.callValue(Callee, Value::undefined(),
+                             Argc ? &Stack[Base] : nullptr, Argc);
+      Stack.resize(Base - 1);
+      Info->Feedback.at(OpPC).Result.add(R.tag());
+      Push(R);
+      break;
+    }
+    case Op::CallMethod: {
+      uint16_t NameId = Info->u16At(OpPC + 1);
+      uint8_t Argc = Info->u8At(OpPC + 3);
+      assert(Stack.size() >= Argc + 1u && "callmethod stack underflow");
+      size_t Base = Stack.size() - Argc;
+      Value Recv = Stack[Base - 1];
+      {
+        SiteFeedback &FB = Info->Feedback.at(OpPC);
+        FB.A.add(Recv.tag());
+        if (Argc > 0)
+          FB.B.add(Stack[Base].tag()); // First argument (intrinsics).
+      }
+      Value R =
+          RT.callMethod(Recv, NameId, Argc ? &Stack[Base] : nullptr, Argc);
+      Stack.resize(Base - 1);
+      Info->Feedback.at(OpPC).Result.add(R.tag());
+      Push(R);
+      break;
+    }
+    case Op::New: {
+      uint8_t Argc = Info->u8At(OpPC + 1);
+      assert(Stack.size() >= Argc + 1u && "new stack underflow");
+      size_t Base = Stack.size() - Argc;
+      Value Callee = Stack[Base - 1];
+      Value R = RT.construct(Callee, Argc ? &Stack[Base] : nullptr, Argc);
+      Stack.resize(Base - 1);
+      Push(R);
+      break;
+    }
+    case Op::Return:
+      return Pop();
+    case Op::ReturnUndefined:
+      return Value::undefined();
+
+    case Op::NewArray: {
+      uint16_t Count = Info->u16At(OpPC + 1);
+      assert(Stack.size() >= Count && "newarray stack underflow");
+      // Allocate before popping so the elements stay rooted via the stack.
+      JSArray *A = RT.heap().allocate<JSArray>();
+      size_t Base = Stack.size() - Count;
+      for (size_t I = 0; I != Count; ++I)
+        A->push(Stack[Base + I]);
+      Stack.resize(Base);
+      Push(Value::array(A));
+      break;
+    }
+    case Op::NewObject:
+      Push(Value::object(RT.heap().allocate<JSObject>()));
+      break;
+    case Op::InitProp: {
+      Value V = Pop();
+      Value Obj = Top();
+      assert(Obj.isObject() && "initprop on non-object");
+      Obj.asObject()->setProperty(Info->u16At(OpPC + 1), V);
+      break;
+    }
+    case Op::GetElem: {
+      Value Index = Pop(), Obj = Pop();
+      Feedback2(OpPC, Obj, Index);
+      Value R = RT.genericGetElem(Obj, Index);
+      if (RT.tookOutOfBounds())
+        Info->Feedback.at(OpPC).SawOutOfBounds = true;
+      Push(R);
+      break;
+    }
+    case Op::SetElem: {
+      Value V = Pop(), Index = Pop(), Obj = Pop();
+      Feedback2(OpPC, Obj, Index);
+      Value R = RT.genericSetElem(Obj, Index, V);
+      if (RT.tookOutOfBounds())
+        Info->Feedback.at(OpPC).SawOutOfBounds = true;
+      Push(R);
+      break;
+    }
+    case Op::GetProp: {
+      Value Obj = Pop();
+      Feedback1(OpPC, Obj);
+      Push(RT.genericGetProp(Obj, Info->u16At(OpPC + 1)));
+      break;
+    }
+    case Op::SetProp: {
+      Value V = Pop(), Obj = Pop();
+      Feedback1(OpPC, Obj);
+      Push(RT.genericSetProp(Obj, Info->u16At(OpPC + 1), V));
+      break;
+    }
+
+    case Op::MakeClosure: {
+      FunctionInfo *Inner = RT.program()->function(Info->u16At(OpPC + 1));
+      JSFunction *F =
+          RT.heap().allocate<JSFunction>(Inner, Frame.currentEnv());
+      Push(Value::function(F));
+      break;
+    }
+    case Op::GetThis:
+      Push(Frame.ThisV);
+      break;
+    }
+  }
+}

@@ -1,0 +1,66 @@
+//===- vm/Interpreter.h - Bytecode interpreter ------------------*- C++ -*-===//
+///
+/// \file
+/// The stack-bytecode interpreter. Frames are GC root sources; the frame
+/// layout (slots + operand stack + pc) is exactly what native-code
+/// bailout snapshots reconstruct, so a deoptimized native frame resumes
+/// here mid-function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITVS_VM_INTERPRETER_H
+#define JITVS_VM_INTERPRETER_H
+
+#include "vm/Bytecode.h"
+#include "vm/GC.h"
+#include "vm/Object.h"
+#include "vm/Runtime.h"
+
+#include <vector>
+
+namespace jitvs {
+
+/// An interpreter activation. Registers itself as a GC root source.
+struct InterpFrame final : public RootSource {
+  InterpFrame(Runtime &RT, FunctionInfo *Info);
+  ~InterpFrame() override;
+
+  void markRoots(GCMarker &Marker) override;
+
+  Runtime &RT;
+  FunctionInfo *Info;
+  std::vector<Value> Slots; ///< Parameters then locals (then scratch).
+  std::vector<Value> Stack; ///< Operand stack.
+  /// The arguments as passed at entry (parameter slots are mutable, but
+  /// OSR specialization of the function-entry path needs the originals).
+  std::vector<Value> OrigArgs;
+  uint32_t PC = 0;
+  Value ThisV;
+  Environment *Env = nullptr;        ///< Own environment (if created).
+  Environment *ClosureEnv = nullptr; ///< Environment captured at closure
+                                     ///< creation.
+
+  /// The environment visible to Get/SetEnvSlot at depth 0.
+  Environment *currentEnv() const { return Env ? Env : ClosureEnv; }
+};
+
+/// Executes bytecode frames. Stateless apart from the runtime reference.
+class Interpreter {
+public:
+  explicit Interpreter(Runtime &RT) : RT(RT) {}
+
+  /// Standard call path: builds a frame for \p Callee and runs it.
+  Value invoke(JSFunction *Callee, const Value &ThisV, const Value *Args,
+               size_t NumArgs);
+
+  /// Runs \p Frame from its current pc until return or error. Used both
+  /// by invoke() and to resume deoptimized native frames.
+  Value execute(InterpFrame &Frame);
+
+private:
+  Runtime &RT;
+};
+
+} // namespace jitvs
+
+#endif // JITVS_VM_INTERPRETER_H

@@ -1,0 +1,47 @@
+//===- vm/Object.cpp - Heap object tracing and helpers --------------------===//
+
+#include "vm/Object.h"
+
+#include "vm/Bytecode.h"
+
+using namespace jitvs;
+
+std::string JSFunction::displayName() const {
+  if (isNative())
+    return NativeName;
+  return Info ? Info->Name : "<anonymous>";
+}
+
+void jitvs::traceObject(GCObject *Obj, GCMarker &Marker) {
+  switch (Obj->kind()) {
+  case GCKind::String:
+    return;
+  case GCKind::Array: {
+    auto *A = static_cast<JSArray *>(Obj);
+    for (const Value &V : A->elements())
+      Marker.mark(V);
+    return;
+  }
+  case GCKind::Object: {
+    auto *O = static_cast<JSObject *>(Obj);
+    for (const auto &[Id, V] : O->properties())
+      Marker.mark(V);
+    return;
+  }
+  case GCKind::Function: {
+    auto *F = static_cast<JSFunction *>(Obj);
+    if (F->environment())
+      Marker.mark(static_cast<GCObject *>(F->environment()));
+    return;
+  }
+  case GCKind::Environment: {
+    auto *E = static_cast<Environment *>(Obj);
+    if (E->parent())
+      Marker.mark(static_cast<GCObject *>(E->parent()));
+    for (size_t I = 0, N = E->numSlots(); I != N; ++I)
+      Marker.mark(E->getSlot(I));
+    return;
+  }
+  }
+  JITVS_UNREACHABLE("bad GCKind");
+}

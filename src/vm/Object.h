@@ -1,0 +1,201 @@
+//===- vm/Object.h - Heap object kinds of the MiniJS VM ---------*- C++ -*-===//
+///
+/// \file
+/// The concrete GC object kinds: immutable strings, growable arrays,
+/// property-map objects, function closures (user functions and native
+/// builtins) and closure environments. Property names are interned to
+/// integer ids by the runtime's name table, so property maps compare ids
+/// instead of strings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITVS_VM_OBJECT_H
+#define JITVS_VM_OBJECT_H
+
+#include "vm/GC.h"
+#include "vm/Value.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace jitvs {
+
+class Runtime;
+struct FunctionInfo;
+
+/// Immutable string payload.
+class JSString final : public GCObject {
+public:
+  explicit JSString(std::string Str)
+      : GCObject(GCKind::String), Str(std::move(Str)) {}
+
+  const std::string &str() const { return Str; }
+  size_t length() const { return Str.size(); }
+
+private:
+  std::string Str;
+};
+
+/// A growable dense array of boxed values. Out-of-bounds stores grow the
+/// array (filling holes with undefined), matching JavaScript semantics for
+/// dense arrays; out-of-bounds loads yield undefined.
+class JSArray final : public GCObject {
+public:
+  JSArray() : GCObject(GCKind::Array) {}
+  explicit JSArray(std::vector<Value> Elems)
+      : GCObject(GCKind::Array), Elems(std::move(Elems)) {}
+
+  size_t length() const { return Elems.size(); }
+
+  /// In-range read; callers must have bounds-checked.
+  const Value &getDense(size_t I) const {
+    assert(I < Elems.size() && "dense array read out of bounds");
+    return Elems[I];
+  }
+  /// In-range write; callers must have bounds-checked.
+  void setDense(size_t I, const Value &V) {
+    assert(I < Elems.size() && "dense array write out of bounds");
+    Elems[I] = V;
+  }
+
+  /// Generic indexed read: undefined when out of range or negative.
+  Value getElement(int64_t I) const {
+    if (I < 0 || static_cast<size_t>(I) >= Elems.size())
+      return Value::undefined();
+    return Elems[I];
+  }
+  /// Generic indexed write: grows the array for indices past the end.
+  void setElement(int64_t I, const Value &V) {
+    if (I < 0)
+      return;
+    if (static_cast<size_t>(I) >= Elems.size())
+      Elems.resize(static_cast<size_t>(I) + 1);
+    Elems[I] = V;
+  }
+
+  void push(const Value &V) { Elems.push_back(V); }
+  Value pop() {
+    if (Elems.empty())
+      return Value::undefined();
+    Value V = Elems.back();
+    Elems.pop_back();
+    return V;
+  }
+
+  const std::vector<Value> &elements() const { return Elems; }
+
+private:
+  std::vector<Value> Elems;
+};
+
+/// A plain object: a small flat property map keyed by interned name id.
+class JSObject final : public GCObject {
+public:
+  JSObject() : GCObject(GCKind::Object) {}
+
+  /// \returns the property value, or undefined when absent.
+  Value getProperty(uint32_t NameId) const {
+    for (const auto &[Id, V] : Props)
+      if (Id == NameId)
+        return V;
+    return Value::undefined();
+  }
+
+  /// \returns true if the property exists.
+  bool hasProperty(uint32_t NameId) const {
+    for (const auto &[Id, V] : Props)
+      if (Id == NameId)
+        return true;
+    return false;
+  }
+
+  /// Creates or overwrites the property.
+  void setProperty(uint32_t NameId, const Value &V) {
+    for (auto &[Id, Slot] : Props) {
+      if (Id == NameId) {
+        Slot = V;
+        return;
+      }
+    }
+    Props.emplace_back(NameId, V);
+  }
+
+  const std::vector<std::pair<uint32_t, Value>> &properties() const {
+    return Props;
+  }
+
+private:
+  std::vector<std::pair<uint32_t, Value>> Props;
+};
+
+/// A closure environment: boxed slots for locals captured by inner
+/// functions, chained through the lexical parent.
+class Environment final : public GCObject {
+public:
+  Environment(Environment *Parent, size_t NumSlots)
+      : GCObject(GCKind::Environment), Parent(Parent), Slots(NumSlots) {}
+
+  Environment *parent() const { return Parent; }
+
+  const Value &getSlot(size_t I) const {
+    assert(I < Slots.size() && "environment slot out of range");
+    return Slots[I];
+  }
+  void setSlot(size_t I, const Value &V) {
+    assert(I < Slots.size() && "environment slot out of range");
+    Slots[I] = V;
+  }
+  size_t numSlots() const { return Slots.size(); }
+
+  /// Walks \p Depth lexical levels up from this environment.
+  Environment *hop(unsigned Depth) {
+    Environment *E = this;
+    while (Depth--) {
+      assert(E->Parent && "environment chain too short");
+      E = E->Parent;
+    }
+    return E;
+  }
+
+private:
+  friend class Heap;
+  Environment *Parent;
+  std::vector<Value> Slots;
+};
+
+/// Signature of native builtin functions.
+using NativeFn = Value (*)(Runtime &RT, const Value &ThisV, const Value *Args,
+                           size_t NumArgs);
+
+/// A callable value: either a user function (bytecode FunctionInfo plus
+/// the captured environment) or a native builtin.
+class JSFunction final : public GCObject {
+public:
+  JSFunction(FunctionInfo *Info, Environment *Env)
+      : GCObject(GCKind::Function), Info(Info), Env(Env) {}
+  JSFunction(NativeFn Fn, std::string Name)
+      : GCObject(GCKind::Function), Native(Fn), NativeName(std::move(Name)) {}
+
+  bool isNative() const { return Native != nullptr; }
+  FunctionInfo *info() const { return Info; }
+  Environment *environment() const { return Env; }
+  NativeFn native() const { return Native; }
+  const std::string &nativeName() const { return NativeName; }
+
+  /// \returns a printable function name.
+  std::string displayName() const;
+
+private:
+  FunctionInfo *Info = nullptr;
+  Environment *Env = nullptr;
+  NativeFn Native = nullptr;
+  std::string NativeName;
+};
+
+/// Traces the outgoing references of \p Obj during marking.
+void traceObject(GCObject *Obj, GCMarker &Marker);
+
+} // namespace jitvs
+
+#endif // JITVS_VM_OBJECT_H

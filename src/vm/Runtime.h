@@ -1,0 +1,248 @@
+//===- vm/Runtime.h - MiniJS execution environment --------------*- C++ -*-===//
+///
+/// \file
+/// The Runtime owns the heap, the loaded program, global variables and
+/// builtins, and routes every call through a single dispatch point so the
+/// JIT engine (through ExecutionHooks) and the call profiler can observe
+/// and intercept execution — the analogue of the SpiderMonkey /
+/// IonMonkey interplay in Figure 5 of the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITVS_VM_RUNTIME_H
+#define JITVS_VM_RUNTIME_H
+
+#include "support/RNG.h"
+#include "vm/Bytecode.h"
+#include "vm/GC.h"
+#include "vm/Object.h"
+#include "vm/Value.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace jitvs {
+
+class Runtime;
+struct InterpFrame;
+
+/// Interface the JIT engine implements to intercept execution.
+class ExecutionHooks {
+public:
+  virtual ~ExecutionHooks();
+
+  /// Called for every user-function invocation before interpreting. If the
+  /// hook fully executes the call (native code, possibly with bailouts), it
+  /// stores the result in \p Result and returns true.
+  virtual bool onCall(JSFunction *Callee, const Value &ThisV,
+                      const Value *Args, size_t NumArgs, Value &Result) = 0;
+
+  /// Called by the interpreter at each LoopHead. If the hook performs
+  /// on-stack replacement and finishes the frame natively, it stores the
+  /// frame's return value in \p Result and returns true.
+  virtual bool onLoopHead(InterpFrame &Frame, uint32_t PC, Value &Result) = 0;
+};
+
+/// Interface for observing calls (Section 2 instrumentation: invocation
+/// histograms, argument-set histograms, parameter types).
+class CallObserver {
+public:
+  virtual ~CallObserver();
+  virtual void recordCall(FunctionInfo *Callee, const Value *Args,
+                          size_t NumArgs) = 0;
+};
+
+/// The MiniJS execution environment.
+class Runtime {
+public:
+  Runtime();
+  ~Runtime();
+  Runtime(const Runtime &) = delete;
+  Runtime &operator=(const Runtime &) = delete;
+
+  /// Compiles \p Source and loads it (installing globals and builtins).
+  /// \returns false and sets the error message on compile errors.
+  bool load(const std::string &Source);
+
+  /// Runs the loaded program's top-level code.
+  /// \returns the completion value, or undefined on error (check
+  /// hasError()).
+  Value run();
+
+  /// Convenience: load + run.
+  Value evaluate(const std::string &Source);
+
+  /// Calls a global function by name with the given arguments.
+  Value callGlobal(const std::string &Name, const std::vector<Value> &Args);
+
+  // --- Call dispatch (used by interpreter, native code and embedders) ---
+
+  /// Calls \p Callee with \p ThisV and arguments. Reports an error for
+  /// non-callable values.
+  Value callValue(const Value &Callee, const Value &ThisV, const Value *Args,
+                  size_t NumArgs);
+
+  /// `new Callee(args...)`.
+  Value construct(const Value &Callee, const Value *Args, size_t NumArgs);
+
+  // --- Error handling (no exceptions; MiniJS has no try/catch) ---
+  void fail(const std::string &Msg) {
+    if (!HadError) {
+      HadError = true;
+      ErrorMsg = Msg;
+    }
+  }
+  bool hasError() const { return HadError; }
+  const std::string &errorMessage() const { return ErrorMsg; }
+  void clearError() {
+    HadError = false;
+    ErrorMsg.clear();
+  }
+
+  // --- Services used by the interpreter and native code ---
+  Heap &heap() { return TheHeap; }
+  Program *program() { return Prog.get(); }
+  RNG &rng() { return Rand; }
+
+  Value &global(uint32_t Slot) {
+    assert(Slot < Globals.size() && "bad global slot");
+    return Globals[Slot];
+  }
+
+  JSString *newString(std::string S) {
+    return TheHeap.allocate<JSString>(std::move(S));
+  }
+  Value newStringValue(std::string S) {
+    return Value::string(newString(std::move(S)));
+  }
+
+  /// Interns \p Name in the loaded program's name table.
+  uint32_t internName(const std::string &Name) {
+    return Prog->names().intern(Name);
+  }
+  const std::string &nameOf(uint32_t Id) const {
+    return Prog->names().name(Id);
+  }
+
+  /// Pre-interned ids for hot property/method names (~0u when the program
+  /// never mentions them and nothing interned them yet).
+  uint32_t lengthNameId() const { return LengthId; }
+
+  // --- Output of the print builtin ---
+  void printLine(const std::string &S);
+  const std::string &output() const { return Output; }
+  void clearOutput() { Output.clear(); }
+  void setEchoOutput(bool Echo) { EchoOutput = Echo; }
+
+  // --- Hooks ---
+  void setHooks(ExecutionHooks *H) { Hooks = H; }
+  ExecutionHooks *hooks() { return Hooks; }
+  void setCallObserver(CallObserver *O) { Observer = O; }
+
+  // --- Call depth guard (checkoverrecursed) ---
+  bool enterCall() {
+    if (++CallDepth > MaxCallDepth) {
+      fail("too much recursion");
+      --CallDepth;
+      return false;
+    }
+    return true;
+  }
+  void leaveCall() { --CallDepth; }
+
+  // --- Generic operation helpers (shared by interpreter and native) ---
+  // Each reports errors through fail(); results are undefined on error.
+  Value genericAdd(const Value &A, const Value &B);
+  Value genericSub(const Value &A, const Value &B);
+  Value genericMul(const Value &A, const Value &B);
+  Value genericDiv(const Value &A, const Value &B);
+  Value genericMod(const Value &A, const Value &B);
+  Value genericNeg(const Value &A);
+  Value genericBitOp(Op O, const Value &A, const Value &B);
+  Value genericBitNot(const Value &A);
+  bool genericLess(const Value &A, const Value &B);      ///< A < B
+  bool genericLessEq(const Value &A, const Value &B);    ///< A <= B
+  bool genericLooseEquals(const Value &A, const Value &B);
+  Value genericGetElem(const Value &Obj, const Value &Index);
+  Value genericSetElem(const Value &Obj, const Value &Index, const Value &V);
+  Value genericGetProp(const Value &Obj, uint32_t NameId);
+  Value genericSetProp(const Value &Obj, uint32_t NameId, const Value &V);
+  Value callMethod(const Value &Recv, uint32_t NameId, const Value *Args,
+                   size_t NumArgs);
+  Value typeOfValue(const Value &V);
+
+  /// Read-and-clear: last int32 arithmetic helper overflowed into a
+  /// double result (feedback for type specialization).
+  bool tookIntOverflow() {
+    bool F = IntOverflowFlag;
+    IntOverflowFlag = false;
+    return F;
+  }
+  /// Read-and-clear: last element access was out of bounds or grew the
+  /// array (feedback telling the JIT to avoid the in-bounds fast path).
+  bool tookOutOfBounds() {
+    bool F = OutOfBoundsFlag;
+    OutOfBoundsFlag = false;
+    return F;
+  }
+
+  /// ECMAScript-style ToNumber on our value subset.
+  static double toNumber(const Value &V);
+  /// ECMAScript ToInt32 (truncate modulo 2^32, signed).
+  static int32_t toInt32(double D);
+
+  /// Interprets a user function call (bypassing hooks). Used by the call
+  /// dispatch path and by the engine when it declines to run native code.
+  Value interpretCall(JSFunction *Callee, const Value &ThisV,
+                      const Value *Args, size_t NumArgs);
+
+  /// Resumes interpretation of a reconstructed frame (deoptimization).
+  Value resumeFrame(InterpFrame &Frame);
+
+  /// Statistics: total user-function calls dispatched.
+  uint64_t totalCalls() const { return NumCalls; }
+
+private:
+  friend class Interpreter;
+
+  void installGlobals();
+
+  Heap TheHeap;
+  std::unique_ptr<Program> Prog;
+  std::vector<Value> Globals;
+  RNG Rand;
+
+  bool HadError = false;
+  std::string ErrorMsg;
+
+  std::string Output;
+  bool EchoOutput = false;
+
+  ExecutionHooks *Hooks = nullptr;
+  CallObserver *Observer = nullptr;
+
+  uint32_t CallDepth = 0;
+  uint32_t MaxCallDepth = 512;
+  uint64_t NumCalls = 0;
+
+  uint32_t LengthId = ~0u;
+
+  bool IntOverflowFlag = false;
+  bool OutOfBoundsFlag = false;
+
+  /// Values the runtime itself must keep alive (builtin functions and
+  /// container objects).
+  std::vector<Value> InternalRoots;
+  /// Cached typeof result strings (allocated on first use).
+  Value TypeofStrings[6];
+  bool TypeofStringsReady = false;
+
+  /// Roots: globals + program constants.
+  class GlobalRoots;
+  std::unique_ptr<GlobalRoots> Roots;
+};
+
+} // namespace jitvs
+
+#endif // JITVS_VM_RUNTIME_H

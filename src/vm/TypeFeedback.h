@@ -1,0 +1,92 @@
+//===- vm/TypeFeedback.h - Interpreter type feedback ------------*- C++ -*-===//
+///
+/// \file
+/// Per-bytecode-site type feedback recorded while interpreting and
+/// consulted by the MIR builder to pick specialized instruction forms
+/// (int32 arithmetic with overflow guards, double arithmetic, string
+/// concatenation, generic VM calls). This is the analogue of the type
+/// inference / observed-type-sets machinery IonMonkey relies on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITVS_VM_TYPEFEEDBACK_H
+#define JITVS_VM_TYPEFEEDBACK_H
+
+#include "vm/Value.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace jitvs {
+
+/// A small set of observed value tags, one bit per ValueTag.
+class TypeSet {
+public:
+  TypeSet() = default;
+
+  void add(ValueTag Tag) { Bits |= bit(Tag); }
+  bool has(ValueTag Tag) const { return Bits & bit(Tag); }
+  bool empty() const { return Bits == 0; }
+
+  /// \returns true if every observed tag is Int32.
+  bool isOnlyInt32() const { return Bits != 0 && Bits == bit(ValueTag::Int32); }
+  /// \returns true if every observed tag is Int32 or Double.
+  bool isOnlyNumber() const {
+    uint16_t NumBits = bit(ValueTag::Int32) | bit(ValueTag::Double);
+    return Bits != 0 && (Bits & ~NumBits) == 0;
+  }
+  /// \returns true if every observed tag is String.
+  bool isOnlyString() const {
+    return Bits != 0 && Bits == bit(ValueTag::String);
+  }
+  /// \returns true if every observed tag is Array.
+  bool isOnlyArray() const { return Bits != 0 && Bits == bit(ValueTag::Array); }
+  /// \returns true if every observed tag is Boolean.
+  bool isOnlyBoolean() const {
+    return Bits != 0 && Bits == bit(ValueTag::Boolean);
+  }
+  /// \returns true if exactly the single tag \p Tag was observed.
+  bool isOnly(ValueTag Tag) const { return Bits != 0 && Bits == bit(Tag); }
+
+  uint16_t rawBits() const { return Bits; }
+
+private:
+  static uint16_t bit(ValueTag Tag) {
+    return static_cast<uint16_t>(1u << static_cast<unsigned>(Tag));
+  }
+  uint16_t Bits = 0;
+};
+
+/// Feedback recorded for one bytecode site.
+struct SiteFeedback {
+  TypeSet A;      ///< First operand (or receiver / sole operand).
+  TypeSet B;      ///< Second operand, when present.
+  TypeSet Result; ///< Observed results (used for call return values).
+
+  // Deoptimization hints fed back by native-code bailouts.
+  bool SawIntOverflow = false; ///< Int32 arithmetic overflowed.
+  bool SawOutOfBounds = false; ///< Element access was out of bounds / grew.
+  bool SawNonInt32Index = false;
+};
+
+/// Feedback for a whole function, keyed by bytecode offset.
+class FeedbackMap {
+public:
+  SiteFeedback &at(uint32_t PC) { return Sites[PC]; }
+
+  /// \returns the feedback for \p PC, or nullptr when never recorded.
+  const SiteFeedback *find(uint32_t PC) const {
+    auto It = Sites.find(PC);
+    return It == Sites.end() ? nullptr : &It->second;
+  }
+
+  void clear() { Sites.clear(); }
+  size_t size() const { return Sites.size(); }
+
+private:
+  std::unordered_map<uint32_t, SiteFeedback> Sites;
+};
+
+} // namespace jitvs
+
+#endif // JITVS_VM_TYPEFEEDBACK_H

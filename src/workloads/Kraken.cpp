@@ -1,0 +1,219 @@
+//===- workloads/Kraken.cpp - Kraken-style numeric array processing -------===//
+///
+/// \file
+/// Models of Kraken 1.1: audio DSP (FFT, oscillator), imaging kernels
+/// (gaussian blur, desaturate) and crypto stream processing — all
+/// dominated by numeric loops over arrays whose base pointers and sizes
+/// are loop-invariant call arguments, the paper's best case for
+/// parameter-based specialization.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace jitvs;
+
+const Workload workloads_detail::KrakenWorkloads[] = {
+    {"kraken", "audio-fft-lite",
+     R"JS(
+// Iterative radix-2 FFT over fixed-size arrays: the transform is called
+// repeatedly with the same array objects and size.
+function fft(re, im, n) {
+  // Bit-reversal permutation.
+  var j = 0;
+  for (var i = 0; i < n - 1; i++) {
+    if (i < j) {
+      var tr = re[i]; re[i] = re[j]; re[j] = tr;
+      var ti = im[i]; im[i] = im[j]; im[j] = ti;
+    }
+    var m = n >> 1;
+    while (m >= 1 && j >= m) { j -= m; m >>= 1; }
+    j += m;
+  }
+  // Butterflies.
+  for (var len = 2; len <= n; len <<= 1) {
+    var ang = -2.0 * Math.PI / len;
+    var wr = Math.cos(ang), wi = Math.sin(ang);
+    for (var i = 0; i < n; i += len) {
+      var cr = 1.0, ci = 0.0;
+      for (var k = 0; k < (len >> 1); k++) {
+        var a = i + k, b = i + k + (len >> 1);
+        var xr = re[b] * cr - im[b] * ci;
+        var xi = re[b] * ci + im[b] * cr;
+        re[b] = re[a] - xr; im[b] = im[a] - xi;
+        re[a] = re[a] + xr; im[a] = im[a] + xi;
+        var ncr = cr * wr - ci * wi;
+        ci = cr * wi + ci * wr;
+        cr = ncr;
+      }
+    }
+  }
+}
+
+var N = 128;
+var re = new Array(N), im = new Array(N);
+var check = 0.0;
+for (var round = 0; round < 20; round++) {
+  for (var i = 0; i < N; i++) {
+    re[i] = Math.sin(i * 0.3) + 0.5 * Math.sin(i * 1.7);
+    im[i] = 0.0;
+  }
+  fft(re, im, N);
+  for (var i = 0; i < N; i++)
+    check += Math.abs(re[i]) + Math.abs(im[i]);
+}
+print('fft', Math.floor(check));
+)JS"},
+
+    {"kraken", "audio-oscillator",
+     R"JS(
+function generate(buf, freq, phase) {
+  var step = freq * 2.0 * Math.PI / 44100.0;
+  for (var i = 0; i < buf.length; i++)
+    buf[i] = Math.sin(phase + i * step) * 0.7
+           + Math.sin((phase + i * step) * 2.0) * 0.3;
+  return phase + buf.length * step;
+}
+
+var buf = new Array(512);
+var phase = 0.0;
+var acc = 0.0;
+for (var block = 0; block < 40; block++) {
+  phase = generate(buf, 440.0, phase);
+  for (var i = 0; i < buf.length; i += 16)
+    acc += buf[i];
+}
+print('oscillator', Math.floor(acc * 1000));
+)JS"},
+
+    {"kraken", "imaging-gaussian-blur-lite",
+     R"JS(
+// Separable 5-tap blur over a grayscale "image": fixed kernel, fixed
+// dimensions, same buffers every call.
+function blurPass(src, dst, w, h) {
+  for (var y = 0; y < h; y++) {
+    var row = y * w;
+    for (var x = 2; x < w - 2; x++) {
+      var v = src[row + x - 2] * 1 + src[row + x - 1] * 4 +
+              src[row + x] * 6 + src[row + x + 1] * 4 +
+              src[row + x + 2] * 1;
+      dst[row + x] = (v / 16) | 0;
+    }
+  }
+}
+
+var W = 64, H = 48;
+var a = new Array(W * H), b = new Array(W * H);
+for (var i = 0; i < W * H; i++) { a[i] = (i * 37) & 255; b[i] = 0; }
+
+for (var round = 0; round < 14; round++) {
+  blurPass(a, b, W, H);
+  blurPass(b, a, W, H);
+}
+
+var check = 0;
+for (var i = 0; i < W * H; i++) check = (check + a[i]) % 999983;
+print('gaussian-blur', check);
+)JS"},
+
+    {"kraken", "imaging-desaturate",
+     R"JS(
+function desaturate(rgb, out) {
+  for (var i = 0; i < out.length; i++) {
+    var r = rgb[i * 3], g = rgb[i * 3 + 1], bl = rgb[i * 3 + 2];
+    out[i] = (r * 77 + g * 151 + bl * 28) >> 8;
+  }
+}
+
+var N = 4096;
+var rgb = new Array(N * 3), gray = new Array(N);
+for (var i = 0; i < N * 3; i++) rgb[i] = (i * 131) & 255;
+
+for (var round = 0; round < 25; round++)
+  desaturate(rgb, gray);
+
+var check = 0;
+for (var i = 0; i < N; i++) check = (check + gray[i]) % 999983;
+print('desaturate', check);
+)JS"},
+
+    {"kraken", "stanford-crypto-ccm-lite",
+     R"JS(
+// Counter-mode stream cipher sketch: the paper notes Kraken's most-called
+// function is an anonymous one here, invoked with varying counters.
+var mix = function(block, counter, key) {
+  var acc = counter ^ key;
+  for (var i = 0; i < block.length; i++) {
+    acc = (acc * 1103515245 + 12345) & 0x3fffffff;
+    block[i] = (block[i] ^ (acc & 255)) & 255;
+  }
+  return acc;
+};
+
+function encrypt(data, key) {
+  var mac = 0;
+  var block = new Array(16);
+  for (var c = 0; c < data.length; c += 16) {
+    for (var i = 0; i < 16; i++) block[i] = data[c + i];
+    mac = (mac + mix(block, c >> 4, key)) & 0x3fffffff;
+    for (var i = 0; i < 16; i++) data[c + i] = block[i];
+  }
+  return mac;
+}
+
+var data = new Array(2048);
+for (var i = 0; i < data.length; i++) data[i] = (i * 7) & 255;
+
+var mac = 0;
+for (var round = 0; round < 12; round++)
+  mac = (mac + encrypt(data, 0x1234 + round)) & 0x3fffffff;
+print('ccm', mac);
+)JS"},
+
+    {"kraken", "ai-astar-lite",
+     R"JS(
+// Grid flood-fill distance propagation in the style of ai-astar: array
+// reads/writes with computed indices, a frontier queue, fixed grid.
+function propagate(grid, dist, w, h, queue) {
+  var head = 0;
+  while (head < queue.length) {
+    var cur = queue[head];
+    head++;
+    var d = dist[cur] + 1;
+    var x = cur % w;
+    var neighbors = [cur - w, cur + w, cur - 1, cur + 1];
+    for (var i = 0; i < 4; i++) {
+      var nb = neighbors[i];
+      if (nb < 0 || nb >= w * h) continue;
+      if (i == 2 && x == 0) continue;
+      if (i == 3 && x == w - 1) continue;
+      if (grid[nb] == 1) continue;
+      if (dist[nb] >= 0) continue;
+      dist[nb] = d;
+      queue.push(nb);
+    }
+  }
+  return head;
+}
+
+var W = 40, H = 30;
+var grid = new Array(W * H);
+for (var i = 0; i < W * H; i++)
+  grid[i] = ((i * 2654435761) & 7) == 0 ? 1 : 0;
+grid[0] = 0;
+
+var total = 0;
+for (var round = 0; round < 25; round++) {
+  var dist = new Array(W * H);
+  for (var i = 0; i < W * H; i++) dist[i] = -1;
+  dist[0] = 0;
+  var queue = [0];
+  total += propagate(grid, dist, W, H, queue);
+}
+print('astar', total);
+)JS"},
+};
+
+const size_t workloads_detail::NumKrakenWorkloads =
+    sizeof(workloads_detail::KrakenWorkloads) /
+    sizeof(workloads_detail::KrakenWorkloads[0]);

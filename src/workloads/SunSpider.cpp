@@ -1,0 +1,336 @@
+//===- workloads/SunSpider.cpp - SunSpider-style integer/bit kernels ------===//
+///
+/// \file
+/// Models of the SunSpider 1.0 programs the paper evaluates: bit
+/// manipulation, integer math, simple numeric loops, string hashing and
+/// recursion. The shapes match the originals (e.g. bitops-bits-in-byte
+/// passes the kernel *as a function argument* to a timing driver —
+/// exactly the closure-inlining opportunity of Section 3.7 that gave the
+/// paper its 49% best case).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace jitvs;
+
+const Workload workloads_detail::SunSpiderWorkloads[] = {
+    {"sunspider", "bitops-bits-in-byte",
+     R"JS(
+// Kernel counts the set bits of a byte; the driver receives it as a
+// parameter, so parameter specialization turns the call into a constant
+// callee and inlines it.
+function bitsinbyte(b) {
+  var m = 1, c = 0;
+  while (m < 0x100) {
+    if (b & m) c++;
+    m <<= 1;
+  }
+  return c;
+}
+
+function TimeFunc(func) {
+  var sum = 0;
+  for (var y = 0; y < 60; y++)
+    for (var x = 0; x < 256; x++)
+      sum += func(x);
+  return sum;
+}
+
+print('bits-in-byte', TimeFunc(bitsinbyte));
+)JS"},
+
+    {"sunspider", "bitops-bitwise-and",
+     R"JS(
+var bitwiseAndValue = 4294967296;
+for (var i = 0; i < 60000; i++)
+  bitwiseAndValue = bitwiseAndValue & i;
+print('bitwise-and', bitwiseAndValue);
+)JS"},
+
+    {"sunspider", "bitops-nsieve-bits",
+     R"JS(
+function primes(isPrime, n) {
+  var count = 0, m = 10000 << n, size = m + 31 >> 5;
+  for (var i = 0; i < size; i++) isPrime[i] = 0xffffffff | 0;
+  for (var i = 2; i < m; i++)
+    if (isPrime[i >> 5] & (1 << (i & 31))) {
+      for (var j = i + i; j < m; j += i)
+        isPrime[j >> 5] = isPrime[j >> 5] & ~(1 << (j & 31));
+      count++;
+    }
+  return count;
+}
+
+function sieve() {
+  var sum = 0;
+  for (var i = 0; i <= 2; i++) {
+    var isPrime = new Array((10000 << i) + 31 >> 5);
+    sum += primes(isPrime, i);
+  }
+  return sum;
+}
+
+print('nsieve-bits', sieve());
+)JS"},
+
+    {"sunspider", "math-cordic",
+     R"JS(
+var AG_CONST = 0.6072529350;
+
+function FIXED(X) { return X * 65536.0; }
+function FLOAT(X) { return X / 65536.0; }
+function DEG2RAD(X) { return 0.017453 * X; }
+
+var Angles = [
+  FIXED(45.0), FIXED(26.565), FIXED(14.0362), FIXED(7.12502),
+  FIXED(3.57633), FIXED(1.78991), FIXED(0.895174), FIXED(0.447614),
+  FIXED(0.223811), FIXED(0.111906), FIXED(0.055953), FIXED(0.027977)
+];
+
+var Target = 28.027;
+
+function cordicsincos(Target) {
+  var X = FIXED(AG_CONST);
+  var Y = 0;
+  var TargetAngle = FIXED(Target);
+  var CurrAngle = 0;
+  for (var Step = 0; Step < 12; Step++) {
+    var NewX;
+    if (TargetAngle > CurrAngle) {
+      NewX = X - (Y >> Step);
+      Y = (X >> Step) + Y;
+      X = NewX;
+      CurrAngle += Angles[Step];
+    } else {
+      NewX = X + (Y >> Step);
+      Y = -(X >> Step) + Y;
+      X = NewX;
+      CurrAngle -= Angles[Step];
+    }
+  }
+  return FLOAT(X) * FLOAT(Y);
+}
+
+function cordic(runs) {
+  var total = 0;
+  for (var i = 0; i < runs; i++)
+    total += cordicsincos(Target);
+  return total;
+}
+
+print('cordic', Math.floor(cordic(4000)));
+)JS"},
+
+    {"sunspider", "math-partial-sums",
+     R"JS(
+function partial(n) {
+  var a1 = 0, a2 = 0, a3 = 0, a4 = 0, a5 = 0;
+  var twothirds = 2.0 / 3.0;
+  var alt = -1.0;
+  for (var k = 1; k <= n; k++) {
+    var k2 = k * k, k3 = k2 * k;
+    var sk = Math.sin(k), ck = Math.cos(k);
+    alt = -alt;
+    a1 += Math.pow(twothirds, k - 1);
+    a2 += 1.0 / (k * k3);
+    a3 += 1.0 / (k3 * sk * sk);
+    a4 += 1.0 / (k3 * ck * ck);
+    a5 += alt / k;
+  }
+  return a1 + a2 + a3 + a4 + a5;
+}
+
+var total = 0;
+for (var i = 1024; i <= 4096; i *= 2)
+  total += partial(i);
+print('partial-sums', Math.floor(total * 1000));
+)JS"},
+
+    {"sunspider", "access-nsieve",
+     R"JS(
+function pad(number, width) {
+  var s = number + '';
+  while (s.length < width) s = ' ' + s;
+  return s;
+}
+
+function nsieve(m, isPrime) {
+  var count = 0;
+  for (var i = 2; i <= m; i++) isPrime[i] = true;
+  for (var i = 2; i <= m; i++)
+    if (isPrime[i]) {
+      for (var k = i + i; k <= m; k += i) isPrime[k] = false;
+      count++;
+    }
+  return count;
+}
+
+function sieve() {
+  var sum = 0;
+  for (var i = 1; i <= 2; i++) {
+    var m = (1 << i) * 2500;
+    var flags = new Array(m + 1);
+    sum += nsieve(m, flags);
+  }
+  return sum;
+}
+
+print('nsieve', sieve());
+)JS"},
+
+    {"sunspider", "access-fannkuch",
+     R"JS(
+function fannkuch(n) {
+  var check = 0;
+  var perm = new Array(n);
+  var perm1 = new Array(n);
+  var count = new Array(n);
+  var maxPerm = new Array(n);
+  var maxFlipsCount = 0;
+  var m = n - 1;
+
+  for (var i = 0; i < n; i++) perm1[i] = i;
+  var r = n;
+
+  while (true) {
+    while (r != 1) { count[r - 1] = r; r--; }
+    if (!(perm1[0] == 0 || perm1[m] == m)) {
+      for (var i = 0; i < n; i++) perm[i] = perm1[i];
+      var flipsCount = 0;
+      var k;
+      while (!((k = perm[0]) == 0)) {
+        var k2 = (k + 1) >> 1;
+        for (var i = 0; i < k2; i++) {
+          var temp = perm[i]; perm[i] = perm[k - i]; perm[k - i] = temp;
+        }
+        flipsCount++;
+      }
+      if (flipsCount > maxFlipsCount) {
+        maxFlipsCount = flipsCount;
+        for (var i = 0; i < n; i++) maxPerm[i] = perm1[i];
+      }
+    }
+    while (true) {
+      if (r == n) return maxFlipsCount;
+      var perm0 = perm1[0];
+      var i = 0;
+      while (i < r) {
+        var j = i + 1;
+        perm1[i] = perm1[j];
+        i = j;
+      }
+      perm1[r] = perm0;
+      count[r] = count[r] - 1;
+      if (count[r] > 0) break;
+      r++;
+    }
+  }
+}
+
+print('fannkuch', fannkuch(7));
+)JS"},
+
+    {"sunspider", "controlflow-recursive",
+     R"JS(
+// The paper notes recursive kernels are called with *different*
+// parameters every time: the despecialization stress case.
+function ack(m, n) {
+  if (m == 0) return n + 1;
+  if (n == 0) return ack(m - 1, 1);
+  return ack(m - 1, ack(m, n - 1));
+}
+function fib(n) {
+  if (n < 2) return n;
+  return fib(n - 2) + fib(n - 1);
+}
+function tak(x, y, z) {
+  if (y >= x) return z;
+  return tak(tak(x - 1, y, z), tak(y - 1, z, x), tak(z - 1, x, y));
+}
+
+var result = 0;
+for (var i = 2; i <= 4; i++)
+  result += ack(2, i) + fib(2 + i * 2) + tak(i * 2, i, i - 1);
+print('recursive', result);
+)JS"},
+
+    {"sunspider", "string-hash",
+     R"JS(
+// String workload: charCodeAt-driven hashing of generated text, like the
+// inner loops of string-unpack-code.
+function makeText(n) {
+  var words = ['function', 'var', 'return', 'while', 'typeof', 'new'];
+  var text = '';
+  for (var i = 0; i < n; i++)
+    text = text + words[i % 6] + ' ';
+  return text;
+}
+
+function hashOf(s, seed) {
+  var h = seed;
+  for (var i = 0; i < s.length; i++)
+    h = (h * 31 + s.charCodeAt(i)) % 16777213;
+  return h;
+}
+
+var text = makeText(160);
+var total = 0;
+for (var round = 0; round < 120; round++)
+  total = (total + hashOf(text, total)) % 16777213;
+print('string-hash', total, text.length);
+)JS"},
+
+    {"sunspider", "crypto-xor-stream",
+     R"JS(
+// Models crypto-md5's structure: rounds of bitwise mixing over a message
+// expanded into an integer array, with per-round helper functions that
+// receive the same state arrays every call.
+function expand(msg, blocks) {
+  var words = new Array(blocks * 16);
+  for (var i = 0; i < words.length; i++)
+    words[i] = (msg.charCodeAt(i % msg.length) * (i + 17)) & 0xffff;
+  return words;
+}
+
+function mixRound(words, k) {
+  var acc = k | 0;
+  for (var i = 0; i < words.length; i++) {
+    acc = (acc + words[i]) & 0xffffff;
+    acc = (acc << 3 | acc >>> 21) & 0xffffff;
+    words[i] = (words[i] ^ acc) & 0xffff;
+  }
+  return acc;
+}
+
+var words = expand('jitvs: just-in-time value specialization', 24);
+var digest = 0;
+for (var round = 0; round < 160; round++)
+  digest = (digest + mixRound(words, round)) & 0xffffff;
+print('crypto-xor', digest);
+)JS"},
+
+    {"sunspider", "3d-morph",
+     R"JS(
+function morph(a, f) {
+  var PI2nx = Math.PI * 8 / 120;
+  var sin = Math.sin;
+  var f30 = -(50 * sin(f * Math.PI * 2));
+  for (var i = 0; i < 120; i++)
+    a[i] = sin((i - 60) * PI2nx) * f30;
+}
+
+var a = new Array(120);
+for (var i = 0; i < 120; i++) a[i] = 0;
+for (var i = 0; i < 80; i++)
+  morph(a, i / 80);
+
+var sum = 0;
+for (var i = 0; i < 120; i++) sum += Math.abs(a[i]);
+print('3d-morph', Math.floor(sum));
+)JS"},
+};
+
+const size_t workloads_detail::NumSunSpiderWorkloads =
+    sizeof(workloads_detail::SunSpiderWorkloads) /
+    sizeof(workloads_detail::SunSpiderWorkloads[0]);

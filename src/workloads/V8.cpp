@@ -1,0 +1,247 @@
+//===- workloads/V8.cpp - V8-style object and closure programs ------------===//
+///
+/// \file
+/// Models of the V8 version 6 benchmarks: object-oriented task scheduling
+/// (richards), bignum-ish modular arithmetic (crypto), object-based
+/// vector math (raytrace), binary trees with varied keys (splay) and
+/// dense double-array stencils (navier-stokes).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace jitvs;
+
+const Workload workloads_detail::V8Workloads[] = {
+    {"v8", "richards-lite",
+     R"JS(
+// A miniature task scheduler: objects with methods, queue rotation.
+function Task(id, priority) {
+  this.id = id;
+  this.priority = priority;
+  this.work = 0;
+}
+
+function Scheduler(n) {
+  this.tasks = new Array(n);
+  for (var i = 0; i < n; i++)
+    this.tasks[i] = new Task(i, (i * 7) % 5);
+  this.released = 0;
+}
+
+function step(sched, rounds) {
+  var tasks = sched.tasks;
+  var total = 0;
+  for (var r = 0; r < rounds; r++) {
+    for (var i = 0; i < tasks.length; i++) {
+      var t = tasks[i];
+      t.work = t.work + t.priority + 1;
+      if (t.work > 50) {
+        sched.released = sched.released + 1;
+        t.work = 0;
+      }
+      total = (total + t.work) % 999983;
+    }
+  }
+  return total;
+}
+
+var sched = new Scheduler(24);
+var checksum = 0;
+for (var k = 0; k < 30; k++)
+  checksum = (checksum + step(sched, 40)) % 999983;
+print('richards', checksum, sched.released);
+)JS"},
+
+    {"v8", "crypto-lite",
+     R"JS(
+// Modular exponentiation over a digit array, modeled on v8-crypto's
+// bignum inner loops: index arithmetic, carries, helper functions that
+// always receive the same arrays.
+function mulmod(digits, multiplier, mod) {
+  var carry = 0;
+  for (var i = 0; i < digits.length; i++) {
+    var v = digits[i] * multiplier + carry;
+    digits[i] = v % mod;
+    carry = Math.floor(v / mod);
+  }
+  return carry % mod;
+}
+
+function fold(digits) {
+  var acc = 0;
+  for (var i = 0; i < digits.length; i++)
+    acc = (acc * 31 + digits[i]) % 16777213;
+  return acc;
+}
+
+var digits = new Array(48);
+for (var i = 0; i < 48; i++) digits[i] = (i * i + 3) % 10000;
+
+var check = 0;
+for (var e = 0; e < 300; e++) {
+  mulmod(digits, 7 + (e & 3), 10000);
+  check = (check + fold(digits)) % 16777213;
+}
+print('crypto', check);
+)JS"},
+
+    {"v8", "raytrace-lite",
+     R"JS(
+// Object-based 3D vector math with constructor functions and methods —
+// the object-heavy style the paper observed on the real web.
+function Vec(x, y, z) {
+  this.x = x; this.y = y; this.z = z;
+}
+
+function dot(a, b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+function sub(a, b) { return new Vec(a.x - b.x, a.y - b.y, a.z - b.z); }
+function scale(a, s) { return new Vec(a.x * s, a.y * s, a.z * s); }
+
+function hitSphere(orig, dir, center, radius) {
+  var oc = sub(orig, center);
+  var b = 2.0 * dot(oc, dir);
+  var c = dot(oc, oc) - radius * radius;
+  var disc = b * b - 4.0 * c;
+  if (disc < 0) return -1.0;
+  return (-b - Math.sqrt(disc)) / 2.0;
+}
+
+var origin = new Vec(0, 0, 0);
+var center = new Vec(0, 0, -5);
+var hits = 0;
+var distSum = 0.0;
+for (var py = 0; py < 48; py++) {
+  for (var px = 0; px < 48; px++) {
+    var dx = (px - 24) / 24.0;
+    var dy = (py - 24) / 24.0;
+    var len = Math.sqrt(dx * dx + dy * dy + 1.0);
+    var dir = scale(new Vec(dx, dy, -1.0), 1.0 / len);
+    var t = hitSphere(origin, dir, center, 2.0);
+    if (t > 0) { hits++; distSum += t; }
+  }
+}
+print('raytrace', hits, Math.floor(distSum * 100));
+)JS"},
+
+    {"v8", "splay-lite",
+     R"JS(
+// Binary search tree with insert/find on pseudo-random keys: pointer
+// chasing over objects, functions called with different arguments every
+// time (the paper's "most varied" case).
+function Node(key) {
+  this.key = key;
+  this.left = null;
+  this.right = null;
+}
+
+function insert(root, key) {
+  if (root == null) return new Node(key);
+  var n = root;
+  while (true) {
+    if (key < n.key) {
+      if (n.left == null) { n.left = new Node(key); break; }
+      n = n.left;
+    } else if (key > n.key) {
+      if (n.right == null) { n.right = new Node(key); break; }
+      n = n.right;
+    } else {
+      break;
+    }
+  }
+  return root;
+}
+
+function find(root, key) {
+  var n = root;
+  var depth = 0;
+  while (n != null) {
+    depth++;
+    if (key == n.key) return depth;
+    n = key < n.key ? n.left : n.right;
+  }
+  return -depth;
+}
+
+var seed = 49734321;
+function rand() {
+  seed = (seed * 1103515245 + 12345) & 0x3fffffff;
+  return seed % 4096;
+}
+
+var root = null;
+for (var i = 0; i < 700; i++) root = insert(root, rand());
+var sum = 0;
+for (var i = 0; i < 1800; i++) sum += find(root, rand());
+print('splay', sum);
+)JS"},
+
+    {"v8", "navier-stokes-lite",
+     R"JS(
+// Dense double-array stencil sweeps, modeled on navier-stokes' lin_solve:
+// the helpers always receive the same arrays and sizes.
+function linSolve(x, x0, n, a, c) {
+  var invC = 1.0 / c;
+  for (var k = 0; k < 8; k++) {
+    for (var j = 1; j < n - 1; j++) {
+      for (var i = 1; i < n - 1; i++) {
+        var idx = j * n + i;
+        x[idx] = (x0[idx] + a * (x[idx - 1] + x[idx + 1] +
+                                 x[idx - n] + x[idx + n])) * invC;
+      }
+    }
+  }
+}
+
+function checksum(x) {
+  var s = 0.0;
+  for (var i = 0; i < x.length; i++) s += x[i];
+  return s;
+}
+
+var n = 26;
+var x = new Array(n * n);
+var x0 = new Array(n * n);
+for (var i = 0; i < n * n; i++) { x[i] = 0.0; x0[i] = (i % 17) * 0.25; }
+
+for (var iter = 0; iter < 12; iter++)
+  linSolve(x, x0, n, 0.3, 2.2);
+
+print('navier-stokes', Math.floor(checksum(x) * 1000));
+)JS"},
+
+    {"v8", "earley-lite",
+     R"JS(
+// Closure-driven list processing in the style of earley-boyer's Scheme
+// runtime: cons cells as closures, higher-order map/filter/fold.
+function cons(a, b) {
+  return function(which) { return which == 0 ? a : b; };
+}
+function car(p) { return p(0); }
+function cdr(p) { return p(1); }
+
+function buildList(n) {
+  var l = null;
+  for (var i = n; i > 0; i--) l = cons(i, l);
+  return l;
+}
+
+function foldList(l, acc) {
+  while (l != null) {
+    acc = (acc * 3 + car(l)) % 999983;
+    l = cdr(l);
+  }
+  return acc;
+}
+
+var total = 0;
+var list = buildList(60);
+for (var r = 0; r < 150; r++)
+  total = foldList(list, total);
+print('earley', total);
+)JS"},
+};
+
+const size_t workloads_detail::NumV8Workloads =
+    sizeof(workloads_detail::V8Workloads) /
+    sizeof(workloads_detail::V8Workloads[0]);

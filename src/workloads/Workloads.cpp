@@ -1,0 +1,35 @@
+//===- workloads/Workloads.cpp - Workload registry -------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace jitvs;
+using namespace jitvs::workloads_detail;
+
+const std::vector<Workload> &jitvs::allWorkloads() {
+  static const std::vector<Workload> All = [] {
+    std::vector<Workload> V;
+    for (size_t I = 0; I != NumSunSpiderWorkloads; ++I)
+      V.push_back(SunSpiderWorkloads[I]);
+    for (size_t I = 0; I != NumV8Workloads; ++I)
+      V.push_back(V8Workloads[I]);
+    for (size_t I = 0; I != NumKrakenWorkloads; ++I)
+      V.push_back(KrakenWorkloads[I]);
+    return V;
+  }();
+  return All;
+}
+
+std::vector<Workload> jitvs::suiteWorkloads(const std::string &Suite) {
+  std::vector<Workload> Out;
+  for (const Workload &W : allWorkloads())
+    if (Suite == W.Suite)
+      Out.push_back(W);
+  return Out;
+}
+
+const Workload *jitvs::findWorkload(const std::string &Name) {
+  for (const Workload &W : allWorkloads())
+    if (Name == W.Name)
+      return &W;
+  return nullptr;
+}

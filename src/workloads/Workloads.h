@@ -1,0 +1,54 @@
+//===- workloads/Workloads.h - Benchmark suites in MiniJS -------*- C++ -*-===//
+///
+/// \file
+/// The three benchmark suites the paper evaluates on, re-created as
+/// MiniJS programs with the same workload archetypes: SunSpider-style
+/// integer/bit kernels, V8-style object/closure programs, Kraken-style
+/// numeric array processing (see DESIGN.md for the substitution
+/// rationale). Every workload is deterministic and prints a checksum so
+/// differential tests can verify every optimization configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITVS_WORKLOADS_WORKLOADS_H
+#define JITVS_WORKLOADS_WORKLOADS_H
+
+#include <string>
+#include <vector>
+
+namespace jitvs {
+
+/// One benchmark program.
+struct Workload {
+  const char *Suite; ///< "sunspider", "v8" or "kraken".
+  const char *Name;
+  const char *Source;
+};
+
+/// All workloads across the three suites.
+const std::vector<Workload> &allWorkloads();
+
+/// The workloads of one suite.
+std::vector<Workload> suiteWorkloads(const std::string &Suite);
+
+/// \returns the workload with the given name, or nullptr.
+const Workload *findWorkload(const std::string &Name);
+
+/// Suite names in paper order.
+inline const char *const SuiteNames[3] = {"sunspider", "v8", "kraken"};
+inline const char *const SuiteTitles[3] = {"SunSpider 1.0 (model)",
+                                           "V8 version 6 (model)",
+                                           "Kraken 1.1 (model)"};
+
+namespace workloads_detail {
+extern const Workload SunSpiderWorkloads[];
+extern const size_t NumSunSpiderWorkloads;
+extern const Workload V8Workloads[];
+extern const size_t NumV8Workloads;
+extern const Workload KrakenWorkloads[];
+extern const size_t NumKrakenWorkloads;
+} // namespace workloads_detail
+
+} // namespace jitvs
+
+#endif // JITVS_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,162 @@
+//===- tests/BytecodeTest.cpp - Emitter and bytecode metadata tests -------===//
+
+#include "parser/Emitter.h"
+#include "vm/Bytecode.h"
+#include "vm/GC.h"
+#include "vm/Object.h"
+
+#include <gtest/gtest.h>
+
+using namespace jitvs;
+
+namespace {
+
+std::unique_ptr<Program> compile(const std::string &Source, Heap &H) {
+  CompileResult R = compileSource(Source, H);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return std::move(R.Prog);
+}
+
+/// Counts occurrences of \p O in \p F.
+size_t countOp(const FunctionInfo &F, Op O) {
+  size_t N = 0;
+  for (uint32_t PC = 0; PC < F.Code.size(); PC += F.instructionLength(PC))
+    if (F.opAt(PC) == O)
+      ++N;
+  return N;
+}
+
+TEST(Emitter, FunctionLayout) {
+  Heap H;
+  auto P = compile("function f(a, b) { var x = a; var y = b; return x; }",
+                   H);
+  ASSERT_EQ(P->numFunctions(), 2u);
+  const FunctionInfo *F = P->function(1);
+  EXPECT_EQ(F->Name, "f");
+  EXPECT_EQ(F->NumParams, 2u);
+  EXPECT_EQ(F->NumSlots, 4u); // a, b, x, y.
+  EXPECT_EQ(F->NumEnvSlots, 0u);
+}
+
+TEST(Emitter, CapturedVariablesGoToEnvironment) {
+  Heap H;
+  auto P = compile("function outer(k) {"
+                   "  var kept = k * 2;"
+                   "  var plain = 1;"
+                   "  return function() { return kept; };"
+                   "}",
+                   H);
+  const FunctionInfo *Outer = P->function(1);
+  EXPECT_EQ(Outer->NumEnvSlots, 1u); // Only `kept` is captured.
+  EXPECT_TRUE(Outer->UsesEnvironment);
+  EXPECT_GT(countOp(*Outer, Op::SetEnvSlot), 0u);
+  // `plain` stays a frame slot.
+  EXPECT_GT(countOp(*Outer, Op::SetSlot), 0u);
+}
+
+TEST(Emitter, CapturedParameterCopied) {
+  Heap H;
+  auto P = compile("function f(p) { return function() { return p; }; }", H);
+  const FunctionInfo *F = P->function(1);
+  ASSERT_EQ(F->CapturedParams.size(), 1u);
+  EXPECT_EQ(F->CapturedParams[0].first, 0u);  // Parameter slot.
+  EXPECT_EQ(F->CapturedParams[0].second, 0u); // Env slot.
+}
+
+TEST(Emitter, LoopHeadMarksEveryLoop) {
+  Heap H;
+  auto P = compile("function f(n) {"
+                   "  while (n > 0) n--;"
+                   "  do { n++; } while (n < 4);"
+                   "  for (var i = 0; i < 3; i++) n += i;"
+                   "  return n; }",
+                   H);
+  EXPECT_EQ(countOp(*P->function(1), Op::LoopHead), 3u);
+}
+
+TEST(Emitter, ConstantPoolDeduplicates) {
+  Heap H;
+  auto P = compile("function f() { return 'dup' + 'dup' + 'dup'; }", H);
+  const FunctionInfo *F = P->function(1);
+  size_t DupStrings = 0;
+  for (const Value &C : F->Constants)
+    if (C.isString() && C.asString()->str() == "dup")
+      ++DupStrings;
+  EXPECT_EQ(DupStrings, 1u);
+}
+
+TEST(Emitter, SmallIntsUseImmediates) {
+  Heap H;
+  auto P = compile("function f() { return 1 + 100 - 7; }", H);
+  const FunctionInfo *F = P->function(1);
+  EXPECT_EQ(countOp(*F, Op::PushInt8), 3u);
+  EXPECT_EQ(countOp(*F, Op::PushConst), 0u);
+}
+
+TEST(Emitter, MethodCallsUseCallMethod) {
+  Heap H;
+  auto P = compile("function f(o, a) { return o.run(1) + a.push(2); }", H);
+  const FunctionInfo *F = P->function(1);
+  EXPECT_EQ(countOp(*F, Op::CallMethod), 2u);
+  EXPECT_EQ(countOp(*F, Op::Call), 0u);
+}
+
+TEST(Emitter, GlobalsResolveByName) {
+  Heap H;
+  auto P = compile("var shared = 1;"
+                   "function f() { return shared + other; }", H);
+  EXPECT_NE(P->globalSlot("shared"), P->globalSlot("other"));
+  // Re-requesting is stable.
+  EXPECT_EQ(P->globalSlot("shared"), P->globalSlot("shared"));
+}
+
+TEST(Emitter, DisassemblerRoundTrip) {
+  Heap H;
+  auto P = compile("function f(a) { if (a) return 1; return 2; }", H);
+  std::string Dis = P->function(1)->disassemble();
+  EXPECT_NE(Dis.find("jumpiffalse"), std::string::npos);
+  EXPECT_NE(Dis.find("return"), std::string::npos);
+  EXPECT_NE(Dis.find("function f"), std::string::npos);
+}
+
+TEST(Bytecode, InstructionLengthsCoverEverything) {
+  // Walk a program touching every operand width; lengths must tile the
+  // bytecode exactly (the walk below would assert/overrun otherwise).
+  Heap H;
+  auto P = compile(
+      "var g = 0;"
+      "function mk() { var c = 0; return function(d) { c += d; return c; };}"
+      "function f(o, a, s, n) {"
+      "  var acc = n > 128 ? n : -n;"
+      "  for (var i = 0; i < n; i++) {"
+      "    acc += a[i % 4] + s.charCodeAt(i % s.length) + o.k;"
+      "    o.k = acc; a[1] = acc; g = acc;"
+      "  }"
+      "  var add = mk(); add(acc);"
+      "  return typeof acc == 'number' ? [acc, {v: acc}] : null;"
+      "}",
+      H);
+  for (size_t FI = 0; FI != P->numFunctions(); ++FI) {
+    const FunctionInfo *F = P->function(static_cast<uint32_t>(FI));
+    uint32_t PC = 0;
+    while (PC < F->Code.size()) {
+      uint32_t Len = F->instructionLength(PC);
+      ASSERT_GT(Len, 0u);
+      PC += Len;
+    }
+    EXPECT_EQ(PC, F->Code.size()) << F->Name;
+  }
+}
+
+TEST(NameTable, InternIsStable) {
+  NameTable T;
+  uint32_t A = T.intern("alpha");
+  uint32_t B = T.intern("beta");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(T.intern("alpha"), A);
+  EXPECT_EQ(T.name(A), "alpha");
+  EXPECT_EQ(T.lookup("beta"), B);
+  EXPECT_EQ(T.lookup("gamma"), ~0u);
+}
+
+} // namespace

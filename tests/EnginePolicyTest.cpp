@@ -1,0 +1,225 @@
+//===- tests/EnginePolicyTest.cpp - Specialization policy edge cases ------===//
+///
+/// \file
+/// The Section 4 policy in detail: threshold behavior, the one-cached-
+/// argument-set rule, never-respecializing after a deopt, OSR slot
+/// revalidation, bailout-limit code discarding, and the per-function
+/// reports that feed the paper's tables.
+///
+//===----------------------------------------------------------------------===//
+
+#include "jit/Engine.h"
+#include "vm/Runtime.h"
+
+#include <gtest/gtest.h>
+
+using namespace jitvs;
+
+namespace {
+
+TEST(Policy, ColdFunctionsStayInterpreted) {
+  Runtime RT;
+  Engine E(RT, OptConfig::all());
+  E.setCallThreshold(100);
+  RT.evaluate("function f(x) { return x + 1; }"
+              "for (var i = 0; i < 50; i++) f(1);");
+  ASSERT_FALSE(RT.hasError());
+  EXPECT_EQ(E.stats().Compilations, 0u);
+  EXPECT_EQ(E.stats().InterpretedCalls, 50u);
+}
+
+TEST(Policy, HotFunctionCompilesOnce) {
+  Runtime RT;
+  Engine E(RT, OptConfig::all());
+  E.setCallThreshold(10);
+  E.setLoopThreshold(100000); // Keep top-level code out of the JIT.
+  RT.evaluate("function f(x) { return x + 1; }"
+              "for (var i = 0; i < 100; i++) f(7);");
+  ASSERT_FALSE(RT.hasError());
+  EXPECT_EQ(E.stats().Compilations, 1u);
+  EXPECT_EQ(E.stats().SpecializedCompiles, 1u);
+  EXPECT_EQ(E.stats().Recompilations, 0u);
+}
+
+TEST(Policy, NeverRespecializesAfterDeopt) {
+  Runtime RT;
+  Engine E(RT, OptConfig::all());
+  E.setCallThreshold(5);
+  RT.evaluate("function f(x) { return x * 2; }"
+              "for (var i = 0; i < 10; i++) f(1);" // Specialize on 1.
+              "f(2);"                              // Deopt -> generic.
+              "for (var i = 0; i < 50; i++) f(3);" // Same new arg 50x...
+              "print('done');");
+  ASSERT_FALSE(RT.hasError());
+  // ...but the paper's policy marks the function: exactly one
+  // specialized compile ever, one despecialization, one generic compile.
+  EXPECT_EQ(E.stats().SpecializedCompiles, 1u);
+  EXPECT_EQ(E.stats().Despecializations, 1u);
+  EXPECT_EQ(E.stats().GenericCompiles, 1u);
+}
+
+TEST(Policy, CacheKeyIncludesArgCount) {
+  Runtime RT;
+  Engine E(RT, OptConfig::all());
+  E.setCallThreshold(3);
+  RT.evaluate("function f(a, b) { return a; }"
+              "for (var i = 0; i < 10; i++) f(1, 2);"
+              "f(1);" // Same leading arg, different arity: must deopt.
+              "print('ok');");
+  ASSERT_FALSE(RT.hasError());
+  EXPECT_EQ(E.stats().Despecializations, 1u);
+}
+
+TEST(Policy, ObjectIdentityIsTheCacheKey) {
+  Runtime RT;
+  Engine E(RT, OptConfig::all());
+  E.setCallThreshold(3);
+  RT.evaluate("function len(a) { return a.length; }"
+              "var arr = [1, 2, 3];"
+              "for (var i = 0; i < 20; i++) len(arr);" // One identity.
+              "len([1, 2, 3]);"                        // New identity.
+              "print('ok');");
+  ASSERT_FALSE(RT.hasError());
+  EXPECT_EQ(E.stats().Despecializations, 1u);
+}
+
+TEST(Policy, StringContentIsTheCacheKey) {
+  Runtime RT;
+  Engine E(RT, OptConfig::all());
+  E.setCallThreshold(3);
+  RT.evaluate("function h(s) { return s.length; }"
+              "for (var i = 0; i < 20; i++) h('ab' + 'c');"
+              "print('ok');");
+  ASSERT_FALSE(RT.hasError());
+  // Fresh string objects with equal contents hit the cache.
+  EXPECT_EQ(E.stats().Despecializations, 0u);
+  EXPECT_GT(E.stats().CacheHits, 10u);
+}
+
+TEST(Policy, OsrRevalidatesBakedSlots) {
+  Runtime RT;
+  Engine E(RT, OptConfig::all());
+  E.setLoopThreshold(40);
+  // The loop gets OSR-compiled inside the first call with n=200; the
+  // second call enters the same loop with different slot values, which
+  // must not reuse the baked OSR constants blindly.
+  RT.evaluate("function work(n) { var s = 0;"
+              "  for (var i = 0; i < n; i++) s = (s + i) % 99991;"
+              "  return s; }"
+              "print(work(200), work(300));");
+  ASSERT_FALSE(RT.hasError());
+  Runtime Ref;
+  Ref.evaluate("function work(n) { var s = 0;"
+               "  for (var i = 0; i < n; i++) s = (s + i) % 99991;"
+               "  return s; }"
+               "print(work(200), work(300));");
+  EXPECT_EQ(RT.output(), Ref.output());
+  EXPECT_GT(E.stats().OsrEntries, 0u);
+}
+
+TEST(Policy, BailoutLimitDiscardsCode) {
+  Runtime RT;
+  Engine E(RT, OptConfig::baseline());
+  E.setCallThreshold(3);
+  E.setBailoutLimit(4);
+  // int32 feedback, then persistent double arguments: each call bails
+  // until the limit discards the code; the recompile uses the refreshed
+  // feedback and stops bailing.
+  RT.evaluate("function f(x) { return x + 1; }"
+              "for (var i = 0; i < 10; i++) f(1);"
+              "var r = 0;"
+              "for (var i = 0; i < 20; i++) r = f(0.5);"
+              "print(r);");
+  ASSERT_FALSE(RT.hasError());
+  EXPECT_EQ(RT.output(), "1.5\n");
+  EXPECT_GE(E.stats().Bailouts, 1u);
+  EXPECT_LE(E.stats().Bailouts, 8u); // Bounded by the limit, not 20.
+  EXPECT_GT(E.stats().Recompilations, 0u);
+}
+
+TEST(Policy, FunctionReportsClassifyOutcomes) {
+  Runtime RT;
+  Engine E(RT, OptConfig::all());
+  E.setCallThreshold(3);
+  RT.evaluate("function stable(x) { return x + 1; }"
+              "function flaky(x) { return x * 2; }"
+              "for (var i = 0; i < 10; i++) { stable(5); flaky(5); }"
+              "flaky(6);"
+              "print('ok');");
+  ASSERT_FALSE(RT.hasError());
+  bool SawStable = false, SawFlaky = false;
+  for (const Engine::FunctionReport &R : E.functionReports()) {
+    if (R.Name == "stable") {
+      SawStable = true;
+      EXPECT_TRUE(R.WasSpecialized);
+      EXPECT_FALSE(R.Despecialized);
+    }
+    if (R.Name == "flaky") {
+      SawFlaky = true;
+      EXPECT_TRUE(R.WasSpecialized);
+      EXPECT_TRUE(R.Despecialized);
+      EXPECT_GE(R.Compiles, 2u);
+    }
+    if (R.MinCodeSize != SIZE_MAX) {
+      EXPECT_GT(R.MinCodeSize, 0u);
+    }
+  }
+  EXPECT_TRUE(SawStable);
+  EXPECT_TRUE(SawFlaky);
+}
+
+TEST(Policy, GenericConfigNeverSpecializes) {
+  Runtime RT;
+  Engine E(RT, OptConfig::baseline());
+  E.setCallThreshold(3);
+  RT.evaluate("function f(x) { return x + 1; }"
+              "for (var i = 0; i < 30; i++) f(1);");
+  ASSERT_FALSE(RT.hasError());
+  EXPECT_GT(E.stats().Compilations, 0u);
+  EXPECT_EQ(E.stats().SpecializedCompiles, 0u);
+  EXPECT_EQ(E.stats().CacheHits, 0u);
+}
+
+TEST(Policy, CacheDepthTwoKeepsBothSpecializations) {
+  Runtime RT;
+  Engine E(RT, OptConfig::all());
+  E.setCallThreshold(3);
+  E.setCacheDepth(2); // The paper's future-work heuristic.
+  RT.evaluate("function f(x) { return x * 2; }"
+              "for (var i = 0; i < 20; i++) f(5);"   // First slot.
+              "for (var i = 0; i < 20; i++) f(9);"   // Second slot.
+              "for (var i = 0; i < 20; i++) { f(5); f(9); }" // Both hit.
+              "print('ok');");
+  ASSERT_FALSE(RT.hasError());
+  EXPECT_EQ(E.stats().Despecializations, 0u);
+  EXPECT_EQ(E.stats().SpecializedCompiles, 2u);
+  EXPECT_GT(E.stats().CacheHits, 60u);
+}
+
+TEST(Policy, CacheDepthTwoStillDeoptsOnThirdSet) {
+  Runtime RT;
+  Engine E(RT, OptConfig::all());
+  E.setCallThreshold(3);
+  E.setCacheDepth(2);
+  RT.evaluate("function f(x) { return x * 2; }"
+              "for (var i = 0; i < 10; i++) f(5);"
+              "for (var i = 0; i < 10; i++) f(9);"
+              "f(1);" // Third distinct set: cache full -> deopt.
+              "print(f(7));");
+  ASSERT_FALSE(RT.hasError());
+  EXPECT_EQ(RT.output(), "14\n");
+  EXPECT_EQ(E.stats().Despecializations, 1u);
+}
+
+TEST(Policy, CompileTimeIsAccounted) {
+  Runtime RT;
+  Engine E(RT, OptConfig::all());
+  E.setCallThreshold(2);
+  RT.evaluate("function f(x) { var s = 0;"
+              "  for (var i = 0; i < x; i++) s += i; return s; }"
+              "for (var i = 0; i < 10; i++) f(50);");
+  ASSERT_FALSE(RT.hasError());
+  EXPECT_GT(E.stats().CompileSeconds, 0.0);
+}
+
+} // namespace

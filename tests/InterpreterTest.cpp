@@ -1,0 +1,296 @@
+//===- tests/InterpreterTest.cpp - Interpreter semantics ------------------===//
+///
+/// \file
+/// End-to-end semantics of the bytecode interpreter (no JIT attached):
+/// arithmetic, control flow, closures, objects, arrays, strings, builtins
+/// and error handling.
+///
+//===----------------------------------------------------------------------===//
+
+#include "vm/Runtime.h"
+
+#include <gtest/gtest.h>
+
+using namespace jitvs;
+
+namespace {
+
+/// Runs \p Source and returns the print output; fails the test on errors.
+std::string runOutput(const std::string &Source) {
+  Runtime RT;
+  RT.evaluate(Source);
+  EXPECT_FALSE(RT.hasError()) << RT.errorMessage();
+  return RT.output();
+}
+
+/// Runs \p Source and returns the runtime error message ("" when none).
+std::string runError(const std::string &Source) {
+  Runtime RT;
+  RT.evaluate(Source);
+  return RT.hasError() ? RT.errorMessage() : "";
+}
+
+TEST(Interpreter, PrintsNumbers) {
+  EXPECT_EQ(runOutput("print(1 + 2);"), "3\n");
+  EXPECT_EQ(runOutput("print(10 / 4);"), "2.5\n");
+  EXPECT_EQ(runOutput("print(7 % 3);"), "1\n");
+  EXPECT_EQ(runOutput("print(2 * 3 + 4);"), "10\n");
+  EXPECT_EQ(runOutput("print(2 + 3 * 4);"), "14\n");
+  EXPECT_EQ(runOutput("print(-5);"), "-5\n");
+  EXPECT_EQ(runOutput("print(1.5 + 1.25);"), "2.75\n");
+}
+
+TEST(Interpreter, IntegerOverflowPromotesToDouble) {
+  EXPECT_EQ(runOutput("print(2147483647 + 1);"), "2147483648\n");
+  EXPECT_EQ(runOutput("print(-2147483648 - 1);"), "-2147483649\n");
+  EXPECT_EQ(runOutput("print(100000 * 100000);"), "10000000000\n");
+}
+
+TEST(Interpreter, BitwiseOps) {
+  EXPECT_EQ(runOutput("print(6 & 3);"), "2\n");
+  EXPECT_EQ(runOutput("print(6 | 3);"), "7\n");
+  EXPECT_EQ(runOutput("print(6 ^ 3);"), "5\n");
+  EXPECT_EQ(runOutput("print(~5);"), "-6\n");
+  EXPECT_EQ(runOutput("print(1 << 10);"), "1024\n");
+  EXPECT_EQ(runOutput("print(-8 >> 1);"), "-4\n");
+  EXPECT_EQ(runOutput("print(-8 >>> 28);"), "15\n");
+  // ToInt32 wrapping of doubles.
+  EXPECT_EQ(runOutput("print((4294967296 + 5) | 0);"), "5\n");
+  EXPECT_EQ(runOutput("print(3.7 | 0);"), "3\n");
+}
+
+TEST(Interpreter, Comparisons) {
+  EXPECT_EQ(runOutput("print(1 < 2, 2 <= 2, 3 > 4, 4 >= 4);"),
+            "true true false true\n");
+  EXPECT_EQ(runOutput("print('a' < 'b', 'abc' < 'abd');"), "true true\n");
+  EXPECT_EQ(runOutput("print(1 == '1', 1 === 1, 1 === '1');"),
+            "true true false\n");
+  EXPECT_EQ(runOutput("print(null == undefined, null === undefined);"),
+            "true false\n");
+  EXPECT_EQ(runOutput("print(NaN == NaN);"), "false\n");
+}
+
+TEST(Interpreter, StringOps) {
+  EXPECT_EQ(runOutput("print('foo' + 'bar');"), "foobar\n");
+  EXPECT_EQ(runOutput("print('x=' + 42);"), "x=42\n");
+  EXPECT_EQ(runOutput("print('abc'.length);"), "3\n");
+  EXPECT_EQ(runOutput("print('abc'.charCodeAt(1));"), "98\n");
+  EXPECT_EQ(runOutput("print('abc'.charAt(2));"), "c\n");
+  EXPECT_EQ(runOutput("print('hello'.substring(1, 3));"), "el\n");
+  EXPECT_EQ(runOutput("print('hello'.indexOf('ll'));"), "2\n");
+  EXPECT_EQ(runOutput("print('a,b,c'.split(','));"), "a,b,c\n");
+  EXPECT_EQ(runOutput("print('aBc'.toUpperCase(), 'aBc'.toLowerCase());"),
+            "ABC abc\n");
+  EXPECT_EQ(runOutput("print(String.fromCharCode(104, 105));"), "hi\n");
+  EXPECT_EQ(runOutput("print('abc'[1]);"), "b\n");
+}
+
+TEST(Interpreter, ControlFlow) {
+  EXPECT_EQ(runOutput("var x = 3; if (x > 2) print('big'); else print('s');"),
+            "big\n");
+  EXPECT_EQ(runOutput("var s = 0; var i = 0; while (i < 5) { s += i; i++; }"
+                      "print(s);"),
+            "10\n");
+  EXPECT_EQ(runOutput("var s = 0; for (var i = 0; i < 5; i++) s += i;"
+                      "print(s);"),
+            "10\n");
+  EXPECT_EQ(runOutput("var i = 0; do { i++; } while (i < 3); print(i);"),
+            "3\n");
+  EXPECT_EQ(runOutput("var s = 0; for (var i = 0; i < 10; i++) {"
+                      "if (i == 3) continue; if (i == 6) break; s += i; }"
+                      "print(s);"),
+            "12\n");
+  EXPECT_EQ(runOutput("print(1 ? 'a' : 'b', 0 ? 'a' : 'b');"), "a b\n");
+}
+
+TEST(Interpreter, LogicalShortCircuit) {
+  EXPECT_EQ(runOutput("print(1 && 2, 0 && 2, 1 || 2, 0 || 2);"),
+            "2 0 1 2\n");
+  EXPECT_EQ(runOutput("var n = 0; function f() { n++; return true; }"
+                      "var r = false && f(); print(n);"),
+            "0\n");
+}
+
+TEST(Interpreter, Functions) {
+  EXPECT_EQ(runOutput("function add(a, b) { return a + b; } print(add(2,3));"),
+            "5\n");
+  EXPECT_EQ(runOutput("function f() {} print(f());"), "undefined\n");
+  // Missing arguments become undefined; NaN propagates.
+  EXPECT_EQ(runOutput("function f(a, b) { return a + b; } print(isNaN(f(1)));"),
+            "true\n");
+  EXPECT_EQ(
+      runOutput("function fib(n) { if (n < 2) return n;"
+                "return fib(n - 1) + fib(n - 2); } print(fib(12));"),
+      "144\n");
+}
+
+TEST(Interpreter, Closures) {
+  EXPECT_EQ(runOutput("function counter() { var n = 0;"
+                      "return function() { n++; return n; }; }"
+                      "var c = counter(); c(); c(); print(c());"),
+            "3\n");
+  EXPECT_EQ(runOutput("function make(x) { return function(y) {"
+                      "return x + y; }; } var add5 = make(5);"
+                      "print(add5(4));"),
+            "9\n");
+  // Two closures sharing one environment.
+  EXPECT_EQ(runOutput(
+                "function pair() { var n = 10;"
+                "function get() { return n; } function inc() { n++; }"
+                "return [get, inc]; } var p = pair();"
+                "p[1](); p[1](); print(p[0]());"),
+            "12\n");
+}
+
+TEST(Interpreter, HigherOrderFunctions) {
+  // The paper's running example (Figure 6).
+  EXPECT_EQ(runOutput("function inc(x) { return x + 1; }"
+                      "function map(s, b, n, f) { var i = b;"
+                      "while (i < n) { s[i] = f(s[i]); i++; } return s; }"
+                      "print(map(new Array(1, 2, 3, 4, 5), 2, 5, inc));"),
+            "1,2,4,5,6\n");
+}
+
+TEST(Interpreter, Arrays) {
+  EXPECT_EQ(runOutput("var a = [1, 2, 3]; print(a.length, a[0], a[2]);"),
+            "3 1 3\n");
+  EXPECT_EQ(runOutput("var a = []; a.push(7); a.push(8); print(a.pop(), "
+                      "a.length);"),
+            "8 1\n");
+  EXPECT_EQ(runOutput("var a = new Array(3); print(a.length, a[1]);"),
+            "3 undefined\n");
+  EXPECT_EQ(runOutput("var a = [1,2]; a[5] = 9; print(a.length, a[3], a[5]);"),
+            "6 undefined 9\n");
+  EXPECT_EQ(runOutput("print([3,1,2].sort().join('-'));"), "1-2-3\n");
+  EXPECT_EQ(runOutput("print([1,2,3].indexOf(2), [1,2,3].indexOf(9));"),
+            "1 -1\n");
+  EXPECT_EQ(runOutput("print([1,2,3,4].slice(1, 3).join());"), "2,3\n");
+  EXPECT_EQ(runOutput("var a = [1,2,3]; a.reverse(); print(a.join());"),
+            "3,2,1\n");
+  EXPECT_EQ(runOutput("print([0,1].concat([2,3]).length);"), "4\n");
+  EXPECT_EQ(runOutput("var a = [4,5,6]; print(a.shift(), a.join());"),
+            "4 5,6\n");
+}
+
+TEST(Interpreter, Objects) {
+  EXPECT_EQ(runOutput("var o = {a: 1, b: 'two'}; print(o.a, o.b);"),
+            "1 two\n");
+  EXPECT_EQ(runOutput("var o = {}; o.x = 5; o.x += 2; print(o.x);"), "7\n");
+  EXPECT_EQ(runOutput("var o = {n: 1}; print(o['n']); o['m'] = 2;"
+                      "print(o.m);"),
+            "1\n2\n");
+  EXPECT_EQ(runOutput("print({}.missing);"), "undefined\n");
+}
+
+TEST(Interpreter, MethodsAndThis) {
+  EXPECT_EQ(runOutput("var o = { v: 41, get: function() { return this.v; } };"
+                      "print(o.get());"),
+            "41\n");
+  EXPECT_EQ(runOutput("function Point(x, y) { this.x = x; this.y = y; }"
+                      "var p = new Point(3, 4);"
+                      "print(p.x * p.x + p.y * p.y);"),
+            "25\n");
+  EXPECT_EQ(runOutput("function T() { this.n = 1; this.bump = function() {"
+                      "this.n++; }; } var t = new T(); t.bump(); t.bump();"
+                      "print(t.n);"),
+            "3\n");
+}
+
+TEST(Interpreter, TypeOf) {
+  EXPECT_EQ(runOutput("print(typeof 1, typeof 'a', typeof true);"),
+            "number string boolean\n");
+  EXPECT_EQ(runOutput("print(typeof undefined, typeof null, typeof {});"),
+            "undefined object object\n");
+  EXPECT_EQ(runOutput("print(typeof [], typeof print);"),
+            "object function\n");
+}
+
+TEST(Interpreter, IncDec) {
+  EXPECT_EQ(runOutput("var i = 5; print(i++, i, ++i, i);"), "5 6 7 7\n");
+  EXPECT_EQ(runOutput("var i = 5; print(i--, i, --i, i);"), "5 4 3 3\n");
+  EXPECT_EQ(runOutput("var a = [10]; print(a[0]++, a[0], ++a[0]);"),
+            "10 11 12\n");
+  EXPECT_EQ(runOutput("var o = {n: 1}; o.n++; ++o.n; print(o.n);"), "3\n");
+}
+
+TEST(Interpreter, CompoundAssignments) {
+  EXPECT_EQ(runOutput("var x = 10; x += 5; x -= 3; x *= 2; print(x);"),
+            "24\n");
+  EXPECT_EQ(runOutput("var x = 7; x &= 3; print(x);"), "3\n");
+  EXPECT_EQ(runOutput("var x = 1; x <<= 4; x >>= 1; print(x);"), "8\n");
+  EXPECT_EQ(runOutput("var a = [1]; a[0] += 9; print(a[0]);"), "10\n");
+  EXPECT_EQ(runOutput("var o = {n: 2}; o.n *= 8; print(o.n);"), "16\n");
+}
+
+TEST(Interpreter, MathBuiltins) {
+  EXPECT_EQ(runOutput("print(Math.abs(-3), Math.floor(2.7), Math.ceil(2.1));"),
+            "3 2 3\n");
+  EXPECT_EQ(runOutput("print(Math.max(1, 9, 4), Math.min(1, 9, 4));"),
+            "9 1\n");
+  EXPECT_EQ(runOutput("print(Math.pow(2, 10), Math.sqrt(81));"),
+            "1024 9\n");
+  EXPECT_EQ(runOutput("print(Math.round(2.5), Math.round(-2.5));"), "3 -2\n");
+  // Deterministic RNG: value must be in [0, 1).
+  EXPECT_EQ(runOutput("var r = Math.random();"
+                      "print(r >= 0 && r < 1);"),
+            "true\n");
+}
+
+TEST(Interpreter, GlobalFunctions) {
+  EXPECT_EQ(runOutput("print(parseInt('42'), parseInt('ff', 16));"),
+            "42 255\n");
+  EXPECT_EQ(runOutput("print(parseFloat('2.5px'));"), "2.5\n");
+  EXPECT_EQ(runOutput("print(isNaN(0 / 0), isNaN(1));"), "true false\n");
+}
+
+TEST(Interpreter, Errors) {
+  EXPECT_NE(runError("var x = null; x.foo;"), "");
+  EXPECT_NE(runError("undefinedGlobal();"), "");
+  EXPECT_NE(runError("function f() { return f() + 1; } f();"), "");
+  EXPECT_EQ(runError("var a = [1]; print(a[99]);"), ""); // OOB is undefined.
+}
+
+TEST(Interpreter, ParseErrors) {
+  Runtime RT;
+  EXPECT_FALSE(RT.load("var = 3;"));
+  EXPECT_TRUE(RT.hasError());
+  Runtime RT2;
+  EXPECT_FALSE(RT2.load("function f( { }"));
+  Runtime RT3;
+  EXPECT_FALSE(RT3.load("print('unterminated);"));
+}
+
+TEST(Interpreter, GCSurvivesCollections) {
+  Runtime RT;
+  RT.heap().setGCThreshold(64); // Force frequent collections.
+  RT.evaluate("var keep = [];"
+              "for (var i = 0; i < 500; i++) {"
+              "  var s = 'x' + i;"
+              "  if (i % 10 == 0) keep.push(s);"
+              "  var tmp = [i, i + 1, {k: s}];"
+              "}"
+              "print(keep.length, keep[49]);"
+              "gc();"
+              "print(keep[0], keep[49]);");
+  EXPECT_FALSE(RT.hasError()) << RT.errorMessage();
+  EXPECT_EQ(RT.output(), "50 x490\nx0 x490\n");
+  EXPECT_GT(RT.heap().gcCount(), 0u);
+}
+
+TEST(Interpreter, TopLevelResult) {
+  Runtime RT;
+  Value V = RT.evaluate("var x = 1;");
+  EXPECT_TRUE(V.isUndefined());
+  EXPECT_FALSE(RT.hasError());
+}
+
+TEST(Interpreter, CallGlobalFromEmbedder) {
+  Runtime RT;
+  ASSERT_TRUE(RT.load("function square(x) { return x * x; }"));
+  RT.run();
+  Value R = RT.callGlobal("square", {Value::int32(12)});
+  ASSERT_TRUE(R.isInt32());
+  EXPECT_EQ(R.asInt32(), 144);
+}
+
+} // namespace

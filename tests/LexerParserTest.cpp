@@ -1,0 +1,165 @@
+//===- tests/LexerParserTest.cpp - Front-end unit tests -------------------===//
+
+#include "parser/Lexer.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace jitvs;
+
+namespace {
+
+std::vector<Token> lexAll(const std::string &Src) {
+  Lexer L(Src);
+  std::vector<Token> Out;
+  while (true) {
+    Token T = L.next();
+    Out.push_back(T);
+    if (T.Kind == TokKind::Eof || T.Kind == TokKind::Error)
+      break;
+  }
+  return Out;
+}
+
+TEST(Lexer, Numbers) {
+  auto Ts = lexAll("0 42 3.14 1e3 2.5e-2 0xff 0xDEAD");
+  ASSERT_EQ(Ts.size(), 8u);
+  EXPECT_EQ(Ts[0].NumValue, 0.0);
+  EXPECT_TRUE(Ts[0].IsIntLiteral);
+  EXPECT_EQ(Ts[1].NumValue, 42.0);
+  EXPECT_DOUBLE_EQ(Ts[2].NumValue, 3.14);
+  EXPECT_FALSE(Ts[2].IsIntLiteral);
+  EXPECT_EQ(Ts[3].NumValue, 1000.0);
+  EXPECT_DOUBLE_EQ(Ts[4].NumValue, 0.025);
+  EXPECT_EQ(Ts[5].NumValue, 255.0);
+  EXPECT_TRUE(Ts[5].IsIntLiteral);
+  EXPECT_EQ(Ts[6].NumValue, 57005.0);
+}
+
+TEST(Lexer, StringsAndEscapes) {
+  auto Ts = lexAll(R"( "a\nb" 'it\'s' "tab\there" )");
+  ASSERT_GE(Ts.size(), 3u);
+  EXPECT_EQ(Ts[0].Text, "a\nb");
+  EXPECT_EQ(Ts[1].Text, "it's");
+  EXPECT_EQ(Ts[2].Text, "tab\there");
+}
+
+TEST(Lexer, OperatorsMaximalMunch) {
+  auto Ts = lexAll(">>> >> > >= >>>= === == = != !== << <= ++ +=");
+  std::vector<TokKind> Want = {
+      TokKind::UShr, TokKind::Shr,     TokKind::Gt,     TokKind::Ge,
+      TokKind::UShrAssign, TokKind::EqEqEq, TokKind::EqEq, TokKind::Assign,
+      TokKind::NotEq, TokKind::NotEqEq, TokKind::Shl,    TokKind::Le,
+      TokKind::PlusPlus, TokKind::PlusAssign, TokKind::Eof};
+  ASSERT_EQ(Ts.size(), Want.size());
+  for (size_t I = 0; I != Want.size(); ++I)
+    EXPECT_EQ(Ts[I].Kind, Want[I]) << "token " << I;
+}
+
+TEST(Lexer, CommentsSkipped) {
+  auto Ts = lexAll("a // line comment\n b /* block\n comment */ c");
+  ASSERT_EQ(Ts.size(), 4u);
+  EXPECT_EQ(Ts[0].Text, "a");
+  EXPECT_EQ(Ts[1].Text, "b");
+  EXPECT_EQ(Ts[2].Text, "c");
+}
+
+TEST(Lexer, Keywords) {
+  auto Ts = lexAll("var function typeof new this undefined");
+  EXPECT_EQ(Ts[0].Kind, TokKind::KwVar);
+  EXPECT_EQ(Ts[1].Kind, TokKind::KwFunction);
+  EXPECT_EQ(Ts[2].Kind, TokKind::KwTypeof);
+  EXPECT_EQ(Ts[3].Kind, TokKind::KwNew);
+  EXPECT_EQ(Ts[4].Kind, TokKind::KwThis);
+  EXPECT_EQ(Ts[5].Kind, TokKind::KwUndefined);
+}
+
+TEST(Lexer, UnterminatedString) {
+  auto Ts = lexAll("'oops");
+  EXPECT_EQ(Ts.back().Kind, TokKind::Error);
+}
+
+TEST(Parser, Precedence) {
+  // 1 + 2 * 3 parses as 1 + (2 * 3).
+  ParseResult R = parseProgram("var x = 1 + 2 * 3;");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  const Stmt &S = *R.Program->Body[0];
+  ASSERT_EQ(S.Kind, StmtKind::VarDecl);
+  const Expr &E = *S.Inits[0];
+  ASSERT_EQ(E.Kind, ExprKind::Binary);
+  EXPECT_EQ(E.BOp, BinaryOp::Add);
+  EXPECT_EQ(E.B->Kind, ExprKind::Binary);
+  EXPECT_EQ(E.B->BOp, BinaryOp::Mul);
+}
+
+TEST(Parser, AssociativityOfAssignment) {
+  // a = b = 1 parses as a = (b = 1).
+  ParseResult R = parseProgram("a = b = 1;");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  const Expr &E = *R.Program->Body[0]->E;
+  ASSERT_EQ(E.Kind, ExprKind::Assign);
+  EXPECT_EQ(E.B->Kind, ExprKind::Assign);
+}
+
+TEST(Parser, TernaryNesting) {
+  ParseResult R = parseProgram("var x = a ? b : c ? d : e;");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  const Expr &E = *R.Program->Body[0]->Inits[0];
+  ASSERT_EQ(E.Kind, ExprKind::Conditional);
+  EXPECT_EQ(E.C->Kind, ExprKind::Conditional); // Right-associative.
+}
+
+TEST(Parser, MemberCallChains) {
+  ParseResult R = parseProgram("a.b.c(1)[2].d();");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Program->Body[0]->E->Kind, ExprKind::Call);
+}
+
+TEST(Parser, NewExpression) {
+  ParseResult R = parseProgram("var p = new Point(1, 2);");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  const Expr &E = *R.Program->Body[0]->Inits[0];
+  ASSERT_EQ(E.Kind, ExprKind::New);
+  EXPECT_EQ(E.Args.size(), 2u);
+}
+
+TEST(Parser, ForVariants) {
+  EXPECT_TRUE(parseProgram("for (;;) break;").ok());
+  EXPECT_TRUE(parseProgram("for (var i = 0; i < 3; i++) ;").ok());
+  EXPECT_TRUE(parseProgram("for (i = 0; ; i++) break;").ok());
+}
+
+TEST(Parser, FunctionExpressionsAndDeclarations) {
+  ParseResult R = parseProgram(
+      "function named(a, b) { return a; }"
+      "var anon = function(x) { return x; };"
+      "var rec = function self(n) { return n; };");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Program->Body.size(), 3u);
+}
+
+TEST(Parser, ObjectLiteralKeyForms) {
+  ParseResult R =
+      parseProgram("var o = {plain: 1, 'quoted': 2, 42: 3};");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  const Expr &E = *R.Program->Body[0]->Inits[0];
+  ASSERT_EQ(E.Kind, ExprKind::ObjectLit);
+  ASSERT_EQ(E.Props.size(), 3u);
+  EXPECT_EQ(E.Props[0].first, "plain");
+  EXPECT_EQ(E.Props[1].first, "quoted");
+  EXPECT_EQ(E.Props[2].first, "42");
+}
+
+TEST(Parser, ErrorsHavePositions) {
+  ParseResult R = parseProgram("var x = ;\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("1:"), std::string::npos) << R.Error;
+}
+
+TEST(Parser, ErrorOnBadAssignTarget) {
+  ParseResult R = parseProgram("1 + 2 = 3;");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("assignment"), std::string::npos) << R.Error;
+}
+
+} // namespace

@@ -1,0 +1,262 @@
+//===- tests/MIRBuilderTest.cpp - Bytecode -> SSA translation tests -------===//
+///
+/// \file
+/// Shapes of built graphs: entry/OSR anatomy (Figure 6), resume-point
+/// state capture, phi placement at merges and loop headers, feedback-
+/// driven instruction selection, and inline-mode construction.
+///
+//===----------------------------------------------------------------------===//
+
+#include "mir/MIRBuilder.h"
+#include "mir/Verifier.h"
+#include "vm/Runtime.h"
+
+#include <gtest/gtest.h>
+
+using namespace jitvs;
+
+namespace {
+
+struct BuilderTester {
+  explicit BuilderTester(const std::string &Source) {
+    EXPECT_TRUE(RT.load(Source)) << RT.errorMessage();
+    RT.run();
+    EXPECT_FALSE(RT.hasError()) << RT.errorMessage();
+  }
+
+  FunctionInfo *function(const std::string &Name) {
+    for (size_t I = 0; I != RT.program()->numFunctions(); ++I) {
+      FunctionInfo *F = RT.program()->function(static_cast<uint32_t>(I));
+      if (F->Name == Name)
+        return F;
+    }
+    return nullptr;
+  }
+
+  uint32_t firstLoopHead(FunctionInfo *F) {
+    for (uint32_t PC = 0; PC < F->Code.size();
+         PC += F->instructionLength(PC))
+      if (F->opAt(PC) == Op::LoopHead)
+        return PC;
+    return ~0u;
+  }
+
+  Runtime RT;
+};
+
+size_t count(const MIRGraph &G, MirOp Op) {
+  size_t N = 0;
+  for (const auto &B : G.blocks()) {
+    if (B->isDead())
+      continue;
+    for (const MInstr *I : B->phis())
+      if (I->op() == Op)
+        ++N;
+    for (const MInstr *I : B->instructions())
+      if (I->op() == Op)
+        ++N;
+  }
+  return N;
+}
+
+TEST(MIRBuilder, EntryAnatomyMatchesFigure6) {
+  BuilderTester T("function f(a) { return a; } f(1);");
+  auto G = buildMIR(T.function("f"), BuildOptions());
+  ASSERT_NE(G->entry(), nullptr);
+  EXPECT_EQ(G->osrBlock(), nullptr);
+  // Entry holds start, parameter defs and the recursion check.
+  EXPECT_EQ(count(*G, MirOp::Start), 1u);
+  EXPECT_EQ(count(*G, MirOp::Parameter), 1u);
+  EXPECT_EQ(count(*G, MirOp::CheckOverRecursed), 1u);
+  // The entry block records its frame state for entry guards.
+  EXPECT_NE(G->entry()->entryResumePoint(), nullptr);
+  EXPECT_EQ(verifyGraph(*G), "");
+}
+
+TEST(MIRBuilder, OsrBlockIsASecondRoot) {
+  BuilderTester T("function f(n) { var s = 0;"
+                  "  for (var i = 0; i < n; i++) s += i;"
+                  "  return s; } f(3);");
+  FunctionInfo *F = T.function("f");
+  BuildOptions Opts;
+  Opts.OsrPc = T.firstLoopHead(F);
+  ASSERT_NE(*Opts.OsrPc, ~0u);
+  auto G = buildMIR(F, Opts);
+  ASSERT_NE(G->osrBlock(), nullptr);
+  // OSR block: one OsrValue per frame slot, then a goto into the loop.
+  EXPECT_EQ(count(*G, MirOp::OsrValue), F->NumSlots);
+  ASSERT_NE(G->osrBlock()->entryResumePoint(), nullptr);
+  EXPECT_EQ(G->osrBlock()->entryResumePoint()->pc(), *Opts.OsrPc);
+  // The loop header now merges three paths: entry, OSR, back edge.
+  bool FoundTriplePhi = false;
+  for (const auto &B : G->blocks())
+    if (!B->isDead())
+      for (const MInstr *Phi : B->phis())
+        if (Phi->numOperands() == 3)
+          FoundTriplePhi = true;
+  EXPECT_TRUE(FoundTriplePhi);
+  EXPECT_EQ(verifyGraph(*G), "");
+}
+
+TEST(MIRBuilder, SpecializedOsrBakesSlotValues) {
+  // Figure 7(a): both entry points get constants under specialization.
+  BuilderTester T("function f(n) { var s = 0;"
+                  "  for (var i = 0; i < n; i++) s += i;"
+                  "  return s; } f(10);");
+  FunctionInfo *F = T.function("f");
+  BuildOptions Opts;
+  Opts.OsrPc = T.firstLoopHead(F);
+  Opts.SpecializedArgs = std::vector<Value>{Value::int32(10)};
+  Opts.OsrSlotValues = {Value::int32(10), Value::int32(3),
+                        Value::int32(2)};
+  auto G = buildMIR(F, Opts);
+  EXPECT_EQ(count(*G, MirOp::OsrValue), 0u);
+  EXPECT_EQ(count(*G, MirOp::Parameter), 0u);
+  EXPECT_EQ(verifyGraph(*G), "");
+}
+
+TEST(MIRBuilder, ResumePointsCaptureOperandStack) {
+  // The guard sits mid-expression: its resume point must include the
+  // values already pushed for the enclosing expression.
+  BuilderTester T("function f(a, b) { return (a + b) * (a - b); }"
+                  "for (var i = 0; i < 6; i++) f(9, 4);");
+  auto G = buildMIR(T.function("f"), BuildOptions());
+  bool SawStackEntry = false;
+  for (const auto &B : G->blocks()) {
+    if (B->isDead())
+      continue;
+    for (const MInstr *I : B->instructions()) {
+      if (const MResumePoint *RP = I->resumePoint()) {
+        EXPECT_EQ(RP->numFrameSlots(), T.function("f")->NumSlots);
+        if (RP->numEntries() > RP->numFrameSlots())
+          SawStackEntry = true;
+      }
+    }
+  }
+  EXPECT_TRUE(SawStackEntry);
+}
+
+TEST(MIRBuilder, FeedbackSelectsInt32Arithmetic) {
+  BuilderTester T("function f(a, b) { return a + b; }"
+                  "for (var i = 0; i < 8; i++) f(1, 2);");
+  auto G = buildMIR(T.function("f"), BuildOptions());
+  EXPECT_EQ(count(*G, MirOp::AddI), 1u);
+  EXPECT_EQ(count(*G, MirOp::GenericBinop), 0u);
+}
+
+TEST(MIRBuilder, FeedbackSelectsDoubleArithmetic) {
+  BuilderTester T("function f(a, b) { return a + b; }"
+                  "for (var i = 0; i < 8; i++) f(1.5, 2.5);");
+  auto G = buildMIR(T.function("f"), BuildOptions());
+  EXPECT_EQ(count(*G, MirOp::AddD), 1u);
+  EXPECT_EQ(count(*G, MirOp::AddI), 0u);
+}
+
+TEST(MIRBuilder, OverflowFeedbackAvoidsInt32) {
+  BuilderTester T("function f(a, b) { return a * b; }"
+                  "f(100000, 100000);" // Overflows during warmup.
+                  "for (var i = 0; i < 8; i++) f(2, 3);");
+  auto G = buildMIR(T.function("f"), BuildOptions());
+  // SawIntOverflow forces the double form despite int32 operands.
+  EXPECT_EQ(count(*G, MirOp::MulI), 0u);
+  EXPECT_EQ(count(*G, MirOp::MulD), 1u);
+}
+
+TEST(MIRBuilder, MixedFeedbackFallsBackToGeneric) {
+  BuilderTester T("function f(a, b) { return a + b; }"
+                  "f(1, 2); f('x', 'y'); f(1.5, 2);");
+  auto G = buildMIR(T.function("f"), BuildOptions());
+  EXPECT_EQ(count(*G, MirOp::GenericBinop), 1u);
+}
+
+TEST(MIRBuilder, StringConcatSpecializes) {
+  BuilderTester T("function f(a, b) { return a + b; }"
+                  "for (var i = 0; i < 8; i++) f('x', 'y');");
+  auto G = buildMIR(T.function("f"), BuildOptions());
+  EXPECT_EQ(count(*G, MirOp::Concat), 1u);
+}
+
+TEST(MIRBuilder, ArrayAccessGetsBoundsCheck) {
+  BuilderTester T("function f(a, i) { return a[i]; }"
+                  "var arr = [1, 2, 3];"
+                  "for (var i = 0; i < 8; i++) f(arr, 1);");
+  auto G = buildMIR(T.function("f"), BuildOptions());
+  EXPECT_EQ(count(*G, MirOp::BoundsCheck), 1u);
+  EXPECT_EQ(count(*G, MirOp::LoadElement), 1u);
+  EXPECT_EQ(count(*G, MirOp::GenericGetElem), 0u);
+}
+
+TEST(MIRBuilder, OobFeedbackForcesGenericElem) {
+  BuilderTester T("function f(a, i) { return a[i]; }"
+                  "var arr = [1, 2, 3];"
+                  "f(arr, 99);" // Out of bounds during warmup.
+                  "for (var i = 0; i < 8; i++) f(arr, 1);");
+  auto G = buildMIR(T.function("f"), BuildOptions());
+  EXPECT_EQ(count(*G, MirOp::GenericGetElem), 1u);
+  EXPECT_EQ(count(*G, MirOp::BoundsCheck), 0u);
+}
+
+TEST(MIRBuilder, MathIntrinsicsOnConstantReceiver) {
+  BuilderTester T("function f(x) { return Math.sin(x) + Math.pow(x, 2); }"
+                  "for (var i = 0; i < 8; i++) f(1.5);");
+  auto G = buildMIR(T.function("f"), BuildOptions());
+  // Math is a global object (not a constant in generic mode), so the
+  // intrinsic only fires when Math is loaded as a constant... which
+  // requires the receiver to be constant. GenericGetProp + CallMethod is
+  // the generic shape:
+  EXPECT_EQ(count(*G, MirOp::CallMethod), 2u);
+}
+
+TEST(MIRBuilder, CharCodeAtSpecializes) {
+  BuilderTester T("function f(s, i) { return s.charCodeAt(i); }"
+                  "for (var i = 0; i < 8; i++) f('hello', 1);");
+  auto G = buildMIR(T.function("f"), BuildOptions());
+  EXPECT_EQ(count(*G, MirOp::CharCodeAt), 1u);
+  EXPECT_EQ(count(*G, MirOp::StringLength), 1u);
+}
+
+TEST(MIRBuilder, NewArrayLenFastPathNeedsConstantCallee) {
+  BuilderTester T("function f(n) { return new Array(n); }"
+                  "for (var i = 0; i < 8; i++) f(4);");
+  // Generic build: Array is loaded from a mutable global, no fast path.
+  auto G = buildMIR(T.function("f"), BuildOptions());
+  EXPECT_EQ(count(*G, MirOp::New), 1u);
+  EXPECT_EQ(count(*G, MirOp::NewArrayLen), 0u);
+}
+
+TEST(MIRBuilder, InlineModeIsGuardFree) {
+  BuilderTester T("function callee(x) { return x + 1; }"
+                  "for (var i = 0; i < 8; i++) callee(i);");
+  FunctionInfo *Callee = T.function("callee");
+  ASSERT_TRUE(isInlinableFunction(Callee, 400));
+
+  // Host graph to build into.
+  FunctionInfo *Main = T.RT.program()->main();
+  MIRGraph Host(Main);
+  MInstr *Arg = Host.createConstant(Value::int32(41));
+  MBasicBlock *Entry = Host.createBlock();
+  Host.setEntry(Entry);
+  Entry->append(Arg);
+
+  InlineBuildResult R = buildInlineMIR(Host, Callee, {Arg});
+  ASSERT_TRUE(R.Ok);
+  ASSERT_NE(R.EntryBlock, nullptr);
+  ASSERT_EQ(R.Returns.size(), 1u);
+  // Guard-free: no resume points anywhere in the inlined body.
+  for (const auto &B : Host.blocks()) {
+    if (B->isDead() || B.get() == Entry)
+      continue;
+    for (const MInstr *I : B->instructions()) {
+      EXPECT_EQ(I->resumePoint(), nullptr) << I->toString();
+      EXPECT_FALSE(I->isGuard()) << I->toString();
+    }
+  }
+}
+
+TEST(MIRBuilder, InlineRejectsClosures) {
+  BuilderTester T("function callee(x) { return function() { return x; }; }"
+                  "callee(1);");
+  EXPECT_FALSE(isInlinableFunction(T.function("callee"), 400));
+}
+
+} // namespace

@@ -1,0 +1,217 @@
+//===- tests/RuntimeEdgeTest.cpp - Runtime and language edge cases --------===//
+///
+/// \file
+/// Corner semantics that the optimizer must preserve and the substrate
+/// must implement faithfully: JS numeric edge cases (-0, NaN, int32
+/// wrapping), string/array builtin behavior at boundaries, closure
+/// sharing, deep environment chains, error propagation and the
+/// interplay of all of it under the JIT.
+///
+//===----------------------------------------------------------------------===//
+
+#include "jit/Engine.h"
+#include "vm/Runtime.h"
+
+#include <gtest/gtest.h>
+
+using namespace jitvs;
+
+namespace {
+
+std::string interp(const std::string &Source) {
+  Runtime RT;
+  RT.evaluate(Source);
+  EXPECT_FALSE(RT.hasError()) << RT.errorMessage();
+  return RT.output();
+}
+
+/// Runs under the interpreter and under the full JIT; both must agree,
+/// and the function returns the common output.
+std::string both(const std::string &Source) {
+  std::string A = interp(Source);
+  Runtime RT;
+  Engine E(RT, OptConfig::all());
+  E.setCallThreshold(3);
+  E.setLoopThreshold(30);
+  RT.evaluate(Source);
+  EXPECT_FALSE(RT.hasError()) << RT.errorMessage();
+  EXPECT_EQ(A, RT.output());
+  return A;
+}
+
+TEST(NumericEdge, NegativeZero) {
+  EXPECT_EQ(both("print(1 / (0 * -1));"), "-Infinity\n");
+  EXPECT_EQ(both("print(1 / (-0.0));"), "-Infinity\n");
+  EXPECT_EQ(both("print(-0.0 == 0, -0.0 === 0);"), "true true\n");
+  // -0 through a hot multiply.
+  EXPECT_EQ(both("function m(a, b) { return a * b; }"
+                 "for (var i = 0; i < 20; i++) m(2, 3);"
+                 "print(1 / m(-4, 0));"),
+            "-Infinity\n");
+}
+
+TEST(NumericEdge, NaNPropagation) {
+  EXPECT_EQ(both("var n = 0 / 0; print(n == n, n != n, n < 1, n >= 1);"),
+            "false true false false\n");
+  EXPECT_EQ(both("print((undefined + 1) == (undefined + 1));"), "false\n");
+}
+
+TEST(NumericEdge, Int32Boundaries) {
+  EXPECT_EQ(both("print(2147483647 + 1, -2147483648 - 1);"),
+            "2147483648 -2147483649\n");
+  EXPECT_EQ(both("print((2147483647 + 1) | 0);"), "-2147483648\n");
+  EXPECT_EQ(both("var x = -2147483648; print(-x);"), "2147483648\n");
+  EXPECT_EQ(both("print(2147483647 * 2);"), "4294967294\n");
+}
+
+TEST(NumericEdge, ModuloSigns) {
+  EXPECT_EQ(both("print(7 % 3, -7 % 3, 7 % -3);"), "1 -1 1\n");
+  EXPECT_EQ(both("print(5 % 0);"), "NaN\n");
+  EXPECT_EQ(both("print(5.5 % 2);"), "1.5\n");
+  // Hot modulo that goes negative after warmup (ModI bails).
+  EXPECT_EQ(both("function m(a, b) { return a % b; }"
+                 "for (var i = 0; i < 20; i++) m(9, 4);"
+                 "print(m(-9, 4));"),
+            "-1\n");
+}
+
+TEST(NumericEdge, ShiftSemantics) {
+  EXPECT_EQ(both("print(1 << 32, 1 << 33);"), "1 2\n"); // Count & 31.
+  EXPECT_EQ(both("print(-1 >>> 0);"), "4294967295\n");
+  EXPECT_EQ(both("print(-16 >> 2, -16 >>> 28);"), "-4 15\n");
+}
+
+TEST(StringEdge, Boundaries) {
+  EXPECT_EQ(both("print(''.length, 'a'.charCodeAt(5));"), "0 NaN\n");
+  EXPECT_EQ(both("print('abc'.substring(2, 1));"), "b\n"); // Swapped.
+  EXPECT_EQ(both("print('abc'.slice(-2));"), "bc\n");
+  EXPECT_EQ(both("print('abc'[5]);"), "undefined\n");
+  EXPECT_EQ(both("print('a' + 1 + 2, 1 + 2 + 'a');"), "a12 3a\n");
+  EXPECT_EQ(both("print('' + undefined, '' + null, '' + true);"),
+            "undefined null true\n");
+}
+
+TEST(ArrayEdge, HolesAndGrowth) {
+  EXPECT_EQ(both("var a = []; a[3] = 1; print(a.length, a[0], a.join());"),
+            "4 undefined ,,,1\n");
+  EXPECT_EQ(both("var a = [1,2,3]; a.length = 1; print(a.join(), "
+                 "a.length);"),
+            "1 1\n");
+  EXPECT_EQ(both("var a = [1,2,3]; print(a[-1], a[2.5], a[2.0]);"),
+            "undefined undefined 3\n");
+  EXPECT_EQ(both("var a = new Array(0); print(a.length, a.pop());"),
+            "0 undefined\n");
+}
+
+TEST(ArrayEdge, NestedArraysPrint) {
+  EXPECT_EQ(both("print([[1,2],[3]] + '');"), "1,2,3\n");
+  EXPECT_EQ(both("var a = [1, [2, [3, 4]]]; print(a.join('|'));"),
+            "1|2,3,4\n");
+}
+
+TEST(ObjectEdge, NumericAndStringKeysUnify) {
+  EXPECT_EQ(both("var o = {}; o[1] = 'a'; print(o['1']);"), "a\n");
+  EXPECT_EQ(both("var o = {}; o['k'] = 1; o.k += 1; print(o['k']);"),
+            "2\n");
+}
+
+TEST(ClosureEdge, SharedMutableEnvironment) {
+  EXPECT_EQ(both("function pair() { var n = 0;"
+                 "  return [function() { n += 1; return n; },"
+                 "          function() { n += 10; return n; }]; }"
+                 "var p = pair(); var q = pair();"
+                 "p[0](); p[1](); q[0]();"
+                 "print(p[0](), q[1]());"),
+            "12 11\n");
+}
+
+TEST(ClosureEdge, DeepLexicalChain) {
+  EXPECT_EQ(both("function a(x) { return function(y) {"
+                 "  return function(z) { return function(w) {"
+                 "    return x + y + z + w; }; }; }; }"
+                 "var f = a(1)(2)(3); var s = 0;"
+                 "for (var i = 0; i < 40; i++) s += f(4);"
+                 "print(s);"),
+            "400\n");
+}
+
+TEST(ClosureEdge, LoopCapturesShareOneVar) {
+  // var has function scope: all closures see the final i.
+  EXPECT_EQ(both("var fs = [];"
+                 "for (var i = 0; i < 3; i++)"
+                 "  fs.push(function() { return i; });"
+                 "print(fs[0](), fs[1](), fs[2]());"),
+            "3 3 3\n");
+}
+
+TEST(ThisEdge, MethodsAndPlainCalls) {
+  EXPECT_EQ(both("function f() { return typeof this; }"
+                 "var o = { m: f };"
+                 "print(f(), o.m());"),
+            "undefined object\n");
+}
+
+TEST(ErrorEdge, PropagatesThroughJitFrames) {
+  Runtime RT;
+  Engine E(RT, OptConfig::all());
+  E.setCallThreshold(3);
+  RT.evaluate("function inner(o) { return o.x; }"
+              "function outer(o) { return inner(o) + 1; }"
+              "for (var i = 0; i < 20; i++) outer({x: 1});"
+              "outer(null);"); // Error deep inside compiled frames.
+  EXPECT_TRUE(RT.hasError());
+  EXPECT_NE(RT.errorMessage().find("property"), std::string::npos);
+}
+
+TEST(ErrorEdge, RecursionGuardInNativeCode) {
+  Runtime RT;
+  Engine E(RT, OptConfig::all());
+  E.setCallThreshold(2);
+  RT.evaluate("function f(n) { return f(n + 1); }"
+              "f(0);");
+  EXPECT_TRUE(RT.hasError());
+  EXPECT_NE(RT.errorMessage().find("recursion"), std::string::npos);
+}
+
+TEST(SortEdge, ComparatorCallsJitCode) {
+  EXPECT_EQ(both("function cmp(a, b) { return b - a; }"
+                 "for (var i = 0; i < 10; i++) cmp(1, 2);" // Make it hot.
+                 "var a = [3, 1, 4, 1, 5, 9, 2, 6];"
+                 "a.sort(cmp);"
+                 "print(a.join());"),
+            "9,6,5,4,3,2,1,1\n");
+}
+
+TEST(GCEdge, CollectionsDuringJitWithClosures) {
+  Runtime RT;
+  RT.heap().setGCThreshold(64);
+  Engine E(RT, OptConfig::all());
+  E.setCallThreshold(3);
+  E.setLoopThreshold(30);
+  RT.evaluate("function mk(tag) { return function(i) {"
+              "  return tag + ':' + i; }; }"
+              "var out = [];"
+              "var junk = [];"
+              "for (var r = 0; r < 40; r++) {"
+              "  var f = mk('r' + r);"
+              "  for (var i = 0; i < 20; i++) {"
+              "    junk.push([f(i)]);"
+              "    if (i == 19) out.push(f(i));"
+              "  }"
+              "}"
+              "print(out.length, out[0], out[39]);");
+  ASSERT_FALSE(RT.hasError()) << RT.errorMessage();
+  EXPECT_EQ(RT.output(), "40 r0:19 r39:19\n");
+  EXPECT_GT(RT.heap().gcCount(), 0u);
+}
+
+TEST(OutputEdge, PrintingIsDeterministicAcrossTiers) {
+  EXPECT_EQ(both("print(0.1 + 0.2 == 0.3);"), "false\n");
+  EXPECT_EQ(both("print(1e100);"), "1e+100\n");
+  // Huge integers render with 12 significant digits (our documented
+  // formatting, deterministic across interpreter and JIT — not the
+  // ECMAScript shortest-round-trip algorithm; see DESIGN.md).
+  EXPECT_EQ(both("print(123456789012345678);"), "1.23456789012e+17\n");
+}
+
+} // namespace

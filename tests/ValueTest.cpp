@@ -1,0 +1,180 @@
+//===- tests/ValueTest.cpp - Boxed value semantics -------------------------===//
+
+#include "vm/GC.h"
+#include "vm/Object.h"
+#include "vm/Runtime.h"
+#include "vm/Value.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace jitvs;
+
+namespace {
+
+TEST(Value, NumberCanonicalization) {
+  EXPECT_TRUE(Value::number(5.0).isInt32());
+  EXPECT_TRUE(Value::number(5.5).isDouble());
+  EXPECT_TRUE(Value::number(-0.0).isDouble()); // -0 must stay a double.
+  EXPECT_TRUE(Value::number(2147483647.0).isInt32());
+  EXPECT_TRUE(Value::number(2147483648.0).isDouble());
+  EXPECT_TRUE(Value::number(-2147483648.0).isInt32());
+  EXPECT_TRUE(Value::number(-2147483649.0).isDouble());
+}
+
+TEST(Value, Truthiness) {
+  Heap H;
+  EXPECT_FALSE(Value::undefined().toBoolean());
+  EXPECT_FALSE(Value::null().toBoolean());
+  EXPECT_FALSE(Value::int32(0).toBoolean());
+  EXPECT_FALSE(Value::makeDouble(-0.0).toBoolean());
+  EXPECT_FALSE(Value::makeDouble(std::nan("")).toBoolean());
+  EXPECT_FALSE(Value::string(H.allocate<JSString>("")).toBoolean());
+  EXPECT_TRUE(Value::int32(-1).toBoolean());
+  EXPECT_TRUE(Value::string(H.allocate<JSString>("x")).toBoolean());
+  EXPECT_TRUE(Value::object(H.allocate<JSObject>()).toBoolean());
+}
+
+TEST(Value, StrictEquality) {
+  Heap H;
+  // Cross-tag numeric equality.
+  EXPECT_TRUE(Value::int32(3).strictEquals(Value::makeDouble(3.0)));
+  EXPECT_FALSE(Value::int32(3).strictEquals(Value::makeDouble(3.5)));
+  // NaN != NaN.
+  Value NaN = Value::makeDouble(std::nan(""));
+  EXPECT_FALSE(NaN.strictEquals(NaN));
+  // Strings by content, objects by identity.
+  Value S1 = Value::string(H.allocate<JSString>("abc"));
+  Value S2 = Value::string(H.allocate<JSString>("abc"));
+  EXPECT_TRUE(S1.strictEquals(S2));
+  Value O1 = Value::object(H.allocate<JSObject>());
+  Value O2 = Value::object(H.allocate<JSObject>());
+  EXPECT_FALSE(O1.strictEquals(O2));
+  EXPECT_TRUE(O1.strictEquals(O1));
+}
+
+TEST(Value, SpecializationIdentity) {
+  Heap H;
+  // The cache identity treats NaN as equal to itself (bitwise compare).
+  Value NaN = Value::makeDouble(std::nan(""));
+  EXPECT_TRUE(NaN.sameSpecializationValue(NaN));
+  // But Int32 3 and Double 3.0 are *different* specializations: the
+  // compiled constants have different tags.
+  EXPECT_FALSE(
+      Value::int32(3).sameSpecializationValue(Value::makeDouble(3.0)));
+  // Hash agrees with equality.
+  Value A = Value::string(H.allocate<JSString>("k"));
+  Value B = Value::string(H.allocate<JSString>("k"));
+  EXPECT_TRUE(A.sameSpecializationValue(B));
+  EXPECT_EQ(A.specializationHash(), B.specializationHash());
+}
+
+TEST(Value, DisplayStrings) {
+  Heap H;
+  EXPECT_EQ(Value::int32(-7).toDisplayString(), "-7");
+  EXPECT_EQ(Value::makeDouble(2.5).toDisplayString(), "2.5");
+  EXPECT_EQ(Value::makeDouble(1e21).toDisplayString(), "1e+21");
+  EXPECT_EQ(Value::makeDouble(std::nan("")).toDisplayString(), "NaN");
+  EXPECT_EQ(Value::makeDouble(INFINITY).toDisplayString(), "Infinity");
+  EXPECT_EQ(Value::boolean(true).toDisplayString(), "true");
+  EXPECT_EQ(Value::undefined().toDisplayString(), "undefined");
+  EXPECT_EQ(Value::object(H.allocate<JSObject>()).toDisplayString(),
+            "[object Object]");
+}
+
+TEST(Value, TypeOfStrings) {
+  Heap H;
+  EXPECT_STREQ(Value::int32(1).typeOfString(), "number");
+  EXPECT_STREQ(Value::makeDouble(1.5).typeOfString(), "number");
+  EXPECT_STREQ(Value::null().typeOfString(), "object");
+  EXPECT_STREQ(Value::undefined().typeOfString(), "undefined");
+  EXPECT_STREQ(Value::array(H.allocate<JSArray>()).typeOfString(),
+               "object");
+}
+
+TEST(Conversions, ToInt32Wrapping) {
+  EXPECT_EQ(Runtime::toInt32(0.0), 0);
+  EXPECT_EQ(Runtime::toInt32(3.99), 3);
+  EXPECT_EQ(Runtime::toInt32(-3.99), -3);
+  EXPECT_EQ(Runtime::toInt32(std::nan("")), 0);
+  EXPECT_EQ(Runtime::toInt32(INFINITY), 0);
+  EXPECT_EQ(Runtime::toInt32(4294967296.0), 0);      // 2^32 wraps to 0.
+  EXPECT_EQ(Runtime::toInt32(4294967297.0), 1);
+  EXPECT_EQ(Runtime::toInt32(2147483648.0), INT32_MIN);
+  EXPECT_EQ(Runtime::toInt32(-2147483649.0), 2147483647);
+}
+
+TEST(Conversions, ToNumberOnStrings) {
+  Heap H;
+  auto Str = [&H](const char *S) {
+    return Value::string(H.allocate<JSString>(S));
+  };
+  EXPECT_EQ(Runtime::toNumber(Str("42")), 42.0);
+  EXPECT_EQ(Runtime::toNumber(Str("  3.5  ")), 3.5);
+  EXPECT_EQ(Runtime::toNumber(Str("")), 0.0);
+  EXPECT_TRUE(std::isnan(Runtime::toNumber(Str("4x"))));
+  EXPECT_TRUE(std::isnan(Runtime::toNumber(Value::undefined())));
+  EXPECT_EQ(Runtime::toNumber(Value::null()), 0.0);
+  EXPECT_EQ(Runtime::toNumber(Value::boolean(true)), 1.0);
+}
+
+TEST(GC, SweepFreesGarbage) {
+  Heap H;
+  H.setGCThreshold(1u << 30); // Manual collections only.
+  class Roots final : public RootSource {
+  public:
+    explicit Roots(Heap &H) : H(H) { H.addRootSource(this); }
+    ~Roots() override { H.removeRootSource(this); }
+    void markRoots(GCMarker &M) override {
+      for (const Value &V : Keep)
+        M.mark(V);
+    }
+    Heap &H;
+    std::vector<Value> Keep;
+  } R(H);
+
+  for (int I = 0; I < 100; ++I) {
+    Value S = Value::string(H.allocate<JSString>("tmp"));
+    if (I % 10 == 0)
+      R.Keep.push_back(S);
+  }
+  EXPECT_EQ(H.objectCount(), 100u);
+  H.collect();
+  EXPECT_EQ(H.objectCount(), 10u);
+  for (const Value &V : R.Keep)
+    EXPECT_EQ(V.asString()->str(), "tmp");
+}
+
+TEST(GC, TracesThroughChains) {
+  Heap H;
+  H.setGCThreshold(1u << 30);
+  class Roots final : public RootSource {
+  public:
+    explicit Roots(Heap &H) : H(H) { H.addRootSource(this); }
+    ~Roots() override { H.removeRootSource(this); }
+    void markRoots(GCMarker &M) override { M.mark(Root); }
+    Heap &H;
+    Value Root;
+  } R(H);
+
+  // Object -> array -> string chain, plus an environment chain.
+  JSObject *O = H.allocate<JSObject>();
+  R.Root = Value::object(O);
+  JSArray *A = H.allocate<JSArray>();
+  O->setProperty(0, Value::array(A));
+  A->push(Value::string(H.allocate<JSString>("deep")));
+  Environment *Parent = H.allocate<Environment>(nullptr, 1);
+  Environment *Child = H.allocate<Environment>(Parent, 1);
+  Parent->setSlot(0, Value::string(H.allocate<JSString>("env")));
+  JSFunction *F = H.allocate<JSFunction>(nullptr, Child);
+  O->setProperty(1, Value::function(F));
+
+  size_t Before = H.objectCount();
+  H.collect();
+  EXPECT_EQ(H.objectCount(), Before); // Everything reachable survives.
+  EXPECT_EQ(A->getDense(0).asString()->str(), "deep");
+  EXPECT_EQ(Parent->getSlot(0).asString()->str(), "env");
+}
+
+} // namespace

@@ -1,0 +1,129 @@
+//===- tests/VerifierTest.cpp - Graph invariants across the pipeline ------===//
+///
+/// \file
+/// Property test: for a corpus of programs, the MIR graph must satisfy
+/// the verifier's structural invariants after building and after every
+/// pass combination of the Figure 9 matrix. This is how pass bugs
+/// (desynchronized phis, dangling operands, missing resume points)
+/// surface deterministically even in release builds.
+///
+//===----------------------------------------------------------------------===//
+
+#include "mir/MIRBuilder.h"
+#include "mir/Verifier.h"
+#include "passes/Passes.h"
+#include "vm/Runtime.h"
+
+#include <gtest/gtest.h>
+
+using namespace jitvs;
+
+namespace {
+
+const char *const Corpus[] = {
+    // Simple arithmetic.
+    "function f(a, b) { return a * b + a / b - a % b; } "
+    "for (var i = 1; i < 10; i++) f(i, 3);",
+    // Loops with conditionals and breaks.
+    "function f(n) { var s = 0; for (var i = 0; i < n; i++) {"
+    " if (i % 3 == 0) continue; if (i > 20) break; s += i; } return s; }"
+    "for (var i = 0; i < 10; i++) f(30);",
+    // Nested loops over arrays.
+    "function f(a) { var t = 0; for (var i = 0; i < a.length; i++)"
+    " for (var j = 0; j < a.length; j++) t += a[i] * a[j]; return t; }"
+    "var arr = [1,2,3,4]; for (var i = 0; i < 10; i++) f(arr);",
+    // Closure passed as a parameter (inlining path).
+    "function g(x) { return x * 2; }"
+    "function f(h, v) { return h(h(v)); }"
+    "for (var i = 0; i < 10; i++) f(g, i);",
+    // Strings and typeof.
+    "function f(s) { var h = 0; for (var i = 0; i < s.length; i++)"
+    " h = h * 31 + s.charCodeAt(i); return typeof h == 'number' ? h : 0; }"
+    "for (var i = 0; i < 10; i++) f('verify me');",
+    // Objects and methods.
+    "function P(x, y) { this.x = x; this.y = y; }"
+    "function f(p) { return p.x * p.y; }"
+    "var p = new P(3, 4); for (var i = 0; i < 10; i++) f(p);",
+    // do-while and ternaries.
+    "function f(n) { var c = 0; do { c += n > 2 ? 2 : 1; n--; }"
+    " while (n > 0); return c; }"
+    "for (var i = 0; i < 10; i++) f(9);",
+    // Math intrinsics and doubles.
+    "function f(x) { return Math.sqrt(x * x + 1.5) + Math.sin(x); }"
+    "for (var i = 0; i < 10; i++) f(2.5);",
+    // Globals and environments.
+    "var total = 0;"
+    "function mk(k) { return function(v) { total += v + k; return total; }; }"
+    "var add = mk(5); for (var i = 0; i < 10; i++) add(i);",
+};
+
+class VerifierSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(VerifierSweep, GraphStaysWellFormed) {
+  auto [ProgIdx, CfgIdx] = GetParam();
+  const char *Source = Corpus[ProgIdx];
+
+  Runtime RT;
+  ASSERT_TRUE(RT.load(Source)) << RT.errorMessage();
+  RT.run();
+  ASSERT_FALSE(RT.hasError()) << RT.errorMessage();
+
+  std::vector<NamedConfig> Configs = figure9Configs();
+  const NamedConfig &NC = Configs[CfgIdx];
+
+  for (size_t FI = 1; FI != RT.program()->numFunctions(); ++FI) {
+    FunctionInfo *F = RT.program()->function(static_cast<uint32_t>(FI));
+
+    // Generic build.
+    {
+      BuildOptions Opts;
+      auto G = buildMIR(F, Opts);
+      EXPECT_EQ(verifyGraph(*G), "") << F->Name << " generic build";
+      runOptimizationPipeline(*G, RT, NC.Config);
+      EXPECT_EQ(verifyGraph(*G), "")
+          << F->Name << " generic under " << NC.Name;
+    }
+
+    // Specialized build with synthetic int arguments.
+    {
+      BuildOptions Opts;
+      std::vector<Value> Args;
+      for (uint32_t A = 0; A != F->NumParams; ++A)
+        Args.push_back(Value::int32(static_cast<int32_t>(A) + 2));
+      Opts.SpecializedArgs = std::move(Args);
+      auto G = buildMIR(F, Opts);
+      EXPECT_EQ(verifyGraph(*G), "") << F->Name << " specialized build";
+      if (NC.Config.ParameterSpecialization)
+        runClosureInlining(*G, RT, NC.Config);
+      runOptimizationPipeline(*G, RT, NC.Config);
+      EXPECT_EQ(verifyGraph(*G), "")
+          << F->Name << " specialized under " << NC.Name;
+    }
+
+    // OSR build at the first loop head, if any.
+    uint32_t LoopHeadPC = ~0u;
+    for (uint32_t PC = 0; PC < F->Code.size();
+         PC += F->instructionLength(PC))
+      if (F->opAt(PC) == Op::LoopHead) {
+        LoopHeadPC = PC;
+        break;
+      }
+    if (LoopHeadPC != ~0u) {
+      BuildOptions Opts;
+      Opts.OsrPc = LoopHeadPC;
+      auto G = buildMIR(F, Opts);
+      EXPECT_EQ(verifyGraph(*G), "") << F->Name << " OSR build";
+      runOptimizationPipeline(*G, RT, NC.Config);
+      EXPECT_EQ(verifyGraph(*G), "")
+          << F->Name << " OSR under " << NC.Name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, VerifierSweep,
+    ::testing::Combine(::testing::Range<size_t>(0, std::size(Corpus)),
+                       ::testing::Range<size_t>(0, 10)));
+
+} // namespace

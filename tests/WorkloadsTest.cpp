@@ -1,0 +1,95 @@
+//===- tests/WorkloadsTest.cpp - Suite workloads run identically ----------===//
+///
+/// \file
+/// Every benchmark workload must produce the same checksummed output
+/// under the plain interpreter and under every Figure-9 optimization
+/// configuration. This is the property the whole evaluation rests on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "jit/Engine.h"
+#include "vm/Runtime.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace jitvs;
+
+namespace {
+
+std::string interpretOutput(const Workload &W) {
+  Runtime RT;
+  RT.evaluate(W.Source);
+  EXPECT_FALSE(RT.hasError()) << W.Name << ": " << RT.errorMessage();
+  return RT.output();
+}
+
+class WorkloadDifferential
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(WorkloadDifferential, MatchesInterpreter) {
+  auto [WorkIdx, CfgIdx] = GetParam();
+  const Workload &W = allWorkloads()[WorkIdx];
+  std::vector<NamedConfig> Configs = figure9Configs();
+  Configs.insert(Configs.begin(), {"baseline", OptConfig::baseline()});
+  OptConfig AllOce = OptConfig::all();
+  AllOce.OverflowCheckElim = true;
+  Configs.push_back({"ALL_OCE", AllOce});
+  const NamedConfig &C = Configs[CfgIdx];
+
+  std::string Expected = interpretOutput(W);
+
+  Runtime RT;
+  Engine E(RT, C.Config);
+  RT.evaluate(W.Source);
+  ASSERT_FALSE(RT.hasError())
+      << W.Name << " under " << C.Name << ": " << RT.errorMessage();
+  EXPECT_EQ(Expected, RT.output()) << W.Name << " under " << C.Name;
+}
+
+std::string workloadName(
+    const ::testing::TestParamInfo<std::tuple<size_t, size_t>> &Info) {
+  auto [WorkIdx, CfgIdx] = Info.param;
+  std::vector<NamedConfig> Configs = figure9Configs();
+  Configs.insert(Configs.begin(), {"baseline", OptConfig::baseline()});
+  OptConfig AllOce = OptConfig::all();
+  AllOce.OverflowCheckElim = true;
+  Configs.push_back({"ALL_OCE", AllOce});
+  std::string Name = allWorkloads()[WorkIdx].Name;
+  Name += "_";
+  Name += Configs[CfgIdx].Name;
+  for (char &C : Name)
+    if (C == '-' || C == '+')
+      C = '_';
+  return Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadDifferential,
+    ::testing::Combine(
+        ::testing::Range<size_t>(0, 23), // == allWorkloads().size()
+        ::testing::Range<size_t>(0, 12)),
+    workloadName);
+
+TEST(Workloads, RegistryComplete) {
+  EXPECT_EQ(allWorkloads().size(), 23u);
+  EXPECT_EQ(suiteWorkloads("sunspider").size(), 11u);
+  EXPECT_EQ(suiteWorkloads("v8").size(), 6u);
+  EXPECT_EQ(suiteWorkloads("kraken").size(), 6u);
+  EXPECT_NE(findWorkload("bitops-bits-in-byte"), nullptr);
+  EXPECT_EQ(findWorkload("no-such-workload"), nullptr);
+}
+
+TEST(Workloads, JitActuallySpecializes) {
+  // The headline benchmark must exercise the paper's machinery: with full
+  // optimizations the engine should specialize at least one function.
+  const Workload *W = findWorkload("bitops-bits-in-byte");
+  ASSERT_NE(W, nullptr);
+  Runtime RT;
+  Engine E(RT, OptConfig::all());
+  RT.evaluate(W->Source);
+  ASSERT_FALSE(RT.hasError()) << RT.errorMessage();
+  EXPECT_GT(E.stats().SpecializedCompiles, 0u);
+}
+
+} // namespace
