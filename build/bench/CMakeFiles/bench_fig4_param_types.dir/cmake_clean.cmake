@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_param_types.dir/bench_fig4_param_types.cpp.o"
+  "CMakeFiles/bench_fig4_param_types.dir/bench_fig4_param_types.cpp.o.d"
+  "bench_fig4_param_types"
+  "bench_fig4_param_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_param_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

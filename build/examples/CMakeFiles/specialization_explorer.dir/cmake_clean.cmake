@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specialization_explorer.dir/specialization_explorer.cpp.o"
+  "CMakeFiles/specialization_explorer.dir/specialization_explorer.cpp.o.d"
+  "specialization_explorer"
+  "specialization_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specialization_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

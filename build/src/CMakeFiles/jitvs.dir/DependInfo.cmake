@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jit/Engine.cpp" "src/CMakeFiles/jitvs.dir/jit/Engine.cpp.o" "gcc" "src/CMakeFiles/jitvs.dir/jit/Engine.cpp.o.d"
+  "/root/repo/src/lir/Codegen.cpp" "src/CMakeFiles/jitvs.dir/lir/Codegen.cpp.o" "gcc" "src/CMakeFiles/jitvs.dir/lir/Codegen.cpp.o.d"
+  "/root/repo/src/mir/Dominators.cpp" "src/CMakeFiles/jitvs.dir/mir/Dominators.cpp.o" "gcc" "src/CMakeFiles/jitvs.dir/mir/Dominators.cpp.o.d"
+  "/root/repo/src/mir/MIR.cpp" "src/CMakeFiles/jitvs.dir/mir/MIR.cpp.o" "gcc" "src/CMakeFiles/jitvs.dir/mir/MIR.cpp.o.d"
+  "/root/repo/src/mir/MIRBuilder.cpp" "src/CMakeFiles/jitvs.dir/mir/MIRBuilder.cpp.o" "gcc" "src/CMakeFiles/jitvs.dir/mir/MIRBuilder.cpp.o.d"
+  "/root/repo/src/mir/MIRGraph.cpp" "src/CMakeFiles/jitvs.dir/mir/MIRGraph.cpp.o" "gcc" "src/CMakeFiles/jitvs.dir/mir/MIRGraph.cpp.o.d"
+  "/root/repo/src/mir/Verifier.cpp" "src/CMakeFiles/jitvs.dir/mir/Verifier.cpp.o" "gcc" "src/CMakeFiles/jitvs.dir/mir/Verifier.cpp.o.d"
+  "/root/repo/src/native/Executor.cpp" "src/CMakeFiles/jitvs.dir/native/Executor.cpp.o" "gcc" "src/CMakeFiles/jitvs.dir/native/Executor.cpp.o.d"
+  "/root/repo/src/native/NativeCode.cpp" "src/CMakeFiles/jitvs.dir/native/NativeCode.cpp.o" "gcc" "src/CMakeFiles/jitvs.dir/native/NativeCode.cpp.o.d"
+  "/root/repo/src/parser/Emitter.cpp" "src/CMakeFiles/jitvs.dir/parser/Emitter.cpp.o" "gcc" "src/CMakeFiles/jitvs.dir/parser/Emitter.cpp.o.d"
+  "/root/repo/src/parser/Lexer.cpp" "src/CMakeFiles/jitvs.dir/parser/Lexer.cpp.o" "gcc" "src/CMakeFiles/jitvs.dir/parser/Lexer.cpp.o.d"
+  "/root/repo/src/parser/Parser.cpp" "src/CMakeFiles/jitvs.dir/parser/Parser.cpp.o" "gcc" "src/CMakeFiles/jitvs.dir/parser/Parser.cpp.o.d"
+  "/root/repo/src/passes/BoundsCheckElim.cpp" "src/CMakeFiles/jitvs.dir/passes/BoundsCheckElim.cpp.o" "gcc" "src/CMakeFiles/jitvs.dir/passes/BoundsCheckElim.cpp.o.d"
+  "/root/repo/src/passes/ConstantPropagation.cpp" "src/CMakeFiles/jitvs.dir/passes/ConstantPropagation.cpp.o" "gcc" "src/CMakeFiles/jitvs.dir/passes/ConstantPropagation.cpp.o.d"
+  "/root/repo/src/passes/DCE.cpp" "src/CMakeFiles/jitvs.dir/passes/DCE.cpp.o" "gcc" "src/CMakeFiles/jitvs.dir/passes/DCE.cpp.o.d"
+  "/root/repo/src/passes/Folding.cpp" "src/CMakeFiles/jitvs.dir/passes/Folding.cpp.o" "gcc" "src/CMakeFiles/jitvs.dir/passes/Folding.cpp.o.d"
+  "/root/repo/src/passes/GVN.cpp" "src/CMakeFiles/jitvs.dir/passes/GVN.cpp.o" "gcc" "src/CMakeFiles/jitvs.dir/passes/GVN.cpp.o.d"
+  "/root/repo/src/passes/Inliner.cpp" "src/CMakeFiles/jitvs.dir/passes/Inliner.cpp.o" "gcc" "src/CMakeFiles/jitvs.dir/passes/Inliner.cpp.o.d"
+  "/root/repo/src/passes/LoopInversion.cpp" "src/CMakeFiles/jitvs.dir/passes/LoopInversion.cpp.o" "gcc" "src/CMakeFiles/jitvs.dir/passes/LoopInversion.cpp.o.d"
+  "/root/repo/src/passes/OverflowCheckElim.cpp" "src/CMakeFiles/jitvs.dir/passes/OverflowCheckElim.cpp.o" "gcc" "src/CMakeFiles/jitvs.dir/passes/OverflowCheckElim.cpp.o.d"
+  "/root/repo/src/passes/Pipeline.cpp" "src/CMakeFiles/jitvs.dir/passes/Pipeline.cpp.o" "gcc" "src/CMakeFiles/jitvs.dir/passes/Pipeline.cpp.o.d"
+  "/root/repo/src/profiling/CallProfiler.cpp" "src/CMakeFiles/jitvs.dir/profiling/CallProfiler.cpp.o" "gcc" "src/CMakeFiles/jitvs.dir/profiling/CallProfiler.cpp.o.d"
+  "/root/repo/src/profiling/WebSession.cpp" "src/CMakeFiles/jitvs.dir/profiling/WebSession.cpp.o" "gcc" "src/CMakeFiles/jitvs.dir/profiling/WebSession.cpp.o.d"
+  "/root/repo/src/support/Stats.cpp" "src/CMakeFiles/jitvs.dir/support/Stats.cpp.o" "gcc" "src/CMakeFiles/jitvs.dir/support/Stats.cpp.o.d"
+  "/root/repo/src/vm/Bytecode.cpp" "src/CMakeFiles/jitvs.dir/vm/Bytecode.cpp.o" "gcc" "src/CMakeFiles/jitvs.dir/vm/Bytecode.cpp.o.d"
+  "/root/repo/src/vm/GC.cpp" "src/CMakeFiles/jitvs.dir/vm/GC.cpp.o" "gcc" "src/CMakeFiles/jitvs.dir/vm/GC.cpp.o.d"
+  "/root/repo/src/vm/Interpreter.cpp" "src/CMakeFiles/jitvs.dir/vm/Interpreter.cpp.o" "gcc" "src/CMakeFiles/jitvs.dir/vm/Interpreter.cpp.o.d"
+  "/root/repo/src/vm/Object.cpp" "src/CMakeFiles/jitvs.dir/vm/Object.cpp.o" "gcc" "src/CMakeFiles/jitvs.dir/vm/Object.cpp.o.d"
+  "/root/repo/src/vm/Runtime.cpp" "src/CMakeFiles/jitvs.dir/vm/Runtime.cpp.o" "gcc" "src/CMakeFiles/jitvs.dir/vm/Runtime.cpp.o.d"
+  "/root/repo/src/vm/Value.cpp" "src/CMakeFiles/jitvs.dir/vm/Value.cpp.o" "gcc" "src/CMakeFiles/jitvs.dir/vm/Value.cpp.o.d"
+  "/root/repo/src/workloads/Kraken.cpp" "src/CMakeFiles/jitvs.dir/workloads/Kraken.cpp.o" "gcc" "src/CMakeFiles/jitvs.dir/workloads/Kraken.cpp.o.d"
+  "/root/repo/src/workloads/SunSpider.cpp" "src/CMakeFiles/jitvs.dir/workloads/SunSpider.cpp.o" "gcc" "src/CMakeFiles/jitvs.dir/workloads/SunSpider.cpp.o.d"
+  "/root/repo/src/workloads/V8.cpp" "src/CMakeFiles/jitvs.dir/workloads/V8.cpp.o" "gcc" "src/CMakeFiles/jitvs.dir/workloads/V8.cpp.o.d"
+  "/root/repo/src/workloads/Workloads.cpp" "src/CMakeFiles/jitvs.dir/workloads/Workloads.cpp.o" "gcc" "src/CMakeFiles/jitvs.dir/workloads/Workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

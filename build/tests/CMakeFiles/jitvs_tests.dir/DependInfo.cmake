@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/BytecodeTest.cpp" "tests/CMakeFiles/jitvs_tests.dir/BytecodeTest.cpp.o" "gcc" "tests/CMakeFiles/jitvs_tests.dir/BytecodeTest.cpp.o.d"
+  "/root/repo/tests/CodegenTest.cpp" "tests/CMakeFiles/jitvs_tests.dir/CodegenTest.cpp.o" "gcc" "tests/CMakeFiles/jitvs_tests.dir/CodegenTest.cpp.o.d"
+  "/root/repo/tests/EnginePolicyTest.cpp" "tests/CMakeFiles/jitvs_tests.dir/EnginePolicyTest.cpp.o" "gcc" "tests/CMakeFiles/jitvs_tests.dir/EnginePolicyTest.cpp.o.d"
+  "/root/repo/tests/InterpreterTest.cpp" "tests/CMakeFiles/jitvs_tests.dir/InterpreterTest.cpp.o" "gcc" "tests/CMakeFiles/jitvs_tests.dir/InterpreterTest.cpp.o.d"
+  "/root/repo/tests/JitDifferentialTest.cpp" "tests/CMakeFiles/jitvs_tests.dir/JitDifferentialTest.cpp.o" "gcc" "tests/CMakeFiles/jitvs_tests.dir/JitDifferentialTest.cpp.o.d"
+  "/root/repo/tests/LexerParserTest.cpp" "tests/CMakeFiles/jitvs_tests.dir/LexerParserTest.cpp.o" "gcc" "tests/CMakeFiles/jitvs_tests.dir/LexerParserTest.cpp.o.d"
+  "/root/repo/tests/MIRBuilderTest.cpp" "tests/CMakeFiles/jitvs_tests.dir/MIRBuilderTest.cpp.o" "gcc" "tests/CMakeFiles/jitvs_tests.dir/MIRBuilderTest.cpp.o.d"
+  "/root/repo/tests/PassesTest.cpp" "tests/CMakeFiles/jitvs_tests.dir/PassesTest.cpp.o" "gcc" "tests/CMakeFiles/jitvs_tests.dir/PassesTest.cpp.o.d"
+  "/root/repo/tests/ProfilingTest.cpp" "tests/CMakeFiles/jitvs_tests.dir/ProfilingTest.cpp.o" "gcc" "tests/CMakeFiles/jitvs_tests.dir/ProfilingTest.cpp.o.d"
+  "/root/repo/tests/RuntimeEdgeTest.cpp" "tests/CMakeFiles/jitvs_tests.dir/RuntimeEdgeTest.cpp.o" "gcc" "tests/CMakeFiles/jitvs_tests.dir/RuntimeEdgeTest.cpp.o.d"
+  "/root/repo/tests/ValueTest.cpp" "tests/CMakeFiles/jitvs_tests.dir/ValueTest.cpp.o" "gcc" "tests/CMakeFiles/jitvs_tests.dir/ValueTest.cpp.o.d"
+  "/root/repo/tests/VerifierTest.cpp" "tests/CMakeFiles/jitvs_tests.dir/VerifierTest.cpp.o" "gcc" "tests/CMakeFiles/jitvs_tests.dir/VerifierTest.cpp.o.d"
+  "/root/repo/tests/WorkloadsTest.cpp" "tests/CMakeFiles/jitvs_tests.dir/WorkloadsTest.cpp.o" "gcc" "tests/CMakeFiles/jitvs_tests.dir/WorkloadsTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jitvs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jitvs_tests.dir/BytecodeTest.cpp.o"
+  "CMakeFiles/jitvs_tests.dir/BytecodeTest.cpp.o.d"
+  "CMakeFiles/jitvs_tests.dir/CodegenTest.cpp.o"
+  "CMakeFiles/jitvs_tests.dir/CodegenTest.cpp.o.d"
+  "CMakeFiles/jitvs_tests.dir/EnginePolicyTest.cpp.o"
+  "CMakeFiles/jitvs_tests.dir/EnginePolicyTest.cpp.o.d"
+  "CMakeFiles/jitvs_tests.dir/InterpreterTest.cpp.o"
+  "CMakeFiles/jitvs_tests.dir/InterpreterTest.cpp.o.d"
+  "CMakeFiles/jitvs_tests.dir/JitDifferentialTest.cpp.o"
+  "CMakeFiles/jitvs_tests.dir/JitDifferentialTest.cpp.o.d"
+  "CMakeFiles/jitvs_tests.dir/LexerParserTest.cpp.o"
+  "CMakeFiles/jitvs_tests.dir/LexerParserTest.cpp.o.d"
+  "CMakeFiles/jitvs_tests.dir/MIRBuilderTest.cpp.o"
+  "CMakeFiles/jitvs_tests.dir/MIRBuilderTest.cpp.o.d"
+  "CMakeFiles/jitvs_tests.dir/PassesTest.cpp.o"
+  "CMakeFiles/jitvs_tests.dir/PassesTest.cpp.o.d"
+  "CMakeFiles/jitvs_tests.dir/ProfilingTest.cpp.o"
+  "CMakeFiles/jitvs_tests.dir/ProfilingTest.cpp.o.d"
+  "CMakeFiles/jitvs_tests.dir/RuntimeEdgeTest.cpp.o"
+  "CMakeFiles/jitvs_tests.dir/RuntimeEdgeTest.cpp.o.d"
+  "CMakeFiles/jitvs_tests.dir/ValueTest.cpp.o"
+  "CMakeFiles/jitvs_tests.dir/ValueTest.cpp.o.d"
+  "CMakeFiles/jitvs_tests.dir/VerifierTest.cpp.o"
+  "CMakeFiles/jitvs_tests.dir/VerifierTest.cpp.o.d"
+  "CMakeFiles/jitvs_tests.dir/WorkloadsTest.cpp.o"
+  "CMakeFiles/jitvs_tests.dir/WorkloadsTest.cpp.o.d"
+  "jitvs_tests"
+  "jitvs_tests.pdb"
+  "jitvs_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jitvs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
