@@ -14,6 +14,7 @@
 #include "jit/Engine.h"
 #include "support/Stats.h"
 #include "support/Timer.h"
+#include "telemetry/Telemetry.h"
 #include "vm/Runtime.h"
 #include "workloads/Workloads.h"
 
@@ -45,6 +46,17 @@ inline double runOnce(const Workload &W, const OptConfig *Config,
   Timer T;
   RT.evaluate(W.Source);
   double Seconds = T.seconds();
+  if (telemetryEnabled(TelBench)) {
+    // One [bench] span per workload run: with JITVS_TRACE set, a bench
+    // binary's Chrome trace groups every compile/pass/bailout under the
+    // run that caused it.
+    TelemetryEvent E;
+    E.Kind = TelemetryEventKind::BenchRun;
+    E.setFunc(W.Name);
+    E.setDetail(Config ? Config->describe() : "interp");
+    E.DurNs = static_cast<uint64_t>(Seconds * 1e9);
+    telemetry().record(E);
+  }
   if (RT.hasError()) {
     std::fprintf(stderr, "workload %s failed: %s\n", W.Name,
                  RT.errorMessage().c_str());

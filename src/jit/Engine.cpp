@@ -6,9 +6,39 @@
 #include "mir/MIRBuilder.h"
 #include "mir/Verifier.h"
 #include "support/Timer.h"
+#include "telemetry/Telemetry.h"
 #include "vm/Interpreter.h"
 
 using namespace jitvs;
+
+const char *jitvs::despecializeCauseName(DespecializeCause C) {
+  switch (C) {
+  case DespecializeCause::None:
+    return "none";
+  case DespecializeCause::DifferentArgs:
+    return "different-args";
+  case DespecializeCause::OsrRevalidation:
+    return "osr-revalidation";
+  }
+  return "invalid";
+}
+
+namespace {
+
+/// Records a one-line cache event ([cache] hit/despecialize/discard).
+void recordCacheEvent(TelemetryEventKind Kind, const FunctionInfo *Info,
+                      const char *Detail = nullptr) {
+  if (!telemetryEnabled(TelCache))
+    return;
+  TelemetryEvent E;
+  E.Kind = Kind;
+  E.setFunc(Info->Name);
+  if (Detail)
+    E.setDetail(Detail);
+  telemetry().record(E);
+}
+
+} // namespace
 
 /// Roots everything the engine keeps alive across GC: cached argument
 /// sets, cached OSR slot values, and the constant pools of all compiled
@@ -89,6 +119,16 @@ Engine::compile(FunctionInfo *Info, const std::vector<Value> *SpecArgs,
                 const uint32_t *OsrPc, const std::vector<Value> *OsrSlots) {
   Timer T;
 
+  if (telemetryEnabled(TelCompile)) {
+    TelemetryEvent E;
+    E.Kind = TelemetryEventKind::CompileStart;
+    E.setFunc(Info->Name);
+    E.setDetail(Config.describe());
+    E.A = SpecArgs != nullptr;
+    E.B = OsrPc != nullptr;
+    telemetry().record(E);
+  }
+
   BuildOptions Opts;
   if (SpecArgs)
     Opts.SpecializedArgs = *SpecArgs;
@@ -121,6 +161,17 @@ Engine::compile(FunctionInfo *Info, const std::vector<Value> *SpecArgs,
   AllCode.push_back(Code);
 
   double Seconds = T.seconds();
+  if (telemetryEnabled(TelCompile)) {
+    TelemetryEvent E;
+    E.Kind = TelemetryEventKind::CompileEnd;
+    E.setFunc(Info->Name);
+    E.setDetail(Config.describe());
+    E.DurNs = static_cast<uint64_t>(Seconds * 1e9);
+    E.A = SpecArgs != nullptr;
+    E.B = OsrPc != nullptr;
+    E.C = Code->sizeInInstructions();
+    telemetry().record(E);
+  }
   Stats.CompileSeconds += Seconds;
   ++Stats.Compilations;
   if (SpecArgs)
@@ -155,8 +206,20 @@ Value Engine::execute(FuncState &FS, FunctionInfo *Info, const Value &ThisV,
 
   // --- Bailout: deoptimize to the interpreter. ---
   ++Stats.Bailouts;
+  ++Stats.BailoutsByReason[static_cast<size_t>(R.BailReason)];
   ++FS.Bailouts;
+  ++FS.TotalBailouts;
   const Snapshot &S = Code->Snapshots[R.SnapshotId];
+  if (telemetryEnabled(TelBailout)) {
+    TelemetryEvent E;
+    E.Kind = TelemetryEventKind::Bailout;
+    E.Reason = R.BailReason;
+    E.setFunc(Info->Name);
+    E.setDetail(nopName(R.BailOp));
+    E.A = R.BailPc;
+    E.B = S.PC;
+    telemetry().record(E);
+  }
 #ifdef JITVS_DEBUG_BAIL
   fprintf(stderr, "BAIL fn=%s pc=%u op=%s entries=%zu frameslots=%u\n",
           Info->Name.c_str(), S.PC, nopName(R.BailOp), S.Entries.size(),
@@ -214,6 +277,7 @@ Value Engine::execute(FuncState &FS, FunctionInfo *Info, const Value &ThisV,
   // cycles on the C++ stack for the rest of the loop. Discarding first
   // bounds the nesting: the next compile uses the refreshed feedback.
   if (FS.Bailouts >= BailoutLimit && FS.Code == Code) {
+    recordCacheEvent(TelemetryEventKind::Discard, Info, "bailout-limit");
     FS.Code.reset();
     FS.Bailouts = 0;
     FS.Specialized = false;
@@ -231,7 +295,9 @@ bool Engine::onCall(JSFunction *Callee, const Value &ThisV,
     if (FS.Specialized) {
       if (argsMatch(FS.CachedArgs, Args, NumArgs)) {
         ++Stats.CacheHits;
+        ++FS.CacheHits;
         ++Stats.NativeCalls;
+        recordCacheEvent(TelemetryEventKind::CacheHit, Info);
         Result = execute(FS, Info, ThisV, Args, NumArgs, /*AtOsr=*/false,
                          nullptr, nullptr, Callee->environment());
         return true;
@@ -241,7 +307,9 @@ bool Engine::onCall(JSFunction *Callee, const Value &ThisV,
       for (auto &[CachedArgs, CachedCode] : FS.ExtraSpecializations) {
         if (argsMatch(CachedArgs, Args, NumArgs)) {
           ++Stats.CacheHits;
+          ++FS.CacheHits;
           ++Stats.NativeCalls;
+          recordCacheEvent(TelemetryEventKind::CacheHit, Info);
           Result = execute(FS, Info, ThisV, Args, NumArgs, /*AtOsr=*/false,
                            nullptr, nullptr, Callee->environment(),
                            CachedCode);
@@ -261,6 +329,9 @@ bool Engine::onCall(JSFunction *Callee, const Value &ThisV,
       // Different arguments: discard, recompile generic, never try again.
       ++Stats.Despecializations;
       FS.EverDespecialized = true;
+      FS.Cause = DespecializeCause::DifferentArgs;
+      recordCacheEvent(TelemetryEventKind::Despecialize, Info,
+                       "different-args");
       FS.Code.reset();
       FS.Specialized = false;
       FS.NeverSpecialize = true;
@@ -317,6 +388,9 @@ bool Engine::onLoopHead(InterpFrame &Frame, uint32_t PC, Value &Result) {
                    Frame.Slots.size())) {
       ++Stats.Despecializations;
       FS.EverDespecialized = true;
+      FS.Cause = DespecializeCause::OsrRevalidation;
+      recordCacheEvent(TelemetryEventKind::Despecialize, Info,
+                       "osr-revalidation");
       FS.Code.reset();
       FS.Specialized = false;
       FS.NeverSpecialize = true;
@@ -333,6 +407,9 @@ bool Engine::onLoopHead(InterpFrame &Frame, uint32_t PC, Value &Result) {
       // specialization; fall back to generic for this function.
       ++Stats.Despecializations;
       FS.EverDespecialized = true;
+      FS.Cause = DespecializeCause::DifferentArgs;
+      recordCacheEvent(TelemetryEventKind::Despecialize, Info,
+                       "different-args");
       FS.Specialized = false;
       FS.NeverSpecialize = true;
       FS.CachedArgs.clear();
@@ -361,6 +438,13 @@ bool Engine::onLoopHead(InterpFrame &Frame, uint32_t PC, Value &Result) {
     return false; // No usable OSR entry (e.g. unreachable loop head).
 
   ++Stats.OsrEntries;
+  if (telemetryEnabled(TelOsr)) {
+    TelemetryEvent E;
+    E.Kind = TelemetryEventKind::OsrEntry;
+    E.setFunc(Info->Name);
+    E.A = PC;
+    telemetry().record(E);
+  }
   std::vector<Value> OsrSlots = Frame.Slots;
   Result = execute(FS, Info, Frame.ThisV, Frame.OrigArgs.data(),
                    Frame.OrigArgs.size(), /*AtOsr=*/true, &OsrSlots,
@@ -375,7 +459,10 @@ std::vector<Engine::FunctionReport> Engine::functionReports() const {
     R.Name = Info->Name;
     R.WasSpecialized = FS.EverSpecialized;
     R.Despecialized = FS.EverDespecialized;
+    R.Cause = FS.Cause;
     R.Compiles = FS.Compiles;
+    R.Bailouts = FS.TotalBailouts;
+    R.CacheHits = FS.CacheHits;
     R.MinCodeSize = FS.MinCodeSize;
     Out.push_back(std::move(R));
   }

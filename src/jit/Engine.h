@@ -24,8 +24,10 @@
 #include "native/Executor.h"
 #include "native/NativeCode.h"
 #include "passes/Passes.h"
+#include "telemetry/BailoutReason.h"
 #include "vm/Runtime.h"
 
+#include <array>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -41,11 +43,25 @@ struct EngineStats {
   uint64_t Despecializations = 0; ///< Different-arguments deopts.
   uint64_t CacheHits = 0;  ///< Specialized code reused with same args.
   uint64_t Bailouts = 0;
+  /// Bailouts split by the taxonomy of telemetry/BailoutReason.h; sums
+  /// to Bailouts. Index with static_cast<size_t>(BailoutReason).
+  std::array<uint64_t, NumBailoutReasons> BailoutsByReason{};
   uint64_t OsrEntries = 0;
   uint64_t NativeCalls = 0;      ///< Calls executed in native code.
   uint64_t InterpretedCalls = 0; ///< Calls the engine left to the interp.
   double CompileSeconds = 0.0;
 };
+
+/// Why a function lost its specialized binary (per-function reporting;
+/// the aggregate counter is EngineStats::Despecializations).
+enum class DespecializeCause : uint8_t {
+  None,          ///< Still specialized (or never was).
+  DifferentArgs, ///< Called with arguments other than the cached set.
+  OsrRevalidation, ///< OSR re-entry found baked-in frame values stale.
+};
+
+/// \returns a stable lower-case name ("different-args", ...).
+const char *despecializeCauseName(DespecializeCause C);
 
 /// Per-function code-size record for Figure 10 (the paper reports the
 /// smallest version each compilation mode produced per function).
@@ -87,7 +103,10 @@ public:
     std::string Name;
     bool WasSpecialized = false;
     bool Despecialized = false;
+    DespecializeCause Cause = DespecializeCause::None;
     uint32_t Compiles = 0;
+    uint32_t Bailouts = 0;  ///< Lifetime total (not reset by discards).
+    uint32_t CacheHits = 0; ///< Specialized-binary same-args reuses.
     size_t MinCodeSize = SIZE_MAX;
   };
   std::vector<FunctionReport> functionReports() const;
@@ -113,7 +132,10 @@ private:
     std::vector<std::pair<std::vector<Value>, std::shared_ptr<NativeCode>>>
         ExtraSpecializations;
     uint32_t Compiles = 0;
-    uint32_t Bailouts = 0;
+    uint32_t Bailouts = 0; ///< Since the last discard (policy counter).
+    uint32_t TotalBailouts = 0; ///< Lifetime total (reporting).
+    uint32_t CacheHits = 0;
+    DespecializeCause Cause = DespecializeCause::None;
     size_t MinCodeSize = SIZE_MAX;
   };
 

@@ -13,6 +13,34 @@ using namespace jitvs;
 
 namespace {
 
+/// Default reason classification from the failing guard's opcode. Sites
+/// that can distinguish further (e.g. -0 vs overflow) pass an explicit
+/// reason instead.
+BailoutReason bailoutReasonForOp(NOp Op) {
+  switch (Op) {
+  case NOp::AddI:
+  case NOp::SubI:
+  case NOp::MulI:
+  case NOp::ModI:
+  case NOp::NegI:
+    return BailoutReason::IntOverflow;
+  case NOp::GuardTag:
+    return BailoutReason::TypeGuard;
+  case NOp::GuardNumber:
+    return BailoutReason::NumberGuard;
+  case NOp::BoundsCheck:
+    return BailoutReason::BoundsCheck;
+  case NOp::GuardArrLen:
+    return BailoutReason::ArrayLengthGuard;
+  default:
+    return BailoutReason::Unknown;
+  }
+}
+
+} // namespace
+
+namespace {
+
 /// GC root source covering a native activation.
 struct NativeFrame final : public RootSource {
   NativeFrame(Runtime &RT, size_t FrameSize) : RT(RT) {
@@ -108,11 +136,15 @@ ExecResult Executor::run(const NativeCode &Code, const Value &ThisV,
   uint32_t PC = AtOsr ? Code.OsrOffset : Code.EntryOffset;
   assert(PC != ~0u && "entering code without the requested entry point");
 
-  auto Bail = [&](uint32_t Snap, NOp Op) {
+  auto Bail = [&](uint32_t Snap, NOp Op,
+                  BailoutReason Reason = BailoutReason::Unknown) {
     ExecResult Res;
     Res.K = ExecResult::Bailout;
     Res.SnapshotId = Snap;
     Res.BailOp = Op;
+    Res.BailReason =
+        Reason != BailoutReason::Unknown ? Reason : bailoutReasonForOp(Op);
+    Res.BailPc = PC - 1; // PC already advanced past the failing guard.
     Res.RegsAtBail = R;
     Res.EnvAtBail = F.Env;
     return Res;
@@ -178,8 +210,8 @@ ExecResult Executor::run(const NativeCode &Code, const Value &ThisV,
       int32_t Out;
       if (__builtin_mul_overflow(L, Rhs, &Out))
         return Bail(N.Imm, N.Op);
-      if (Out == 0 && (L < 0 || Rhs < 0))
-        return Bail(N.Imm, N.Op); // -0: let the interpreter produce it.
+      if (Out == 0 && (L < 0 || Rhs < 0)) // -0: let the interpreter
+        return Bail(N.Imm, N.Op, BailoutReason::NegativeZero); // produce it.
       R[N.A] = Value::int32(Out);
       break;
     }
@@ -193,7 +225,9 @@ ExecResult Executor::run(const NativeCode &Code, const Value &ThisV,
     case NOp::NegI: {
       int32_t V = R[N.B].asInt32();
       if (V == 0 || V == INT32_MIN)
-        return Bail(N.Imm, N.Op);
+        return Bail(N.Imm, N.Op,
+                    V == 0 ? BailoutReason::NegativeZero
+                           : BailoutReason::IntOverflow);
       R[N.A] = Value::int32(-V);
       break;
     }

@@ -11,6 +11,7 @@
 #define JITVS_NATIVE_EXECUTOR_H
 
 #include "native/NativeCode.h"
+#include "telemetry/BailoutReason.h"
 #include "vm/GC.h"
 #include "vm/Object.h"
 
@@ -26,6 +27,12 @@ struct ExecResult {
   Value Result;
   uint32_t SnapshotId = 0;
   NOp BailOp = NOp::Nop;
+  /// Why the guard failed, classified at the bail site (the taxonomy the
+  /// engine's per-reason counters and telemetry events report under).
+  BailoutReason BailReason = BailoutReason::Unknown;
+  /// Native code offset of the failing guard: with the function identity
+  /// this keys the per-site bailout counters.
+  uint32_t BailPc = 0;
   /// Live register file at the bailout point (FrameSize entries).
   std::vector<Value> RegsAtBail;
   /// Environment the native frame was using at the bailout point (either

@@ -2,7 +2,51 @@
 
 #include "passes/Passes.h"
 
+#include "support/Timer.h"
+#include "telemetry/Telemetry.h"
+
 using namespace jitvs;
+
+namespace {
+
+/// Guards still in the graph — the per-pass "guards removed" metric
+/// attributes Figure-10-style code-size wins to the pass that earned
+/// them.
+size_t countGuards(const MIRGraph &Graph) {
+  size_t N = 0;
+  for (MBasicBlock *B : Graph.liveBlocks())
+    for (const MInstr *I : B->instructions())
+      if (I->isGuard())
+        ++N;
+  return N;
+}
+
+/// Runs one pass, surrounding it with the [pass] telemetry span: wall
+/// time plus instruction/block/guard deltas.
+template <typename Fn>
+void runInstrumented(MIRGraph &Graph, const char *Name, Fn &&Run) {
+  if (!telemetryEnabled(TelPass)) {
+    Run();
+    return;
+  }
+  size_t InstrsBefore = Graph.numInstructions();
+  size_t GuardsBefore = countGuards(Graph);
+  Timer T;
+  Run();
+  TelemetryEvent E;
+  E.Kind = TelemetryEventKind::Pass;
+  E.DurNs = static_cast<uint64_t>(T.seconds() * 1e9);
+  E.setFunc(Graph.functionInfo()->Name);
+  E.setDetail(Name);
+  E.A = InstrsBefore;
+  E.B = Graph.numInstructions();
+  size_t GuardsAfter = countGuards(Graph);
+  E.C = GuardsBefore > GuardsAfter ? GuardsBefore - GuardsAfter : 0;
+  E.D = Graph.numBlocks();
+  telemetry().record(E);
+}
+
+} // namespace
 
 std::string OptConfig::describe() const {
   std::string S;
@@ -56,15 +100,20 @@ void jitvs::runOptimizationPipeline(MIRGraph &Graph, Runtime &RT,
   // see jit::Engine. Pass order follows the paper: GVN (baseline), then
   // CP -> LI -> DCE -> BCE.
   if (Config.GlobalValueNumbering)
-    runGVN(Graph);
+    runInstrumented(Graph, "GVN", [&] { runGVN(Graph); });
   if (Config.ConstantPropagation)
-    runConstantPropagation(Graph, RT);
+    runInstrumented(Graph, "ConstantPropagation",
+                    [&] { runConstantPropagation(Graph, RT); });
   if (Config.LoopInversion)
-    runLoopInversion(Graph);
+    runInstrumented(Graph, "LoopInversion", [&] { runLoopInversion(Graph); });
   if (Config.DeadCodeElim)
-    runDeadCodeElimination(Graph, RT);
+    runInstrumented(Graph, "DCE",
+                    [&] { runDeadCodeElimination(Graph, RT); });
   if (Config.BoundsCheckElim)
-    runBoundsCheckElimination(Graph, Config.RelaxedBCEAliasing);
+    runInstrumented(Graph, "BoundsCheckElim", [&] {
+      runBoundsCheckElimination(Graph, Config.RelaxedBCEAliasing);
+    });
   if (Config.OverflowCheckElim)
-    runOverflowCheckElimination(Graph);
+    runInstrumented(Graph, "OverflowCheckElim",
+                    [&] { runOverflowCheckElimination(Graph); });
 }

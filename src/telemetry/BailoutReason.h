@@ -1,0 +1,68 @@
+//===- telemetry/BailoutReason.h - Why native code deoptimized --*- C++ -*-===//
+///
+/// \file
+/// The bailout-reason taxonomy. Every guard failure that deoptimizes
+/// native code back to the interpreter is classified into one of these
+/// reasons at the bail site (native/Executor.cpp) and carried through
+/// ExecResult into the engine's per-reason counters and the telemetry
+/// event stream. Mirrors IonMonkey's BailoutKind: attributing a deopt to
+/// its reason *and* site is what makes policy regressions diagnosable
+/// (e.g. "despecializations spiked because MulI overflow guards started
+/// failing in kraken-crypto").
+///
+/// This header is dependency-free so both the native layer and the
+/// telemetry layer can include it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITVS_TELEMETRY_BAILOUTREASON_H
+#define JITVS_TELEMETRY_BAILOUTREASON_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace jitvs {
+
+/// Why a native frame bailed out (deoptimized) to the interpreter.
+enum class BailoutReason : uint8_t {
+  Unknown = 0,      ///< Classification missing (should not happen).
+  IntOverflow,      ///< Checked int32 arithmetic overflowed (AddI/SubI/...).
+  NegativeZero,     ///< Int32 op would produce -0; interpreter redoes it.
+  TypeGuard,        ///< GuardTag: value had an unexpected tag.
+  NumberGuard,      ///< GuardNumber: value was not a number.
+  BoundsCheck,      ///< Array/string index out of bounds.
+  ArrayLengthGuard, ///< Specialized-on array length changed.
+  OsrRevalidation,  ///< OSR entry: baked-in frame values no longer match.
+  Count             ///< Number of reasons (array sizing), not a reason.
+};
+
+constexpr size_t NumBailoutReasons = static_cast<size_t>(BailoutReason::Count);
+
+/// \returns a stable lower-case name for \p R ("int-overflow", ...).
+inline const char *bailoutReasonName(BailoutReason R) {
+  switch (R) {
+  case BailoutReason::Unknown:
+    return "unknown";
+  case BailoutReason::IntOverflow:
+    return "int-overflow";
+  case BailoutReason::NegativeZero:
+    return "negative-zero";
+  case BailoutReason::TypeGuard:
+    return "type-guard";
+  case BailoutReason::NumberGuard:
+    return "number-guard";
+  case BailoutReason::BoundsCheck:
+    return "bounds-check";
+  case BailoutReason::ArrayLengthGuard:
+    return "array-length-guard";
+  case BailoutReason::OsrRevalidation:
+    return "osr-revalidation";
+  case BailoutReason::Count:
+    break;
+  }
+  return "invalid";
+}
+
+} // namespace jitvs
+
+#endif // JITVS_TELEMETRY_BAILOUTREASON_H

@@ -3,6 +3,7 @@
 #include "vm/Runtime.h"
 
 #include "parser/Emitter.h"
+#include "telemetry/Telemetry.h"
 #include "vm/Interpreter.h"
 
 #include <algorithm>
@@ -914,9 +915,19 @@ Value Runtime::run() {
 }
 
 Value Runtime::evaluate(const std::string &Source) {
-  if (!load(Source))
-    return Value::undefined();
-  return run();
+  if (!telemetryEnabled(TelScript)) {
+    if (!load(Source))
+      return Value::undefined();
+    return run();
+  }
+  uint64_t StartNs = telemetry().nowNs();
+  Value R = load(Source) ? run() : Value::undefined();
+  TelemetryEvent E;
+  E.Kind = TelemetryEventKind::Script;
+  E.setDetail("evaluate");
+  E.DurNs = telemetry().nowNs() - StartNs;
+  telemetry().record(E);
+  return R;
 }
 
 Value Runtime::callGlobal(const std::string &Name,

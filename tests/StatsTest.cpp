@@ -1,0 +1,50 @@
+//===- tests/StatsTest.cpp - support/Stats aggregation helpers ------------===//
+///
+/// \file
+/// The aggregates behind every reported table: mean, geometric mean of
+/// speedup percentages, and the median used by the interleaved
+/// measurement harness.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+using namespace jitvs;
+
+namespace {
+
+TEST(Stats, MedianEmptyIsZero) { EXPECT_EQ(median({}), 0.0); }
+
+TEST(Stats, MedianSingleElement) { EXPECT_EQ(median({42.0}), 42.0); }
+
+TEST(Stats, MedianOddLengthPicksMiddle) {
+  EXPECT_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_EQ(median({9.0, -5.0, 7.0, 1.0, 3.0}), 3.0);
+}
+
+TEST(Stats, MedianEvenLengthAveragesMiddlePair) {
+  EXPECT_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_EQ(median({10.0, 20.0}), 15.0);
+}
+
+TEST(Stats, MedianUnsortedDuplicatesAndNegatives) {
+  EXPECT_EQ(median({-1.0, -1.0, 5.0}), -1.0);
+  EXPECT_EQ(median({2.0, 2.0, 2.0, 2.0}), 2.0);
+}
+
+TEST(Stats, ArithmeticMean) {
+  EXPECT_EQ(arithmeticMean({}), 0.0);
+  EXPECT_DOUBLE_EQ(arithmeticMean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stats, GeometricMeanPercentRoundTrips) {
+  EXPECT_EQ(geometricMeanPercent({}), 0.0);
+  // A single entry is its own geomean.
+  EXPECT_NEAR(geometricMeanPercent({5.0}), 5.0, 1e-9);
+  // +100% and -50% are reciprocal ratios: geomean is 0%.
+  EXPECT_NEAR(geometricMeanPercent({100.0, -50.0}), 0.0, 1e-9);
+}
+
+} // namespace
