@@ -163,6 +163,54 @@ int main() {
               "into extra specialized compiles and cache hits; whether\n"
               "that pays off depends on how polymorphic the suite is.\n");
 
+  // --- Ablation 1c: the tiered specialization ladder (DESIGN.md
+  // "Specialization tiers") vs the paper's despecialize-to-generic
+  // policy: outcome table plus tier-transition counts per suite. ---
+  std::printf("\nAblation: tiered ladder vs paper policy (suite totals "
+              "under ALL)\n");
+  std::printf("%-12s %-7s %11s %12s %14s %8s %8s %8s\n", "suite", "policy",
+              "specialized", "deoptimized", "cache-hits", "dem-v2t",
+              "dem-gen", "gen-fb");
+  for (int SuiteIdx = 0; SuiteIdx != 3; ++SuiteIdx) {
+    for (TierPolicy P : {TierPolicy::Paper, TierPolicy::Tiered}) {
+      uint64_t Specialized = 0, Deoptimized = 0, Hits = 0;
+      uint64_t DemV2T = 0, DemGen = 0, GenFB = 0;
+      for (const Workload &W : suiteWorkloads(SuiteNames[SuiteIdx])) {
+        Runtime RT;
+        Engine E(RT, Spec);
+        E.setTierPolicy(P);
+        RT.evaluate(W.Source);
+        if (RT.hasError()) {
+          std::fprintf(stderr, "%s failed: %s\n", W.Name,
+                       RT.errorMessage().c_str());
+          return 1;
+        }
+        Hits += E.stats().CacheHits;
+        DemV2T += E.stats().TierDemotionsValueToType;
+        DemGen += E.stats().TierDemotionsToGeneric;
+        GenFB += E.stats().GenericFallbacks;
+        for (const Engine::FunctionReport &R : E.functionReports()) {
+          if (!R.WasSpecialized)
+            continue;
+          ++Specialized;
+          if (R.Despecialized)
+            ++Deoptimized;
+        }
+      }
+      std::printf("%-12s %-7s %11llu %12llu %14llu %8llu %8llu %8llu\n",
+                  SuiteNames[SuiteIdx], tierPolicyName(P),
+                  static_cast<unsigned long long>(Specialized),
+                  static_cast<unsigned long long>(Deoptimized),
+                  static_cast<unsigned long long>(Hits),
+                  static_cast<unsigned long long>(DemV2T),
+                  static_cast<unsigned long long>(DemGen),
+                  static_cast<unsigned long long>(GenFB));
+    }
+  }
+  std::printf("Expected shape: under the ladder a \"deoptimized\"\n"
+              "function usually keeps a type-tier binary instead of\n"
+              "going generic, so cache hits survive despecialization.\n");
+
   // --- Ablation 2: the paper's conservative BCE aliasing rule. ---
   std::printf("\nAblation: bounds-check elimination aliasing rule "
               "(PS+BCE, median of %d runs)\n",

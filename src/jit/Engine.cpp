@@ -5,9 +5,14 @@
 #include "lir/Codegen.h"
 #include "mir/MIRBuilder.h"
 #include "mir/Verifier.h"
+#include "profiling/CallProfiler.h"
 #include "support/Timer.h"
 #include "telemetry/Telemetry.h"
 #include "vm/Interpreter.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
 using namespace jitvs;
 
@@ -19,6 +24,20 @@ const char *jitvs::despecializeCauseName(DespecializeCause C) {
     return "different-args";
   case DespecializeCause::OsrRevalidation:
     return "osr-revalidation";
+  case DespecializeCause::ValueMismatch:
+    return "value-mismatch";
+  case DespecializeCause::TypeMismatch:
+    return "type-mismatch";
+  }
+  return "invalid";
+}
+
+const char *jitvs::tierPolicyName(TierPolicy P) {
+  switch (P) {
+  case TierPolicy::Paper:
+    return "paper";
+  case TierPolicy::Tiered:
+    return "tiered";
   }
   return "invalid";
 }
@@ -49,14 +68,18 @@ public:
   ~EngineRoots() override { E.RT.heap().removeRootSource(this); }
 
   void markRoots(GCMarker &Marker) override {
+    // Only value-tier signature entries hold live values; type-tier
+    // entries record a tag alone precisely so stale objects can die.
+    auto MarkSig = [&Marker](const SpecSig &Sig) {
+      for (const ParamSig &P : Sig)
+        if (P.Tier == ParamTier::Value)
+          Marker.mark(P.V);
+    };
     for (auto &[Info, FS] : E.States) {
-      for (const Value &V : FS.CachedArgs)
-        Marker.mark(V);
-      for (const Value &V : FS.CachedOsrSlots)
-        Marker.mark(V);
-      for (const auto &[Args, Code] : FS.ExtraSpecializations)
-        for (const Value &V : Args)
-          Marker.mark(V);
+      MarkSig(FS.Sig);
+      MarkSig(FS.OsrSig);
+      for (const auto &[Sig, Code] : FS.ExtraSpecializations)
+        MarkSig(Sig);
     }
     for (const auto &Code : E.AllCode)
       for (const Value &V : Code->ConstPool)
@@ -93,6 +116,15 @@ Engine::Engine(Runtime &RT, const OptConfig &Config)
     : RT(RT), Config(Config), Exec(RT) {
   Roots = std::make_unique<EngineRoots>(*this);
   RT.setHooks(this);
+  if (const char *P = std::getenv("JITVS_TIER_POLICY")) {
+    if (!std::strcmp(P, "tiered"))
+      Policy = TierPolicy::Tiered;
+    else if (!std::strcmp(P, "paper"))
+      Policy = TierPolicy::Paper;
+  }
+  if (const char *N = std::getenv("JITVS_TIER_VALUE_MAX"))
+    if (int V = std::atoi(N); V > 0)
+      ValueStabilityMax = static_cast<uint32_t>(V);
 }
 
 Engine::~Engine() {
@@ -104,19 +136,152 @@ Engine::FuncState &Engine::state(FunctionInfo *Info) {
   return States[Info];
 }
 
-bool Engine::argsMatch(const std::vector<Value> &Cached, const Value *Args,
-                       size_t NumArgs) const {
-  if (Cached.size() != NumArgs)
+SpecSig Engine::makeSig(const std::vector<ParamTier> *Tiers,
+                        const Value *Args, size_t NumArgs) {
+  SpecSig Sig(NumArgs);
+  for (size_t I = 0; I != NumArgs; ++I) {
+    ParamTier T = !Tiers ? ParamTier::Value
+                 : I < Tiers->size() ? (*Tiers)[I]
+                                     : ParamTier::Value;
+    Sig[I].Tier = T;
+    if (T == ParamTier::Value)
+      Sig[I].V = Args[I];
+    else if (T == ParamTier::Type)
+      Sig[I].Tag = Args[I].tag();
+  }
+  return Sig;
+}
+
+bool Engine::sigMatches(const SpecSig &Sig, const Value *Args,
+                        size_t NumArgs) {
+  if (Sig.size() != NumArgs)
     return false;
-  for (size_t I = 0; I != NumArgs; ++I)
-    if (!Cached[I].sameSpecializationValue(Args[I]))
-      return false;
+  for (size_t I = 0; I != NumArgs; ++I) {
+    const ParamSig &P = Sig[I];
+    switch (P.Tier) {
+    case ParamTier::Value:
+      if (!P.V.sameSpecializationValue(Args[I]))
+        return false;
+      break;
+    case ParamTier::Type:
+      if (P.Tag != Args[I].tag())
+        return false;
+      break;
+    case ParamTier::Generic:
+      break;
+    }
+  }
   return true;
+}
+
+ParamTier Engine::sigTier(const SpecSig &Sig) {
+  ParamTier T = ParamTier::Generic;
+  for (const ParamSig &P : Sig)
+    T = std::max(T, P.Tier);
+  return T;
+}
+
+std::vector<ParamTier> Engine::chooseTiers(FunctionInfo *Info,
+                                           size_t NumArgs) {
+  std::vector<ParamTier> Tiers(NumArgs, ParamTier::Value);
+  if (Policy != TierPolicy::Tiered || !Profiler)
+    return Tiers;
+  std::vector<ParamStability> Stab = Profiler->paramStability(Info);
+  for (size_t I = 0; I != NumArgs && I != Stab.size(); ++I) {
+    if (Stab[I].DistinctValues <= ValueStabilityMax)
+      Tiers[I] = ParamTier::Value;
+    else if (Stab[I].DistinctTags == 1)
+      Tiers[I] = ParamTier::Type;
+    else
+      Tiers[I] = ParamTier::Generic;
+  }
+  return Tiers;
+}
+
+std::vector<ParamTier> Engine::demoteTiers(FunctionInfo *Info,
+                                           const SpecSig &Sig,
+                                           const Value *Args, size_t NumArgs,
+                                           bool &SawTypeMismatch) {
+  SawTypeMismatch = false;
+  std::vector<ParamTier> NewTiers(NumArgs, ParamTier::Generic);
+  if (Sig.size() != NumArgs) {
+    // Arity changed underneath the cache: no per-parameter facts carry
+    // over; treat as a whole-signature type mismatch.
+    SawTypeMismatch = true;
+    Stats.TierDemotionsToGeneric += Sig.size();
+    return NewTiers;
+  }
+  auto RecordTransition = [&](size_t I, const char *Edge) {
+    if (!telemetryEnabled(TelCache))
+      return;
+    TelemetryEvent E;
+    E.Kind = TelemetryEventKind::TierTransition;
+    E.setFunc(Info->Name);
+    E.setDetail(Edge);
+    E.A = I;
+    telemetry().record(E);
+  };
+  for (size_t I = 0; I != NumArgs; ++I) {
+    const ParamSig &P = Sig[I];
+    switch (P.Tier) {
+    case ParamTier::Value:
+      if (P.V.sameSpecializationValue(Args[I])) {
+        NewTiers[I] = ParamTier::Value;
+      } else if (P.V.tag() == Args[I].tag()) {
+        // The ladder's key step: same tag, new value -> keep the type
+        // fact, drop only the exact-value assumption.
+        NewTiers[I] = ParamTier::Type;
+        ++Stats.TierDemotionsValueToType;
+        RecordTransition(I, "value->type");
+      } else {
+        NewTiers[I] = ParamTier::Generic;
+        SawTypeMismatch = true;
+        ++Stats.TierDemotionsToGeneric;
+        RecordTransition(I, "value->generic");
+      }
+      break;
+    case ParamTier::Type:
+      if (P.Tag == Args[I].tag()) {
+        NewTiers[I] = ParamTier::Type;
+      } else {
+        NewTiers[I] = ParamTier::Generic;
+        SawTypeMismatch = true;
+        ++Stats.TierDemotionsToGeneric;
+        RecordTransition(I, "type->generic");
+      }
+      break;
+    case ParamTier::Generic:
+      NewTiers[I] = ParamTier::Generic;
+      break;
+    }
+  }
+  return NewTiers;
+}
+
+void Engine::recordCacheHit(FuncState &FS, const SpecSig &Sig,
+                            const FunctionInfo *Info) {
+  ++Stats.CacheHits;
+  ++FS.CacheHits;
+  // A binary is a "type-tier" reuse when its strongest remaining
+  // assumption is a tag; anything baking at least one exact value — and
+  // the degenerate zero-parameter signature, which the paper policy
+  // treats as (vacuously) value-specialized — counts as a value hit.
+  if (sigTier(Sig) == ParamTier::Type) {
+    ++Stats.TypeTierHits;
+    ++FS.TypeTierHits;
+  } else {
+    ++Stats.ValueTierHits;
+    ++FS.ValueTierHits;
+  }
+  ++Stats.NativeCalls;
+  recordCacheEvent(TelemetryEventKind::CacheHit, Info);
 }
 
 std::shared_ptr<NativeCode>
 Engine::compile(FunctionInfo *Info, const std::vector<Value> *SpecArgs,
-                const uint32_t *OsrPc, const std::vector<Value> *OsrSlots) {
+                const std::vector<ParamTier> *Tiers, const uint32_t *OsrPc,
+                const std::vector<Value> *OsrSlots,
+                const std::vector<ParamTier> *OsrTiers) {
   Timer T;
 
   if (telemetryEnabled(TelCompile)) {
@@ -130,12 +295,17 @@ Engine::compile(FunctionInfo *Info, const std::vector<Value> *SpecArgs,
   }
 
   BuildOptions Opts;
-  if (SpecArgs)
+  if (SpecArgs) {
     Opts.SpecializedArgs = *SpecArgs;
+    if (Tiers)
+      Opts.ParamTiers = *Tiers;
+  }
   if (OsrPc) {
     Opts.OsrPc = *OsrPc;
     if (OsrSlots)
       Opts.OsrSlotValues = *OsrSlots;
+    if (OsrTiers)
+      Opts.OsrSlotTiers = *OsrTiers;
   }
 
   std::unique_ptr<MIRGraph> Graph = buildMIR(Info, Opts);
@@ -286,6 +456,15 @@ Value Engine::execute(FuncState &FS, FunctionInfo *Info, const Value &ThisV,
   return RT.resumeFrame(Frame);
 }
 
+static bool allGeneric(const std::vector<ParamTier> &Tiers) {
+  if (Tiers.empty())
+    return false;
+  for (ParamTier T : Tiers)
+    if (T != ParamTier::Generic)
+      return false;
+  return true;
+}
+
 bool Engine::onCall(JSFunction *Callee, const Value &ThisV,
                     const Value *Args, size_t NumArgs, Value &Result) {
   FunctionInfo *Info = Callee->info();
@@ -293,23 +472,17 @@ bool Engine::onCall(JSFunction *Callee, const Value &ThisV,
 
   if (FS.Code) {
     if (FS.Specialized) {
-      if (argsMatch(FS.CachedArgs, Args, NumArgs)) {
-        ++Stats.CacheHits;
-        ++FS.CacheHits;
-        ++Stats.NativeCalls;
-        recordCacheEvent(TelemetryEventKind::CacheHit, Info);
+      if (sigMatches(FS.Sig, Args, NumArgs)) {
+        recordCacheHit(FS, FS.Sig, Info);
         Result = execute(FS, Info, ThisV, Args, NumArgs, /*AtOsr=*/false,
                          nullptr, nullptr, Callee->environment());
         return true;
       }
       // Cache depth > 1 (the paper's future-work heuristic): other
-      // cached argument sets, then free slots.
-      for (auto &[CachedArgs, CachedCode] : FS.ExtraSpecializations) {
-        if (argsMatch(CachedArgs, Args, NumArgs)) {
-          ++Stats.CacheHits;
-          ++FS.CacheHits;
-          ++Stats.NativeCalls;
-          recordCacheEvent(TelemetryEventKind::CacheHit, Info);
+      // cached signatures, then free slots.
+      for (auto &[Sig, CachedCode] : FS.ExtraSpecializations) {
+        if (sigMatches(Sig, Args, NumArgs)) {
+          recordCacheHit(FS, Sig, Info);
           Result = execute(FS, Info, ThisV, Args, NumArgs, /*AtOsr=*/false,
                            nullptr, nullptr, Callee->environment(),
                            CachedCode);
@@ -318,26 +491,59 @@ bool Engine::onCall(JSFunction *Callee, const Value &ThisV,
       }
       if (FS.ExtraSpecializations.size() + 1 < CacheDepth) {
         std::vector<Value> ArgVec(Args, Args + NumArgs);
+        std::vector<ParamTier> Tiers = chooseTiers(Info, NumArgs);
         std::shared_ptr<NativeCode> NewCode =
-            compile(Info, &ArgVec, nullptr, nullptr);
-        FS.ExtraSpecializations.emplace_back(std::move(ArgVec), NewCode);
+            compile(Info, &ArgVec, &Tiers, nullptr, nullptr);
+        FS.ExtraSpecializations.emplace_back(
+            makeSig(&Tiers, Args, NumArgs), NewCode);
         ++Stats.NativeCalls;
         Result = execute(FS, Info, ThisV, Args, NumArgs, /*AtOsr=*/false,
                          nullptr, nullptr, Callee->environment(), NewCode);
         return true;
       }
-      // Different arguments: discard, recompile generic, never try again.
+      if (Policy == TierPolicy::Paper) {
+        // Different arguments: discard, recompile generic, never try
+        // again (Section 4).
+        ++Stats.Despecializations;
+        FS.EverDespecialized = true;
+        FS.Cause = DespecializeCause::DifferentArgs;
+        recordCacheEvent(TelemetryEventKind::Despecialize, Info,
+                         "different-args");
+        FS.Code.reset();
+        FS.Specialized = false;
+        FS.NeverSpecialize = true;
+        FS.Sig.clear();
+        FS.ExtraSpecializations.clear();
+        FS.Code = compile(Info, nullptr, nullptr, nullptr, nullptr);
+        ++Stats.NativeCalls;
+        Result = execute(FS, Info, ThisV, Args, NumArgs, /*AtOsr=*/false,
+                         nullptr, nullptr, Callee->environment());
+        return true;
+      }
+      // Tiered ladder: demote only the mismatching parameters one tier
+      // and recompile; fully generic only once every tier is exhausted.
+      bool SawTypeMismatch = false;
+      std::vector<ParamTier> NewTiers =
+          demoteTiers(Info, FS.Sig, Args, NumArgs, SawTypeMismatch);
       ++Stats.Despecializations;
       FS.EverDespecialized = true;
-      FS.Cause = DespecializeCause::DifferentArgs;
+      FS.Cause = SawTypeMismatch ? DespecializeCause::TypeMismatch
+                                 : DespecializeCause::ValueMismatch;
       recordCacheEvent(TelemetryEventKind::Despecialize, Info,
-                       "different-args");
+                       despecializeCauseName(FS.Cause));
       FS.Code.reset();
-      FS.Specialized = false;
-      FS.NeverSpecialize = true;
-      FS.CachedArgs.clear();
+      FS.Sig.clear();
       FS.ExtraSpecializations.clear();
-      FS.Code = compile(Info, nullptr, nullptr, nullptr);
+      if (allGeneric(NewTiers)) {
+        ++Stats.GenericFallbacks;
+        FS.Specialized = false;
+        FS.NeverSpecialize = true;
+        FS.Code = compile(Info, nullptr, nullptr, nullptr, nullptr);
+      } else {
+        std::vector<Value> ArgVec(Args, Args + NumArgs);
+        FS.Code = compile(Info, &ArgVec, &NewTiers, nullptr, nullptr);
+        FS.Sig = makeSig(&NewTiers, Args, NumArgs);
+      }
       ++Stats.NativeCalls;
       Result = execute(FS, Info, ThisV, Args, NumArgs, /*AtOsr=*/false,
                        nullptr, nullptr, Callee->environment());
@@ -357,13 +563,19 @@ bool Engine::onCall(JSFunction *Callee, const Value &ThisV,
   bool Specialize =
       Config.ParameterSpecialization && !FS.NeverSpecialize;
   if (Specialize) {
-    std::vector<Value> ArgVec(Args, Args + NumArgs);
-    FS.Code = compile(Info, &ArgVec, nullptr, nullptr);
-    FS.Specialized = true;
-    FS.EverSpecialized = true;
-    FS.CachedArgs = std::move(ArgVec);
+    std::vector<ParamTier> Tiers = chooseTiers(Info, NumArgs);
+    if (allGeneric(Tiers)) {
+      // The profile shows nothing stable: skip the ladder entirely.
+      FS.Code = compile(Info, nullptr, nullptr, nullptr, nullptr);
+    } else {
+      std::vector<Value> ArgVec(Args, Args + NumArgs);
+      FS.Code = compile(Info, &ArgVec, &Tiers, nullptr, nullptr);
+      FS.Specialized = true;
+      FS.EverSpecialized = true;
+      FS.Sig = makeSig(&Tiers, Args, NumArgs);
+    }
   } else {
-    FS.Code = compile(Info, nullptr, nullptr, nullptr);
+    FS.Code = compile(Info, nullptr, nullptr, nullptr, nullptr);
   }
   ++Stats.NativeCalls;
   Result = execute(FS, Info, ThisV, Args, NumArgs, /*AtOsr=*/false, nullptr,
@@ -384,37 +596,91 @@ bool Engine::onLoopHead(InterpFrame &Frame, uint32_t PC, Value &Result) {
     // Existing binary has an OSR entry here; specialized code baked the
     // OSR frame values in, so revalidate them.
     if (FS.Specialized &&
-        !argsMatch(FS.CachedOsrSlots, Frame.Slots.data(),
-                   Frame.Slots.size())) {
+        !sigMatches(FS.OsrSig, Frame.Slots.data(), Frame.Slots.size())) {
       ++Stats.Despecializations;
       FS.EverDespecialized = true;
-      FS.Cause = DespecializeCause::OsrRevalidation;
-      recordCacheEvent(TelemetryEventKind::Despecialize, Info,
-                       "osr-revalidation");
-      FS.Code.reset();
-      FS.Specialized = false;
-      FS.NeverSpecialize = true;
-      FS.CachedArgs.clear();
-      FS.CachedOsrSlots.clear();
-      FS.Code = compile(Info, nullptr, &PC, nullptr);
+      if (Policy == TierPolicy::Paper) {
+        FS.Cause = DespecializeCause::OsrRevalidation;
+        recordCacheEvent(TelemetryEventKind::Despecialize, Info,
+                         "osr-revalidation");
+        FS.Code.reset();
+        FS.Specialized = false;
+        FS.NeverSpecialize = true;
+        FS.Sig.clear();
+        FS.OsrSig.clear();
+        FS.Code = compile(Info, nullptr, nullptr, &PC, nullptr);
+      } else {
+        // Tiered: demote the stale frame slots one tier and rebuild the
+        // OSR binary; generic only when nothing is left to assume.
+        bool SawTypeMismatch = false;
+        std::vector<ParamTier> SlotTiers =
+            demoteTiers(Info, FS.OsrSig, Frame.Slots.data(),
+                        Frame.Slots.size(), SawTypeMismatch);
+        FS.Cause = SawTypeMismatch ? DespecializeCause::TypeMismatch
+                                   : DespecializeCause::ValueMismatch;
+        recordCacheEvent(TelemetryEventKind::Despecialize, Info,
+                         despecializeCauseName(FS.Cause));
+        FS.Code.reset();
+        FS.Sig.clear();
+        FS.OsrSig.clear();
+        if (allGeneric(SlotTiers)) {
+          ++Stats.GenericFallbacks;
+          FS.Specialized = false;
+          FS.NeverSpecialize = true;
+          FS.Code = compile(Info, nullptr, nullptr, &PC, nullptr);
+        } else {
+          // Entry parameters mirror the demoted tiers of their frame
+          // slots (slot I is parameter I at entry).
+          std::vector<ParamTier> ParamTiers(
+              SlotTiers.begin(),
+              SlotTiers.begin() +
+                  std::min<size_t>(Info->NumParams, SlotTiers.size()));
+          std::vector<Value> ArgVec = Frame.OrigArgs;
+          std::vector<Value> SlotVec = Frame.Slots;
+          FS.Code =
+              compile(Info, &ArgVec, &ParamTiers, &PC, &SlotVec, &SlotTiers);
+          FS.Sig = makeSig(&ParamTiers, ArgVec.data(), ArgVec.size());
+          FS.OsrSig = makeSig(&SlotTiers, SlotVec.data(), SlotVec.size());
+        }
+      }
     }
   } else {
     // Compile (or recompile) with an OSR entry at this loop head.
+    std::vector<ParamTier> Tiers;
+    bool HaveTiers = false;
     if (FS.Specialized && FS.Code &&
-        !argsMatch(FS.CachedArgs, Frame.OrigArgs.data(),
-                   Frame.OrigArgs.size())) {
+        !sigMatches(FS.Sig, Frame.OrigArgs.data(), Frame.OrigArgs.size())) {
       // The running frame's arguments differ from the cached
-      // specialization; fall back to generic for this function.
+      // specialization.
       ++Stats.Despecializations;
       FS.EverDespecialized = true;
-      FS.Cause = DespecializeCause::DifferentArgs;
-      recordCacheEvent(TelemetryEventKind::Despecialize, Info,
-                       "different-args");
-      FS.Specialized = false;
-      FS.NeverSpecialize = true;
-      FS.CachedArgs.clear();
-      FS.CachedOsrSlots.clear();
-      Specialize = false;
+      if (Policy == TierPolicy::Paper) {
+        FS.Cause = DespecializeCause::DifferentArgs;
+        recordCacheEvent(TelemetryEventKind::Despecialize, Info,
+                         "different-args");
+        FS.Specialized = false;
+        FS.NeverSpecialize = true;
+        FS.Sig.clear();
+        FS.OsrSig.clear();
+        Specialize = false;
+      } else {
+        bool SawTypeMismatch = false;
+        Tiers = demoteTiers(Info, FS.Sig, Frame.OrigArgs.data(),
+                            Frame.OrigArgs.size(), SawTypeMismatch);
+        HaveTiers = true;
+        FS.Cause = SawTypeMismatch ? DespecializeCause::TypeMismatch
+                                   : DespecializeCause::ValueMismatch;
+        recordCacheEvent(TelemetryEventKind::Despecialize, Info,
+                         despecializeCauseName(FS.Cause));
+        FS.Specialized = false;
+        FS.Sig.clear();
+        FS.OsrSig.clear();
+        if (allGeneric(Tiers)) {
+          ++Stats.GenericFallbacks;
+          FS.NeverSpecialize = true;
+          Specialize = false;
+        }
+      }
     }
     // Avoid compile storms when several hot loops alternate in one
     // function: after a few rebuilds, leave the loop to the interpreter.
@@ -422,15 +688,28 @@ bool Engine::onLoopHead(InterpFrame &Frame, uint32_t PC, Value &Result) {
       return false;
     FS.Code.reset();
     if (Specialize) {
-      std::vector<Value> ArgVec = Frame.OrigArgs;
-      std::vector<Value> SlotVec = Frame.Slots;
-      FS.Code = compile(Info, &ArgVec, &PC, &SlotVec);
-      FS.Specialized = true;
-      FS.EverSpecialized = true;
-      FS.CachedArgs = std::move(ArgVec);
-      FS.CachedOsrSlots = std::move(SlotVec);
+      if (!HaveTiers)
+        Tiers = chooseTiers(Info, Frame.OrigArgs.size());
+      if (allGeneric(Tiers)) {
+        FS.Code = compile(Info, nullptr, nullptr, &PC, nullptr);
+      } else {
+        std::vector<Value> ArgVec = Frame.OrigArgs;
+        std::vector<Value> SlotVec = Frame.Slots;
+        // Frame slots: parameters first (sharing the entry tiers), then
+        // locals, which stay at the value tier until an OSR revalidation
+        // demotes them.
+        std::vector<ParamTier> SlotTiers(SlotVec.size(), ParamTier::Value);
+        for (size_t I = 0; I != Tiers.size() && I != SlotTiers.size(); ++I)
+          SlotTiers[I] = Tiers[I];
+        FS.Code =
+            compile(Info, &ArgVec, &Tiers, &PC, &SlotVec, &SlotTiers);
+        FS.Specialized = true;
+        FS.EverSpecialized = true;
+        FS.Sig = makeSig(&Tiers, ArgVec.data(), ArgVec.size());
+        FS.OsrSig = makeSig(&SlotTiers, SlotVec.data(), SlotVec.size());
+      }
     } else {
-      FS.Code = compile(Info, nullptr, &PC, nullptr);
+      FS.Code = compile(Info, nullptr, nullptr, &PC, nullptr);
     }
   }
 
@@ -463,6 +742,8 @@ std::vector<Engine::FunctionReport> Engine::functionReports() const {
     R.Compiles = FS.Compiles;
     R.Bailouts = FS.TotalBailouts;
     R.CacheHits = FS.CacheHits;
+    R.ValueTierHits = FS.ValueTierHits;
+    R.TypeTierHits = FS.TypeTierHits;
     R.MinCodeSize = FS.MinCodeSize;
     Out.push_back(std::move(R));
   }
@@ -470,11 +751,12 @@ std::vector<Engine::FunctionReport> Engine::functionReports() const {
 }
 
 NativeCode *Engine::compileNow(FunctionInfo *Info,
-                               const std::vector<Value> *Args) {
+                               const std::vector<Value> *Args,
+                               const std::vector<ParamTier> *Tiers) {
   FuncState &FS = state(Info);
-  FS.Code = compile(Info, Args, nullptr, nullptr);
+  FS.Code = compile(Info, Args, Args ? Tiers : nullptr, nullptr, nullptr);
   FS.Specialized = Args != nullptr;
   if (Args)
-    FS.CachedArgs = *Args;
+    FS.Sig = makeSig(Tiers, Args->data(), Args->size());
   return FS.Code.get();
 }

@@ -21,6 +21,7 @@
 #ifndef JITVS_JIT_ENGINE_H
 #define JITVS_JIT_ENGINE_H
 
+#include "mir/Tier.h"
 #include "native/Executor.h"
 #include "native/NativeCode.h"
 #include "passes/Passes.h"
@@ -34,6 +35,24 @@
 
 namespace jitvs {
 
+class CallProfiler;
+
+/// How the engine specializes and reacts to specialization misses.
+enum class TierPolicy : uint8_t {
+  /// The paper's Section 4 policy: specialize every parameter on its
+  /// exact value; one miss discards the binary, recompiles generic, and
+  /// marks the function NeverSpecialize.
+  Paper,
+  /// The adaptive ladder: each parameter sits on its own tier
+  /// (value -> type -> generic). A value miss demotes just the offending
+  /// parameters to the type tier; only a type miss forces generic. The
+  /// function falls back to a fully generic binary (and NeverSpecialize)
+  /// only when every parameter has been demoted to Generic.
+  Tiered,
+};
+
+const char *tierPolicyName(TierPolicy P);
+
 /// Aggregate engine statistics (Figure 9/10 and the Section 4 numbers).
 struct EngineStats {
   uint64_t Compilations = 0;
@@ -41,7 +60,16 @@ struct EngineStats {
   uint64_t SpecializedCompiles = 0;
   uint64_t GenericCompiles = 0;
   uint64_t Despecializations = 0; ///< Different-arguments deopts.
-  uint64_t CacheHits = 0;  ///< Specialized code reused with same args.
+  uint64_t CacheHits = 0;  ///< Specialized code reused (sum of the two
+                           ///< tier-split counters below).
+  uint64_t ValueTierHits = 0; ///< Hits on binaries baking >=1 exact value.
+  uint64_t TypeTierHits = 0;  ///< Hits on type-guard-only binaries.
+  /// Tiered policy: parameters demoted value->type / (value|type)->generic.
+  uint64_t TierDemotionsValueToType = 0;
+  uint64_t TierDemotionsToGeneric = 0;
+  /// Tiered policy: functions that exhausted the ladder and recompiled a
+  /// fully generic binary (the only path that sets NeverSpecialize).
+  uint64_t GenericFallbacks = 0;
   uint64_t Bailouts = 0;
   /// Bailouts split by the taxonomy of telemetry/BailoutReason.h; sums
   /// to Bailouts. Index with static_cast<size_t>(BailoutReason).
@@ -58,10 +86,30 @@ enum class DespecializeCause : uint8_t {
   None,          ///< Still specialized (or never was).
   DifferentArgs, ///< Called with arguments other than the cached set.
   OsrRevalidation, ///< OSR re-entry found baked-in frame values stale.
+  ValueMismatch, ///< Tiered: a value-tier parameter saw a new value
+                 ///< (same tag) and was demoted to the type tier.
+  TypeMismatch,  ///< Tiered: a parameter saw a new tag and was demoted
+                 ///< to generic.
 };
 
 /// \returns a stable lower-case name ("different-args", ...).
 const char *despecializeCauseName(DespecializeCause C);
+
+/// One parameter's slice of a specialization signature: the tier plus the
+/// fact the binary depends on at that tier (exact value, or tag only).
+struct ParamSig {
+  ParamTier Tier = ParamTier::Value;
+  /// Value tier only: the baked-in value (GC-rooted via EngineRoots).
+  /// Undefined for the other tiers so dead objects are not kept alive.
+  Value V = Value::undefined();
+  /// Type tier only: the guarded tag.
+  ValueTag Tag = ValueTag::Undefined;
+};
+
+/// The dispatch key of one specialized binary: what each parameter (or,
+/// for OSR signatures, each frame slot) must look like for the binary to
+/// be reusable. An all-Value signature is the paper's policy.
+using SpecSig = std::vector<ParamSig>;
 
 /// Per-function code-size record for Figure 10 (the paper reports the
 /// smallest version each compilation mode produced per function).
@@ -98,6 +146,22 @@ public:
   /// despecialize-to-generic policy.
   void setCacheDepth(uint32_t N) { CacheDepth = std::max(1u, N); }
 
+  /// Selects the specialization policy (default: the paper's). Also
+  /// settable via the environment: JITVS_TIER_POLICY=tiered|paper.
+  void setTierPolicy(TierPolicy P) { Policy = P; }
+  TierPolicy tierPolicy() const { return Policy; }
+
+  /// Tiered policy: a parameter slot whose profile shows at most this
+  /// many distinct values starts at the value tier; more values but a
+  /// single tag starts at the type tier; otherwise generic. Also settable
+  /// via JITVS_TIER_VALUE_MAX.
+  void setValueStabilityMax(uint32_t N) { ValueStabilityMax = N; }
+
+  /// Optional profile feed for the tiered policy's initial tier choice.
+  /// Without one, every parameter starts optimistically at Value and the
+  /// ladder demotes on misses. Not owned; must outlive the engine.
+  void setProfiler(const CallProfiler *P) { Profiler = P; }
+
   /// Per-function facts for the reports.
   struct FunctionReport {
     std::string Name;
@@ -106,14 +170,19 @@ public:
     DespecializeCause Cause = DespecializeCause::None;
     uint32_t Compiles = 0;
     uint32_t Bailouts = 0;  ///< Lifetime total (not reset by discards).
-    uint32_t CacheHits = 0; ///< Specialized-binary same-args reuses.
+    uint32_t CacheHits = 0; ///< Specialized-binary reuses (sum of below).
+    uint32_t ValueTierHits = 0; ///< Reuses of value-baking binaries.
+    uint32_t TypeTierHits = 0;  ///< Reuses of type-guard-only binaries.
     size_t MinCodeSize = SIZE_MAX;
   };
   std::vector<FunctionReport> functionReports() const;
 
   /// Compiles \p Info immediately (test/bench hook). Returns the code (or
-  /// nullptr on unsupported shapes). \p Args non-null => specialized.
-  NativeCode *compileNow(FunctionInfo *Info, const std::vector<Value> *Args);
+  /// nullptr on unsupported shapes). \p Args non-null => specialized;
+  /// \p Tiers (paired with Args) selects per-parameter tiers, nullptr =
+  /// all value-tier (paper behavior).
+  NativeCode *compileNow(FunctionInfo *Info, const std::vector<Value> *Args,
+                         const std::vector<ParamTier> *Tiers = nullptr);
 
 private:
   struct FuncState {
@@ -124,28 +193,64 @@ private:
     bool NeverSpecialize = false;
     bool EverSpecialized = false;
     bool EverDespecialized = false;
-    std::vector<Value> CachedArgs;     ///< GC-rooted via EngineRoots.
-    std::vector<Value> CachedOsrSlots; ///< For OSR-entry revalidation.
+    SpecSig Sig;    ///< Entry signature (value entries GC-rooted).
+    SpecSig OsrSig; ///< Frame-slot signature for OSR revalidation.
     /// Extra specialized binaries when the cache depth exceeds 1 (the
-    /// paper's future-work heuristic). Each entry pairs an argument set
-    /// with its binary.
-    std::vector<std::pair<std::vector<Value>, std::shared_ptr<NativeCode>>>
+    /// paper's future-work heuristic). Each entry pairs a signature with
+    /// its binary.
+    std::vector<std::pair<SpecSig, std::shared_ptr<NativeCode>>>
         ExtraSpecializations;
     uint32_t Compiles = 0;
     uint32_t Bailouts = 0; ///< Since the last discard (policy counter).
     uint32_t TotalBailouts = 0; ///< Lifetime total (reporting).
     uint32_t CacheHits = 0;
+    uint32_t ValueTierHits = 0;
+    uint32_t TypeTierHits = 0;
     DespecializeCause Cause = DespecializeCause::None;
     size_t MinCodeSize = SIZE_MAX;
   };
 
   FuncState &state(FunctionInfo *Info);
 
-  /// Compiles \p Info. \p SpecArgs non-null => parameter specialization.
-  /// \p OsrPc/\p OsrSlots build an OSR entry.
+  /// Compiles \p Info. \p SpecArgs non-null => parameter specialization
+  /// with per-parameter \p Tiers (nullptr = all value-tier).
+  /// \p OsrPc/\p OsrSlots/\p OsrTiers build an OSR entry.
   std::shared_ptr<NativeCode>
   compile(FunctionInfo *Info, const std::vector<Value> *SpecArgs,
-          const uint32_t *OsrPc, const std::vector<Value> *OsrSlots);
+          const std::vector<ParamTier> *Tiers, const uint32_t *OsrPc,
+          const std::vector<Value> *OsrSlots,
+          const std::vector<ParamTier> *OsrTiers = nullptr);
+
+  /// Builds the dispatch signature for \p Args under \p Tiers (nullptr =
+  /// all value-tier). Value entries keep the value; type entries keep
+  /// only the tag.
+  static SpecSig makeSig(const std::vector<ParamTier> *Tiers,
+                         const Value *Args, size_t NumArgs);
+
+  /// \returns true when \p Args satisfy \p Sig (value entries compare by
+  /// sameSpecializationValue, type entries by tag, generic always match).
+  static bool sigMatches(const SpecSig &Sig, const Value *Args,
+                         size_t NumArgs);
+
+  /// Strongest tier present in \p Sig (Value beats Type beats Generic);
+  /// classifies a binary for the hit-split counters.
+  static ParamTier sigTier(const SpecSig &Sig);
+
+  /// Tiered policy: initial per-parameter tiers for \p Info, consulting
+  /// the profiler when attached (all-Value otherwise).
+  std::vector<ParamTier> chooseTiers(FunctionInfo *Info, size_t NumArgs);
+
+  /// Tiered policy: the demotion step. Computes the post-miss tier of
+  /// every signature entry given the observed \p Args, records demotion
+  /// stats + telemetry, and reports whether any entry type-mismatched.
+  /// \returns the new tier vector (all-Generic => caller falls back to a
+  /// fully generic binary).
+  std::vector<ParamTier> demoteTiers(FunctionInfo *Info, const SpecSig &Sig,
+                                     const Value *Args, size_t NumArgs,
+                                     bool &SawTypeMismatch);
+
+  void recordCacheHit(FuncState &FS, const SpecSig &Sig,
+                      const FunctionInfo *Info);
 
   /// Runs FS.Code (or \p CodeOverride), handling bailouts
   /// (deoptimization to the interpreter).
@@ -155,9 +260,6 @@ private:
                 Environment *ClosureEnv,
                 std::shared_ptr<NativeCode> CodeOverride = nullptr);
 
-  bool argsMatch(const std::vector<Value> &Cached, const Value *Args,
-                 size_t NumArgs) const;
-
   Runtime &RT;
   OptConfig Config;
   Executor Exec;
@@ -166,11 +268,14 @@ private:
   /// lifetime of any in-flight execution and feeds the code-size tables.
   std::vector<std::shared_ptr<NativeCode>> AllCode;
   EngineStats Stats;
+  const CallProfiler *Profiler = nullptr;
 
   uint32_t CallThreshold = 8;
   uint32_t LoopThreshold = 100;
   uint32_t BailoutLimit = 12;
   uint32_t CacheDepth = 1; ///< The paper's policy.
+  TierPolicy Policy = TierPolicy::Paper;
+  uint32_t ValueStabilityMax = 1;
 
   class EngineRoots;
   std::unique_ptr<EngineRoots> Roots;

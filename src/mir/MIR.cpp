@@ -3,6 +3,7 @@
 #include "mir/MIR.h"
 
 #include "mir/MIRGraph.h"
+#include "mir/Tier.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -38,7 +39,11 @@ const char *jitvs::mirTypeName(MIRType T) {
 }
 
 MIRType jitvs::mirTypeOfValue(const Value &V) {
-  switch (V.tag()) {
+  return mirTypeOfTag(V.tag());
+}
+
+MIRType jitvs::mirTypeOfTag(ValueTag Tag) {
+  switch (Tag) {
   case ValueTag::Undefined:
     return MIRType::Undefined;
   case ValueTag::Null:
@@ -59,6 +64,18 @@ MIRType jitvs::mirTypeOfValue(const Value &V) {
     return MIRType::Function;
   }
   JITVS_UNREACHABLE("bad ValueTag");
+}
+
+const char *jitvs::paramTierName(ParamTier T) {
+  switch (T) {
+  case ParamTier::Generic:
+    return "generic";
+  case ParamTier::Type:
+    return "type";
+  case ParamTier::Value:
+    return "value";
+  }
+  JITVS_UNREACHABLE("bad ParamTier");
 }
 
 const char *jitvs::mirOpName(MirOp O) {

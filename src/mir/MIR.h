@@ -46,6 +46,7 @@ const char *mirTypeName(MIRType T);
 
 /// \returns the MIRType matching a runtime value tag.
 MIRType mirTypeOfValue(const Value &V);
+MIRType mirTypeOfTag(ValueTag Tag);
 
 /// MIR operation codes.
 enum class MirOp : uint8_t {

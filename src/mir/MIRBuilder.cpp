@@ -211,6 +211,24 @@ private:
     return !Opts.GenericOnly || unboxIsFree(T, Def);
   }
 
+  /// Tier of entry parameter \p I (empty tier vector = all Value, the
+  /// paper's policy).
+  ParamTier paramTier(uint32_t I) const {
+    if (Opts.ParamTiers.empty())
+      return ParamTier::Value;
+    return I < Opts.ParamTiers.size() ? Opts.ParamTiers[I]
+                                      : ParamTier::Value;
+  }
+  /// Tier of OSR frame slot \p I (empty = all Value, matching
+  /// OsrSlotValues; an explicit-but-short vector leaves the tail
+  /// dynamic).
+  ParamTier osrSlotTier(uint32_t I) const {
+    if (Opts.OsrSlotTiers.empty())
+      return ParamTier::Value;
+    return I < Opts.OsrSlotTiers.size() ? Opts.OsrSlotTiers[I]
+                                        : ParamTier::Generic;
+  }
+
   // --- Edges ---
   void linkEdge(MBasicBlock *From, const std::vector<MInstr *> &ExitState,
                 BCBlock &Target);
@@ -422,13 +440,25 @@ void Builder::buildPrologue() {
         State.push_back(I < InlineArgs.size() ? InlineArgs[I] : UndefConst);
         continue;
       }
-      if (Opts.SpecializedArgs) {
+      if (Opts.SpecializedArgs && paramTier(I) == ParamTier::Value) {
         const auto &Args = *Opts.SpecializedArgs;
         Value V = I < Args.size() ? Args[I] : Value::undefined();
         State.push_back(constant(V));
         continue;
       }
-      MInstr *Param = ins(MirOp::Parameter, MIRType::Any, {}, I);
+      // Type-tier parameters load dynamically but carry the guarded tag
+      // as their static type, guard-free: the specialization cache keys
+      // dispatch on the tag (Engine::sigMatches), so the fact is already
+      // validated before the binary is ever entered — exactly as the
+      // value tier trusts its baked-in constants. Typed uses therefore
+      // need no per-site Unbox.
+      MIRType PT = MIRType::Any;
+      if (Opts.SpecializedArgs && paramTier(I) == ParamTier::Type) {
+        const auto &Args = *Opts.SpecializedArgs;
+        Value V = I < Args.size() ? Args[I] : Value::undefined();
+        PT = mirTypeOfValue(V);
+      }
+      MInstr *Param = ins(MirOp::Parameter, PT, {}, I);
       State.push_back(Param);
       continue;
     }
@@ -472,14 +502,24 @@ void Builder::buildOsrEntry(BCBlock &Header) {
 
   std::vector<MInstr *> OsrState;
   for (uint32_t I = 0; I != Info->NumSlots; ++I) {
-    if (Opts.SpecializedArgs) {
+    if (Opts.SpecializedArgs && osrSlotTier(I) == ParamTier::Value) {
       // Paper Figure 7(a): OSR inputs are specialized to the live frame
       // values as well.
       Value V = I < Opts.OsrSlotValues.size() ? Opts.OsrSlotValues[I]
                                               : Value::undefined();
       OsrState.push_back(constant(V));
     } else {
-      OsrState.push_back(ins(MirOp::OsrValue, MIRType::Any, {}, I));
+      // Type-tier slots load the live frame value but carry its tag as
+      // their static type, guard-free: the engine revalidates the OSR
+      // signature (Engine::sigMatches on the frame slots) before every
+      // OSR entry, mirroring the entry-parameter contract.
+      MIRType ST = MIRType::Any;
+      if (Opts.SpecializedArgs && osrSlotTier(I) == ParamTier::Type) {
+        Value V = I < Opts.OsrSlotValues.size() ? Opts.OsrSlotValues[I]
+                                                : Value::undefined();
+        ST = mirTypeOfValue(V);
+      }
+      OsrState.push_back(ins(MirOp::OsrValue, ST, {}, I));
     }
   }
 

@@ -14,6 +14,7 @@
 #define JITVS_MIR_MIRBUILDER_H
 
 #include "mir/MIRGraph.h"
+#include "mir/Tier.h"
 #include "vm/Value.h"
 
 #include <memory>
@@ -30,12 +31,25 @@ struct BuildOptions {
   /// constants (empty optional = generic compilation).
   std::optional<std::vector<Value>> SpecializedArgs;
 
+  /// Per-parameter tier ladder. Empty = every parameter at the Value tier
+  /// (the paper's all-or-nothing policy). When set, SpecializedArgs[I]
+  /// supplies the constant for Value-tier parameters and the guarded tag
+  /// for Type-tier parameters; Generic-tier parameters stay plain
+  /// Parameter loads. Only meaningful when SpecializedArgs is present.
+  std::vector<ParamTier> ParamTiers;
+
   /// OSR: build an on-stack-replacement entry targeting this LoopHead
   /// bytecode offset. When specializing, OsrSlotValues carries the live
   /// frame-slot values to bake in (paper Figure 7(a) specializes both
   /// entry points).
   std::optional<uint32_t> OsrPc;
   std::vector<Value> OsrSlotValues;
+
+  /// Per-frame-slot tiers for the OSR entry (parameters first, then
+  /// locals). Empty = every slot at the Value tier, matching
+  /// OsrSlotValues (the paper's behavior). Type-tier slots load the live
+  /// frame value through an OsrValue and guard only its tag.
+  std::vector<ParamTier> OsrSlotTiers;
 
   /// Guard-free mode used for inlined bodies: never emit bailing guards;
   /// fall back to generic helper ops instead. (Bailouts cannot reconstruct

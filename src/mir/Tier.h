@@ -1,0 +1,35 @@
+//===- mir/Tier.h - Per-parameter specialization tiers ----------*- C++ -*-===//
+///
+/// \file
+/// The specialization ladder (see DESIGN.md "Specialization tiers"): each
+/// parameter of a compiled function is independently baked at one of three
+/// tiers. The paper's policy is the all-Value / all-Generic special case;
+/// the Type tier in between specializes on the runtime *tag* only, trading
+/// constant folding for reuse across calls whose values flip but whose
+/// types stay stable (cf. Chevalier-Boisvert & Feeley's type-driven
+/// versioning in PAPERS.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITVS_MIR_TIER_H
+#define JITVS_MIR_TIER_H
+
+#include <cstdint>
+
+namespace jitvs {
+
+/// How one parameter is baked into a specialized binary. Ordered from
+/// weakest to strongest fact, so despecialization is a monotone walk down
+/// the numeric value (Value -> Type -> Generic) and never climbs back up.
+enum class ParamTier : uint8_t {
+  Generic, ///< Fully dynamic: plain Parameter load, no assumptions.
+  Type,    ///< Tag baked in: Parameter + entry type guard, typed uses.
+  Value,   ///< Exact value baked in as a compile-time constant (§3.2).
+};
+
+/// \returns a stable lower-case name ("generic", "type", "value").
+const char *paramTierName(ParamTier T);
+
+} // namespace jitvs
+
+#endif // JITVS_MIR_TIER_H

@@ -161,6 +161,28 @@ const char *jitvs::nopName(NOp O) {
   JITVS_UNREACHABLE("bad NOp");
 }
 
+size_t NativeCode::guardCount() const {
+  size_t N = 0;
+  for (const NInstr &I : Code) {
+    switch (I.Op) {
+    case NOp::GuardTag:
+    case NOp::GuardNumber:
+    case NOp::BoundsCheck:
+    case NOp::GuardArrLen:
+    case NOp::AddI:
+    case NOp::SubI:
+    case NOp::MulI:
+    case NOp::ModI:
+    case NOp::NegI:
+      ++N;
+      break;
+    default:
+      break;
+    }
+  }
+  return N;
+}
+
 std::string NativeCode::disassemble() const {
   std::string Out;
   char Buf[160];

@@ -179,6 +179,12 @@ public:
   /// Code size in instructions — the Figure 10 metric.
   size_t sizeInInstructions() const { return Code.size(); }
 
+  /// Number of instructions that can bail to the interpreter (tag/number
+  /// guards, bounds/length checks, overflow-checked int32 arithmetic) —
+  /// the tier-policy bench's second axis: the type tier should sit
+  /// between value-specialized and generic code on this metric too.
+  size_t guardCount() const;
+
   uint16_t addConstant(const Value &V) {
     ConstPool.push_back(V);
     return static_cast<uint16_t>(ConstPool.size() - 1);

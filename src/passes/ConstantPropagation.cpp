@@ -101,6 +101,35 @@ void jitvs::runConstantPropagation(MIRGraph &Graph, Runtime &RT) {
           continue;
         }
 
+        // Type-only facts, distinct from value-constants: a guard whose
+        // guarded property is already proven by its operand's *static
+        // type* is redundant even though the operand's value is unknown.
+        // Type-tier parameters arrive with their dispatch-validated tag
+        // as static type and no baked value; these folds are what let
+        // them shed the per-use Unbox/TypeBarrier guards generic code
+        // must keep.
+        if (I->op() == MirOp::TypeBarrier) {
+          MInstr *Src = I->operand(0);
+          if (Src->type() != MIRType::Any &&
+              Src->type() ==
+                  mirTypeOfTag(static_cast<ValueTag>(I->AuxA))) {
+            I->replaceAllUsesWith(Src);
+            B->remove(I);
+            Changed = true;
+            continue;
+          }
+        }
+        if (I->op() == MirOp::Unbox) {
+          MInstr *Src = I->operand(0);
+          MIRType Want = static_cast<MIRType>(I->AuxA);
+          if (Want != MIRType::Any && Src->type() == Want) {
+            I->replaceAllUsesWith(Src);
+            B->remove(I);
+            Changed = true;
+            continue;
+          }
+        }
+
         if (!allOperandsConstant(I))
           continue;
         std::optional<Value> Folded = evaluatePureInstr(

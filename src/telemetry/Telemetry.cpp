@@ -78,6 +78,8 @@ const char *jitvs::telemetryEventKindName(TelemetryEventKind K) {
     return "despecialize";
   case TelemetryEventKind::Discard:
     return "discard";
+  case TelemetryEventKind::TierTransition:
+    return "tier-transition";
   case TelemetryEventKind::Bailout:
     return "bailout";
   case TelemetryEventKind::OsrEntry:
@@ -100,6 +102,7 @@ uint32_t jitvs::telemetryEventCategory(TelemetryEventKind K) {
   case TelemetryEventKind::CacheHit:
   case TelemetryEventKind::Despecialize:
   case TelemetryEventKind::Discard:
+  case TelemetryEventKind::TierTransition:
     return TelCache;
   case TelemetryEventKind::Bailout:
     return TelBailout;
@@ -296,6 +299,10 @@ void Telemetry::spewEvent(const TelemetryEvent &E) const {
     std::fprintf(stderr, "[jitvs %s] discard %s (%s)\n", Cat, E.Func,
                  E.Detail);
     break;
+  case TelemetryEventKind::TierTransition:
+    std::fprintf(stderr, "[jitvs %s] tier %s param %llu: %s\n", Cat, E.Func,
+                 static_cast<unsigned long long>(E.A), E.Detail);
+    break;
   case TelemetryEventKind::Bailout:
     std::fprintf(stderr, "[jitvs %s] %s: %s at npc=%llu (bytecode pc=%llu)\n",
                  Cat, E.Func, bailoutReasonName(E.Reason),
@@ -449,6 +456,8 @@ void Telemetry::writeChromeTrace(std::ostream &OS) const {
       Arg("codeSizeInstrs", std::to_string(E.C), false);
     } else if (E.Kind == TelemetryEventKind::OsrEntry) {
       Arg("loopPc", std::to_string(E.A), false);
+    } else if (E.Kind == TelemetryEventKind::TierTransition) {
+      Arg("paramIndex", std::to_string(E.A), false);
     }
     OS << "}}";
   }

@@ -75,6 +75,9 @@ enum class TelemetryEventKind : uint8_t {
   CacheHit,     ///< [cache] specialized binary reused with same args.
   Despecialize, ///< [cache] Detail=cause (different-args|osr-revalidation).
   Discard,      ///< [cache] binary dropped; Detail=cause (bailout-limit).
+  TierTransition, ///< [cache] a parameter moved down the specialization
+                  ///< ladder; Detail=edge ("value->type"|"type->generic"),
+                  ///< A=parameter index.
   Bailout,      ///< [bailout] Reason set; A=native pc, B=bytecode pc.
   OsrEntry,     ///< [osr] A=loop-head bytecode pc.
   Script,       ///< [script] span; one Runtime::evaluate.

@@ -1,0 +1,341 @@
+//===- tests/TierPolicyTest.cpp - The specialization-tier ladder ----------===//
+///
+/// \file
+/// The adaptive value -> type -> generic ladder (DESIGN.md
+/// "Specialization tiers"): per-parameter demotion on misses, the
+/// generic fallback as the only path to NeverSpecialize, the
+/// profiler-driven initial tier choice, the cache-hit tier split, and
+/// differential runs against the paper policy and the interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#include "jit/Engine.h"
+#include "profiling/CallProfiler.h"
+#include "vm/Bytecode.h"
+#include "vm/Runtime.h"
+
+#include <gtest/gtest.h>
+
+using namespace jitvs;
+
+namespace {
+
+/// Engine with thresholds tuned so only user functions JIT (top-level
+/// loops stay interpreted and out of the stats).
+struct TieredFixture {
+  Runtime RT;
+  Engine E{RT, OptConfig::all()};
+
+  TieredFixture() {
+    E.setTierPolicy(TierPolicy::Tiered);
+    E.setCallThreshold(5);
+    E.setLoopThreshold(100000);
+  }
+};
+
+TEST(TierPolicy, DefaultPolicyIsPaper) {
+  Runtime RT;
+  Engine E(RT, OptConfig::all());
+  EXPECT_EQ(E.tierPolicy(), TierPolicy::Paper);
+}
+
+TEST(TierPolicy, ValueMismatchDemotesToTypeTier) {
+  TieredFixture F;
+  F.RT.evaluate("function f(x) { return x * 2; }"
+                "for (var i = 0; i < 10; i++) f(1);" // Specialize on 1.
+                "f(2);" // Same tag, new value: value -> type.
+                "for (var i = 0; i < 50; i++) f(3);" // Hits the type tier.
+                "print(f(4));");
+  ASSERT_FALSE(F.RT.hasError());
+  EXPECT_EQ(F.RT.output(), "8\n");
+  EXPECT_EQ(F.E.stats().Despecializations, 1u);
+  EXPECT_EQ(F.E.stats().TierDemotionsValueToType, 1u);
+  EXPECT_EQ(F.E.stats().TierDemotionsToGeneric, 0u);
+  EXPECT_EQ(F.E.stats().GenericFallbacks, 0u);
+  // The demotion recompiled specialized (type tier), not generic.
+  EXPECT_EQ(F.E.stats().SpecializedCompiles, 2u);
+  EXPECT_EQ(F.E.stats().GenericCompiles, 0u);
+  EXPECT_GE(F.E.stats().TypeTierHits, 50u);
+
+  bool Saw = false;
+  for (const Engine::FunctionReport &R : F.E.functionReports()) {
+    if (R.Name != "f")
+      continue;
+    Saw = true;
+    EXPECT_TRUE(R.WasSpecialized);
+    EXPECT_TRUE(R.Despecialized);
+    EXPECT_EQ(R.Cause, DespecializeCause::ValueMismatch);
+    EXPECT_GE(R.TypeTierHits, 50u);
+  }
+  EXPECT_TRUE(Saw);
+}
+
+TEST(TierPolicy, TypeMismatchFallsBackToGeneric) {
+  TieredFixture F;
+  F.RT.evaluate("function f(x) { return x * 2; }"
+                "for (var i = 0; i < 10; i++) f(1);" // Specialize on 1.
+                "var r = f(0.5);" // New tag: value -> generic fallback.
+                "for (var i = 0; i < 20; i++) f(1);" // Must NOT respecialize.
+                "print(r);");
+  ASSERT_FALSE(F.RT.hasError());
+  EXPECT_EQ(F.RT.output(), "1\n");
+  EXPECT_EQ(F.E.stats().Despecializations, 1u);
+  EXPECT_EQ(F.E.stats().TierDemotionsToGeneric, 1u);
+  EXPECT_EQ(F.E.stats().GenericFallbacks, 1u);
+  // NeverSpecialize: the original argument set returns, yet only the one
+  // specialized compile ever happened.
+  EXPECT_EQ(F.E.stats().SpecializedCompiles, 1u);
+  EXPECT_EQ(F.E.stats().GenericCompiles, 1u);
+  EXPECT_EQ(F.E.stats().TypeTierHits, 0u);
+
+  for (const Engine::FunctionReport &R : F.E.functionReports())
+    if (R.Name == "f")
+      EXPECT_EQ(R.Cause, DespecializeCause::TypeMismatch);
+}
+
+TEST(TierPolicy, ValueDemotionDoesNotSetNeverSpecialize) {
+  TieredFixture F;
+  // After the value -> type demotion, every later call carries a fresh
+  // value of the same tag. Under the paper policy this function would be
+  // generic forever; under the ladder the type-tier binary keeps hitting
+  // and no further despecialization happens.
+  F.RT.evaluate("function f(x) { return x + 1; }"
+                "for (var i = 0; i < 10; i++) f(1);"
+                "var s = 0;"
+                "for (var i = 0; i < 60; i++) s = s + f(i);"
+                "print(s);");
+  ASSERT_FALSE(F.RT.hasError());
+  EXPECT_EQ(F.RT.output(), "1830\n");
+  EXPECT_EQ(F.E.stats().Despecializations, 1u);
+  EXPECT_EQ(F.E.stats().GenericFallbacks, 0u);
+  EXPECT_EQ(F.E.stats().SpecializedCompiles, 2u);
+  EXPECT_GE(F.E.stats().TypeTierHits, 55u);
+}
+
+TEST(TierPolicy, FullLadderDescent) {
+  TieredFixture F;
+  F.RT.evaluate("function f(x) { return x * 2; }"
+                "for (var i = 0; i < 10; i++) f(1);" // Value tier.
+                "f(2);"   // value -> type.
+                "for (var i = 0; i < 10; i++) f(3);"
+                "f(0.5);" // type -> generic: ladder exhausted.
+                "for (var i = 0; i < 30; i++) f(9);" // Stays generic.
+                "print(f(6));");
+  ASSERT_FALSE(F.RT.hasError());
+  EXPECT_EQ(F.RT.output(), "12\n");
+  EXPECT_EQ(F.E.stats().Despecializations, 2u);
+  EXPECT_EQ(F.E.stats().TierDemotionsValueToType, 1u);
+  EXPECT_EQ(F.E.stats().TierDemotionsToGeneric, 1u);
+  EXPECT_EQ(F.E.stats().GenericFallbacks, 1u);
+  EXPECT_EQ(F.E.stats().SpecializedCompiles, 2u);
+
+  for (const Engine::FunctionReport &R : F.E.functionReports())
+    if (R.Name == "f")
+      EXPECT_EQ(R.Cause, DespecializeCause::TypeMismatch);
+}
+
+TEST(TierPolicy, HitSplitSumsToCacheHits) {
+  TieredFixture F;
+  F.RT.evaluate("function f(x) { return x * 2; }"
+                "function g(x) { return x + 1; }"
+                "for (var i = 0; i < 20; i++) { f(1); g(7); }"
+                "f(2);"
+                "for (var i = 0; i < 20; i++) f(i);"
+                "print('ok');");
+  ASSERT_FALSE(F.RT.hasError());
+  const EngineStats &S = F.E.stats();
+  EXPECT_EQ(S.ValueTierHits + S.TypeTierHits, S.CacheHits);
+  EXPECT_GT(S.ValueTierHits, 0u); // g's stable arg set.
+  EXPECT_GT(S.TypeTierHits, 0u);  // f after the demotion.
+  for (const Engine::FunctionReport &R : F.E.functionReports())
+    EXPECT_EQ(R.ValueTierHits + R.TypeTierHits, R.CacheHits);
+}
+
+TEST(TierPolicy, PaperModeCountsAllHitsAsValueTier) {
+  Runtime RT;
+  Engine E(RT, OptConfig::all());
+  E.setCallThreshold(5);
+  E.setLoopThreshold(100000);
+  RT.evaluate("function f(x) { return x + 1; }"
+              "for (var i = 0; i < 30; i++) f(1);");
+  ASSERT_FALSE(RT.hasError());
+  EXPECT_GT(E.stats().CacheHits, 0u);
+  EXPECT_EQ(E.stats().TypeTierHits, 0u);
+  EXPECT_EQ(E.stats().ValueTierHits, E.stats().CacheHits);
+}
+
+// The worked example from DESIGN.md: a higher-order map whose callback
+// flips identity every iteration. The paper policy despecializes map to
+// generic on the first flip; the ladder demotes only the callback
+// parameter to the type tier (both callbacks are Functions) and keeps a
+// specialized binary. All policies must agree with the interpreter.
+const char *FlippingClosureSrc =
+    "function map(f, a) {"
+    "  var r = [];"
+    "  for (var i = 0; i < a.length; i++) r[i] = f(a[i]);"
+    "  return r; }"
+    "function inc(x) { return x + 1; }"
+    "function dec(x) { return x - 1; }"
+    "var a = [];"
+    "for (var i = 0; i < 40; i++) a[i] = i;"
+    "var s = 0;"
+    "for (var t = 0; t < 30; t++) {"
+    "  var f; if (t % 2 == 0) f = inc; else f = dec;"
+    "  var m = map(f, a);"
+    "  s = s + m[t % 40]; }"
+    "print(s);";
+
+TEST(TierPolicy, DifferentialFlippingClosure) {
+  Runtime Ref; // Pure interpreter.
+  Ref.evaluate(FlippingClosureSrc);
+  ASSERT_FALSE(Ref.hasError());
+
+  for (TierPolicy P : {TierPolicy::Paper, TierPolicy::Tiered}) {
+    Runtime RT;
+    Engine E(RT, OptConfig::all());
+    E.setTierPolicy(P);
+    E.setCallThreshold(5);
+    RT.evaluate(FlippingClosureSrc);
+    ASSERT_FALSE(RT.hasError()) << tierPolicyName(P);
+    EXPECT_EQ(RT.output(), Ref.output()) << tierPolicyName(P);
+    if (P == TierPolicy::Tiered) {
+      // The callback flip is a value miss on a Function-tagged slot.
+      EXPECT_GE(E.stats().TierDemotionsValueToType, 1u);
+      EXPECT_EQ(E.stats().GenericFallbacks, 0u);
+      EXPECT_GT(E.stats().TypeTierHits, 0u);
+    }
+  }
+}
+
+TEST(TierPolicy, DifferentialTypeFlip) {
+  const char *Src = "function f(x) { return x * 3 - 1; }"
+                    "var s = 0;"
+                    "for (var i = 0; i < 40; i++) s = s + f(i);"
+                    "for (var i = 0; i < 40; i++) s = s + f(i + 0.5);"
+                    "print(s);";
+  Runtime Ref;
+  Ref.evaluate(Src);
+  ASSERT_FALSE(Ref.hasError());
+  for (TierPolicy P : {TierPolicy::Paper, TierPolicy::Tiered}) {
+    Runtime RT;
+    Engine E(RT, OptConfig::all());
+    E.setTierPolicy(P);
+    E.setCallThreshold(5);
+    E.setLoopThreshold(100000);
+    RT.evaluate(Src);
+    ASSERT_FALSE(RT.hasError()) << tierPolicyName(P);
+    EXPECT_EQ(RT.output(), Ref.output()) << tierPolicyName(P);
+  }
+}
+
+// --- Profiler-driven initial tier choice ---
+
+TEST(TierPolicy, ProfilerStartsUnstableParamAtTypeTier) {
+  Runtime RT;
+  CallProfiler Prof;
+  RT.setCallObserver(&Prof);
+  Engine E(RT, OptConfig::all());
+  E.setTierPolicy(TierPolicy::Tiered);
+  E.setProfiler(&Prof);
+  E.setCallThreshold(32); // Let the profiler see the value churn first.
+  E.setLoopThreshold(100000);
+  RT.evaluate("function g(x) { return x + 1; }"
+              "var s = 0;"
+              "for (var i = 0; i < 200; i++) s = g(i);"
+              "print(s);");
+  ASSERT_FALSE(RT.hasError());
+  EXPECT_EQ(RT.output(), "200\n");
+  // The profile showed one tag but many values, so the first compile
+  // already sits on the type tier: no value baking, no demotions.
+  EXPECT_EQ(E.stats().Despecializations, 0u);
+  EXPECT_EQ(E.stats().TierDemotionsValueToType, 0u);
+  EXPECT_EQ(E.stats().ValueTierHits, 0u);
+  EXPECT_GT(E.stats().TypeTierHits, 100u);
+}
+
+TEST(TierPolicy, ProfilerKeepsStableParamAtValueTier) {
+  Runtime RT;
+  CallProfiler Prof;
+  RT.setCallObserver(&Prof);
+  Engine E(RT, OptConfig::all());
+  E.setTierPolicy(TierPolicy::Tiered);
+  E.setProfiler(&Prof);
+  E.setCallThreshold(32);
+  E.setLoopThreshold(100000);
+  RT.evaluate("function g(x) { return x + 1; }"
+              "var s = 0;"
+              "for (var i = 0; i < 200; i++) s = g(5);"
+              "print(s);");
+  ASSERT_FALSE(RT.hasError());
+  EXPECT_EQ(RT.output(), "6\n");
+  EXPECT_EQ(E.stats().Despecializations, 0u);
+  EXPECT_EQ(E.stats().TypeTierHits, 0u);
+  EXPECT_GT(E.stats().ValueTierHits, 100u);
+}
+
+TEST(TierPolicy, ProfilerSkipsLadderForMixedTagParam) {
+  Runtime RT;
+  CallProfiler Prof;
+  RT.setCallObserver(&Prof);
+  Engine E(RT, OptConfig::all());
+  E.setTierPolicy(TierPolicy::Tiered);
+  E.setProfiler(&Prof);
+  E.setCallThreshold(32);
+  E.setLoopThreshold(100000);
+  RT.evaluate("function g(x) { return x + 1; }"
+              "var s = 0;"
+              "for (var i = 0; i < 200; i++) {"
+              "  if (i % 2 == 0) s = g(i); else s = g(i + 0.5); }"
+              "print(s);");
+  ASSERT_FALSE(RT.hasError());
+  // Two tags and many values: nothing stable to assume, so the ladder is
+  // skipped entirely — one generic compile, no specialization, and
+  // crucially no despecialization churn.
+  EXPECT_EQ(E.stats().SpecializedCompiles, 0u);
+  EXPECT_EQ(E.stats().CacheHits, 0u);
+  EXPECT_EQ(E.stats().Despecializations, 0u);
+}
+
+// --- CallProfiler::paramStability unit coverage ---
+
+TEST(ParamStability, CountsDistinctValuesAndTagsPerSlot) {
+  CallProfiler P;
+  FunctionInfo FI;
+  FI.Name = "probe";
+  Value A[2] = {Value::int32(1), Value::int32(7)};
+  P.recordCall(&FI, A, 2);
+  Value B[2] = {Value::int32(1), Value::makeDouble(3.25)};
+  P.recordCall(&FI, B, 2);
+  Value C[2] = {Value::int32(2), Value::makeDouble(3.25)};
+  P.recordCall(&FI, C, 2);
+
+  std::vector<ParamStability> S = P.paramStability(&FI);
+  ASSERT_EQ(S.size(), 2u);
+  EXPECT_EQ(S[0].DistinctValues, 2u);
+  EXPECT_EQ(S[0].DistinctTags, 1u);
+  EXPECT_EQ(S[1].DistinctValues, 2u);
+  EXPECT_EQ(S[1].DistinctTags, 2u);
+}
+
+TEST(ParamStability, ValueTrackingSaturatesAtCap) {
+  CallProfiler P;
+  FunctionInfo FI;
+  FI.Name = "probe";
+  for (int I = 0; I != 50; ++I) {
+    Value V = Value::int32(I);
+    P.recordCall(&FI, &V, 1);
+  }
+  std::vector<ParamStability> S = P.paramStability(&FI);
+  ASSERT_EQ(S.size(), 1u);
+  // Saturates at cap + 1: "more than the cap", never grows further.
+  EXPECT_EQ(S[0].DistinctValues, CallProfiler::MaxTrackedValuesPerParam + 1);
+  EXPECT_EQ(S[0].DistinctTags, 1u);
+}
+
+TEST(ParamStability, UnseenFunctionYieldsEmpty) {
+  CallProfiler P;
+  FunctionInfo FI;
+  EXPECT_TRUE(P.paramStability(&FI).empty());
+}
+
+} // namespace

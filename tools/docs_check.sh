@@ -1,0 +1,36 @@
+#!/bin/sh
+# Fails if a JITVS_* environment variable read anywhere in src/ or
+# bench/ is missing from the README "Configuration" table, so the
+# runtime-knob documentation cannot silently rot. Wired into ctest as
+# `docs_check` (see the top-level CMakeLists.txt).
+#
+# Usage: docs_check.sh [repo-root]  (default: the script's parent dir)
+
+set -eu
+
+ROOT=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
+README="$ROOT/README.md"
+
+[ -f "$README" ] || { echo "docs_check: no README at $README" >&2; exit 1; }
+
+# Every getenv("JITVS_...") in the sources.
+VARS=$(grep -rhoE 'getenv\("JITVS_[A-Z_]+"\)' "$ROOT/src" "$ROOT/bench" |
+       sed 's/getenv("\(JITVS_[A-Z_]*\)")/\1/' | sort -u)
+
+[ -n "$VARS" ] || { echo "docs_check: found no JITVS_* reads" >&2; exit 1; }
+
+# The configuration table: lines of the form "| `JITVS_FOO` | ... |".
+MISSING=0
+for V in $VARS; do
+  if ! grep -q "^| \`$V\`" "$README"; then
+    echo "docs_check: $V is read in src/ or bench/ but missing from" \
+         "the README Configuration table" >&2
+    MISSING=1
+  fi
+done
+
+if [ "$MISSING" -ne 0 ]; then
+  exit 1
+fi
+echo "docs_check: all $(echo "$VARS" | wc -l | tr -d ' ') JITVS_*" \
+     "variables documented"
