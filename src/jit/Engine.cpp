@@ -4,6 +4,7 @@
 
 #include "lir/Codegen.h"
 #include "mir/MIRBuilder.h"
+#include "native/Fusion.h"
 #include "mir/Verifier.h"
 #include "profiling/CallProfiler.h"
 #include "support/Timer.h"
@@ -125,6 +126,8 @@ Engine::Engine(Runtime &RT, const OptConfig &Config)
   if (const char *N = std::getenv("JITVS_TIER_VALUE_MAX"))
     if (int V = std::atoi(N); V > 0)
       ValueStabilityMax = static_cast<uint32_t>(V);
+  if (const char *F = std::getenv("JITVS_FUSION"))
+    FusionEnabled = std::strcmp(F, "0") != 0 && std::strcmp(F, "off") != 0;
 }
 
 Engine::~Engine() {
@@ -328,6 +331,27 @@ Engine::compile(FunctionInfo *Info, const std::vector<Value> *SpecArgs,
 #endif
 
   std::shared_ptr<NativeCode> Code = generateCode(*Graph);
+  if (FusionEnabled) {
+    Timer FuseT;
+    FusionStats FuseStats;
+    unsigned Fused = fuseMacroOps(*Code, &FuseStats);
+    Stats.FusedOps += Fused;
+    if (telemetryEnabled(TelPass)) {
+      // Same span shape as the MIR passes: A/B = dispatched instruction
+      // count before/after (the static Code.size() is unchanged), C = 0
+      // guards removed (fused guards still bail), D = pairs fused.
+      TelemetryEvent E;
+      E.Kind = TelemetryEventKind::Pass;
+      E.DurNs = static_cast<uint64_t>(FuseT.seconds() * 1e9);
+      E.setFunc(Info->Name);
+      E.setDetail("MacroFusion");
+      E.A = Code->sizeInInstructions();
+      E.B = Code->sizeInInstructionsPostFusion();
+      E.C = 0;
+      E.D = Fused;
+      telemetry().record(E);
+    }
+  }
   AllCode.push_back(Code);
 
   double Seconds = T.seconds();
@@ -354,6 +378,9 @@ Engine::compile(FunctionInfo *Info, const std::vector<Value> *SpecArgs,
   if (FS.Compiles > 1)
     ++Stats.Recompilations;
   FS.MinCodeSize = std::min(FS.MinCodeSize, Code->sizeInInstructions());
+  FS.MinCodeSizePostFusion =
+      std::min(FS.MinCodeSizePostFusion, Code->sizeInInstructionsPostFusion());
+  FS.FusedOps += Code->FusedPairs;
   return Code;
 }
 
@@ -745,6 +772,8 @@ std::vector<Engine::FunctionReport> Engine::functionReports() const {
     R.ValueTierHits = FS.ValueTierHits;
     R.TypeTierHits = FS.TypeTierHits;
     R.MinCodeSize = FS.MinCodeSize;
+    R.MinCodeSizePostFusion = FS.MinCodeSizePostFusion;
+    R.FusedOps = FS.FusedOps;
     Out.push_back(std::move(R));
   }
   return Out;

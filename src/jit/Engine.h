@@ -77,6 +77,8 @@ struct EngineStats {
   uint64_t OsrEntries = 0;
   uint64_t NativeCalls = 0;      ///< Calls executed in native code.
   uint64_t InterpretedCalls = 0; ///< Calls the engine left to the interp.
+  /// Macro-op pairs fused across all compiles (native/Fusion.cpp).
+  uint64_t FusedOps = 0;
   double CompileSeconds = 0.0;
 };
 
@@ -162,6 +164,16 @@ public:
   /// ladder demotes on misses. Not owned; must outlive the engine.
   void setProfiler(const CallProfiler *P) { Profiler = P; }
 
+  /// Post-regalloc macro-op fusion (default on; env: JITVS_FUSION=0|off
+  /// disables). Applies to compiles after the call.
+  void setFusion(bool On) { FusionEnabled = On; }
+  bool fusionEnabled() const { return FusionEnabled; }
+
+  /// Dispatch-loop selection for this engine's executor (env default:
+  /// JITVS_DISPATCH; see Executor::defaultDispatchMode).
+  void setDispatchMode(DispatchMode M) { Exec.setDispatchMode(M); }
+  DispatchMode dispatchMode() const { return Exec.dispatchMode(); }
+
   /// Per-function facts for the reports.
   struct FunctionReport {
     std::string Name;
@@ -174,6 +186,11 @@ public:
     uint32_t ValueTierHits = 0; ///< Reuses of value-baking binaries.
     uint32_t TypeTierHits = 0;  ///< Reuses of type-guard-only binaries.
     size_t MinCodeSize = SIZE_MAX;
+    /// Smallest dispatched-instruction count after fusion (equals
+    /// MinCodeSize with fusion off; the static Figure 10 metric is
+    /// always MinCodeSize — fusion does not change Code.size()).
+    size_t MinCodeSizePostFusion = SIZE_MAX;
+    uint32_t FusedOps = 0; ///< Pairs fused across this function's compiles.
   };
   std::vector<FunctionReport> functionReports() const;
 
@@ -208,6 +225,8 @@ private:
     uint32_t TypeTierHits = 0;
     DespecializeCause Cause = DespecializeCause::None;
     size_t MinCodeSize = SIZE_MAX;
+    size_t MinCodeSizePostFusion = SIZE_MAX;
+    uint32_t FusedOps = 0;
   };
 
   FuncState &state(FunctionInfo *Info);
@@ -276,6 +295,7 @@ private:
   uint32_t CacheDepth = 1; ///< The paper's policy.
   TierPolicy Policy = TierPolicy::Paper;
   uint32_t ValueStabilityMax = 1;
+  bool FusionEnabled = true;
 
   class EngineRoots;
   std::unique_ptr<EngineRoots> Roots;

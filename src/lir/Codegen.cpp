@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 using namespace jitvs;
 
@@ -139,6 +140,21 @@ OpInfo opInfo(NOp O) {
   case NOp::GenSetProp:
     I.AUse = I.BUse = true;
     break;
+  case NOp::BrCmpII:
+  case NOp::BrCmpDD:
+  case NOp::AddIImm:
+  case NOp::SubIImm:
+  case NOp::MulIImm:
+  case NOp::AddINoOvfImm:
+  case NOp::SubINoOvfImm:
+  case NOp::MulINoOvfImm:
+  case NOp::AddDImm:
+  case NOp::SubDImm:
+  case NOp::MulDImm:
+  case NOp::DivDImm:
+  case NOp::GuardTagMov:
+  case NOp::FuseData:
+    JITVS_UNREACHABLE("fused macro-ops are created post-regalloc, not in LIR");
   }
   return I;
 }
@@ -184,6 +200,12 @@ private:
   uint32_t vregOf(MInstr *Def);
   /// Operand use: materializes constants (per block).
   uint32_t use(MInstr *Def);
+  /// Materializes both operands of a binary op in fusion-friendly order:
+  /// a not-yet-materialized constant is evaluated last, so its LoadConst
+  /// lands immediately before the consumer, and for \p Commutative ops a
+  /// constant lhs is swapped into the rhs slot — the LoadConst+arith
+  /// shape the post-regalloc macro-op fusion pass pairs up.
+  std::pair<uint32_t, uint32_t> useBinOperands(MInstr *I, bool Commutative);
   void emit(NOp Op, uint32_t A = 0, uint32_t B = 0, uint32_t C = 0,
             int32_t Imm = 0) {
     LIns L;
@@ -262,6 +284,20 @@ uint32_t CodeGenerator::use(MInstr *Def) {
   }
   assert(VRegs.count(Def) && "use before definition in lowering order");
   return VRegs[Def];
+}
+
+std::pair<uint32_t, uint32_t> CodeGenerator::useBinOperands(MInstr *I,
+                                                           bool Commutative) {
+  MInstr *L = I->operand(0), *R = I->operand(1);
+  auto FreshConst = [this](MInstr *D) {
+    return D->op() == MirOp::Constant && !BlockConstCache.count(D);
+  };
+  if (Commutative && FreshConst(L) && !FreshConst(R)) {
+    uint32_t RV = use(R);
+    return {RV, use(L)}; // Constant materialized last, in the rhs slot.
+  }
+  uint32_t LV = use(L);
+  return {LV, use(R)};
 }
 
 uint32_t CodeGenerator::snapshotFor(MResumePoint *RP) {
@@ -428,47 +464,48 @@ void CodeGenerator::lowerInstr(MInstr *I) {
     emit(NOp::TruncToInt32, vregOf(I), use(I->operand(0)));
     return;
 
-#define LOWER_BIN_SNAP(MOP, NOPC, NOPC_NC)                                    \
+#define LOWER_BIN_SNAP(MOP, NOPC, NOPC_NC, COMM)                               \
   case MirOp::MOP: {                                                           \
+    auto [LV, RV] = useBinOperands(I, COMM);                                   \
     if (I->AuxB == 1) { /* Overflow check eliminated. */                       \
-      emit(NOp::NOPC_NC, vregOf(I), use(I->operand(0)),                        \
-           use(I->operand(1)));                                                \
+      emit(NOp::NOPC_NC, vregOf(I), LV, RV);                                   \
       return;                                                                  \
     }                                                                          \
     uint32_t Snap = snapshotFor(I->resumePoint());                             \
-    emit(NOp::NOPC, vregOf(I), use(I->operand(0)), use(I->operand(1)),         \
-         Snap);                                                                \
+    emit(NOp::NOPC, vregOf(I), LV, RV, Snap);                                  \
     return;                                                                    \
   }
-    LOWER_BIN_SNAP(AddI, AddI, AddINoOvf)
-    LOWER_BIN_SNAP(SubI, SubI, SubINoOvf)
-    LOWER_BIN_SNAP(MulI, MulI, MulINoOvf)
-    LOWER_BIN_SNAP(ModI, ModI, ModI)
+    LOWER_BIN_SNAP(AddI, AddI, AddINoOvf, true)
+    LOWER_BIN_SNAP(SubI, SubI, SubINoOvf, false)
+    LOWER_BIN_SNAP(MulI, MulI, MulINoOvf, true)
+    LOWER_BIN_SNAP(ModI, ModI, ModI, false)
 #undef LOWER_BIN_SNAP
   case MirOp::NegI:
     emit(NOp::NegI, vregOf(I), use(I->operand(0)), 0,
          snapshotFor(I->resumePoint()));
     return;
 
-#define LOWER_BIN(MOP, NOPC)                                                   \
-  case MirOp::MOP:                                                             \
-    emit(NOp::NOPC, vregOf(I), use(I->operand(0)), use(I->operand(1)));        \
-    return;
-    LOWER_BIN(AddD, AddD)
-    LOWER_BIN(SubD, SubD)
-    LOWER_BIN(MulD, MulD)
-    LOWER_BIN(DivD, DivD)
-    LOWER_BIN(ModD, ModD)
-    LOWER_BIN(BitAnd, BitAnd)
-    LOWER_BIN(BitOr, BitOr)
-    LOWER_BIN(BitXor, BitXor)
-    LOWER_BIN(Shl, Shl)
-    LOWER_BIN(Shr, Shr)
-    LOWER_BIN(UShr, UShr)
-    LOWER_BIN(Concat, Concat)
-    LOWER_BIN(LoadElement, LoadElem)
-    LOWER_BIN(CharCodeAt, CharCodeAt)
-    LOWER_BIN(GenericGetElem, GenGetElem)
+#define LOWER_BIN(MOP, NOPC, COMM)                                             \
+  case MirOp::MOP: {                                                           \
+    auto [LV, RV] = useBinOperands(I, COMM);                                   \
+    emit(NOp::NOPC, vregOf(I), LV, RV);                                        \
+    return;                                                                    \
+  }
+    LOWER_BIN(AddD, AddD, true)
+    LOWER_BIN(SubD, SubD, false)
+    LOWER_BIN(MulD, MulD, true)
+    LOWER_BIN(DivD, DivD, false)
+    LOWER_BIN(ModD, ModD, false)
+    LOWER_BIN(BitAnd, BitAnd, true)
+    LOWER_BIN(BitOr, BitOr, true)
+    LOWER_BIN(BitXor, BitXor, true)
+    LOWER_BIN(Shl, Shl, false)
+    LOWER_BIN(Shr, Shr, false)
+    LOWER_BIN(UShr, UShr, false)
+    LOWER_BIN(Concat, Concat, false)
+    LOWER_BIN(LoadElement, LoadElem, false)
+    LOWER_BIN(CharCodeAt, CharCodeAt, false)
+    LOWER_BIN(GenericGetElem, GenGetElem, false)
 #undef LOWER_BIN
   case MirOp::NegD:
     emit(NOp::NegD, vregOf(I), use(I->operand(0)));

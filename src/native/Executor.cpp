@@ -1,4 +1,13 @@
 //===- native/Executor.cpp - Register machine dispatch loop ----------------===//
+//
+// The instruction handlers live in DispatchLoop.inc, textually included
+// twice below: once as a portable while+switch loop and once as a
+// computed-goto threaded loop (GCC/Clang `&&label`). Threaded dispatch
+// gives each handler its own indirect jump, so the branch predictor keys
+// on the current opcode's successor distribution instead of one shared
+// dispatch branch — the Ertl & Gregg result macro-op fusion builds on.
+//
+//===----------------------------------------------------------------------===//
 
 #include "native/Executor.h"
 
@@ -8,14 +17,61 @@
 #include "vm/Runtime.h"
 
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 using namespace jitvs;
 
+/// Computed-goto threaded dispatch needs the GNU `&&label` extension.
+#if defined(__GNUC__) || defined(__clang__)
+#define JITVS_HAVE_COMPUTED_GOTO 1
+#else
+#define JITVS_HAVE_COMPUTED_GOTO 0
+#endif
+
+bool Executor::hasComputedGoto() { return JITVS_HAVE_COMPUTED_GOTO != 0; }
+
+DispatchMode Executor::defaultDispatchMode() {
+  static const DispatchMode Resolved = [] {
+    if (const char *E = std::getenv("JITVS_DISPATCH")) {
+      if (std::strcmp(E, "switch") == 0)
+        return DispatchMode::Switch;
+      if (std::strcmp(E, "goto") == 0 && hasComputedGoto())
+        return DispatchMode::Goto;
+    }
+    return hasComputedGoto() ? DispatchMode::Goto : DispatchMode::Switch;
+  }();
+  return Resolved;
+}
+
 namespace {
+
+/// Shared comparison kernel for CmpI/CmpD/CmpS and the fused BrCmp forms.
+template <typename T> bool orderedCompare(Op O, const T &L, const T &R) {
+  switch (O) {
+  case Op::Lt:
+    return L < R;
+  case Op::Le:
+    return L <= R;
+  case Op::Gt:
+    return L > R;
+  case Op::Ge:
+    return L >= R;
+  case Op::Eq:
+  case Op::StrictEq:
+    return L == R;
+  case Op::Ne:
+  case Op::StrictNe:
+    return L != R;
+  default:
+    JITVS_UNREACHABLE("bad comparison op");
+  }
+}
 
 /// Default reason classification from the failing guard's opcode. Sites
 /// that can distinguish further (e.g. -0 vs overflow) pass an explicit
-/// reason instead.
+/// reason instead. Fused handlers bail under the original opcode, so the
+/// fused forms never reach this.
 BailoutReason bailoutReasonForOp(NOp Op) {
   switch (Op) {
   case NOp::AddI:
@@ -36,10 +92,6 @@ BailoutReason bailoutReasonForOp(NOp Op) {
     return BailoutReason::Unknown;
   }
 }
-
-} // namespace
-
-namespace {
 
 /// GC root source covering a native activation.
 struct NativeFrame final : public RootSource {
@@ -94,7 +146,7 @@ double mathApply(MathIntrinsic F, double A, double B) {
   case MathIntrinsic::Ceil:
     return std::ceil(A);
   case MathIntrinsic::Round:
-    return std::floor(A + 0.5);
+    return Runtime::jsMathRound(A);
   case MathIntrinsic::Log:
     return std::log(A);
   case MathIntrinsic::Exp:
@@ -155,502 +207,60 @@ ExecResult Executor::run(const NativeCode &Code, const Value &ThisV,
     return Res;
   };
 
-  while (true) {
-    assert(PC < Code.Code.size() && "native pc out of range");
-    const NInstr &N = Code.Code[PC];
-    ++PC;
+#if JITVS_HAVE_COMPUTED_GOTO
+  if (Mode == DispatchMode::Goto) {
+    // Threaded dispatch: a per-function static table of handler label
+    // addresses, indexed by opcode; each handler ends in its own
+    // indirect jump. Table order is generated from JITVS_FOREACH_NOP,
+    // so it matches the NOp enum by construction.
+#define JITVS_DISPATCH_ENTRY(Name, Str) &&Lbl_##Name,
+#define JITVS_LOOP_BEGIN                                                       \
+  static const void *const Table[] = {                                         \
+      JITVS_FOREACH_NOP(JITVS_DISPATCH_ENTRY)};                                \
+  static_assert(sizeof(Table) / sizeof(Table[0]) == NumNOps);                  \
+  const NInstr *N;                                                             \
+  JITVS_NEXT();
+#define JITVS_OP(Name) Lbl_##Name:
+#define JITVS_NEXT()                                                           \
+  do {                                                                         \
+    assert(PC < Code.Code.size() && "native pc out of range");                 \
+    N = &Code.Code[PC];                                                        \
+    ++PC;                                                                      \
+    goto *Table[static_cast<size_t>(N->Op)];                                   \
+  } while (false)
+#define JITVS_LOOP_END
 
-    switch (N.Op) {
-    case NOp::Nop:
-    case NOp::CheckDepth:
-      break;
+#include "native/DispatchLoop.inc"
 
-    case NOp::Mov:
-      R[N.A] = R[N.B];
-      break;
-    case NOp::LoadConst:
-      R[N.A] = Pool[N.Imm];
-      break;
-    case NOp::LoadSpill:
-      R[N.A] = R[NumPhysRegs + N.Imm];
-      break;
-    case NOp::StoreSpill:
-      R[NumPhysRegs + N.Imm] = R[N.A];
-      break;
-    case NOp::LoadParam:
-      R[N.A] = static_cast<size_t>(N.Imm) < F.Args.size()
-                   ? F.Args[N.Imm]
-                   : Value::undefined();
-      break;
-    case NOp::LoadThis:
-      R[N.A] = F.ThisV;
-      break;
-    case NOp::LoadOsr:
-      assert(static_cast<size_t>(N.Imm) < F.OsrSlots.size() &&
-             "OSR slot out of range");
-      R[N.A] = F.OsrSlots[N.Imm];
-      break;
+#undef JITVS_DISPATCH_ENTRY
+#undef JITVS_LOOP_BEGIN
+#undef JITVS_OP
+#undef JITVS_NEXT
+#undef JITVS_LOOP_END
+  }
+#endif // JITVS_HAVE_COMPUTED_GOTO
 
-    case NOp::AddI: {
-      int32_t Out;
-      if (__builtin_add_overflow(R[N.B].asInt32(), R[N.C].asInt32(), &Out))
-        return Bail(N.Imm, N.Op);
-      R[N.A] = Value::int32(Out);
-      break;
-    }
-    case NOp::SubI: {
-      int32_t Out;
-      if (__builtin_sub_overflow(R[N.B].asInt32(), R[N.C].asInt32(), &Out))
-        return Bail(N.Imm, N.Op);
-      R[N.A] = Value::int32(Out);
-      break;
-    }
-    case NOp::MulI: {
-      int32_t L = R[N.B].asInt32(), Rhs = R[N.C].asInt32();
-      int32_t Out;
-      if (__builtin_mul_overflow(L, Rhs, &Out))
-        return Bail(N.Imm, N.Op);
-      if (Out == 0 && (L < 0 || Rhs < 0)) // -0: let the interpreter
-        return Bail(N.Imm, N.Op, BailoutReason::NegativeZero); // produce it.
-      R[N.A] = Value::int32(Out);
-      break;
-    }
-    case NOp::ModI: {
-      int32_t L = R[N.B].asInt32(), Rhs = R[N.C].asInt32();
-      if (Rhs <= 0 || L < 0)
-        return Bail(N.Imm, N.Op);
-      R[N.A] = Value::int32(L % Rhs);
-      break;
-    }
-    case NOp::NegI: {
-      int32_t V = R[N.B].asInt32();
-      if (V == 0 || V == INT32_MIN)
-        return Bail(N.Imm, N.Op,
-                    V == 0 ? BailoutReason::NegativeZero
-                           : BailoutReason::IntOverflow);
-      R[N.A] = Value::int32(-V);
-      break;
-    }
+  // Portable switch dispatch: the fallback (and the default on compilers
+  // without `&&label`). The switch covers every opcode, so -Wswitch
+  // keeps the handler set in sync with the op list.
+  {
+#define JITVS_LOOP_BEGIN                                                       \
+  while (true) {                                                               \
+    assert(PC < Code.Code.size() && "native pc out of range");                 \
+    const NInstr *N = &Code.Code[PC];                                          \
+    ++PC;                                                                      \
+    switch (N->Op) {
+#define JITVS_OP(Name) case NOp::Name:
+#define JITVS_NEXT() break
+#define JITVS_LOOP_END                                                         \
+    }                                                                          \
+  }
 
-    case NOp::AddINoOvf:
-      R[N.A] = Value::int32(R[N.B].asInt32() + R[N.C].asInt32());
-      break;
-    case NOp::SubINoOvf:
-      R[N.A] = Value::int32(R[N.B].asInt32() - R[N.C].asInt32());
-      break;
-    case NOp::MulINoOvf:
-      R[N.A] = Value::int32(R[N.B].asInt32() * R[N.C].asInt32());
-      break;
+#include "native/DispatchLoop.inc"
 
-    case NOp::AddD:
-      R[N.A] = Value::makeDouble(R[N.B].asDouble() + R[N.C].asDouble());
-      break;
-    case NOp::SubD:
-      R[N.A] = Value::makeDouble(R[N.B].asDouble() - R[N.C].asDouble());
-      break;
-    case NOp::MulD:
-      R[N.A] = Value::makeDouble(R[N.B].asDouble() * R[N.C].asDouble());
-      break;
-    case NOp::DivD:
-      // Keep the Double tag: downstream Double-typed ops read the payload
-      // unchecked (canonicalizing to Int32 would break them).
-      R[N.A] = Value::makeDouble(R[N.B].asDouble() / R[N.C].asDouble());
-      break;
-    case NOp::ModD:
-      R[N.A] = Value::makeDouble(std::fmod(R[N.B].asDouble(),
-                                           R[N.C].asDouble()));
-      break;
-    case NOp::NegD:
-      R[N.A] = Value::makeDouble(-R[N.B].asDouble());
-      break;
-
-    case NOp::BitAnd:
-      R[N.A] = Value::int32(R[N.B].asInt32() & R[N.C].asInt32());
-      break;
-    case NOp::BitOr:
-      R[N.A] = Value::int32(R[N.B].asInt32() | R[N.C].asInt32());
-      break;
-    case NOp::BitXor:
-      R[N.A] = Value::int32(R[N.B].asInt32() ^ R[N.C].asInt32());
-      break;
-    case NOp::Shl:
-      R[N.A] = Value::int32(R[N.B].asInt32() << (R[N.C].asInt32() & 31));
-      break;
-    case NOp::Shr:
-      R[N.A] = Value::int32(R[N.B].asInt32() >> (R[N.C].asInt32() & 31));
-      break;
-    case NOp::UShr: {
-      uint32_t U = static_cast<uint32_t>(R[N.B].asInt32()) >>
-                   (R[N.C].asInt32() & 31);
-      R[N.A] = Value::makeDouble(static_cast<double>(U));
-      break;
-    }
-    case NOp::BitNot:
-      R[N.A] = Value::int32(~R[N.B].asInt32());
-      break;
-
-    case NOp::TruncToInt32:
-      R[N.A] = Value::int32(R[N.B].isInt32()
-                                ? R[N.B].asInt32()
-                                : Runtime::toInt32(Runtime::toNumber(R[N.B])));
-      break;
-    case NOp::ToDouble:
-      R[N.A] = Value::makeDouble(R[N.B].asNumber());
-      break;
-
-    case NOp::CmpI: {
-      int32_t L = R[N.B].asInt32(), Rhs = R[N.C].asInt32();
-      bool Out;
-      switch (static_cast<Op>(N.Imm)) {
-      case Op::Lt:
-        Out = L < Rhs;
-        break;
-      case Op::Le:
-        Out = L <= Rhs;
-        break;
-      case Op::Gt:
-        Out = L > Rhs;
-        break;
-      case Op::Ge:
-        Out = L >= Rhs;
-        break;
-      case Op::Eq:
-      case Op::StrictEq:
-        Out = L == Rhs;
-        break;
-      case Op::Ne:
-      case Op::StrictNe:
-        Out = L != Rhs;
-        break;
-      default:
-        JITVS_UNREACHABLE("bad comparison op");
-      }
-      R[N.A] = Value::boolean(Out);
-      break;
-    }
-    case NOp::CmpD: {
-      double L = R[N.B].asDouble(), Rhs = R[N.C].asDouble();
-      bool Out;
-      switch (static_cast<Op>(N.Imm)) {
-      case Op::Lt:
-        Out = L < Rhs;
-        break;
-      case Op::Le:
-        Out = L <= Rhs;
-        break;
-      case Op::Gt:
-        Out = L > Rhs;
-        break;
-      case Op::Ge:
-        Out = L >= Rhs;
-        break;
-      case Op::Eq:
-      case Op::StrictEq:
-        Out = L == Rhs;
-        break;
-      case Op::Ne:
-      case Op::StrictNe:
-        Out = L != Rhs;
-        break;
-      default:
-        JITVS_UNREACHABLE("bad comparison op");
-      }
-      R[N.A] = Value::boolean(Out);
-      break;
-    }
-    case NOp::CmpS: {
-      const std::string &L = R[N.B].asString()->str();
-      const std::string &Rhs = R[N.C].asString()->str();
-      bool Out;
-      switch (static_cast<Op>(N.Imm)) {
-      case Op::Lt:
-        Out = L < Rhs;
-        break;
-      case Op::Le:
-        Out = L <= Rhs;
-        break;
-      case Op::Gt:
-        Out = L > Rhs;
-        break;
-      case Op::Ge:
-        Out = L >= Rhs;
-        break;
-      case Op::Eq:
-      case Op::StrictEq:
-        Out = L == Rhs;
-        break;
-      case Op::Ne:
-      case Op::StrictNe:
-        Out = L != Rhs;
-        break;
-      default:
-        JITVS_UNREACHABLE("bad comparison op");
-      }
-      R[N.A] = Value::boolean(Out);
-      break;
-    }
-    case NOp::CmpGeneric: {
-      const Value &L = R[N.B], &Rhs = R[N.C];
-      bool Out;
-      switch (static_cast<Op>(N.Imm)) {
-      case Op::Lt:
-        Out = RT.genericLess(L, Rhs);
-        break;
-      case Op::Le:
-        Out = RT.genericLessEq(L, Rhs);
-        break;
-      case Op::Gt:
-        Out = RT.genericLess(Rhs, L);
-        break;
-      case Op::Ge:
-        Out = RT.genericLessEq(Rhs, L);
-        break;
-      case Op::Eq:
-        Out = RT.genericLooseEquals(L, Rhs);
-        break;
-      case Op::Ne:
-        Out = !RT.genericLooseEquals(L, Rhs);
-        break;
-      case Op::StrictEq:
-        Out = L.strictEquals(Rhs);
-        break;
-      case Op::StrictNe:
-        Out = !L.strictEquals(Rhs);
-        break;
-      default:
-        JITVS_UNREACHABLE("bad comparison op");
-      }
-      R[N.A] = Value::boolean(Out);
-      break;
-    }
-
-    case NOp::Not:
-      R[N.A] = Value::boolean(!R[N.B].toBoolean());
-      break;
-    case NOp::Concat: {
-      TempRoots Roots(RT.heap());
-      Roots.add(R[N.B]);
-      Roots.add(R[N.C]);
-      R[N.A] = RT.newStringValue(R[N.B].asString()->str() +
-                                 R[N.C].asString()->str());
-      break;
-    }
-    case NOp::TypeOfV:
-      R[N.A] = RT.typeOfValue(R[N.B]);
-      break;
-
-    case NOp::GuardTag:
-      if (R[N.A].tag() != static_cast<ValueTag>(N.B))
-        return Bail(N.Imm, N.Op);
-      break;
-    case NOp::GuardNumber:
-      if (!R[N.B].isNumber())
-        return Bail(N.Imm, N.Op);
-      R[N.A] = Value::makeDouble(R[N.B].asNumber());
-      break;
-    case NOp::BoundsCheck: {
-      int32_t Idx = R[N.A].asInt32(), Len = R[N.B].asInt32();
-      if (Idx < 0 || Idx >= Len)
-        return Bail(N.Imm, N.Op);
-      break;
-    }
-    case NOp::GuardArrLen:
-      if (static_cast<int64_t>(R[N.A].asArray()->length()) !=
-          Pool[N.C].asInt32())
-        return Bail(N.Imm, N.Op);
-      break;
-
-    case NOp::ArrayLen:
-      R[N.A] =
-          Value::number(static_cast<double>(R[N.B].asArray()->length()));
-      break;
-    case NOp::StrLen:
-      R[N.A] =
-          Value::number(static_cast<double>(R[N.B].asString()->length()));
-      break;
-    case NOp::LoadElem:
-      R[N.A] = R[N.B].asArray()->getDense(
-          static_cast<size_t>(R[N.C].asInt32()));
-      break;
-    case NOp::StoreElem:
-      R[N.A].asArray()->setDense(static_cast<size_t>(R[N.B].asInt32()),
-                                 R[N.C]);
-      break;
-    case NOp::CharCodeAt:
-      R[N.A] = Value::int32(static_cast<unsigned char>(
-          R[N.B].asString()->str()[static_cast<size_t>(
-              R[N.C].asInt32())]));
-      break;
-    case NOp::FromCharCode: {
-      std::string S(1, static_cast<char>(R[N.B].asInt32() & 0xFF));
-      R[N.A] = RT.newStringValue(std::move(S));
-      break;
-    }
-
-    case NOp::GenBin: {
-      Value Out;
-      switch (static_cast<Op>(N.Imm)) {
-      case Op::Add:
-        Out = RT.genericAdd(R[N.B], R[N.C]);
-        break;
-      case Op::Sub:
-        Out = RT.genericSub(R[N.B], R[N.C]);
-        break;
-      case Op::Mul:
-        Out = RT.genericMul(R[N.B], R[N.C]);
-        break;
-      case Op::Div:
-        Out = RT.genericDiv(R[N.B], R[N.C]);
-        break;
-      case Op::Mod:
-        Out = RT.genericMod(R[N.B], R[N.C]);
-        break;
-      default:
-        JITVS_UNREACHABLE("bad generic binop");
-      }
-      R[N.A] = Out;
-      break;
-    }
-    case NOp::GenUn:
-      if (static_cast<Op>(N.Imm) == Op::Neg)
-        R[N.A] = RT.genericNeg(R[N.B]);
-      else
-        R[N.A] = Value::number(Runtime::toNumber(R[N.B]));
-      break;
-    case NOp::GenGetElem:
-      R[N.A] = RT.genericGetElem(R[N.B], R[N.C]);
-      if (RT.hasError())
-        return Fail();
-      break;
-    case NOp::GenSetElem:
-      RT.genericSetElem(R[N.A], R[N.B], R[N.C]);
-      if (RT.hasError())
-        return Fail();
-      break;
-    case NOp::GenGetProp:
-      R[N.A] = RT.genericGetProp(R[N.B], static_cast<uint32_t>(N.Imm));
-      if (RT.hasError())
-        return Fail();
-      break;
-    case NOp::GenSetProp:
-      RT.genericSetProp(R[N.A], static_cast<uint32_t>(N.Imm), R[N.B]);
-      if (RT.hasError())
-        return Fail();
-      break;
-
-    case NOp::GetGlobal:
-      R[N.A] = RT.global(static_cast<uint32_t>(N.Imm));
-      break;
-    case NOp::SetGlobal:
-      RT.global(static_cast<uint32_t>(N.Imm)) = R[N.A];
-      break;
-    case NOp::GetEnv:
-      R[N.A] = CurEnv->hop(N.B)->getSlot(static_cast<size_t>(N.Imm));
-      break;
-    case NOp::SetEnv:
-      CurEnv->hop(N.B)->setSlot(static_cast<size_t>(N.Imm), R[N.A]);
-      break;
-
-    case NOp::NewArrElems: {
-      size_t Count = static_cast<size_t>(N.Imm);
-      assert(F.ArgStage.size() >= Count && "arg stage underflow");
-      size_t Base = F.ArgStage.size() - Count;
-      JSArray *Arr = RT.heap().allocate<JSArray>(std::vector<Value>(
-          F.ArgStage.begin() + Base, F.ArgStage.end()));
-      F.ArgStage.resize(Base);
-      R[N.A] = Value::array(Arr);
-      break;
-    }
-    case NOp::NewArrLen: {
-      int32_t Len = R[N.B].asInt32();
-      if (Len < 0) {
-        RT.fail("invalid array length");
-        return Fail();
-      }
-      std::vector<Value> Elems(static_cast<size_t>(Len));
-      R[N.A] = Value::array(RT.heap().allocate<JSArray>(std::move(Elems)));
-      break;
-    }
-    case NOp::NewObj:
-      R[N.A] = Value::object(RT.heap().allocate<JSObject>());
-      break;
-    case NOp::InitProp:
-      R[N.A].asObject()->setProperty(static_cast<uint32_t>(N.Imm), R[N.B]);
-      break;
-    case NOp::MakeClos: {
-      FunctionInfo *Inner =
-          RT.program()->function(static_cast<uint32_t>(N.Imm));
-      R[N.A] = Value::function(
-          RT.heap().allocate<JSFunction>(Inner, CurEnv));
-      break;
-    }
-
-    case NOp::PushArg:
-      F.ArgStage.push_back(R[N.A]);
-      break;
-    case NOp::CallV: {
-      size_t Argc = static_cast<size_t>(N.Imm);
-      assert(F.ArgStage.size() >= Argc && "arg stage underflow");
-      size_t Base = F.ArgStage.size() - Argc;
-      Value Out =
-          RT.callValue(R[N.B], Value::undefined(),
-                       Argc ? &F.ArgStage[Base] : nullptr, Argc);
-      F.ArgStage.resize(Base);
-      if (RT.hasError())
-        return Fail();
-      R[N.A] = Out;
-      break;
-    }
-    case NOp::CallM: {
-      size_t Argc = N.C;
-      assert(F.ArgStage.size() >= Argc && "arg stage underflow");
-      size_t Base = F.ArgStage.size() - Argc;
-      Value Out = RT.callMethod(R[N.B], static_cast<uint32_t>(N.Imm),
-                                Argc ? &F.ArgStage[Base] : nullptr, Argc);
-      F.ArgStage.resize(Base);
-      if (RT.hasError())
-        return Fail();
-      R[N.A] = Out;
-      break;
-    }
-    case NOp::NewCall: {
-      size_t Argc = static_cast<size_t>(N.Imm);
-      assert(F.ArgStage.size() >= Argc && "arg stage underflow");
-      size_t Base = F.ArgStage.size() - Argc;
-      Value Out = RT.construct(R[N.B],
-                               Argc ? &F.ArgStage[Base] : nullptr, Argc);
-      F.ArgStage.resize(Base);
-      if (RT.hasError())
-        return Fail();
-      R[N.A] = Out;
-      break;
-    }
-
-    case NOp::MathFn: {
-      double A = R[N.B].asDouble();
-      double B = N.C != 0xFFFF ? R[N.C].asDouble() : 0.0;
-      R[N.A] = Value::makeDouble(
-          mathApply(static_cast<MathIntrinsic>(N.Imm), A, B));
-      break;
-    }
-
-    case NOp::Jmp:
-      PC = static_cast<uint32_t>(N.Imm);
-      break;
-    case NOp::JTrue:
-      if (R[N.A].toBoolean())
-        PC = static_cast<uint32_t>(N.Imm);
-      break;
-    case NOp::JFalse:
-      if (!R[N.A].toBoolean())
-        PC = static_cast<uint32_t>(N.Imm);
-      break;
-    case NOp::Ret: {
-      ExecResult Res;
-      Res.K = ExecResult::Ok;
-      Res.Result = R[N.A];
-      return Res;
-    }
-    }
+#undef JITVS_LOOP_BEGIN
+#undef JITVS_OP
+#undef JITVS_NEXT
+#undef JITVS_LOOP_END
   }
 }

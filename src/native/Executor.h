@@ -40,10 +40,29 @@ struct ExecResult {
   Environment *EnvAtBail = nullptr;
 };
 
+/// How the dispatch loop advances from one instruction to the next.
+enum class DispatchMode {
+  Switch, ///< Portable while+switch loop (works on any compiler).
+  Goto,   ///< Computed-goto threaded dispatch (GCC/Clang `&&label`).
+};
+
 /// Executes native code frames.
 class Executor {
 public:
-  explicit Executor(Runtime &RT) : RT(RT) {}
+  explicit Executor(Runtime &RT) : RT(RT), Mode(defaultDispatchMode()) {}
+
+  /// True when this build supports computed-goto dispatch.
+  static bool hasComputedGoto();
+
+  /// Mode selected by `JITVS_DISPATCH=goto|switch` (read once); defaults
+  /// to Goto where supported and silently falls back to Switch elsewhere.
+  static DispatchMode defaultDispatchMode();
+
+  void setDispatchMode(DispatchMode M) {
+    Mode = M == DispatchMode::Goto && !hasComputedGoto() ? DispatchMode::Switch
+                                                         : M;
+  }
+  DispatchMode dispatchMode() const { return Mode; }
 
   /// Runs \p Code. Entering at the OSR offset requires \p OsrSlots (the
   /// interpreter frame slots) and the frame's environments.
@@ -54,6 +73,7 @@ public:
 
 private:
   Runtime &RT;
+  DispatchMode Mode;
 };
 
 } // namespace jitvs

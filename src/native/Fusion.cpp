@@ -1,0 +1,153 @@
+//===- native/Fusion.cpp - Post-regalloc macro-op fusion ------------------===//
+
+#include "native/Fusion.h"
+
+#include "native/NativeCode.h"
+
+#include <vector>
+
+using namespace jitvs;
+
+namespace {
+
+/// Maps a fusible second-slot arithmetic op to its fused form, or
+/// NOp::Nop when the op does not participate in const+arith fusion.
+NOp fusedArithForm(NOp O) {
+  switch (O) {
+  case NOp::AddI:
+    return NOp::AddIImm;
+  case NOp::SubI:
+    return NOp::SubIImm;
+  case NOp::MulI:
+    return NOp::MulIImm;
+  case NOp::AddINoOvf:
+    return NOp::AddINoOvfImm;
+  case NOp::SubINoOvf:
+    return NOp::SubINoOvfImm;
+  case NOp::MulINoOvf:
+    return NOp::MulINoOvfImm;
+  case NOp::AddD:
+    return NOp::AddDImm;
+  case NOp::SubD:
+    return NOp::SubDImm;
+  case NOp::MulD:
+    return NOp::MulDImm;
+  case NOp::DivD:
+    return NOp::DivDImm;
+  default:
+    return NOp::Nop;
+  }
+}
+
+bool isCommutativeArith(NOp O) {
+  return O == NOp::AddI || O == NOp::MulI || O == NOp::AddINoOvf ||
+         O == NOp::MulINoOvf || O == NOp::AddD || O == NOp::MulD;
+}
+
+/// Slots a branch may land on. The second slot of a fused pair must not
+/// be one: FuseData is not independently executable with the original
+/// semantics, so a targeted instruction has to stay unfused.
+std::vector<bool> collectJumpTargets(const NativeCode &Code) {
+  std::vector<bool> Target(Code.Code.size(), false);
+  auto Mark = [&](uint32_t Off) {
+    if (Off < Target.size())
+      Target[Off] = true;
+  };
+  Mark(Code.EntryOffset);
+  if (Code.OsrOffset != ~0u)
+    Mark(Code.OsrOffset);
+  for (size_t I = 0, E = Code.Code.size(); I != E; ++I) {
+    const NInstr &N = Code.Code[I];
+    switch (N.Op) {
+    case NOp::Jmp:
+    case NOp::JTrue:
+    case NOp::JFalse:
+      Mark(static_cast<uint32_t>(N.Imm));
+      break;
+    // Already-fused branches keep their target in the FuseData slot;
+    // idempotence if the pass is ever run twice.
+    case NOp::BrCmpII:
+    case NOp::BrCmpDD:
+      if (I + 1 < E)
+        Mark(static_cast<uint32_t>(Code.Code[I + 1].Imm));
+      break;
+    default:
+      break;
+    }
+  }
+  return Target;
+}
+
+} // namespace
+
+unsigned jitvs::fuseMacroOps(NativeCode &Code, FusionStats *Stats) {
+  FusionStats Local;
+  FusionStats &S = Stats ? *Stats : Local;
+  if (Stats)
+    *Stats = FusionStats();
+
+  std::vector<NInstr> &C = Code.Code;
+  if (C.size() < 2)
+    return 0;
+  const std::vector<bool> IsTarget = collectJumpTargets(Code);
+
+  unsigned Fused = 0;
+  for (size_t I = 0; I + 1 < C.size(); /* step in body */) {
+    // A branch landing on slot 2 must still execute it alone.
+    if (IsTarget[I + 1]) {
+      ++I;
+      continue;
+    }
+    NInstr &First = C[I];
+    NInstr &Second = C[I + 1];
+    NOp FusedOp = NOp::Nop;
+
+    // Compare + branch on the freshly-computed flag.
+    if ((First.Op == NOp::CmpI || First.Op == NOp::CmpD) &&
+        (Second.Op == NOp::JTrue || Second.Op == NOp::JFalse) &&
+        Second.A == First.A) {
+      FusedOp = First.Op == NOp::CmpI ? NOp::BrCmpII : NOp::BrCmpDD;
+      // Record the branch sense in the spare B field of the data slot so
+      // the handler need not re-inspect the original opcode.
+      Second.B = Second.Op == NOp::JTrue ? 1 : 0;
+      ++S.CmpBranch;
+    }
+
+    // Constant materialization + arithmetic consuming it.
+    if (FusedOp == NOp::Nop && First.Op == NOp::LoadConst) {
+      NOp Form = fusedArithForm(Second.Op);
+      if (Form != NOp::Nop) {
+        if (Second.C == First.A) {
+          FusedOp = Form;
+        } else if (Second.B == First.A && isCommutativeArith(Second.Op)) {
+          // Normalize the constant to the rhs; legal for commutative ops.
+          std::swap(Second.B, Second.C);
+          FusedOp = Form;
+        }
+        if (FusedOp != NOp::Nop)
+          ++S.ConstArith;
+      }
+    }
+
+    // Tag guard + unbox move of the guarded value (Unbox lowering).
+    if (FusedOp == NOp::Nop && First.Op == NOp::GuardTag &&
+        Second.Op == NOp::Mov && Second.B == First.A) {
+      FusedOp = NOp::GuardTagMov;
+      ++S.GuardMov;
+    }
+
+    if (FusedOp == NOp::Nop) {
+      ++I;
+      continue;
+    }
+    // Slot-preserving rewrite: slot 1 keeps its fields under the fused
+    // opcode, slot 2 keeps its fields under FuseData.
+    First.Op = FusedOp;
+    Second.Op = NOp::FuseData;
+    ++Fused;
+    I += 2;
+  }
+
+  Code.FusedPairs += Fused;
+  return Fused;
+}

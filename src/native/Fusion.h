@@ -1,0 +1,47 @@
+//===- native/Fusion.h - Post-regalloc macro-op fusion ----------*- C++ -*-===//
+///
+/// \file
+/// Peephole pass combining hot adjacent NInstr pairs into fused macro-ops
+/// so the threaded dispatch loop executes them in one dispatch (the
+/// superinstruction technique of Ertl & Gregg). Fusion is slot-preserving:
+/// the pair keeps both code slots — slot 1 gets the fused opcode with the
+/// first instruction's fields, slot 2 becomes NOp::FuseData and keeps the
+/// second instruction's fields. Consequences, all by construction:
+///
+///  - jump targets and the OSR/entry offsets stay valid (no instruction
+///    moves or disappears);
+///  - snapshots and the bailout PC convention (BailPc = slot-1 offset)
+///    are untouched, so deoptimization reconstruction is unchanged;
+///  - Code.size(), the paper's Figure 10 code-size metric, is identical
+///    pre- and post-fusion (NativeCode::FusedPairs records the dynamic
+///    win separately).
+///
+/// A pair is never fused when slot 2 is a jump target: a branch landing
+/// there must still execute the second instruction alone, and FuseData is
+/// not independently executable with the original semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITVS_NATIVE_FUSION_H
+#define JITVS_NATIVE_FUSION_H
+
+namespace jitvs {
+
+class NativeCode;
+
+/// Per-pattern counts from one fusion run (telemetry / tests).
+struct FusionStats {
+  unsigned CmpBranch = 0;  ///< CmpI/CmpD + JTrue/JFalse -> BrCmpII/DD.
+  unsigned ConstArith = 0; ///< LoadConst + int/double arith -> *Imm.
+  unsigned GuardMov = 0;   ///< GuardTag + Mov -> GuardTagMov.
+  unsigned total() const { return CmpBranch + ConstArith + GuardMov; }
+};
+
+/// Rewrites fusible pairs in \p Code in place and returns the number of
+/// pairs fused (also recorded in Code.FusedPairs, accumulating if run
+/// more than once). \p Stats, when given, receives per-pattern counts.
+unsigned fuseMacroOps(NativeCode &Code, FusionStats *Stats = nullptr);
+
+} // namespace jitvs
+
+#endif // JITVS_NATIVE_FUSION_H

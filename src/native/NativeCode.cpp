@@ -10,155 +10,14 @@
 using namespace jitvs;
 
 const char *jitvs::nopName(NOp O) {
-  switch (O) {
-  case NOp::Nop:
-    return "nop";
-  case NOp::Mov:
-    return "mov";
-  case NOp::LoadConst:
-    return "loadconst";
-  case NOp::LoadSpill:
-    return "loadspill";
-  case NOp::StoreSpill:
-    return "storespill";
-  case NOp::LoadParam:
-    return "loadparam";
-  case NOp::LoadThis:
-    return "loadthis";
-  case NOp::LoadOsr:
-    return "loadosr";
-  case NOp::AddI:
-    return "addi";
-  case NOp::SubI:
-    return "subi";
-  case NOp::MulI:
-    return "muli";
-  case NOp::ModI:
-    return "modi";
-  case NOp::NegI:
-    return "negi";
-  case NOp::AddINoOvf:
-    return "addi.nc";
-  case NOp::SubINoOvf:
-    return "subi.nc";
-  case NOp::MulINoOvf:
-    return "muli.nc";
-  case NOp::AddD:
-    return "addd";
-  case NOp::SubD:
-    return "subd";
-  case NOp::MulD:
-    return "muld";
-  case NOp::DivD:
-    return "divd";
-  case NOp::ModD:
-    return "modd";
-  case NOp::NegD:
-    return "negd";
-  case NOp::BitAnd:
-    return "bitand";
-  case NOp::BitOr:
-    return "bitor";
-  case NOp::BitXor:
-    return "bitxor";
-  case NOp::Shl:
-    return "shl";
-  case NOp::Shr:
-    return "shr";
-  case NOp::UShr:
-    return "ushr";
-  case NOp::BitNot:
-    return "bitnot";
-  case NOp::TruncToInt32:
-    return "trunctoint32";
-  case NOp::ToDouble:
-    return "todouble";
-  case NOp::CmpI:
-    return "cmpi";
-  case NOp::CmpD:
-    return "cmpd";
-  case NOp::CmpS:
-    return "cmps";
-  case NOp::CmpGeneric:
-    return "cmpgeneric";
-  case NOp::Not:
-    return "not";
-  case NOp::Concat:
-    return "concat";
-  case NOp::TypeOfV:
-    return "typeof";
-  case NOp::GuardTag:
-    return "guardtag";
-  case NOp::GuardNumber:
-    return "guardnumber";
-  case NOp::BoundsCheck:
-    return "boundscheck";
-  case NOp::GuardArrLen:
-    return "guardarrlen";
-  case NOp::CheckDepth:
-    return "checkdepth";
-  case NOp::ArrayLen:
-    return "arraylen";
-  case NOp::StrLen:
-    return "strlen";
-  case NOp::LoadElem:
-    return "loadelem";
-  case NOp::StoreElem:
-    return "storeelem";
-  case NOp::CharCodeAt:
-    return "charcodeat";
-  case NOp::FromCharCode:
-    return "fromcharcode";
-  case NOp::GenBin:
-    return "genbin";
-  case NOp::GenUn:
-    return "genun";
-  case NOp::GenGetElem:
-    return "gengetelem";
-  case NOp::GenSetElem:
-    return "gensetelem";
-  case NOp::GenGetProp:
-    return "gengetprop";
-  case NOp::GenSetProp:
-    return "gensetprop";
-  case NOp::GetGlobal:
-    return "getglobal";
-  case NOp::SetGlobal:
-    return "setglobal";
-  case NOp::GetEnv:
-    return "getenv";
-  case NOp::SetEnv:
-    return "setenv";
-  case NOp::NewArrElems:
-    return "newarrelems";
-  case NOp::NewArrLen:
-    return "newarrlen";
-  case NOp::NewObj:
-    return "newobj";
-  case NOp::InitProp:
-    return "initprop";
-  case NOp::MakeClos:
-    return "makeclos";
-  case NOp::PushArg:
-    return "pusharg";
-  case NOp::CallV:
-    return "callv";
-  case NOp::CallM:
-    return "callm";
-  case NOp::NewCall:
-    return "newcall";
-  case NOp::MathFn:
-    return "mathfn";
-  case NOp::Jmp:
-    return "jmp";
-  case NOp::JTrue:
-    return "jtrue";
-  case NOp::JFalse:
-    return "jfalse";
-  case NOp::Ret:
-    return "ret";
-  }
-  JITVS_UNREACHABLE("bad NOp");
+  static const char *const Names[] = {
+#define JITVS_NOP_NAME(Name, Str) Str,
+      JITVS_FOREACH_NOP(JITVS_NOP_NAME)
+#undef JITVS_NOP_NAME
+  };
+  static_assert(sizeof(Names) / sizeof(Names[0]) == NumNOps);
+  assert(static_cast<size_t>(O) < NumNOps && "bad NOp");
+  return Names[static_cast<size_t>(O)];
 }
 
 size_t NativeCode::guardCount() const {
@@ -174,6 +33,13 @@ size_t NativeCode::guardCount() const {
     case NOp::MulI:
     case NOp::ModI:
     case NOp::NegI:
+    // Fused forms that still carry a bailout point: the guard did not go
+    // away, it was folded into the macro-op, so the tier-cost tables stay
+    // monotone across a fusion on/off toggle.
+    case NOp::AddIImm:
+    case NOp::SubIImm:
+    case NOp::MulIImm:
+    case NOp::GuardTagMov:
       ++N;
       break;
     default:

@@ -32,111 +32,140 @@ struct FunctionInfo;
 /// Number of addressable physical registers (instruction operands).
 constexpr unsigned NumPhysRegs = 16;
 
+/// X-macro over every native opcode: M(EnumName, "display-name"). The
+/// NOp enum, nopName() and the executor's computed-goto dispatch table
+/// are all generated from this list, so the three can never drift out of
+/// enum order. Field conventions are documented per op below.
+///
+/// The trailing block lists the fused macro-ops produced by the
+/// post-regalloc peephole pass (native/Fusion.cpp). A fused pair keeps
+/// both code slots: slot 1 holds the fused opcode with the first
+/// instruction's fields, slot 2 becomes FuseData and keeps the second
+/// instruction's fields. Handlers read both slots and advance past the
+/// pair in one dispatch, so jump targets, snapshot metadata and the
+/// Figure-10 code-size metric are all preserved exactly.
+#define JITVS_FOREACH_NOP(M)                                                   \
+  M(Nop, "nop")                                                                \
+  /* Moves and materialization. */                                             \
+  M(Mov, "mov")               /* A=dst, B=src. */                              \
+  M(LoadConst, "loadconst")   /* A=dst, Imm=constant pool index. */            \
+  M(LoadSpill, "loadspill")   /* A=dst, Imm=spill slot. */                     \
+  M(StoreSpill, "storespill") /* A=src, Imm=spill slot. */                     \
+  M(LoadParam, "loadparam")   /* A=dst, Imm=param index (undef if absent). */  \
+  M(LoadThis, "loadthis")     /* A=dst. */                                     \
+  M(LoadOsr, "loadosr")       /* A=dst, Imm=frame slot of the OSR frame. */    \
+  /* Int32 arithmetic; Imm = snapshot id (bails on overflow / corners). */     \
+  M(AddI, "addi")                                                              \
+  M(SubI, "subi")                                                              \
+  M(MulI, "muli")                                                              \
+  M(ModI, "modi")                                                              \
+  M(NegI, "negi") /* A=dst, B=src, Imm=snapshot. */                            \
+  /* Unchecked int32 arithmetic: overflow-check elimination proved the */      \
+  /* result range fits (paper conclusion / Sol et al.). */                     \
+  M(AddINoOvf, "addi.nc")                                                      \
+  M(SubINoOvf, "subi.nc")                                                      \
+  M(MulINoOvf, "muli.nc")                                                      \
+  /* Double arithmetic (pure). A=dst, B=lhs, C=rhs. */                         \
+  M(AddD, "addd")                                                              \
+  M(SubD, "subd")                                                              \
+  M(MulD, "muld")                                                              \
+  M(DivD, "divd")                                                              \
+  M(ModD, "modd")                                                              \
+  M(NegD, "negd") /* A=dst, B=src. */                                          \
+  /* Bitwise; operands int32, result int32 (UShr: double). */                  \
+  M(BitAnd, "bitand")                                                          \
+  M(BitOr, "bitor")                                                            \
+  M(BitXor, "bitxor")                                                          \
+  M(Shl, "shl")                                                                \
+  M(Shr, "shr")                                                                \
+  M(UShr, "ushr")                                                              \
+  M(BitNot, "bitnot")           /* A=dst, B=src. */                            \
+  M(TruncToInt32, "trunctoint32") /* A=dst, B=src (ECMAScript ToInt32). */     \
+  M(ToDouble, "todouble")       /* A=dst, B=src (int32 or double). */          \
+  /* Comparisons; A=dst(bool), B=lhs, C=rhs, Imm=comparison bytecode Op. */    \
+  M(CmpI, "cmpi")                                                              \
+  M(CmpD, "cmpd")                                                              \
+  M(CmpS, "cmps")                                                              \
+  M(CmpGeneric, "cmpgeneric")                                                  \
+  M(Not, "not")       /* A=dst, B=src (boolean negation of ToBoolean). */      \
+  M(Concat, "concat") /* A=dst, B=lhs, C=rhs (strings). */                     \
+  M(TypeOfV, "typeof") /* A=dst, B=src. */                                     \
+  /* Guards; Imm = snapshot id. */                                             \
+  M(GuardTag, "guardtag")       /* A=src, B=expected ValueTag. */              \
+  M(GuardNumber, "guardnumber") /* A=dst, B=src; result double. */             \
+  M(BoundsCheck, "boundscheck") /* A=index(int32), B=length(int32). */         \
+  M(GuardArrLen, "guardarrlen") /* A=array, C=pool index of exp. length. */    \
+  M(CheckDepth, "checkdepth")   /* Recursion guard; error, no bail. */         \
+  /* Arrays / strings (in-bounds guaranteed by earlier guards). */             \
+  M(ArrayLen, "arraylen")         /* A=dst, B=array. */                        \
+  M(StrLen, "strlen")             /* A=dst, B=string. */                       \
+  M(LoadElem, "loadelem")         /* A=dst, B=array, C=index. */               \
+  M(StoreElem, "storeelem")       /* A=array, B=index, C=value. */             \
+  M(CharCodeAt, "charcodeat")     /* A=dst, B=string, C=index. */              \
+  M(FromCharCode, "fromcharcode") /* A=dst, B=code(int32). */                  \
+  /* Generic helper calls. Imm carries the bytecode op / name id. */           \
+  M(GenBin, "genbin")         /* A=dst, B=lhs, C=rhs, Imm=bytecode Op. */      \
+  M(GenUn, "genun")           /* A=dst, B=src, Imm=bytecode Op. */             \
+  M(GenGetElem, "gengetelem") /* A=dst, B=obj, C=index. */                     \
+  M(GenSetElem, "gensetelem") /* A=obj, B=index, C=value. */                   \
+  M(GenGetProp, "gengetprop") /* A=dst, B=obj, Imm=name id. */                 \
+  M(GenSetProp, "gensetprop") /* A=obj, B=value, Imm=name id. */               \
+  M(GetGlobal, "getglobal")   /* A=dst, Imm=global slot. */                    \
+  M(SetGlobal, "setglobal")   /* A=src, Imm=global slot. */                    \
+  M(GetEnv, "getenv")         /* A=dst, B=depth, Imm=env slot. */              \
+  M(SetEnv, "setenv")         /* A=src, B=depth, Imm=env slot. */              \
+  /* Allocation. */                                                            \
+  M(NewArrElems, "newarrelems") /* A=dst, Imm=count (staged args). */          \
+  M(NewArrLen, "newarrlen")     /* A=dst, B=length(int32). */                  \
+  M(NewObj, "newobj")           /* A=dst. */                                   \
+  M(InitProp, "initprop")       /* A=obj, B=value, Imm=name id. */             \
+  M(MakeClos, "makeclos")       /* A=dst, Imm=function index. */               \
+  /* Calls (arguments staged with PushArg). */                                 \
+  M(PushArg, "pusharg") /* A=src. */                                           \
+  M(CallV, "callv")     /* A=dst, B=callee, Imm=argc. */                       \
+  M(CallM, "callm")     /* A=dst, B=receiver, C=argc, Imm=name id. */          \
+  M(NewCall, "newcall") /* A=dst, B=callee, Imm=argc. */                       \
+  M(MathFn, "mathfn") /* A=dst, B=arg0, C=arg1 or 0xFFFF, Imm=intrinsic. */    \
+  /* Control flow. Imm = code offset. */                                       \
+  M(Jmp, "jmp")                                                                \
+  M(JTrue, "jtrue")   /* A=cond. */                                            \
+  M(JFalse, "jfalse") /* A=cond. */                                            \
+  M(Ret, "ret")       /* A=value. */                                           \
+  /* --- Fused macro-ops (native/Fusion.cpp; see the header comment). --- */   \
+  /* Compare+branch. Slot1: CmpI/CmpD fields. Slot2: FuseData with the */      \
+  /* branch fields (A=cond, Imm=target) plus B=1 for JTrue, 0 for JFalse. */   \
+  M(BrCmpII, "brcmpii")                                                        \
+  M(BrCmpDD, "brcmpdd")                                                        \
+  /* Constant+arithmetic. Slot1: LoadConst fields (A=const dst, Imm=pool */    \
+  /* index). Slot2: FuseData with the arithmetic fields (A=dst, B=lhs, */      \
+  /* C=const reg, Imm=snapshot for the checked forms). */                      \
+  M(AddIImm, "addii")                                                          \
+  M(SubIImm, "subii")                                                          \
+  M(MulIImm, "mulii")                                                          \
+  M(AddINoOvfImm, "addii.nc")                                                  \
+  M(SubINoOvfImm, "subii.nc")                                                  \
+  M(MulINoOvfImm, "mulii.nc")                                                  \
+  M(AddDImm, "adddi")                                                          \
+  M(SubDImm, "subdi")                                                          \
+  M(MulDImm, "muldi")                                                          \
+  M(DivDImm, "divdi")                                                          \
+  /* Checked unbox: GuardTag+Mov. Slot1: GuardTag fields (A=src, B=tag, */     \
+  /* Imm=snapshot). Slot2: FuseData with the Mov fields (A=dst, B=src). */     \
+  M(GuardTagMov, "guardtag.mov")                                               \
+  /* The preserved second slot of a fused pair: holds operand fields for */    \
+  /* the fused handler, never dispatched (executes as a nop if it is). */      \
+  M(FuseData, "fusedata")
+
 enum class NOp : uint8_t {
-  Nop,
-
-  // Moves and materialization.
-  Mov,        ///< A=dst, B=src.
-  LoadConst,  ///< A=dst, Imm=constant pool index.
-  LoadSpill,  ///< A=dst, Imm=spill slot.
-  StoreSpill, ///< A=src, Imm=spill slot.
-  LoadParam,  ///< A=dst, Imm=parameter index (undefined when absent).
-  LoadThis,   ///< A=dst.
-  LoadOsr,    ///< A=dst, Imm=frame slot of the OSR frame.
-
-  // Int32 arithmetic; Imm = snapshot id (bails on overflow / corner
-  // cases).
-  AddI,
-  SubI,
-  MulI,
-  ModI,
-  NegI, ///< A=dst, B=src, Imm=snapshot.
-
-  // Unchecked int32 arithmetic: the overflow-check elimination pass
-  // proved the result range fits (paper conclusion / Sol et al.).
-  AddINoOvf,
-  SubINoOvf,
-  MulINoOvf,
-
-  // Double arithmetic (pure). A=dst, B=lhs, C=rhs.
-  AddD,
-  SubD,
-  MulD,
-  DivD,
-  ModD,
-  NegD, ///< A=dst, B=src.
-
-  // Bitwise; operands int32, result int32 (UShr: double).
-  BitAnd,
-  BitOr,
-  BitXor,
-  Shl,
-  Shr,
-  UShr,
-  BitNot, ///< A=dst, B=src.
-
-  TruncToInt32, ///< A=dst, B=src (any value; ECMAScript ToInt32).
-  ToDouble,     ///< A=dst, B=src (int32 or double).
-
-  // Comparisons; A=dst(bool), B=lhs, C=rhs, Imm=comparison bytecode Op.
-  CmpI,
-  CmpD,
-  CmpS,
-  CmpGeneric,
-
-  Not,    ///< A=dst, B=src (boolean negation of ToBoolean).
-  Concat, ///< A=dst, B=lhs, C=rhs (strings).
-  TypeOfV,///< A=dst, B=src.
-
-  // Guards; Imm = snapshot id.
-  GuardTag,      ///< A=src, B=expected ValueTag.
-  GuardNumber,   ///< A=dst, B=src; bails unless number, result double.
-  BoundsCheck,   ///< A=index(int32), B=length(int32).
-  GuardArrLen,   ///< A=array, C=const pool index of expected length.
-  CheckDepth,    ///< Recursion guard; reports an error (no bail).
-
-  // Arrays / strings (in-bounds guaranteed by earlier guards).
-  ArrayLen,     ///< A=dst, B=array.
-  StrLen,       ///< A=dst, B=string.
-  LoadElem,     ///< A=dst, B=array, C=index.
-  StoreElem,    ///< A=array, B=index, C=value.
-  CharCodeAt,   ///< A=dst, B=string, C=index.
-  FromCharCode, ///< A=dst, B=code(int32).
-
-  // Generic helper calls. Imm carries the bytecode op / name id.
-  GenBin,     ///< A=dst, B=lhs, C=rhs, Imm=bytecode Op.
-  GenUn,      ///< A=dst, B=src, Imm=bytecode Op.
-  GenGetElem, ///< A=dst, B=obj, C=index.
-  GenSetElem, ///< A=obj, B=index, C=value.
-  GenGetProp, ///< A=dst, B=obj, Imm=name id.
-  GenSetProp, ///< A=obj, B=value, Imm=name id.
-
-  GetGlobal, ///< A=dst, Imm=global slot.
-  SetGlobal, ///< A=src, Imm=global slot.
-  GetEnv,    ///< A=dst, B=depth, Imm=env slot.
-  SetEnv,    ///< A=src, B=depth, Imm=env slot.
-
-  // Allocation.
-  NewArrElems, ///< A=dst, Imm=count (consumes staged arguments).
-  NewArrLen,   ///< A=dst, B=length(int32).
-  NewObj,      ///< A=dst.
-  InitProp,    ///< A=obj, B=value, Imm=name id.
-  MakeClos,    ///< A=dst, Imm=function index.
-
-  // Calls (arguments staged with PushArg).
-  PushArg, ///< A=src.
-  CallV,   ///< A=dst, B=callee, Imm=argc.
-  CallM,   ///< A=dst, B=receiver, C=argc, Imm=name id.
-  NewCall, ///< A=dst, B=callee, Imm=argc.
-
-  MathFn, ///< A=dst, B=arg0, C=arg1 or 0xFFFF, Imm=MathIntrinsic.
-
-  // Control flow. Imm = code offset.
-  Jmp,
-  JTrue,  ///< A=cond.
-  JFalse, ///< A=cond.
-  Ret,    ///< A=value.
+#define JITVS_NOP_ENUM(Name, Str) Name,
+  JITVS_FOREACH_NOP(JITVS_NOP_ENUM)
+#undef JITVS_NOP_ENUM
 };
+
+/// Number of native opcodes (dispatch-table size).
+#define JITVS_NOP_COUNT_ONE(Name, Str) +1
+constexpr size_t NumNOps = 0 JITVS_FOREACH_NOP(JITVS_NOP_COUNT_ONE);
+#undef JITVS_NOP_COUNT_ONE
 
 const char *nopName(NOp O);
 
@@ -176,8 +205,21 @@ public:
   /// Total frame size: NumPhysRegs + spill slots.
   uint32_t FrameSize = NumPhysRegs;
 
-  /// Code size in instructions — the Figure 10 metric.
+  /// Number of adjacent pairs combined by the macro-op fusion pass.
+  /// Fusion keeps both slots of a pair (slot 2 becomes FuseData), so
+  /// Code.size() — and with it the Figure 10 metric — is unchanged.
+  uint32_t FusedPairs = 0;
+
+  /// Code size in instructions — the Figure 10 metric. Reported from the
+  /// pre-fusion stream; fusion preserves it by construction (see
+  /// FusedPairs), so this is valid whether or not fusion ran.
   size_t sizeInInstructions() const { return Code.size(); }
+
+  /// Dispatched instruction count after fusion: each fused pair executes
+  /// as one macro-op, so the dynamic stream is FusedPairs shorter.
+  size_t sizeInInstructionsPostFusion() const {
+    return Code.size() - FusedPairs;
+  }
 
   /// Number of instructions that can bail to the interpreter (tag/number
   /// guards, bounds/length checks, overflow-checked int32 arithmetic) —

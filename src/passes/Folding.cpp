@@ -222,7 +222,7 @@ std::optional<Value> jitvs::evaluatePureInstr(
       R = std::ceil(A);
       break;
     case MathIntrinsic::Round:
-      R = std::floor(A + 0.5);
+      R = Runtime::jsMathRound(A);
       break;
     case MathIntrinsic::Log:
       R = std::log(A);

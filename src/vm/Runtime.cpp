@@ -102,6 +102,22 @@ int32_t Runtime::toInt32(double D) {
   return static_cast<int32_t>(U);
 }
 
+double Runtime::jsMathRound(double D) {
+  if (!std::isfinite(D))
+    return D;
+  // floor-then-adjust: computing D + 0.5 first can round up through a
+  // double-rounding (0.49999999999999994 + 0.5 == 1.0). JS rounds halves
+  // toward +inf, so bump when the fractional part is >= 0.5 exactly.
+  double R = std::floor(D);
+  if (D - R >= 0.5)
+    R += 1.0;
+  // Math.round is -0 for x in [-0.5, 0), but the +1.0 bump above lands
+  // those inputs on +0.
+  if (R == 0.0 && D < 0.0)
+    return -0.0;
+  return R;
+}
+
 static int32_t valueToInt32(const Value &V) {
   if (V.isInt32())
     return V.asInt32();
@@ -785,7 +801,9 @@ Value mathCeil(Runtime &, const Value &, const Value *A, size_t N) {
   return Value::number(std::ceil(arg0(A, N)));
 }
 Value mathRound(Runtime &, const Value &, const Value *A, size_t N) {
-  return Value::number(std::floor(arg0(A, N) + 0.5));
+  if (N > 0 && A[0].isInt32())
+    return A[0];
+  return Value::number(Runtime::jsMathRound(arg0(A, N)));
 }
 Value mathPow(Runtime &, const Value &, const Value *A, size_t N) {
   return Value::number(std::pow(arg0(A, N), arg1(A, N)));

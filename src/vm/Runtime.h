@@ -191,6 +191,10 @@ public:
   static double toNumber(const Value &V);
   /// ECMAScript ToInt32 (truncate modulo 2^32, signed).
   static int32_t toInt32(double D);
+  /// ECMAScript Math.round. floor(x + 0.5) is wrong twice over: the
+  /// addition double-rounds (0.49999999999999994 + 0.5 == 1.0), and JS
+  /// rounds half toward +inf while preserving -0 for x in [-0.5, 0).
+  static double jsMathRound(double D);
 
   /// Interprets a user function call (bypassing hooks). Used by the call
   /// dispatch path and by the engine when it declines to run native code.

@@ -50,6 +50,39 @@ TEST(NumericEdge, NegativeZero) {
             "-Infinity\n");
 }
 
+TEST(NumericEdge, MathRoundHalfwayCases) {
+  // floor(x + 0.5) is the classic wrong implementation: 0.5 is not
+  // representable relative to these inputs, so the addition itself
+  // rounds. Math.round must not.
+  EXPECT_EQ(both("print(Math.round(0.49999999999999994));"), "0\n");
+  // 2^52 + 1: adding 0.5 first would round up to 2^52 + 2 (printed in
+  // exponent form, so compare rather than print the value itself).
+  EXPECT_EQ(both("print(Math.round(4503599627370497) == 4503599627370497);"),
+            "true\n");
+  // Halves round toward +Infinity, including negative halves.
+  EXPECT_EQ(both("print(Math.round(0.5), Math.round(1.5), Math.round(2.5));"),
+            "1 2 3\n");
+  EXPECT_EQ(both("print(Math.round(-0.5), Math.round(-1.5),"
+                 "      Math.round(-2.5));"),
+            "0 -1 -2\n");
+  // x in [-0.5, 0) rounds to -0, not +0.
+  EXPECT_EQ(both("print(1 / Math.round(-0.5), 1 / Math.round(-0.3));"),
+            "-Infinity -Infinity\n");
+  EXPECT_EQ(both("print(1 / Math.round(-0.0), 1 / Math.round(0.3));"),
+            "-Infinity Infinity\n");
+  // Non-finite values pass through.
+  EXPECT_EQ(both("print(Math.round(0 / 0), Math.round(1 / 0),"
+                 "      Math.round(-1 / 0));"),
+            "NaN Infinity -Infinity\n");
+  // The same semantics when Math.round sits in a hot loop (the JIT's
+  // MathFn path and the constant folder, not just the builtin).
+  EXPECT_EQ(both("function r(x) { return Math.round(x); }"
+                 "var s = 0;"
+                 "for (var i = 0; i < 40; i++) s += r(i + 0.5);"
+                 "print(s, r(-2.5), 1 / r(-0.25));"),
+            "820 -2 -Infinity\n");
+}
+
 TEST(NumericEdge, NaNPropagation) {
   EXPECT_EQ(both("var n = 0 / 0; print(n == n, n != n, n < 1, n >= 1);"),
             "false true false false\n");
