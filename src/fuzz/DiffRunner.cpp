@@ -1,0 +1,161 @@
+//===- fuzz/DiffRunner.cpp - Differential config-matrix runner ------------===//
+
+#include "fuzz/DiffRunner.h"
+
+#include "telemetry/BailoutReason.h"
+#include "vm/Runtime.h"
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+
+namespace jitvs {
+namespace fuzz {
+
+/// Renders the completion value for diffing. Tags are not observable in
+/// MiniJS, so Int32 1 and Double 1.0 must render identically — but -0
+/// (reachable only as a Double) is observable through `1 / v`, so it is
+/// rendered distinctly. Heap values are rendered *before* the Runtime
+/// (and its GC) is torn down.
+static std::string renderCompletion(const Value &V) {
+  if (V.isDouble() && V.asDouble() == 0.0 && std::signbit(V.asDouble()))
+    return "-0";
+  return V.toDisplayString();
+}
+
+std::vector<EngineSetup> defaultMatrix() {
+  EngineKnobs Hot; // Aggressive thresholds: make tiny programs compile.
+  Hot.CallThreshold = 3;
+  Hot.LoopThreshold = 20;
+
+  std::vector<EngineSetup> M;
+
+  EngineSetup Interp;
+  Interp.Name = "interp";
+  Interp.UseJit = false;
+  M.push_back(Interp);
+
+  auto Add = [&](const char *Name, OptConfig Opt, auto Tweak) {
+    EngineSetup S;
+    S.Name = Name;
+    S.Opt = Opt;
+    S.Knobs = Hot;
+    Tweak(S.Knobs);
+    M.push_back(std::move(S));
+  };
+
+  OptConfig All = OptConfig::all();
+  OptConfig AllOce = All;
+  AllOce.OverflowCheckElim = true;
+
+  Add("paper-all", All, [](EngineKnobs &) {});
+  Add("paper-baseline", OptConfig::baseline(), [](EngineKnobs &) {});
+  Add("tiered-all", All,
+      [](EngineKnobs &K) { K.Policy = TierPolicy::Tiered; });
+  Add("paper-nofusion", All, [](EngineKnobs &K) { K.Fusion = false; });
+  Add("paper-switch", All,
+      [](EngineKnobs &K) { K.Dispatch = DispatchMode::Switch; });
+  Add("tiered-switch-nofusion", All, [](EngineKnobs &K) {
+    K.Policy = TierPolicy::Tiered;
+    K.Fusion = false;
+    K.Dispatch = DispatchMode::Switch;
+  });
+  Add("paper-oce", AllOce, [](EngineKnobs &) {});
+  Add("tiered-cache2", All, [](EngineKnobs &K) {
+    K.Policy = TierPolicy::Tiered;
+    K.CacheDepth = 2;
+    K.ValueStabilityMax = 2;
+  });
+
+  return M;
+}
+
+RunOutcome runOnce(const std::string &Source, const EngineSetup &Setup) {
+  RunOutcome Out;
+  Runtime RT;
+  std::unique_ptr<Engine> E;
+  if (Setup.UseJit)
+    E = std::make_unique<Engine>(RT, Setup.Opt, Setup.Knobs);
+  Value V = RT.evaluate(Source);
+  Out.Completion = renderCompletion(V);
+  Out.Output = RT.output();
+  Out.HadError = RT.hasError();
+  if (Out.HadError)
+    Out.Error = RT.errorMessage();
+  if (E)
+    Out.Stats = E->stats();
+  return Out;
+}
+
+DiffResult runMatrix(const std::string &Source,
+                     const std::vector<EngineSetup> &Matrix) {
+  DiffResult Result;
+  const EngineSetup *Ref = nullptr;
+  RunOutcome RefOut;
+  for (const EngineSetup &S : Matrix) {
+    if (!S.UseJit) {
+      Ref = &S;
+      RefOut = runOnce(Source, S);
+      break;
+    }
+  }
+  if (!Ref) {
+    EngineSetup Implied;
+    Implied.Name = "interp";
+    Implied.UseJit = false;
+    RefOut = runOnce(Source, Implied);
+  }
+  for (const EngineSetup &S : Matrix) {
+    if (&S == Ref)
+      continue;
+    RunOutcome Got = runOnce(Source, S);
+    if (!Got.sameObservable(RefOut))
+      Result.Divergences.push_back({S.Name, RefOut, std::move(Got)});
+  }
+  return Result;
+}
+
+static void describeOutcome(std::ostream &OS, const char *Label,
+                            const RunOutcome &O) {
+  OS << Label << ":\n";
+  OS << "  completion: " << O.Completion << "\n";
+  OS << "  error: " << (O.HadError ? O.Error : "<none>") << "\n";
+  OS << "  output (" << O.Output.size() << " bytes):\n";
+  std::istringstream Lines(O.Output);
+  std::string Line;
+  while (std::getline(Lines, Line))
+    OS << "    | " << Line << "\n";
+}
+
+std::string describeDivergence(const Divergence &D, uint64_t Seed,
+                               const std::string &Source) {
+  std::ostringstream OS;
+  OS << "=== DIVERGENCE seed=" << Seed << " config=" << D.ConfigName
+     << " ===\n";
+  describeOutcome(OS, "reference (interp)", D.Reference);
+  describeOutcome(OS, D.ConfigName.c_str(), D.Actual);
+  const EngineStats &S = D.Actual.Stats;
+  OS << "telemetry: compiles=" << S.Compilations
+     << " specialized=" << S.SpecializedCompiles
+     << " generic=" << S.GenericCompiles
+     << " despecializations=" << S.Despecializations
+     << " cache-hits=" << S.CacheHits << " (value=" << S.ValueTierHits
+     << " type=" << S.TypeTierHits << ")"
+     << " tier-demotions=" << S.TierDemotionsValueToType << "/"
+     << S.TierDemotionsToGeneric << " osr=" << S.OsrEntries
+     << " fused=" << S.FusedOps << "\n";
+  OS << "bailouts: total=" << S.Bailouts;
+  for (size_t I = 0; I < NumBailoutReasons; ++I)
+    if (S.BailoutsByReason[I])
+      OS << " " << bailoutReasonName(static_cast<BailoutReason>(I)) << "="
+         << S.BailoutsByReason[I];
+  OS << "\n";
+  OS << "minimized reproducer:\n" << Source;
+  if (!Source.empty() && Source.back() != '\n')
+    OS << "\n";
+  OS << "repro: jitvs_fuzz --seed " << Seed << " --minimize\n";
+  return OS.str();
+}
+
+} // namespace fuzz
+} // namespace jitvs

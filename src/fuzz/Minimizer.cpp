@@ -1,0 +1,52 @@
+//===- fuzz/Minimizer.cpp - Greedy test-case minimizer --------------------===//
+
+#include "fuzz/Minimizer.h"
+
+namespace jitvs {
+namespace fuzz {
+
+FuzzProgram minimize(const FuzzProgram &P, const Oracle &StillFails,
+                     size_t MaxOracleCalls) {
+  FuzzProgram Cur = P;
+  size_t Calls = 0;
+  auto Try = [&](const FuzzProgram &Candidate) {
+    if (Calls >= MaxOracleCalls)
+      return false;
+    ++Calls;
+    return StillFails(Candidate.render());
+  };
+
+  bool Changed = true;
+  while (Changed && Calls < MaxOracleCalls) {
+    Changed = false;
+
+    // Pass 1: drop whole units, last-defined first (later units tend to
+    // depend on earlier ones, so this order removes dependents first).
+    for (size_t I = Cur.Units.size(); I-- > 0;) {
+      if (Cur.Units.size() == 1)
+        break;
+      FuzzProgram Candidate = Cur;
+      Candidate.Units.erase(Candidate.Units.begin() + I);
+      if (Try(Candidate)) {
+        Cur = std::move(Candidate);
+        Changed = true;
+      }
+    }
+
+    // Pass 2: drop single statements, last first within each unit.
+    for (size_t U = Cur.Units.size(); U-- > 0;) {
+      for (size_t S = Cur.Units[U].Stmts.size(); S-- > 0;) {
+        FuzzProgram Candidate = Cur;
+        Candidate.Units[U].Stmts.erase(Candidate.Units[U].Stmts.begin() + S);
+        if (Try(Candidate)) {
+          Cur = std::move(Candidate);
+          Changed = true;
+        }
+      }
+    }
+  }
+  return Cur;
+}
+
+} // namespace fuzz
+} // namespace jitvs

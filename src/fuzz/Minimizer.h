@@ -1,0 +1,35 @@
+//===- fuzz/Minimizer.h - Greedy test-case minimizer ------------*- C++ -*-===//
+///
+/// \file
+/// Shrinks a diverging FuzzProgram to a minimal reproducer: greedily
+/// deletes whole units (function definitions, top-level runs) and then
+/// individual statements, keeping each deletion only if the divergence
+/// oracle still fires, and repeats to a fixpoint. Deletions can render
+/// the program invalid (e.g. a caller outliving its callee) — that is
+/// fine, because an invalid program fails identically under every
+/// configuration, so the oracle rejects the deletion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITVS_FUZZ_MINIMIZER_H
+#define JITVS_FUZZ_MINIMIZER_H
+
+#include "fuzz/ProgramGen.h"
+
+#include <functional>
+
+namespace jitvs {
+namespace fuzz {
+
+/// \returns true if \p Source still exhibits the divergence being chased.
+using Oracle = std::function<bool(const std::string &Source)>;
+
+/// Greedily minimizes \p P under \p StillFails. \p MaxOracleCalls bounds
+/// the total work (each call re-runs the whole config matrix).
+FuzzProgram minimize(const FuzzProgram &P, const Oracle &StillFails,
+                     size_t MaxOracleCalls = 1500);
+
+} // namespace fuzz
+} // namespace jitvs
+
+#endif // JITVS_FUZZ_MINIMIZER_H

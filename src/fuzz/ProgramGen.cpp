@@ -1,0 +1,598 @@
+//===- fuzz/ProgramGen.cpp - Seeded MiniJS program generator --------------===//
+
+#include "fuzz/ProgramGen.h"
+
+#include "support/RNG.h"
+
+#include <cassert>
+
+namespace jitvs {
+namespace fuzz {
+
+std::string FuzzProgram::render() const {
+  std::string Out;
+  for (const Unit &U : Units) {
+    if (!U.Header.empty()) {
+      Out += U.Header;
+      Out += '\n';
+    }
+    for (const std::string &S : U.Stmts) {
+      Out += S;
+      Out += '\n';
+    }
+    if (!U.Footer.empty()) {
+      Out += U.Footer;
+      Out += '\n';
+    }
+  }
+  return Out;
+}
+
+size_t FuzzProgram::statementCount() const {
+  size_t N = 0;
+  for (const Unit &U : Units)
+    N += U.Stmts.size();
+  return N;
+}
+
+namespace {
+
+/// All state for one generation run. Every random draw goes through the
+/// single splitmix64 stream, so the output is a pure function of the seed.
+class Gen {
+public:
+  explicit Gen(uint64_t Seed) : R(Seed * 0x9e3779b97f4a7c15ull + 1) {}
+
+  FuzzProgram run();
+
+private:
+  RNG R;
+  FuzzProgram P;
+
+  struct FnInfo {
+    std::string Name;
+    unsigned Arity = 0;
+    bool HigherOrder = false;    ///< First param is called as a function.
+    bool ReturnsClosure = false; ///< Returns `function (x) { ... }`.
+    /// Estimated dynamic cost of one call, in abstract "operations"
+    /// (statements weighted by the trip counts of their enclosing
+    /// loops, plus the transitive cost of every call site). Used to
+    /// keep calls out of contexts where the loop multiplier would blow
+    /// the program's total work budget: boundedness of *values* is
+    /// handled by numCoerce(), boundedness of *time* is handled here.
+    uint64_t Cost = 1;
+  };
+  std::vector<FnInfo> Fns;
+
+  /// Running cost of the function body currently being generated;
+  /// becomes FnInfo::Cost when the body is done.
+  uint64_t CurCost = 0;
+
+  /// Ceiling on `Cost(callee) * loop-weight` for any one call site.
+  /// Nested loops reach weights of ~500, so deep in a loop only
+  /// near-trivial callees qualify; at top level any function does.
+  /// Driver loops multiply each function by at most ~50 calls, so the
+  /// whole program stays within a few million abstract operations.
+  static constexpr uint64_t CallBudget = 20000;
+
+  // --- dice ---
+  bool chance(unsigned Percent) { return R.nextBelow(100) < Percent; }
+  uint64_t below(uint64_t N) { return R.nextBelow(N); }
+  const char *pick(const std::vector<const char *> &V) {
+    return V[below(V.size())];
+  }
+
+  // --- literal pools ---
+  std::string intLit() {
+    static const char *Pool[] = {
+        "0",  "1",  "2",          "3",          "5",         "7",
+        "10", "13", "100",        "255",        "1000",      "65535",
+        "(-1)",     "(-2)",       "(-7)",       "(-100)",
+        "46340",    "46341",      "1000000",    "1073741824",
+        "2147483646", "2147483647", "(-2147483647)",
+        "(0 - 2147483647 - 1)", // INT32_MIN without a double literal.
+    };
+    return Pool[below(std::size(Pool))];
+  }
+  std::string dblLit() {
+    static const char *Pool[] = {
+        "0.5",  "(-0.5)", "1.5",   "3.25",       "0.125",
+        "0.1",  "2.75",   "(-1.5)", "123456789.5", "2147483648.5",
+    };
+    return Pool[below(std::size(Pool))];
+  }
+  std::string strLit() {
+    static const char *Pool[] = {"'fox'", "'quick brown'", "'a'",
+                                 "''",    "'42'",          "'wx7'"};
+    return Pool[below(std::size(Pool))];
+  }
+  std::string specialLit() {
+    static const char *Pool[] = {"NaN",  "Infinity", "(-Infinity)", "true",
+                                 "false", "null",    "undefined"};
+    return Pool[below(std::size(Pool))];
+  }
+
+  /// Wraps \p E so the result is always a number (strings/undefined
+  /// coerce to NaN or an integer). Applied to every value stored into a
+  /// location that persists across calls (globals, array elements) and
+  /// to `+`-accumulators in loops: it is what makes generated programs
+  /// bounded — a string can never grow through repeated execution.
+  std::string numCoerce(const std::string &E) {
+    switch (below(5)) {
+    case 0:
+      return "(" + E + " % 1000000007)";
+    case 1:
+      return "(" + E + " | 0)";
+    case 2:
+      return "(0 - " + E + ")";
+    case 3:
+      return "(" + E + " * 1)";
+    default:
+      return "Math.floor(" + E + ")"; // floor(-0.5) is a -0 source.
+    }
+  }
+
+  static bool isGlobalName(const std::string &N) {
+    return N == "g0" || N == "g1";
+  }
+
+  // --- expressions ---
+
+  /// Variables visible in the current scope plus generation options.
+  struct Ctx {
+    std::vector<std::string> Vars;
+    /// Functions with index < CalleeLimit may be called (keeps the static
+    /// call graph a DAG, so recursion depth is bounded by construction).
+    size_t CalleeLimit = 0;
+    bool AllowCalls = false;
+    /// Name of the enclosing loop's induction variable, if any.
+    std::string LoopVar;
+    /// Product of the trip counts of the enclosing loops: how many
+    /// times an expression generated in this context runs per call of
+    /// the surrounding function.
+    uint64_t Weight = 1;
+  };
+
+  std::string atom(const Ctx &C) {
+    uint64_t D = below(100);
+    if (D < 45 && !C.Vars.empty())
+      return C.Vars[below(C.Vars.size())];
+    if (D < 50 && !C.LoopVar.empty())
+      return C.LoopVar;
+    if (D < 75)
+      return intLit();
+    if (D < 85)
+      return dblLit();
+    if (D < 93)
+      return strLit();
+    return specialLit();
+  }
+
+  /// An index expression: mostly small and in range, sometimes negative
+  /// or far out of range, sometimes derived from a loop variable.
+  std::string idxExpr(const Ctx &C) {
+    uint64_t D = below(100);
+    if (D < 35)
+      return std::to_string(below(8));
+    if (D < 50 && !C.LoopVar.empty())
+      return "(" + C.LoopVar + " % 9)";
+    if (D < 62 && !C.Vars.empty())
+      return "(" + C.Vars[below(C.Vars.size())] + " & 7)";
+    if (D < 75)
+      return "(-" + std::to_string(1 + below(3)) + ")";
+    if (D < 88)
+      return std::to_string(9 + below(91));
+    return "1000";
+  }
+
+  std::string expr(const Ctx &C, unsigned Depth) {
+    if (Depth == 0)
+      return atom(C);
+    uint64_t D = below(100);
+    if (D < 30) {
+      const char *Op = pick({"+", "-", "*", "/", "%"});
+      return "(" + expr(C, Depth - 1) + " " + Op + " " + expr(C, Depth - 1) +
+             ")";
+    }
+    if (D < 42) {
+      const char *Op = pick({"&", "|", "^", "<<", ">>", ">>>"});
+      return "(" + expr(C, Depth - 1) + " " + Op + " " + expr(C, Depth - 1) +
+             ")";
+    }
+    if (D < 52) {
+      const char *Op = pick({"<", "<=", ">", ">=", "==", "!="});
+      return "(" + expr(C, Depth - 1) + " " + Op + " " + expr(C, Depth - 1) +
+             ")";
+    }
+    if (D < 58) {
+      const char *Op = pick({"&&", "||"});
+      return "(" + expr(C, Depth - 1) + " " + Op + " " + expr(C, Depth - 1) +
+             ")";
+    }
+    if (D < 62)
+      return "(" + expr(C, Depth - 1) + " ? " + expr(C, Depth - 1) + " : " +
+             expr(C, Depth - 1) + ")";
+    if (D < 68) {
+      const char *Op = pick({"-", "!", "typeof "});
+      return "(" + std::string(Op) + expr(C, Depth - 1) + ")";
+    }
+    if (D < 76 && C.AllowCalls && C.CalleeLimit > 0)
+      return callExpr(C, Depth);
+    if (D < 86)
+      return memoryExpr(C);
+    if (D < 92)
+      return mathExpr(C, Depth);
+    return atom(C);
+  }
+
+  /// Reads through the shared globals: array loads (often out of range),
+  /// string charCodeAt, lengths.
+  std::string memoryExpr(const Ctx &C) {
+    switch (below(5)) {
+    case 0:
+      return "ga[" + idxExpr(C) + "]";
+    case 1:
+      return "gs.charCodeAt(" + idxExpr(C) + ")";
+    case 2:
+      return "ga.length";
+    case 3:
+      return "gs.length";
+    default:
+      return "String.fromCharCode((" + atom(C) + " & 255))";
+    }
+  }
+
+  std::string mathExpr(const Ctx &C, unsigned Depth) {
+    const char *Fn = pick({"abs", "floor", "sqrt", "round"});
+    if (chance(25))
+      return std::string("Math.") + pick({"min", "max"}) + "(" +
+             expr(C, Depth - 1) + ", " + expr(C, Depth - 1) + ")";
+    return std::string("Math.") + Fn + "(" + expr(C, Depth - 1) + ")";
+  }
+
+  /// A call to an already-defined function (DAG discipline). Higher-order
+  /// callees are skipped: only the driver passes function values into
+  /// parameters, so a body-level call would hand them a non-callable.
+  /// Callees whose cost times this context's loop weight would exceed
+  /// CallBudget are skipped too — a call nested inside nested loops of
+  /// a function that is itself called from loops multiplies trip
+  /// counts, and without the budget a chain of loop-bearing callees
+  /// amplifies into billions of operations (and as many prints).
+  std::string callExpr(const Ctx &C, unsigned Depth) {
+    std::vector<size_t> Candidates;
+    for (size_t I = 0; I < C.CalleeLimit; ++I)
+      if (!Fns[I].HigherOrder && Fns[I].Cost * C.Weight <= CallBudget)
+        Candidates.push_back(I);
+    if (Candidates.empty())
+      return atom(C);
+    const FnInfo &F = Fns[Candidates[below(Candidates.size())]];
+    CurCost += F.Cost * C.Weight;
+    std::string Out = F.Name + "(";
+    for (unsigned I = 0; I < F.Arity; ++I) {
+      if (I)
+        Out += ", ";
+      Out += expr(C, Depth > 0 ? 1 : 0);
+    }
+    return Out + ")";
+  }
+
+  // --- statements ---
+
+  std::string assignTarget(Ctx &C) {
+    assert(!C.Vars.empty());
+    return C.Vars[below(C.Vars.size())];
+  }
+
+  void genFunctionBody(FuzzProgram::Unit &U, FnInfo &F, size_t FnIndex);
+  void genLoopStmt(FuzzProgram::Unit &U, Ctx &C, unsigned &LoopSeq,
+                   bool AllowNested);
+  void genSimpleStmt(FuzzProgram::Unit &U, Ctx &C, unsigned &LocalSeq);
+  void genDriver();
+  void genGlobals();
+  void genOsrLoop();
+};
+
+void Gen::genSimpleStmt(FuzzProgram::Unit &U, Ctx &C, unsigned &LocalSeq) {
+  CurCost += C.Weight;
+  uint64_t D = below(100);
+  if (D < 30 || C.Vars.empty()) {
+    std::string V = "v" + std::to_string(LocalSeq++);
+    U.Stmts.push_back("  var " + V + " = " + expr(C, 2) + ";");
+    C.Vars.push_back(V);
+    return;
+  }
+  if (D < 55) {
+    std::string T = assignTarget(C);
+    std::string E = expr(C, 2);
+    if (isGlobalName(T))
+      E = numCoerce(E); // Globals stay numeric: see numCoerce().
+    U.Stmts.push_back("  " + T + " = " + E + ";");
+    return;
+  }
+  if (D < 75) {
+    std::string T = assignTarget(C);
+    const char *Op = pick({"+", "-", "*", "&", "^"});
+    std::string E = "(" + T + " " + Op + " " + expr(C, 1) + ")";
+    if (isGlobalName(T))
+      E = numCoerce(E);
+    U.Stmts.push_back("  " + T + " = " + E + ";");
+    return;
+  }
+  if (D < 88) {
+    std::string T = assignTarget(C);
+    std::string A = expr(C, 1), B = expr(C, 1);
+    if (isGlobalName(T)) {
+      A = numCoerce(A);
+      B = numCoerce(B);
+    }
+    U.Stmts.push_back("  if (" + expr(C, 1) + ") { " + T + " = " + A +
+                      "; } else { " + T + " = " + B + "; }");
+    return;
+  }
+  // Array elements persist across calls: store a number or a short
+  // literal, never a composite string that a later read could re-grow.
+  std::string Stored = chance(25) ? (chance(50) ? strLit() : specialLit())
+                                  : numCoerce(expr(C, 1));
+  U.Stmts.push_back("  ga[" + idxExpr(C) + "] = " + Stored + ";");
+}
+
+void Gen::genLoopStmt(FuzzProgram::Unit &U, Ctx &C, unsigned &LoopSeq,
+                      bool AllowNested) {
+  static const unsigned Bounds[] = {7, 11, 23, 60, 150};
+  unsigned Bound = Bounds[below(std::size(Bounds))];
+  std::string I = "i" + std::to_string(LoopSeq++);
+  Ctx Inner = C;
+  Inner.LoopVar = I;
+  Inner.Weight = C.Weight * Bound;
+  std::string T = assignTarget(C);
+  // `+` is the one operator whose result can be a string, so a
+  // `T = (T + e)` accumulator must not run unbounded: either reduce it
+  // with % (still diverges on any single wrong addition) or keep the raw
+  // sum, which is safe for numbers and bounded for locals (fresh every
+  // call) but not for globals.
+  auto Accum = [&](const std::string &Tgt, const char *Op,
+                   const std::string &E) {
+    std::string Sum = "(" + Tgt + " " + Op + " " + E + ")";
+    // An addend that itself mentions the accumulator doubles it every
+    // iteration — `b = (b + (b + v))` over 150 iterations is 2^150,
+    // which for a string-typed target is a 2^150-character string —
+    // so self-referencing sums are always reduced.
+    if (*Op == '+' && (isGlobalName(Tgt) ||
+                       E.find(Tgt) != std::string::npos || chance(60)))
+      return Tgt + " = (" + Sum + " % 1000000007);";
+    return Tgt + " = " + Sum + ";";
+  };
+  if (AllowNested && chance(20)) {
+    std::string J = "i" + std::to_string(LoopSeq++);
+    unsigned BOuter = 1 + below(24), BInner = 1 + below(24);
+    Ctx Inner2 = Inner;
+    Inner2.LoopVar = J;
+    Inner2.Weight = C.Weight * BOuter * BInner;
+    CurCost += Inner2.Weight;
+    U.Stmts.push_back("  for (var " + I + " = 0; " + I + " < " +
+                      std::to_string(BOuter) + "; " + I + "++) { for (var " +
+                      J + " = 0; " + J + " < " + std::to_string(BInner) +
+                      "; " + J + "++) { " + Accum(T, "+", expr(Inner2, 1)) +
+                      " } }");
+    return;
+  }
+  CurCost += Inner.Weight;
+  if (chance(25)) {
+    // While loop with an explicit monotone counter.
+    std::string W = "w" + std::to_string(LoopSeq++);
+    U.Stmts.push_back("  var " + W + " = 0;");
+    Inner.LoopVar = W;
+    std::string Body = Accum(T, pick({"+", "-", "^"}), expr(Inner, 1)) + " " +
+                       W + " = " + W + " + 1;";
+    U.Stmts.push_back("  while (" + W + " < " + std::to_string(Bound) +
+                      ") { " + Body + " }");
+    return;
+  }
+  std::string Extra;
+  if (chance(30))
+    Extra = " if (" + expr(Inner, 1) + ") { " + T + " = (" + T + " + 1); }";
+  U.Stmts.push_back("  for (var " + I + " = 0; " + I + " < " +
+                    std::to_string(Bound) + "; " + I + "++) { " +
+                    Accum(T, "+", expr(Inner, 1)) + Extra + " }");
+}
+
+void Gen::genFunctionBody(FuzzProgram::Unit &U, FnInfo &F, size_t FnIndex) {
+  CurCost = 1;
+  Ctx C;
+  C.CalleeLimit = FnIndex; // Only earlier functions are callable.
+  C.AllowCalls = true;
+  static const char *ParamNames[] = {"a", "b", "c"};
+  for (unsigned I = 0; I < F.Arity; ++I) {
+    if (I == 0 && F.HigherOrder)
+      continue; // `f` is only used in call position, never as a value.
+    C.Vars.push_back(ParamNames[I]);
+  }
+  // Globals are visible inside functions too.
+  C.Vars.push_back("g0");
+  C.Vars.push_back("g1");
+
+  unsigned LocalSeq = 0, LoopSeq = 0;
+  std::string Acc = "v" + std::to_string(LocalSeq++);
+  U.Stmts.push_back("  var " + Acc + " = " + atom(C) + ";");
+  C.Vars.push_back(Acc);
+
+  if (F.HigherOrder)
+    U.Stmts.push_back("  " + Acc + " = (" + Acc + " + f(" + expr(C, 1) +
+                      "));");
+
+  unsigned NumStmts = 2 + below(4);
+  unsigned LoopsEmitted = 0;
+  bool Printed = false;
+  for (unsigned I = 0; I < NumStmts; ++I) {
+    if (LoopsEmitted < 2 && chance(35)) {
+      genLoopStmt(U, C, LoopSeq, /*AllowNested=*/LoopsEmitted == 0);
+      ++LoopsEmitted;
+    } else if (!Printed && chance(10)) {
+      // At most one print per function: bodies run under driver loops, so
+      // this keeps output size bounded while still exercising the
+      // side-effect-before-bailout replay hazard.
+      U.Stmts.push_back("  print(" + assignTarget(C) + ");");
+      Printed = true;
+    } else {
+      genSimpleStmt(U, C, LocalSeq);
+    }
+  }
+
+  if (F.ReturnsClosure) {
+    Ctx Closure = C;
+    Closure.AllowCalls = false; // Closure bodies stay call-free.
+    Closure.Vars.push_back("x");
+    U.Stmts.push_back("  return function (x) { return " + expr(Closure, 2) +
+                      "; };");
+  } else if (chance(85)) {
+    U.Stmts.push_back("  return " + expr(C, 2) + ";");
+  }
+  F.Cost = CurCost;
+}
+
+void Gen::genGlobals() {
+  FuzzProgram::Unit U;
+  U.Stmts.push_back("var g0 = " + intLit() + ";");
+  U.Stmts.push_back("var g1 = " + dblLit() + ";");
+  std::string Arr = "var ga = [";
+  unsigned N = 4 + below(5);
+  for (unsigned I = 0; I < N; ++I) {
+    if (I)
+      Arr += ", ";
+    Arr += intLit();
+  }
+  U.Stmts.push_back(Arr + "];");
+  U.Stmts.push_back("var gs = " + strLit() + ";");
+  P.Units.push_back(std::move(U));
+}
+
+void Gen::genOsrLoop() {
+  FuzzProgram::Unit U;
+  unsigned Bound = 250 + below(350);
+  unsigned Mul = 3 + below(7);
+  U.Stmts.push_back("var osr = 0;");
+  U.Stmts.push_back("for (var z = 0; z < " + std::to_string(Bound) +
+                    "; z++) { osr = ((osr + (z * " + std::to_string(Mul) +
+                    ")) % 1000003); }");
+  U.Stmts.push_back("print(osr);");
+  P.Units.push_back(std::move(U));
+}
+
+void Gen::genDriver() {
+  FuzzProgram::Unit U;
+  Ctx C;
+  C.CalleeLimit = Fns.size();
+  C.AllowCalls = false; // Driver calls are emitted explicitly below.
+  C.Vars.push_back("g0");
+  C.Vars.push_back("g1");
+
+  // Names of plain (non-higher-order, non-closure-returning) functions:
+  // these are what the driver passes as function-valued arguments.
+  std::vector<std::string> PlainFns;
+  for (const FnInfo &F : Fns)
+    if (!F.HigherOrder && !F.ReturnsClosure)
+      PlainFns.push_back(F.Name);
+
+  auto CallArgs = [&](const FnInfo &F, const std::string &Var) {
+    std::string Out = F.Name + "(";
+    for (unsigned I = 0; I < F.Arity; ++I) {
+      if (I)
+        Out += ", ";
+      if (I == 0 && F.HigherOrder) {
+        Out += PlainFns.empty() ? "Math.abs"
+                                : PlainFns[below(PlainFns.size())];
+      } else if (!Var.empty() && chance(40)) {
+        Out += Var;
+      } else if (chance(70)) {
+        Out += intLit();
+      } else {
+        Out += chance(50) ? dblLit() : atom(C);
+      }
+    }
+    return Out + ")";
+  };
+
+  for (size_t FI = 0; FI < Fns.size(); ++FI) {
+    const FnInfo &F = Fns[FI];
+    // Rv is deliberately NOT added to C.Vars: result variables can hold
+    // strings, and feeding them back as call arguments would let string
+    // lengths compound across the call loops below.
+    std::string Rv = "r" + std::to_string(FI);
+    U.Stmts.push_back("var " + Rv + " = 0;");
+    if (F.ReturnsClosure) {
+      std::string Cv = "c" + std::to_string(FI);
+      U.Stmts.push_back("var " + Cv + " = " + CallArgs(F, "") + ";");
+      std::string H = "h" + std::to_string(FI);
+      unsigned Iters = 11 + below(15);
+      U.Stmts.push_back("for (var " + H + " = 0; " + H + " < " +
+                        std::to_string(Iters) + "; " + H + "++) { " + Rv +
+                        " = (" + Rv + " + " + Cv + "(" +
+                        (chance(50) ? H : intLit()) + ")); }");
+    } else {
+      // Hot same-args loop: fills the specialization cache.
+      std::string H = "h" + std::to_string(FI);
+      unsigned Iters = 11 + below(15);
+      U.Stmts.push_back("for (var " + H + " = 0; " + H + " < " +
+                        std::to_string(Iters) + "; " + H + "++) { " + Rv +
+                        " = " + CallArgs(F, "") + "; }");
+      if (chance(60)) {
+        // Different-args loop: forces despecialization / tier demotion.
+        std::string Dv = "d" + std::to_string(FI);
+        unsigned DIters = 8 + below(13);
+        U.Stmts.push_back("for (var " + Dv + " = 0; " + Dv + " < " +
+                          std::to_string(DIters) + "; " + Dv + "++) { " + Rv +
+                          " = ((" + Rv + " + " + CallArgs(F, Dv) +
+                          ") % 1000000007); }");
+      }
+      if (chance(40))
+        // Type-changing call after the int-heavy warmup.
+        U.Stmts.push_back(Rv + " = " + CallArgs(F, "g1") + ";");
+    }
+    // Probe: `1 / v` surfaces -0 vs +0, `typeof` surfaces type confusion.
+    U.Stmts.push_back("print(" + Rv + ", (1 / " + Rv + "), typeof " + Rv +
+                      ");");
+  }
+
+  U.Stmts.push_back("print(ga.length, ga[0], ga[" +
+                    std::to_string(below(12)) + "], gs.length);");
+  P.Units.push_back(std::move(U));
+}
+
+FuzzProgram Gen::run() {
+  genGlobals();
+
+  unsigned NumFns = 2 + below(3);
+  for (unsigned I = 0; I < NumFns; ++I) {
+    FnInfo F;
+    F.Name = "f" + std::to_string(I);
+    // Higher-order functions need at least one earlier plain function to
+    // receive; keep them to later definition slots.
+    F.HigherOrder = I >= 1 && chance(20);
+    F.ReturnsClosure = !F.HigherOrder && chance(20);
+    F.Arity = F.HigherOrder ? 2 + below(2) : 1 + below(3);
+    FuzzProgram::Unit U;
+    U.Header = "function " + F.Name + "(";
+    static const char *ParamNames[] = {"a", "b", "c"};
+    for (unsigned A = 0; A < F.Arity; ++A) {
+      if (A)
+        U.Header += ", ";
+      U.Header += (A == 0 && F.HigherOrder) ? "f" : ParamNames[A];
+    }
+    U.Header += ") {";
+    U.Footer = "}";
+    genFunctionBody(U, F, I);
+    Fns.push_back(F);
+    P.Units.push_back(std::move(U));
+  }
+
+  genDriver();
+  genOsrLoop();
+  return P;
+}
+
+} // namespace
+
+FuzzProgram generateProgram(uint64_t Seed) { return Gen(Seed).run(); }
+
+} // namespace fuzz
+} // namespace jitvs

@@ -1,0 +1,60 @@
+//===- fuzz/ProgramGen.h - Seeded MiniJS program generator ------*- C++ -*-===//
+///
+/// \file
+/// Deterministic random-program generator for the differential fuzzer.
+/// Every program is a pure function of its 64-bit seed, terminates by
+/// construction (all loops have literal bounds and monotone counters,
+/// calls form a DAG over earlier-defined functions) and avoids the two
+/// nondeterministic builtins (Math.random, gc). The generated surface
+/// deliberately concentrates on the paper's hot spots: int32 arithmetic
+/// at the overflow boundaries, doubles (including -0 and NaN probes via
+/// `1 / v`), strings and arrays with out-of-range indices, closures
+/// passed as parameters, `typeof`, same-args call loops that populate
+/// the specialization cache, different-args calls that despecialize,
+/// and long top-level loops that trigger OSR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITVS_FUZZ_PROGRAMGEN_H
+#define JITVS_FUZZ_PROGRAMGEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jitvs {
+namespace fuzz {
+
+/// A generated program, structured for minimization: a list of units
+/// (function definitions or top-level runs of statements) whose
+/// individual statements are complete single lines. The minimizer
+/// deletes whole units and single statements; rendering what survives
+/// always yields a syntactically well-formed candidate as long as the
+/// unit headers/footers are kept together.
+struct FuzzProgram {
+  struct Unit {
+    /// "function f0(a, b) {" for function units; empty for top level.
+    std::string Header;
+    /// Complete single-line statements (each individually removable).
+    std::vector<std::string> Stmts;
+    /// "}" for function units; empty for top level.
+    std::string Footer;
+  };
+
+  std::vector<Unit> Units;
+
+  /// Renders the program as MiniJS source, one statement per line.
+  std::string render() const;
+
+  /// Total number of removable statements across all units.
+  size_t statementCount() const;
+};
+
+/// Generates the program for \p Seed. Pure and deterministic: the same
+/// seed always yields byte-identical source, on every platform.
+FuzzProgram generateProgram(uint64_t Seed);
+
+} // namespace fuzz
+} // namespace jitvs
+
+#endif // JITVS_FUZZ_PROGRAMGEN_H

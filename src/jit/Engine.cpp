@@ -113,6 +113,21 @@ private:
 
 } // namespace
 
+Engine::Engine(Runtime &RT, const OptConfig &Config,
+               const EngineKnobs &Knobs)
+    : RT(RT), Config(Config), Exec(RT) {
+  Roots = std::make_unique<EngineRoots>(*this);
+  RT.setHooks(this);
+  Policy = Knobs.Policy;
+  FusionEnabled = Knobs.Fusion;
+  Exec.setDispatchMode(Knobs.Dispatch);
+  CallThreshold = Knobs.CallThreshold;
+  LoopThreshold = Knobs.LoopThreshold;
+  BailoutLimit = Knobs.BailoutLimit;
+  CacheDepth = std::max(1u, Knobs.CacheDepth);
+  ValueStabilityMax = Knobs.ValueStabilityMax;
+}
+
 Engine::Engine(Runtime &RT, const OptConfig &Config)
     : RT(RT), Config(Config), Exec(RT) {
   Roots = std::make_unique<EngineRoots>(*this);

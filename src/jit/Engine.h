@@ -113,6 +113,25 @@ struct ParamSig {
 /// be reusable. An all-Value signature is the paper's policy.
 using SpecSig = std::vector<ParamSig>;
 
+/// Fully programmatic engine configuration. The default Engine
+/// constructor seeds its knobs from the JITVS_* environment (convenient
+/// for ad-hoc runs), which makes engines constructed inside one process
+/// all agree with the ambient environment — exactly wrong for the
+/// differential fuzzer's config-matrix runner, where many engines with
+/// deliberately different knobs must coexist regardless of what the
+/// harness process inherited. Constructing with EngineKnobs bypasses the
+/// environment entirely: what you specify is what you get.
+struct EngineKnobs {
+  TierPolicy Policy = TierPolicy::Paper;
+  bool Fusion = true;
+  DispatchMode Dispatch = DispatchMode::Goto; ///< Falls back where unsupported.
+  uint32_t CallThreshold = 8;
+  uint32_t LoopThreshold = 100;
+  uint32_t BailoutLimit = 12;
+  uint32_t CacheDepth = 1;
+  uint32_t ValueStabilityMax = 1;
+};
+
 /// Per-function code-size record for Figure 10 (the paper reports the
 /// smallest version each compilation mode produced per function).
 struct CodeSizeRecord {
@@ -124,7 +143,12 @@ struct CodeSizeRecord {
 /// The JIT engine. Attach to a Runtime via Runtime::setHooks.
 class Engine final : public ExecutionHooks {
 public:
+  /// Environment-seeded construction (JITVS_TIER_POLICY, JITVS_FUSION,
+  /// JITVS_DISPATCH and friends override the defaults).
   Engine(Runtime &RT, const OptConfig &Config);
+  /// Environment-independent construction: every knob comes from \p
+  /// Knobs, nothing is read from getenv.
+  Engine(Runtime &RT, const OptConfig &Config, const EngineKnobs &Knobs);
   ~Engine() override;
 
   bool onCall(JSFunction *Callee, const Value &ThisV, const Value *Args,

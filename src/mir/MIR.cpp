@@ -6,6 +6,7 @@
 #include "mir/Tier.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 using namespace jitvs;
@@ -435,9 +436,19 @@ bool MInstr::congruentTo(const MInstr *Other) const {
   if (Op != Other->Op || Type != Other->Type || AuxA != Other->AuxA ||
       AuxB != Other->AuxB)
     return false;
-  if (Op == MirOp::Constant && !ConstVal.sameSpecializationValue(
-                                   Other->ConstVal))
-    return false;
+  if (Op == MirOp::Constant) {
+    // GVN congruence for constants is deliberately not the cache-keying
+    // relation (sameSpecializationValue), even though both compare
+    // doubles bitwise. Bitwise keying is what guarantees +0 and -0 —
+    // distinguishable through 1/x — never merge. NaN constants hash and
+    // key equal for specialization-cache purposes, but value numbering
+    // refuses to merge them: congruence of constants means "provably the
+    // same value", and we keep NaN out of that claim entirely.
+    if (ConstVal.isDouble() && std::isnan(ConstVal.asDouble()))
+      return false;
+    if (!ConstVal.sameSpecializationValue(Other->ConstVal))
+      return false;
+  }
   if (Operands.size() != Other->Operands.size())
     return false;
   for (size_t I = 0, E = Operands.size(); I != E; ++I)

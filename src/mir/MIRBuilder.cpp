@@ -1180,6 +1180,14 @@ void Builder::prunePhis() {
         if (!Trivial || !Unique)
           continue;
         Phi->replaceAllUsesWith(Unique);
+        // Inline mode records return defs as raw pointers rather than
+        // operands of a Return instruction, so replaceAllUsesWith does
+        // not see them: forward them by hand, or the inliner would wire
+        // the call result to a def that sits in no block (an
+        // uninitialized register at runtime).
+        for (auto &Ret : InlineResult.Returns)
+          if (Ret.second == Phi)
+            Ret.second = Unique;
         BPtr->removePhi(Phi);
         Changed = true;
       }

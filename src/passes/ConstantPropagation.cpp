@@ -92,11 +92,18 @@ void jitvs::runConstantPropagation(MIRGraph &Graph, Runtime &RT) {
 
         // Foldable guards with no produced value (bounds checks).
         if (I->op() == MirOp::BoundsCheck && allOperandsConstant(I)) {
-          int32_t Idx = I->operand(0)->constValue().asInt32();
-          int32_t Len = I->operand(1)->constValue().asInt32();
-          if (Idx >= 0 && Idx < Len) {
-            B->remove(I);
-            Changed = true;
+          // Both constants must actually be int32s: a Double-tagged index
+          // (or length) would read a garbage payload here and could
+          // delete a bounds check that must bail at runtime.
+          const Value &IdxV = I->operand(0)->constValue();
+          const Value &LenV = I->operand(1)->constValue();
+          if (IdxV.isInt32() && LenV.isInt32()) {
+            int32_t Idx = IdxV.asInt32();
+            int32_t Len = LenV.asInt32();
+            if (Idx >= 0 && Idx < Len) {
+              B->remove(I);
+              Changed = true;
+            }
           }
           continue;
         }

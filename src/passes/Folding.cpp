@@ -174,10 +174,20 @@ std::optional<Value> jitvs::evaluatePureInstr(
     break;
   }
 
-  case MirOp::StringLength:
+  // The string/array/math folds below never assume operand tags: a
+  // specialized parameter constant can have any tag, and reading the
+  // wrong payload would fold a garbage constant. Unexpected tags (and
+  // out-of-range indices, which must reach the runtime bounds check or
+  // the interpreter's NaN path) simply decline to fold.
+  case MirOp::StringLength: {
+    if (!C(0).isString())
+      return std::nullopt;
     Result = Value::int32(static_cast<int32_t>(C(0).asString()->length()));
     break;
+  }
   case MirOp::CharCodeAt: {
+    if (!C(0).isString() || !C(1).isInt32())
+      return std::nullopt;
     const std::string &S = C(0).asString()->str();
     int32_t Idx = C(1).asInt32();
     if (Idx < 0 || static_cast<size_t>(Idx) >= S.size())
@@ -186,12 +196,17 @@ std::optional<Value> jitvs::evaluatePureInstr(
     break;
   }
   case MirOp::FromCharCode:
+    if (!C(0).isInt32())
+      return std::nullopt;
     Result =
         RT.newStringValue(std::string(1, static_cast<char>(
                                              C(0).asInt32() & 0xFF)));
     break;
 
   case MirOp::MathFunction: {
+    if (!C(0).isNumber() ||
+        (I->numOperands() > 1 && !C(1).isNumber()))
+      return std::nullopt;
     MathIntrinsic F = static_cast<MathIntrinsic>(I->AuxA);
     double A = C(0).asNumber();
     double B = I->numOperands() > 1 ? C(1).asNumber() : 0.0;

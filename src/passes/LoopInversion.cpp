@@ -149,6 +149,8 @@ bool invertLoop(MIRGraph &Graph, const NaturalLoop &Loop) {
     Body->addPredecessor(OsrShim);
   Exit->addPredecessor(W);
   Exit->addPredecessor(Latch);
+  if (OsrShim)
+    Exit->addPredecessor(OsrShim);
 
   // --- 2. Create the rotated-loop phis (operands filled later). ---
   std::vector<MInstr *> HeaderDefs;
@@ -210,6 +212,8 @@ bool invertLoop(MIRGraph &Graph, const NaturalLoop &Loop) {
     MInstr *XP = ExitPhiOf[D];
     XP->appendOperand(mapped(WSubst, D));
     XP->appendOperand(mapped(LSubst, D));
+    if (OsrShim)
+      XP->appendOperand(mapped(OSubst, D));
   }
 
   // --- 5. Rewrite remaining uses of the header defs: everything except
@@ -263,9 +267,16 @@ bool invertLoop(MIRGraph &Graph, const NaturalLoop &Loop) {
       if (OsrTerm->successor(S) == H)
         OsrTerm->setSuccessor(S, OsrShim);
     OsrShim->addPredecessor(OsrPred);
-    MInstr *J = Graph.create(MirOp::Goto, MIRType::None);
-    J->setSuccessor(0, Body);
-    OsrShim->append(J);
+    // The shim must re-test the condition over the OSR frame values: OSR
+    // can trigger on exactly the header visit where the loop condition is
+    // false (e.g. an inner loop whose trip counter crossed the threshold
+    // across outer iterations), and jumping straight into the rotated
+    // body would then execute one extra iteration.
+    MInstr *OTest = Graph.create(MirOp::Test, MIRType::None);
+    OTest->appendOperand(mapped(OSubst, T->operand(0)));
+    OTest->setSuccessor(0, TrueInLoop ? Body : Exit);
+    OTest->setSuccessor(1, TrueInLoop ? Exit : Body);
+    OsrShim->append(OTest);
   }
 
   // --- 7. Delete the old header. H's pred links to Pre/Latch/Osr are

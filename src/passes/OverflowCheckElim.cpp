@@ -99,7 +99,13 @@ Range inductionRange(MInstr *Phi, const NaturalLoop &Loop) {
     MInstr *Limit = Cond->operand(1);
     if (Limit->op() != MirOp::Constant || !Limit->constValue().isInt32())
       continue;
-    if (!Loop.contains(T->successor(0)))
+    // Only a genuinely loop-controlling test bounds the phi: taking the
+    // branch must stay in the loop AND failing it must exit. An inner
+    // `if (phi < K)` whose false side stays in the loop proves nothing —
+    // iterations keep running (and incrementing phi) after it fails, so
+    // treating it as a bound would drop overflow checks on an unbounded
+    // induction variable and silently wrap.
+    if (!Loop.contains(T->successor(0)) || Loop.contains(T->successor(1)))
       continue;
     Op CmpOp = static_cast<Op>(Cond->AuxA);
     int64_t L = Limit->constValue().asInt32();

@@ -210,8 +210,12 @@ Value Runtime::genericBitOp(Op O, const Value &A, const Value &B) {
   case Op::Shr:
     return Value::int32(L >> (R & 31));
   case Op::UShr: {
+    // Always a Double, even when the result fits int32: the MIR type of
+    // UShr is Double (the result range exceeds int32), so the
+    // interpreter, the constant folder and the native backend must agree
+    // on the representation a UShr yields.
     uint32_t U = static_cast<uint32_t>(L) >> (R & 31);
-    return Value::number(static_cast<double>(U));
+    return Value::makeDouble(static_cast<double>(U));
   }
   default:
     JITVS_UNREACHABLE("not a bitwise op");

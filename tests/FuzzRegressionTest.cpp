@@ -1,0 +1,62 @@
+//===- tests/FuzzRegressionTest.cpp - Checked-in fuzz corpus ---------------===//
+///
+/// \file
+/// Runs every program in tests/fuzz/corpus/ through the full
+/// differential config matrix. Each corpus file is a named, minimized
+/// reproducer of a divergence the fuzzer once found (or a hand-written
+/// program pinning a class of bugs it is designed to find); all of them
+/// must agree across every configuration forever after.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/DiffRunner.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace jitvs;
+using namespace jitvs::fuzz;
+
+#ifndef JITVS_FUZZ_CORPUS_DIR
+#error "JITVS_FUZZ_CORPUS_DIR must be defined by the build"
+#endif
+
+namespace {
+
+std::vector<std::filesystem::path> corpusFiles() {
+  std::vector<std::filesystem::path> Files;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(JITVS_FUZZ_CORPUS_DIR))
+    if (Entry.path().extension() == ".js")
+      Files.push_back(Entry.path());
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+std::string readFile(const std::filesystem::path &Path) {
+  std::ifstream In(Path);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+TEST(FuzzCorpus, DirectoryIsPopulated) {
+  EXPECT_GE(corpusFiles().size(), 8u);
+}
+
+TEST(FuzzCorpus, EveryCaseAgreesAcrossTheMatrix) {
+  std::vector<EngineSetup> Matrix = defaultMatrix();
+  for (const std::filesystem::path &Path : corpusFiles()) {
+    std::string Source = readFile(Path);
+    ASSERT_FALSE(Source.empty()) << Path;
+    DiffResult R = runMatrix(Source, Matrix);
+    EXPECT_FALSE(R.diverged())
+        << Path.filename() << " diverged:\n"
+        << describeDivergence(R.Divergences[0], 0, Source);
+  }
+}
+
+} // namespace

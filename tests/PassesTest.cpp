@@ -11,10 +11,14 @@
 
 #include "mir/Dominators.h"
 #include "mir/MIRBuilder.h"
+#include "mir/Verifier.h"
 #include "passes/Passes.h"
 #include "vm/Runtime.h"
 
 #include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
 
 using namespace jitvs;
 
@@ -291,6 +295,28 @@ TEST(Inliner, InlinesConstantClosure) {
   EXPECT_EQ(countOps(*G, MirOp::Call), 0u);
 }
 
+TEST(Inliner, InlinedReturnSurvivesPhiPruning) {
+  // Regression (fuzzer seed 886): the callee returns a parameter that
+  // crosses a loop join unassigned, so SSA construction routes it
+  // through a placeholder phi that trivial-phi pruning later removes.
+  // The builder's inline return record held a raw pointer to that phi;
+  // pruning rewired every *operand* use but not the record, and the
+  // inliner wired the caller's result to a def in no block — read as
+  // an uninitialized register at runtime. The verifier must find every
+  // use reachable after inlining.
+  PassTester T("var g = 0;"
+               "function callee(a, b) {"
+               "  while (g < 0) { a = a + 1; g = g + 1; }"
+               "  return b; }"
+               "function caller(f, x) { return x + f(1); }"
+               "for (var i = 0; i < 10; i++) caller(callee, i);");
+  Value Callee = T.RT.global(T.RT.program()->globalSlot("callee"));
+  auto G = T.build("caller", {Callee, Value::int32(3)});
+  unsigned N = runClosureInlining(*G, T.RT, OptConfig::all());
+  EXPECT_EQ(N, 1u);
+  EXPECT_EQ(verifyGraph(*G), "");
+}
+
 TEST(Inliner, RefusesEnvironmentUsers) {
   PassTester T("function make(k) { return function(x) { return x + k; }; }"
                "function apply(f, v) { return f(v); }"
@@ -397,6 +423,76 @@ TEST(OverflowCheckElim, SpecializationEnablesElimination) {
   runConstantPropagation(*Spec, T.RT);
   unsigned SpecRemoved = runOverflowCheckElimination(*Spec);
   EXPECT_GT(SpecRemoved, GenericRemoved);
+}
+
+TEST(OverflowCheckElim, InnerBranchDoesNotBoundInduction) {
+  // Regression: an `if (i < K)` nested inside the loop body compares
+  // the induction phi against a constant, but both of its successors
+  // stay in the loop — iterations keep running (and incrementing i)
+  // after the test fails, so it must NOT be taken as a bound. Only the
+  // genuinely loop-controlling test (true stays in, false exits) may
+  // bound the phi. Here the loop exit compares against the unknown
+  // parameter n, so i has no provable range and i * 1000000 must keep
+  // its overflow check.
+  PassTester T("function f(n) { var t = 0;"
+               "  for (var i = 0; i != n; i = i + 1) {"
+               "    if (i < 3) { t = t + 1; }"
+               "    t = t + i * 1000000;"
+               "  } return t; }"
+               "for (var k = 0; k < 10; k++) f(5);");
+  auto G = T.build("f");
+  runGVN(*G);
+  runOverflowCheckElimination(*G);
+  size_t CheckedMuls = 0;
+  for (const auto &B : G->blocks())
+    if (!B->isDead())
+      for (const MInstr *I : B->instructions())
+        if (I->op() == MirOp::MulI && I->AuxB == 0)
+          ++CheckedMuls;
+  EXPECT_GE(CheckedMuls, 1u);
+}
+
+TEST(GVN, KeepsNaNConstantsApart) {
+  // NaN != NaN: two NaN-valued constants are never congruent, even
+  // though specialization-cache keying treats them as the same baked
+  // value. Merging them would let later folds treat two NaNs as one
+  // value in contexts where identity matters.
+  double NaNV = std::numeric_limits<double>::quiet_NaN();
+  PassTester T("function f(a, b) { return a + b; }"
+               "for (var k = 0; k < 10; k++) f(0.5, 0.25);");
+  auto G = T.build("f", {Value::makeDouble(NaNV), Value::makeDouble(NaNV)});
+  runGVN(*G);
+  size_t NaNConsts = 0;
+  for (const auto &B : G->blocks())
+    if (!B->isDead())
+      for (const MInstr *I : B->instructions())
+        if (I->op() == MirOp::Constant && I->constValue().isDouble() &&
+            std::isnan(I->constValue().asDouble()))
+          ++NaNConsts;
+  EXPECT_EQ(NaNConsts, 2u);
+}
+
+TEST(GVN, KeepsSignedZeroConstantsApart) {
+  // +0 and -0 are distinct constants (observable through 1/x); GVN
+  // must never merge them. sameSpecializationValue is bitwise on
+  // doubles, so this pins that congruence stays bitwise too.
+  PassTester T("function f(a, b) { return a + b; }"
+               "for (var k = 0; k < 10; k++) f(0.5, 0.25);");
+  auto G = T.build("f", {Value::makeDouble(0.0), Value::makeDouble(-0.0)});
+  runGVN(*G);
+  bool SawPos = false, SawNeg = false;
+  for (const auto &B : G->blocks())
+    if (!B->isDead())
+      for (const MInstr *I : B->instructions())
+        if (I->op() == MirOp::Constant && I->constValue().isDouble() &&
+            I->constValue().asDouble() == 0.0) {
+          if (std::signbit(I->constValue().asDouble()))
+            SawNeg = true;
+          else
+            SawPos = true;
+        }
+  EXPECT_TRUE(SawPos);
+  EXPECT_TRUE(SawNeg);
 }
 
 TEST(Figure9Configs, TenConfigsMatchingTheTable) {

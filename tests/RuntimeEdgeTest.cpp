@@ -114,6 +114,136 @@ TEST(NumericEdge, ShiftSemantics) {
   EXPECT_EQ(both("print(-16 >> 2, -16 >>> 28);"), "-4 15\n");
 }
 
+TEST(NumericEdge, SpecializedOverflowMatchesGeneric) {
+  // Warm up on small arguments so the JIT compiles the specialized
+  // int32 fast paths (including the fused x + 1 / x - 1 / x * 2
+  // immediate forms), then hit the boundaries: every overflow must
+  // bail to the generic helpers and promote to double exactly like
+  // the interpreter.
+  EXPECT_EQ(both("function add(a, b) { return a + b; }"
+                 "function inc(x) { return x + 1; }"
+                 "function dec(x) { return x - 1; }"
+                 "function dbl(x) { return x * 2; }"
+                 "for (var i = 0; i < 20; i++) {"
+                 "  add(i, i); inc(i); dec(i); dbl(i); }"
+                 "print(add(2147483647, 1));"
+                 "print(inc(2147483647));"
+                 "print(dec(-2147483647 - 1));"
+                 "print(dbl(2147483647));"
+                 "print(add(-2147483647 - 1, -2147483647 - 1));"),
+            "2147483648\n2147483648\n-2147483649\n4294967294\n"
+            "-4294967296\n");
+  // 46341 * 46341 is the smallest square above INT32_MAX.
+  EXPECT_EQ(both("function sq(x) { return x * x; }"
+                 "for (var i = 0; i < 20; i++) sq(3);"
+                 "print(sq(46340), sq(46341));"),
+            "2147395600 2147488281\n");
+}
+
+TEST(NumericEdge, ModIntMinByMinusOne) {
+  // INT32_MIN % -1 is -0 in JS (where a naive idiv would trap);
+  // observable only through 1/x. A zero remainder from a negative
+  // dividend is -0 as well.
+  EXPECT_EQ(both("print(1 / ((-2147483647 - 1) % -1));"), "-Infinity\n");
+  EXPECT_EQ(both("function m(a, b) { return a % b; }"
+                 "for (var i = 0; i < 20; i++) m(9, 4);"
+                 "print(1 / m(-2147483647 - 1, -1));"
+                 "print(1 / m(-4, 4), m(-4, 4) == 0);"),
+            "-Infinity\n-Infinity true\n");
+}
+
+TEST(NumericEdge, ShiftCountMaskingInHotCode) {
+  // The shift count is masked & 31 identically in the constant
+  // folder, the interpreter, and native code.
+  EXPECT_EQ(both("function sh(a, b) { return a << b; }"
+                 "function sr(a, b) { return a >>> b; }"
+                 "for (var i = 0; i < 20; i++) { sh(1, 1); sr(64, 2); }"
+                 "print(sh(1, 32), sh(1, 33), sh(3, 34));"
+                 "print(sr(-1, 32), sr(-1, 36));"),
+            "1 2 12\n4294967295 268435455\n");
+}
+
+TEST(NumericEdge, UShrAboveIntMaxIsDouble) {
+  // x >>> y can exceed INT32_MAX, so the result is uniformly a double
+  // in every tier; arithmetic downstream of it must agree everywhere.
+  EXPECT_EQ(both("print(-1 >>> 0, (-1 >>> 0) + 1, typeof (-1 >>> 0));"),
+            "4294967295 4294967296 number\n");
+  EXPECT_EQ(both("function u(x) { return (x >>> 1) + 1; }"
+                 "for (var i = 0; i < 20; i++) u(8);"
+                 "print(u(-2), u(-2) * 2);"),
+            "2147483648 4294967296\n");
+}
+
+TEST(NumericEdge, SignedZeroConstantsStayDistinct) {
+  // +0 and -0 constants must never merge (GVN) or fold into each
+  // other (CP): Infinity + -Infinity would become 2x one of them.
+  EXPECT_EQ(both("print(1 / 0.0 + 1 / -0.0);"), "NaN\n");
+  EXPECT_EQ(both("function z() { return 1 / 0.0 + 1 / -0.0; }"
+                 "for (var i = 0; i < 20; i++) z();"
+                 "print(z());"),
+            "NaN\n");
+}
+
+TEST(OsrEdge, InvertedLoopShimReTestsCondition) {
+  // Regression (found by the differential fuzzer, seed 23): OSR can
+  // trigger on the header visit where the loop condition is already
+  // false — typically an inner loop of a nest whose cumulative trip
+  // count crosses the threshold on the exit visit. The inverted
+  // loop's OSR shim must re-test the condition instead of jumping
+  // unconditionally into the rotated body, or the loop runs one extra
+  // iteration.
+  const std::string Source =
+      "var g = 0.5;"
+      "function f(b) {"
+      "  for (var i = 0; i < 16; i = i + 1) {"
+      "    for (var j = 0; j < 18; j = j + 1) {"
+      "      g = g + 65535 * 65535;"
+      "    }"
+      "  }"
+      "  return b;"
+      "}"
+      "for (var h = 0; h < 22; h = h + 1) { f(0.1); }"
+      "print(g);";
+  std::string Reference = interp(Source);
+  // Loop inversion alone, with a loop threshold that fires OSR inside
+  // the nest.
+  OptConfig OnlyInversion = OptConfig::baseline();
+  OnlyInversion.LoopInversion = true;
+  for (const OptConfig &Cfg : {OnlyInversion, OptConfig::all()}) {
+    Runtime RT;
+    Engine E(RT, Cfg);
+    E.setCallThreshold(3);
+    E.setLoopThreshold(20);
+    RT.evaluate(Source);
+    EXPECT_FALSE(RT.hasError()) << RT.errorMessage();
+    EXPECT_EQ(Reference, RT.output());
+  }
+}
+
+TEST(StringEdge, FoldedOutOfRangeAccessesMatchInterpreter) {
+  // charCodeAt out of range is NaN: the folder must decline to fold
+  // (never manufacture a garbage constant) and specialized code must
+  // agree with the interpreter, including for negative indices.
+  EXPECT_EQ(both("function cc(s, i) { return s.charCodeAt(i); }"
+                 "for (var k = 0; k < 20; k++) cc('abc', 1);"
+                 "print(cc('abc', 3), cc('abc', -1), cc('', 0));"),
+            "NaN NaN NaN\n");
+  // Specialized-on-non-string arguments reaching string intrinsics
+  // must deoptimize, not fold through the wrong payload.
+  EXPECT_EQ(both("function len(s) { return s.length; }"
+                 "for (var k = 0; k < 20; k++) len('xy');"
+                 "print(len('hello'));"),
+            "5\n");
+}
+
+TEST(ArrayEdge, OutOfBoundsReadsMatchInterpreter) {
+  EXPECT_EQ(both("function at(a, i) { return a[i]; }"
+                 "var xs = [1, 2, 3];"
+                 "for (var k = 0; k < 20; k++) at(xs, 1);"
+                 "print(at(xs, 3), at(xs, -1), at(xs, 100));"),
+            "undefined undefined undefined\n");
+}
+
 TEST(StringEdge, Boundaries) {
   EXPECT_EQ(both("print(''.length, 'a'.charCodeAt(5));"), "0 NaN\n");
   EXPECT_EQ(both("print('abc'.substring(2, 1));"), "b\n"); // Swapped.

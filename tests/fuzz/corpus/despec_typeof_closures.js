@@ -1,0 +1,13 @@
+// Specialization-cache churn: same-args loops populate the cache,
+// different-args calls despecialize (paper policy) or demote tiers
+// (tiered policy), closures ride in as parameters, and typeof probes
+// make the despecialized values observable.
+function mk(k) { return function (x) { return x * k; }; }
+function apply(f, v) { return f(v) + 1; }
+function probe(x) { return typeof x; }
+var g = 0;
+for (var i = 0; i < 12; i++) { g = (g + apply(mk(3), 7)) % 1000003; }
+for (var j = 0; j < 12; j++) { g = (g + apply(mk(j), j)) % 1000003; }
+print(g, probe(g), probe(mk(1)), probe('s'), probe(0.5), probe(undefined));
+print(apply(mk(46341), 46341));
+print(1 / g, g | 0);

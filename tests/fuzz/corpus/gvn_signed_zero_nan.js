@@ -1,0 +1,10 @@
+// +0 and -0 constants must never merge (observable via 1/x), and two
+// NaN constants must never be treated as equal values by GVN or the
+// folder.
+function z() { return 1 / 0.0 + 1 / (0 - 0.0 - 0.0 * 1 - (0.0)); }
+function nz() { return 1 / 0.0 + 1 / -0.0; }
+for (var i = 0; i < 30; i++) { z(); nz(); }
+print(nz(), z() == z());
+print(1 / 0.0, 1 / -0.0, 1 / 0.0 + 1 / -0.0);
+print((0 / 0) == (0 / 0), typeof (0 / 0));
+print(1 / (0 * -1), 1 / Math.floor(-0.5));

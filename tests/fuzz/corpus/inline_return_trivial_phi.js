@@ -1,0 +1,17 @@
+// Fuzzer seed 886 (minimized). The inlined callee returns a parameter
+// that flows unassigned through a loop join: the builder's return
+// record pointed at a trivial phi that was later pruned, leaving the
+// caller's use wired to a def in no block — an uninitialized register
+// at runtime. Under the tiered policy the recompile keeps the closure
+// parameter on the value tier, so the inlining (and the bug) survives
+// the despecialization that hides it under the paper policy.
+function f1(f, b, c) {
+  var v0 = b;
+  v0 = (v0 + f((3 - 2147483647)));
+  print(v0);
+}
+function f2(a, b, c) {
+  while (w2 < 150) { a = (a + (v0 < b)); w2 = w2 + 1; }
+  return b;
+}
+for (var d1 = 0; d1 < 13; d1++) { r1 = ((r1 + f1(f2, d1, d1)) % 1000000007); }

@@ -1,0 +1,14 @@
+// Specialized AddI/SubI/MulI fast paths (and the fused immediate
+// forms) must promote to double at the int32 boundaries exactly like
+// Runtime::genericAdd/Sub/Mul.
+function add(a, b) { return a + b; }
+function inc(x) { return x + 1; }
+function dec(x) { return x - 1; }
+function dbl(x) { return x * 2; }
+function sq(x) { return x * x; }
+for (var i = 0; i < 30; i++) { add(i, i); inc(i); dec(i); dbl(i); sq(i); }
+print(add(2147483647, 1), inc(2147483647));
+print(dec(0 - 2147483647 - 1), dbl(2147483647));
+print(add(0 - 2147483647 - 1, 0 - 2147483647 - 1));
+print(sq(46340), sq(46341));
+print((2147483647 + 1) | 0, typeof add(2147483647, 1));

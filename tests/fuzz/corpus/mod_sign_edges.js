@@ -1,0 +1,9 @@
+// ModI sign edges: negative dividends produce -0 or negative
+// remainders; INT32_MIN % -1 is -0 (a naive idiv would trap). The
+// native ModI fast path must bail for all of these.
+function m(a, b) { return a % b; }
+for (var i = 0; i < 30; i++) { m(9, 4); }
+print(m(7, 3), m(0 - 7, 3), m(7, 0 - 3), m(0 - 7, 0 - 3));
+print(1 / m(0 - 4, 4));
+print(1 / m(0 - 2147483647 - 1, 0 - 1));
+print(m(5, 0), m(0, 5), 1 / m(0, 5));

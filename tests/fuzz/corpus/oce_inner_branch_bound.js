@@ -1,0 +1,15 @@
+// An `if (i < K)` inside the loop body whose false side stays in the
+// loop must not be taken as an induction bound: i keeps growing past
+// K, so i * 1000000 can overflow and must keep its check even under
+// overflow-check elimination.
+function f(n) {
+  var t = 0;
+  for (var i = 0; i != n; i = i + 1) {
+    if (i < 3) { t = t + 1; }
+    t = t + i * 1000000;
+  }
+  return t;
+}
+for (var k = 0; k < 30; k++) { f(5); }
+print(f(5));
+print(f(3000));

@@ -1,0 +1,10 @@
+// A long top-level loop triggers OSR at the loop head; the
+// accumulator pattern crosses int32 products and a double global.
+var osr = 0;
+var gd = 0.5;
+for (var z = 0; z < 600; z = z + 1) {
+  osr = (osr + (z * 65535)) % 1000003;
+  gd = gd + 0.25;
+}
+print(osr, gd, typeof osr, typeof gd);
+print(1 / osr, osr | 0, gd >>> 1);

@@ -1,0 +1,12 @@
+// Fuzzer seed 23 (minimized). The inner loop's cumulative trip count
+// crosses the OSR threshold on a header visit where the condition is
+// already false; the inverted loop's OSR shim used to jump straight
+// into the rotated body, running one extra iteration (one extra
+// 65535*65535 added to g1).
+var g1 = 3.25;
+function f0(a) {
+  for (var i0 = 0; i0 < 16; i0++) { for (var i1 = 0; i1 < 18; i1++) { g1 = (g1 + (65535 * 65535)); } }
+}
+for (var h0 = 0; h0 < 22; h0++) { f0(0.1); }
+print(g1);
+print(g1 >>> 5);

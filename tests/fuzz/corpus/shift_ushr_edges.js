@@ -1,0 +1,10 @@
+// Shift counts are masked & 31 in every tier; x >>> y above
+// INT32_MAX is uniformly a double and downstream arithmetic agrees.
+function sh(a, b) { return a << b; }
+function sr(a, b) { return a >>> b; }
+function u(x) { return (x >>> 1) + 1; }
+for (var i = 0; i < 30; i++) { sh(1, 1); sr(64, 2); u(8); }
+print(sh(1, 32), sh(1, 33), sh(3, 34));
+print(sr(0 - 1, 32), sr(0 - 1, 36), sr(0 - 1, 0));
+print(u(0 - 2), u(0 - 2) * 2, typeof sr(0 - 1, 0));
+print((0 - 16) >> 2, (0 - 16) >>> 28);

@@ -1,0 +1,12 @@
+// Folded string/array loads at out-of-range and negative indices must
+// match the interpreter (NaN / undefined), never fold a wrong
+// constant; bounds checks on constant indices must survive when the
+// index is out of range.
+function cc(s, i) { return s.charCodeAt(i); }
+function at(a, i) { return a[i]; }
+var xs = [1, 2, 3];
+for (var k = 0; k < 30; k++) { cc('abc', 1); at(xs, 1); }
+print(cc('abc', 3), cc('abc', 0 - 1), cc('', 0));
+print('abc'.charCodeAt(99), ''.length, 'abc'[5]);
+print(at(xs, 3), at(xs, 0 - 1), at(xs, 100));
+print(xs[0 - 1], xs[2.5], xs[2.0], xs[3]);
