@@ -12,14 +12,17 @@
 #define JITVS_BENCH_BENCHUTIL_H
 
 #include "jit/Engine.h"
+#include "support/Json.h"
 #include "support/Stats.h"
 #include "support/Timer.h"
+#include "telemetry/Metrics.h"
 #include "telemetry/Telemetry.h"
 #include "vm/Runtime.h"
 #include "workloads/Workloads.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <vector>
@@ -102,6 +105,135 @@ inline void printRule(size_t Width) {
     std::fputc('-', stdout);
   std::fputc('\n', stdout);
 }
+
+/// Machine-readable result sink every bench binary writes alongside its
+/// human-readable table. One BenchReport per binary; rows are the cells
+/// of whatever matrix the bench measures ((workload, config) -> value),
+/// metrics are its scalar summaries (geomeans, totals). write() emits
+/// schema-versioned JSON to BENCH_<name>.json — in the current directory
+/// or under $JITVS_BENCH_OUT when set — so CI can archive and diff runs
+/// without scraping stdout.
+class BenchReport {
+public:
+  /// Schema identifier stamped into every file (bench_diff.py and the
+  /// BenchJsonTest validate against it).
+  static constexpr const char *Schema = "jitvs-bench-v1";
+
+  BenchReport(std::string BenchName, int Reps)
+      : Name(std::move(BenchName)), Reps(Reps) {}
+
+  /// Free-form provenance (tier policy, dispatch mode, thresholds...).
+  void setMeta(const std::string &Key, const std::string &V) {
+    Meta.emplace_back(Key, V);
+  }
+
+  /// One measured cell. \p Unit is conventionally "seconds" for wall
+  /// time (bench_diff.py compares only seconds rows); use other units
+  /// ("instructions", "ratio", "count") for non-time metrics. \p Samples
+  /// optionally preserves the raw repetitions behind a median.
+  void addRow(const std::string &Workload, const std::string &Config,
+              double V, const std::string &Unit,
+              const std::vector<double> *Samples = nullptr) {
+    Rows.push_back({Workload, Config, V, Unit,
+                    Samples ? *Samples : std::vector<double>()});
+  }
+
+  /// A whole-run scalar summary (e.g. "geomean_speedup_pct").
+  void addMetric(const std::string &MetricName, double V) {
+    Metrics.emplace_back(MetricName, V);
+  }
+
+  /// Writes BENCH_<name>.json. \returns false (with a stderr note) on
+  /// I/O failure; benches warn but do not fail on it.
+  bool write() const {
+    std::string Dir = ".";
+    if (const char *Env = std::getenv("JITVS_BENCH_OUT"))
+      if (*Env)
+        Dir = Env;
+    std::string Path = Dir + "/BENCH_" + Name + ".json";
+    std::ofstream OS(Path);
+    if (!OS) {
+      std::fprintf(stderr, "bench: cannot write %s\n", Path.c_str());
+      return false;
+    }
+    writeJson(OS);
+    OS.flush();
+    if (!OS) {
+      std::fprintf(stderr, "bench: error writing %s\n", Path.c_str());
+      return false;
+    }
+    std::fprintf(stderr, "bench: wrote %s\n", Path.c_str());
+    return true;
+  }
+
+  void writeJson(std::ostream &OS) const {
+    OS.precision(12);
+    OS << "{\"schema\":\"" << Schema << "\",\"bench\":";
+    json::writeString(OS, Name);
+    OS << ",\"reps\":" << Reps;
+    OS << ",\"meta\":{";
+    for (size_t I = 0; I != Meta.size(); ++I) {
+      if (I)
+        OS << ',';
+      json::writeString(OS, Meta[I].first);
+      OS << ':';
+      json::writeString(OS, Meta[I].second);
+    }
+    OS << "},\"rows\":[";
+    for (size_t I = 0; I != Rows.size(); ++I) {
+      const Row &R = Rows[I];
+      if (I)
+        OS << ',';
+      OS << "{\"workload\":";
+      json::writeString(OS, R.Workload);
+      OS << ",\"config\":";
+      json::writeString(OS, R.Config);
+      OS << ",\"value\":" << R.V << ",\"unit\":";
+      json::writeString(OS, R.Unit);
+      if (!R.Samples.empty()) {
+        OS << ",\"samples\":[";
+        for (size_t S = 0; S != R.Samples.size(); ++S) {
+          if (S)
+            OS << ',';
+          OS << R.Samples[S];
+        }
+        OS << ']';
+      }
+      OS << '}';
+    }
+    OS << "],\"metrics\":{";
+    for (size_t I = 0; I != Metrics.size(); ++I) {
+      if (I)
+        OS << ',';
+      json::writeString(OS, Metrics[I].first);
+      OS << ':' << Metrics[I].second;
+    }
+    OS << '}';
+    // Attach the engine-wide metrics snapshot when the run collected
+    // one, so a single artifact carries both the measurements and the
+    // phase/function attribution explaining them.
+    if (metricsEnabled()) {
+      OS << ",\"engineMetrics\":";
+      metrics().writeJson(OS);
+    }
+    OS << "}\n";
+  }
+
+private:
+  struct Row {
+    std::string Workload;
+    std::string Config;
+    double V;
+    std::string Unit;
+    std::vector<double> Samples;
+  };
+
+  std::string Name;
+  int Reps;
+  std::vector<std::pair<std::string, std::string>> Meta;
+  std::vector<Row> Rows;
+  std::vector<std::pair<std::string, double>> Metrics;
+};
 
 } // namespace jitvs::bench
 

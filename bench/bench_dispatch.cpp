@@ -108,11 +108,16 @@ int main() {
 
   // Per-kernel medians; geometric means of the ratios vs the switch
   // column (index 1).
+  BenchReport Report("dispatch", Reps);
+  Report.setMeta("computed_goto", Executor::hasComputedGoto() ? "1" : "0");
   double GeoGoto = 0.0, GeoFuse = 0.0;
   for (size_t K = 0; K != Kernels.size(); ++K) {
     double Med[NumModes];
-    for (size_t M = 0; M != NumModes; ++M)
+    for (size_t M = 0; M != NumModes; ++M) {
       Med[M] = median(Samples[K][M]);
+      Report.addRow(Kernels[K].Name, Modes[M].Name, Med[M], "seconds",
+                    &Samples[K][M]);
+    }
     std::printf("  %-22s", Kernels[K].Name);
     for (size_t M = 0; M != NumModes; ++M)
       std::printf(" %9.2f ms", Med[M] * 1e3);
@@ -128,5 +133,8 @@ int main() {
               (GeoGoto - 1.0) * 100.0, (GeoFuse - 1.0) * 100.0);
   std::printf("Expected shape: goto+fuse > goto > switch on these kernels; "
               "interp trails by an order of magnitude.\n");
+  Report.addMetric("geomean_goto_speedup_pct", (GeoGoto - 1.0) * 100.0);
+  Report.addMetric("geomean_fuse_speedup_pct", (GeoFuse - 1.0) * 100.0);
+  Report.write();
   return GeoFuse > 1.0 ? 0 : 1;
 }

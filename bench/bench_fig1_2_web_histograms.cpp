@@ -11,6 +11,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "../bench/BenchUtil.h"
 #include "profiling/CallProfiler.h"
 #include "profiling/WebSession.h"
 #include "vm/Runtime.h"
@@ -18,6 +19,7 @@
 #include <cstdio>
 
 using namespace jitvs;
+using namespace jitvs::bench;
 
 int main() {
   WebSessionModel Model;
@@ -55,5 +57,14 @@ int main() {
               Profiler.fractionCalledOnce() * 100.0);
   std::printf("  single argument set:        %6.2f%%  (paper: 59.91%%)\n",
               Profiler.fractionSingleArgSet() * 100.0);
+
+  BenchReport Report("fig1_2_web_histograms", 1);
+  Report.addRow("web-session", "profile",
+                static_cast<double>(Profiler.numFunctions()), "functions");
+  Report.addMetric("fraction_called_once_pct",
+                   Profiler.fractionCalledOnce() * 100.0);
+  Report.addMetric("fraction_single_argset_pct",
+                   Profiler.fractionSingleArgSet() * 100.0);
+  Report.write();
   return 0;
 }

@@ -8,6 +8,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "../bench/BenchUtil.h"
 #include "profiling/CallProfiler.h"
 #include "vm/Runtime.h"
 #include "workloads/Workloads.h"
@@ -15,8 +16,10 @@
 #include <cstdio>
 
 using namespace jitvs;
+using namespace jitvs::bench;
 
 int main() {
+  BenchReport Report("fig3_suite_histograms", 1);
   for (int SuiteIdx = 0; SuiteIdx != 3; ++SuiteIdx) {
     CallProfiler Profiler;
     for (const Workload &W : suiteWorkloads(SuiteNames[SuiteIdx])) {
@@ -51,6 +54,12 @@ int main() {
     std::printf("called once: %.2f%%; single arg set: %.2f%%\n\n",
                 Profiler.fractionCalledOnce() * 100.0,
                 Profiler.fractionSingleArgSet() * 100.0);
+    Report.addMetric(std::string(SuiteNames[SuiteIdx]) +
+                         ".fraction_called_once_pct",
+                     Profiler.fractionCalledOnce() * 100.0);
+    Report.addMetric(std::string(SuiteNames[SuiteIdx]) +
+                         ".fraction_single_argset_pct",
+                     Profiler.fractionSingleArgSet() * 100.0);
   }
 
   std::printf("Paper reference: called-once fractions 21.43%% (SunSpider),\n"
@@ -58,5 +67,6 @@ int main() {
               "38.96%%, 40.62%% and 55.91%%. Expected shape: suites are\n"
               "more varied than the web, yet a large share of functions\n"
               "still sees a single argument set.\n");
+  Report.write();
   return 0;
 }

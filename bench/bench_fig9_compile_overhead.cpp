@@ -41,6 +41,7 @@ int main() {
   std::printf("\n");
   printRule(14 + 14 * Named.size());
 
+  BenchReport Report("fig9_compile_overhead", Reps);
   for (int SuiteIdx = 0; SuiteIdx != 3; ++SuiteIdx) {
     std::vector<Workload> Works = suiteWorkloads(SuiteNames[SuiteIdx]);
 
@@ -60,8 +61,10 @@ int main() {
     std::vector<std::vector<double>> OverheadPct(Named.size());
     for (size_t WI = 0; WI != Works.size(); ++WI) {
       double Base = median(Samples[WI][0]);
+      Report.addRow(Works[WI].Name, "baseline", Base, "compile-seconds");
       for (size_t CI = 0; CI != Named.size(); ++CI) {
         double C = median(Samples[WI][CI + 1]);
+        Report.addRow(Works[WI].Name, Named[CI].Name, C, "compile-seconds");
         if (Base > 0.0)
           OverheadPct[CI].push_back((C / Base - 1.0) * 100.0);
       }
@@ -78,10 +81,16 @@ int main() {
     for (size_t CI = 0; CI != Named.size(); ++CI)
       std::printf(" %12.2f%%", geometricMeanPercent(OverheadPct[CI]));
     std::printf("\n\n");
+
+    for (size_t CI = 0; CI != Named.size(); ++CI)
+      Report.addMetric(std::string(SuiteNames[SuiteIdx]) + "." +
+                           Named[CI].Name + ".mean_overhead_pct",
+                       arithmeticMean(OverheadPct[CI]));
   }
 
   std::printf("Paper reference (Fig. 9c, SunSpider): PS=-7.2, with most\n"
               "specializing configurations *reducing* compile time; V8 rows\n"
               "slightly positive (1.4..4.3).\n");
+  Report.write();
   return 0;
 }

@@ -36,10 +36,18 @@ int main() {
   std::printf("\n");
   printRule(14 + 14 * Named.size());
 
+  BenchReport Report("fig9_speedup", Reps);
   std::vector<std::string> MeanRows[2];
   for (int SuiteIdx = 0; SuiteIdx != 3; ++SuiteIdx) {
     std::vector<Workload> Works = suiteWorkloads(SuiteNames[SuiteIdx]);
     auto Times = measureMatrix(Works, Configs, Reps);
+
+    for (size_t WI = 0; WI != Works.size(); ++WI) {
+      Report.addRow(Works[WI].Name, "baseline", Times[WI][0], "seconds");
+      for (size_t CI = 0; CI != Named.size(); ++CI)
+        Report.addRow(Works[WI].Name, Named[CI].Name, Times[WI][CI + 1],
+                      "seconds");
+    }
 
     // Per-config vectors of per-benchmark speedups.
     std::vector<std::vector<double>> Speedups(Named.size());
@@ -60,6 +68,11 @@ int main() {
       std::printf(" %12.2f%%", geometricMeanPercent(Speedups[CI]));
     std::printf("\n");
 
+    for (size_t CI = 0; CI != Named.size(); ++CI)
+      Report.addMetric(std::string(SuiteNames[SuiteIdx]) + "." +
+                           Named[CI].Name + ".mean_speedup_pct",
+                       arithmeticMean(Speedups[CI]));
+
     // Per-benchmark breakdown (the paper aggregates; we also show the
     // underlying rows for inspection).
     std::printf("   per-benchmark speedup under ALL: ");
@@ -75,5 +88,6 @@ int main() {
               "  Kraken 1.1:    PS=0.75 CP=-0.08 best=1.25\n"
               "Expected shape: CP alone ~0 or negative; PS positive;\n"
               "PS+CP+DCE among the best; ALL below the best.\n");
+  Report.write();
   return 0;
 }

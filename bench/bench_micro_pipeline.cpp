@@ -200,4 +200,51 @@ BENCHMARK(BM_GCCollection);
 
 } // namespace
 
-BENCHMARK_MAIN();
+#include "../bench/BenchUtil.h"
+
+namespace {
+
+/// Console output as usual, plus a capture of every per-iteration result
+/// so the custom main below can emit BENCH_micro_pipeline.json (the
+/// BENCHMARK_MAIN macro leaves no hook for that).
+class CapturingReporter : public benchmark::ConsoleReporter {
+public:
+  struct Result {
+    std::string Name;
+    double SecondsPerIter;
+  };
+  std::vector<Result> Results;
+
+  void ReportRuns(const std::vector<Run> &Reports) override {
+    for (const Run &R : Reports)
+      if (R.run_type == Run::RT_Iteration && !R.error_occurred &&
+          R.iterations > 0)
+        Results.push_back({R.benchmark_name(),
+                           R.real_accumulated_time /
+                               static_cast<double>(R.iterations)});
+    ConsoleReporter::ReportRuns(Reports);
+  }
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  char Arg0Default[] = "benchmark";
+  char *ArgsDefault = Arg0Default;
+  if (!argv) {
+    argc = 1;
+    argv = &ArgsDefault;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  CapturingReporter Reporter;
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
+  benchmark::Shutdown();
+
+  jitvs::bench::BenchReport Report("micro_pipeline", 1);
+  for (const CapturingReporter::Result &R : Reporter.Results)
+    Report.addRow(R.Name, "default", R.SecondsPerIter, "seconds");
+  Report.write();
+  return 0;
+}

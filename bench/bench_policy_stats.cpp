@@ -23,6 +23,7 @@ using namespace jitvs::bench;
 int main() {
   OptConfig Base = OptConfig::baseline();
   OptConfig Spec = OptConfig::all();
+  BenchReport Report("policy_stats", 1);
 
   std::printf("Section 4: specialization policy outcomes\n\n");
   std::printf("%-12s %11s %10s %12s %9s %9s\n", "suite", "specialized",
@@ -71,6 +72,15 @@ int main() {
                 static_cast<unsigned long long>(Deoptimized),
                 static_cast<unsigned long long>(CompBase),
                 static_cast<unsigned long long>(CompSpec), RecompGrowth);
+    Report.addRow(SuiteNames[SuiteIdx], "specialized",
+                  static_cast<double>(Specialized), "functions");
+    Report.addRow(SuiteNames[SuiteIdx], "successful",
+                  static_cast<double>(Successful), "functions");
+    Report.addRow(SuiteNames[SuiteIdx], "deoptimized",
+                  static_cast<double>(Deoptimized), "functions");
+    Report.addMetric(std::string(SuiteNames[SuiteIdx]) +
+                         ".recomp_growth_pct",
+                     RecompGrowth);
   }
 
   std::printf("\nPaper reference: 56/18/38 (SunSpider), 37/11/26 (V8),\n"
@@ -237,5 +247,6 @@ int main() {
   std::printf("Expected shape: the paper's any-store rule leaves little\n"
               "for BCE (it reported no substantial BCE speedup); the\n"
               "relaxed rule recovers some of it on store-heavy kernels.\n");
+  Report.write();
   return 0;
 }

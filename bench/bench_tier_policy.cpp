@@ -130,6 +130,7 @@ int main() {
 
   // --- Part 2: dynamic behavior, paper policy vs tiered ladder. ---
   int Reps = repetitions(5);
+  BenchReport Report("tier_policy", Reps);
   std::printf("\nDynamic policy comparison (suite totals under ALL, "
               "median of %d runs)\n\n", Reps);
   std::printf("%-12s %-7s %9s %8s %10s %10s %8s %8s %8s\n", "suite",
@@ -166,6 +167,11 @@ int main() {
         }
         Times.push_back(Seconds);
       }
+      Report.addRow(SuiteNames[SuiteIdx], tierPolicyName(P), median(Times),
+                    "seconds", &Times);
+      Report.addRow(SuiteNames[SuiteIdx],
+                    std::string(tierPolicyName(P)) + "/despec",
+                    static_cast<double>(Despec), "count");
       std::printf("%-12s %-7s %7.1fms %8llu %10llu %10llu %8llu %8llu "
                   "%8llu\n",
                   SuiteNames[SuiteIdx], tierPolicyName(P),
@@ -183,5 +189,6 @@ int main() {
               "demotions whose binaries keep producing type-tier cache\n"
               "hits; generic fallbacks (and thus NeverSpecialize) become\n"
               "rarer than under the paper policy.\n");
+  Report.write();
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "mir/Verifier.h"
 #include "profiling/CallProfiler.h"
 #include "support/Timer.h"
+#include "telemetry/Metrics.h"
 #include "telemetry/Telemetry.h"
 #include "vm/Interpreter.h"
 
@@ -146,6 +147,8 @@ Engine::Engine(Runtime &RT, const OptConfig &Config)
 }
 
 Engine::~Engine() {
+  if (metricsEnabled())
+    publishMetrics();
   if (RT.hooks() == this)
     RT.setHooks(nullptr);
 }
@@ -230,6 +233,7 @@ std::vector<ParamTier> Engine::demoteTiers(FunctionInfo *Info,
     return NewTiers;
   }
   auto RecordTransition = [&](size_t I, const char *Edge) {
+    ++state(Info).TierTransitions;
     if (!telemetryEnabled(TelCache))
       return;
     TelemetryEvent E;
@@ -301,6 +305,7 @@ Engine::compile(FunctionInfo *Info, const std::vector<Value> *SpecArgs,
                 const std::vector<Value> *OsrSlots,
                 const std::vector<ParamTier> *OsrTiers) {
   Timer T;
+  MetricsPhaseTimer CompilePhase(Phase::Compile);
 
   if (telemetryEnabled(TelCompile)) {
     TelemetryEvent E;
@@ -326,13 +331,23 @@ Engine::compile(FunctionInfo *Info, const std::vector<Value> *SpecArgs,
       Opts.OsrSlotTiers = *OsrTiers;
   }
 
-  std::unique_ptr<MIRGraph> Graph = buildMIR(Info, Opts);
+  std::unique_ptr<MIRGraph> Graph;
+  {
+    MetricsPhaseTimer BuildPhase(Phase::MIRBuild);
+    Graph = buildMIR(Info, Opts);
+  }
   GraphRoots RootGuard(RT.heap(), *Graph);
 
   // §3.7: closures passed as parameters become constant callees under
   // specialization; inline them immediately, without guards.
-  if (Config.ParameterSpecialization)
+  if (Config.ParameterSpecialization) {
+    MetricsPhaseTimer PassPhase(Phase::OptPass);
+    Timer InlineT;
     runClosureInlining(*Graph, RT, Config);
+    if (metricsEnabled())
+      metrics().recordPass("ClosureInlining",
+                           static_cast<uint64_t>(InlineT.seconds() * 1e9));
+  }
 
   runOptimizationPipeline(*Graph, RT, Config);
 
@@ -345,8 +360,13 @@ Engine::compile(FunctionInfo *Info, const std::vector<Value> *SpecArgs,
   }
 #endif
 
-  std::shared_ptr<NativeCode> Code = generateCode(*Graph);
+  std::shared_ptr<NativeCode> Code;
+  {
+    MetricsPhaseTimer CodegenPhase(Phase::Codegen);
+    Code = generateCode(*Graph);
+  }
   if (FusionEnabled) {
+    MetricsPhaseTimer FusionPhase(Phase::Fusion);
     Timer FuseT;
     FusionStats FuseStats;
     unsigned Fused = fuseMacroOps(*Code, &FuseStats);
@@ -390,6 +410,7 @@ Engine::compile(FunctionInfo *Info, const std::vector<Value> *SpecArgs,
 
   FuncState &FS = state(Info);
   ++FS.Compiles;
+  FS.CompileSeconds += Seconds;
   if (FS.Compiles > 1)
     ++Stats.Recompilations;
   FS.MinCodeSize = std::min(FS.MinCodeSize, Code->sizeInInstructions());
@@ -408,6 +429,7 @@ Value Engine::execute(FuncState &FS, FunctionInfo *Info, const Value &ThisV,
   // and discard FS.Code while we are still executing it.
   std::shared_ptr<NativeCode> Code =
       CodeOverride ? std::move(CodeOverride) : FS.Code;
+  ++FS.NativeRuns;
   ExecResult R = Exec.run(*Code, ThisV, Args, NumArgs, AtOsr,
                           OsrSlots ? OsrSlots->data() : nullptr,
                           OsrSlots ? OsrSlots->size() : 0, Env, ClosureEnv);
@@ -417,6 +439,10 @@ Value Engine::execute(FuncState &FS, FunctionInfo *Info, const Value &ThisV,
     return Value::undefined();
 
   // --- Bailout: deoptimize to the interpreter. ---
+  // The phase span covers deoptimization proper (snapshot decode, frame
+  // rebuild); it is stopped before resumeFrame so the resumed
+  // interpretation accounts to Interpret, not Bailout.
+  MetricsPhaseTimer BailoutPhase(Phase::Bailout);
   ++Stats.Bailouts;
   ++Stats.BailoutsByReason[static_cast<size_t>(R.BailReason)];
   ++FS.Bailouts;
@@ -495,6 +521,7 @@ Value Engine::execute(FuncState &FS, FunctionInfo *Info, const Value &ThisV,
     FS.Specialized = false;
   }
 
+  BailoutPhase.stop();
   return RT.resumeFrame(Frame);
 }
 
@@ -782,7 +809,10 @@ std::vector<Engine::FunctionReport> Engine::functionReports() const {
     R.Despecialized = FS.EverDespecialized;
     R.Cause = FS.Cause;
     R.Compiles = FS.Compiles;
+    R.CompileSeconds = FS.CompileSeconds;
+    R.NativeRuns = FS.NativeRuns;
     R.Bailouts = FS.TotalBailouts;
+    R.TierTransitions = FS.TierTransitions;
     R.CacheHits = FS.CacheHits;
     R.ValueTierHits = FS.ValueTierHits;
     R.TypeTierHits = FS.TypeTierHits;
@@ -792,6 +822,50 @@ std::vector<Engine::FunctionReport> Engine::functionReports() const {
     Out.push_back(std::move(R));
   }
   return Out;
+}
+
+void Engine::publishMetrics() {
+  if (MetricsPublished)
+    return;
+  MetricsPublished = true;
+  Metrics &M = metrics();
+
+  M.addCounter("engine.compilations", Stats.Compilations);
+  M.addCounter("engine.recompilations", Stats.Recompilations);
+  M.addCounter("engine.compiles.specialized", Stats.SpecializedCompiles);
+  M.addCounter("engine.compiles.generic", Stats.GenericCompiles);
+  M.addCounter("engine.despecializations", Stats.Despecializations);
+  M.addCounter("engine.cache_hits", Stats.CacheHits);
+  M.addCounter("engine.cache_hits.value_tier", Stats.ValueTierHits);
+  M.addCounter("engine.cache_hits.type_tier", Stats.TypeTierHits);
+  M.addCounter("engine.tier_demotions.value_to_type",
+               Stats.TierDemotionsValueToType);
+  M.addCounter("engine.tier_demotions.to_generic",
+               Stats.TierDemotionsToGeneric);
+  M.addCounter("engine.generic_fallbacks", Stats.GenericFallbacks);
+  M.addCounter("engine.bailouts", Stats.Bailouts);
+  for (size_t I = 0; I != NumBailoutReasons; ++I)
+    if (Stats.BailoutsByReason[I])
+      M.addCounter(std::string("engine.bailouts.") +
+                       bailoutReasonName(static_cast<BailoutReason>(I)),
+                   Stats.BailoutsByReason[I]);
+  M.addCounter("engine.osr_entries", Stats.OsrEntries);
+  M.addCounter("engine.calls.native", Stats.NativeCalls);
+  M.addCounter("engine.calls.interpreted", Stats.InterpretedCalls);
+  M.addCounter("engine.fused_ops", Stats.FusedOps);
+  M.setGauge("engine.compile_seconds", Stats.CompileSeconds);
+
+  for (const FunctionReport &R : functionReports()) {
+    Metrics::FunctionMetrics FM;
+    FM.NativeRuns = R.NativeRuns;
+    FM.Compiles = R.Compiles;
+    FM.CompileNs = static_cast<uint64_t>(R.CompileSeconds * 1e9);
+    FM.Bailouts = R.Bailouts;
+    FM.CacheHits = R.CacheHits;
+    FM.TierTransitions = R.TierTransitions;
+    FM.Despecializations = R.Despecialized ? 1 : 0;
+    M.mergeFunction(R.Name, FM);
+  }
 }
 
 NativeCode *Engine::compileNow(FunctionInfo *Info,

@@ -205,7 +205,10 @@ public:
     bool Despecialized = false;
     DespecializeCause Cause = DespecializeCause::None;
     uint32_t Compiles = 0;
+    double CompileSeconds = 0.0; ///< Total spent compiling this function.
+    uint64_t NativeRuns = 0; ///< Native executions entered (any binary).
     uint32_t Bailouts = 0;  ///< Lifetime total (not reset by discards).
+    uint32_t TierTransitions = 0; ///< Ladder demotion steps recorded.
     uint32_t CacheHits = 0; ///< Specialized-binary reuses (sum of below).
     uint32_t ValueTierHits = 0; ///< Reuses of value-baking binaries.
     uint32_t TypeTierHits = 0;  ///< Reuses of type-guard-only binaries.
@@ -217,6 +220,15 @@ public:
     uint32_t FusedOps = 0; ///< Pairs fused across this function's compiles.
   };
   std::vector<FunctionReport> functionReports() const;
+
+  /// Folds this engine's aggregate stats and per-function reports into
+  /// the global metrics registry (telemetry/Metrics.h): EngineStats
+  /// counters land under "engine.*", function reports merge into the
+  /// per-function profiles. Called automatically (once) from the
+  /// destructor when metrics are enabled, so `JITVS_STATS` dumps include
+  /// engine aggregates without any embedder cooperation; harnesses that
+  /// snapshot before teardown call it explicitly.
+  void publishMetrics();
 
   /// Compiles \p Info immediately (test/bench hook). Returns the code (or
   /// nullptr on unsupported shapes). \p Args non-null => specialized;
@@ -242,8 +254,11 @@ private:
     std::vector<std::pair<SpecSig, std::shared_ptr<NativeCode>>>
         ExtraSpecializations;
     uint32_t Compiles = 0;
+    double CompileSeconds = 0.0; ///< Summed over this function's compiles.
+    uint64_t NativeRuns = 0; ///< Native executions entered.
     uint32_t Bailouts = 0; ///< Since the last discard (policy counter).
     uint32_t TotalBailouts = 0; ///< Lifetime total (reporting).
+    uint32_t TierTransitions = 0; ///< Ladder demotion steps.
     uint32_t CacheHits = 0;
     uint32_t ValueTierHits = 0;
     uint32_t TypeTierHits = 0;
@@ -320,6 +335,7 @@ private:
   TierPolicy Policy = TierPolicy::Paper;
   uint32_t ValueStabilityMax = 1;
   bool FusionEnabled = true;
+  bool MetricsPublished = false; ///< publishMetrics ran (at most once).
 
   class EngineRoots;
   std::unique_ptr<EngineRoots> Roots;

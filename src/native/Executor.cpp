@@ -13,6 +13,7 @@
 
 #include "mir/MIR.h" // MathIntrinsic.
 #include "support/Assert.h"
+#include "telemetry/Metrics.h"
 #include "vm/Bytecode.h"
 #include "vm/Runtime.h"
 
@@ -165,6 +166,7 @@ ExecResult Executor::run(const NativeCode &Code, const Value &ThisV,
                          const Value *Args, size_t NumArgs, bool AtOsr,
                          const Value *OsrSlots, size_t NumOsrSlots,
                          Environment *Env, Environment *ClosureEnv) {
+  MetricsPhaseTimer NativePhase(Phase::NativeExec);
   NativeFrame F(RT, Code.FrameSize);
   F.ThisV = ThisV;
   F.ClosureEnv = ClosureEnv;

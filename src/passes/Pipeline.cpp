@@ -3,6 +3,7 @@
 #include "passes/Passes.h"
 
 #include "support/Timer.h"
+#include "telemetry/Metrics.h"
 #include "telemetry/Telemetry.h"
 
 using namespace jitvs;
@@ -21,21 +22,30 @@ size_t countGuards(const MIRGraph &Graph) {
   return N;
 }
 
-/// Runs one pass, surrounding it with the [pass] telemetry span: wall
-/// time plus instruction/block/guard deltas.
+/// Runs one pass, surrounding it with the [pass] telemetry span (wall
+/// time plus instruction/block/guard deltas) and, independently, the
+/// Phase::OptPass metrics span with a per-pass duration histogram.
 template <typename Fn>
 void runInstrumented(MIRGraph &Graph, const char *Name, Fn &&Run) {
-  if (!telemetryEnabled(TelPass)) {
+  bool Tel = telemetryEnabled(TelPass);
+  bool Met = metricsEnabled();
+  if (!Tel && !Met) {
     Run();
     return;
   }
-  size_t InstrsBefore = Graph.numInstructions();
-  size_t GuardsBefore = countGuards(Graph);
+  MetricsPhaseTimer PassPhase(Phase::OptPass);
+  size_t InstrsBefore = Tel ? Graph.numInstructions() : 0;
+  size_t GuardsBefore = Tel ? countGuards(Graph) : 0;
   Timer T;
   Run();
+  uint64_t DurNs = static_cast<uint64_t>(T.seconds() * 1e9);
+  if (Met)
+    metrics().recordPass(Name, DurNs);
+  if (!Tel)
+    return;
   TelemetryEvent E;
   E.Kind = TelemetryEventKind::Pass;
-  E.DurNs = static_cast<uint64_t>(T.seconds() * 1e9);
+  E.DurNs = DurNs;
   E.setFunc(Graph.functionInfo()->Name);
   E.setDetail(Name);
   E.A = InstrsBefore;

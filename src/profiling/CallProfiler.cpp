@@ -2,6 +2,8 @@
 
 #include "profiling/CallProfiler.h"
 
+#include "telemetry/Metrics.h"
+
 #include <algorithm>
 #include <cstdio>
 
@@ -9,6 +11,7 @@ using namespace jitvs;
 
 void CallProfiler::recordCall(FunctionInfo *Callee, const Value *Args,
                               size_t NumArgs) {
+  MetricsPhaseTimer ProfilePhase(Phase::ProfileCalls);
   FuncProfile &P = Profiles[{CurrentUnit, Callee}];
   if (P.Calls == 0) {
     P.Name = Callee->Name;

@@ -36,11 +36,17 @@ const char *jitvs::telemetryCategoryName(uint32_t CategoryBit) {
 }
 
 uint32_t jitvs::parseTelemetryCategories(const char *Spec) {
+  return parseTelemetryCategories(Spec, nullptr);
+}
+
+uint32_t
+jitvs::parseTelemetryCategories(const char *Spec,
+                                std::vector<std::string> *UnknownOut) {
   if (!Spec)
     return 0;
   uint32_t Mask = 0;
   std::string Word;
-  auto Apply = [&Mask](const std::string &W) {
+  auto Apply = [&Mask, UnknownOut](const std::string &W) {
     if (W.empty())
       return;
     if (W == "all") {
@@ -48,8 +54,12 @@ uint32_t jitvs::parseTelemetryCategories(const char *Spec) {
       return;
     }
     for (uint32_t Bit = 1; Bit < TelAll; Bit <<= 1)
-      if (W == telemetryCategoryName(Bit))
+      if (W == telemetryCategoryName(Bit)) {
         Mask |= Bit;
+        return;
+      }
+    if (UnknownOut)
+      UnknownOut->push_back(W);
   };
   for (const char *P = Spec;; ++P) {
     if (*P == ',' || *P == '\0') {
@@ -383,7 +393,13 @@ void Telemetry::writeJson(std::ostream &OS) const {
 
 void Telemetry::writeChromeTrace(std::ostream &OS) const {
   OS << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  bool First = true;
+  // Metadata events first, so Perfetto/chrome://tracing labels the track
+  // instead of showing bare pid/tid numbers.
+  OS << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+        "\"args\":{\"name\":\"jitvs\"}},"
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+        "\"args\":{\"name\":\"engine\"}}";
+  bool First = false;
   auto WriteTsUs = [&OS](uint64_t Ns) {
     char Buf[40];
     std::snprintf(Buf, sizeof(Buf), "%llu.%03llu",
@@ -407,6 +423,15 @@ void Telemetry::writeChromeTrace(std::ostream &OS) const {
                          ? E.TimeNs - E.DurNs
                          : E.TimeNs;
     WriteTsUs(Start);
+  };
+  // Running totals rendered as a counter track alongside the spans.
+  uint64_t Compiles = 0, Bailouts = 0, CacheHits = 0;
+  auto Counter = [&](uint64_t TsNs) {
+    OS << ",{\"name\":\"engine totals\",\"ph\":\"C\",\"pid\":1,\"ts\":";
+    WriteTsUs(TsNs);
+    OS << ",\"args\":{\"compiles\":" << Compiles
+       << ",\"bailouts\":" << Bailouts << ",\"cacheHits\":" << CacheHits
+       << "}}";
   };
   for (const TelemetryEvent &E : events()) {
     // CompileStart is subsumed by the CompileEnd span in a timeline view.
@@ -460,6 +485,22 @@ void Telemetry::writeChromeTrace(std::ostream &OS) const {
       Arg("paramIndex", std::to_string(E.A), false);
     }
     OS << "}}";
+    switch (E.Kind) {
+    case TelemetryEventKind::CompileEnd:
+      ++Compiles;
+      Counter(E.TimeNs);
+      break;
+    case TelemetryEventKind::Bailout:
+      ++Bailouts;
+      Counter(E.TimeNs);
+      break;
+    case TelemetryEventKind::CacheHit:
+      ++CacheHits;
+      Counter(E.TimeNs);
+      break;
+    default:
+      break;
+    }
   }
   OS << "]}";
 }
@@ -502,8 +543,19 @@ struct TelemetryEnvInit {
   TelemetryEnvInit() {
 #if JITVS_TELEMETRY_ENABLED
     Telemetry &T = Telemetry::instance();
-    if (const char *SpewSpec = std::getenv("JITVS_SPEW"))
-      T.setSpewMask(parseTelemetryCategories(SpewSpec));
+    if (const char *SpewSpec = std::getenv("JITVS_SPEW")) {
+      std::vector<std::string> Unknown;
+      T.setSpewMask(parseTelemetryCategories(SpewSpec, &Unknown));
+      for (const std::string &W : Unknown) {
+        std::fprintf(stderr,
+                     "jitvs telemetry: unknown JITVS_SPEW category '%s' "
+                     "(valid:",
+                     W.c_str());
+        for (uint32_t Bit = 1; Bit < TelAll; Bit <<= 1)
+          std::fprintf(stderr, " %s", telemetryCategoryName(Bit));
+        std::fprintf(stderr, " all)\n");
+      }
+    }
     bool WantDump = std::getenv("JITVS_TRACE") != nullptr ||
                     std::getenv("JITVS_TRACE_JSON") != nullptr;
     if (WantDump) {

@@ -65,6 +65,12 @@ const char *telemetryCategoryName(uint32_t CategoryBit);
 /// ("compile,bailout"; "all"; unknown words are ignored).
 uint32_t parseTelemetryCategories(const char *Spec);
 
+/// As above, but also collects every word that did not name a category
+/// into \p UnknownOut (may be null), so callers can warn about typos
+/// instead of silently spewing nothing.
+uint32_t parseTelemetryCategories(const char *Spec,
+                                  std::vector<std::string> *UnknownOut);
+
 /// What happened. Each kind belongs to a fixed category and documents its
 /// payload-field conventions (A..D below).
 enum class TelemetryEventKind : uint8_t {

@@ -2,6 +2,7 @@
 
 #include "vm/GC.h"
 
+#include "telemetry/Metrics.h"
 #include "vm/Object.h"
 
 #include <algorithm>
@@ -34,8 +35,10 @@ void Heap::removeRootSource(RootSource *Source) {
 }
 
 void Heap::collect() {
+  MetricsPhaseTimer GCPhase(Phase::GC);
   AllocationsSinceGC = 0;
   ++NumCollections;
+  size_t Before = NumObjects;
 
   // Mark phase.
   std::vector<GCObject *> Stack;
@@ -59,5 +62,11 @@ void Heap::collect() {
     *Link = Obj->Next;
     delete Obj;
     --NumObjects;
+  }
+
+  if (metricsEnabled()) {
+    metrics().addCounter("gc.collections");
+    metrics().addCounter("gc.objects_swept", Before - NumObjects);
+    metrics().setGauge("gc.objects_live", static_cast<double>(NumObjects));
   }
 }

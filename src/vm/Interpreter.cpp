@@ -3,6 +3,7 @@
 #include "vm/Interpreter.h"
 
 #include "support/Assert.h"
+#include "telemetry/Metrics.h"
 
 using namespace jitvs;
 
@@ -51,6 +52,7 @@ Value Interpreter::invoke(JSFunction *Callee, const Value &ThisV,
 }
 
 Value Interpreter::execute(InterpFrame &Frame) {
+  MetricsPhaseTimer InterpPhase(Phase::Interpret);
   FunctionInfo *Info = Frame.Info;
   std::vector<Value> &Stack = Frame.Stack;
   std::vector<Value> &Slots = Frame.Slots;

@@ -3,6 +3,7 @@
 #include "vm/Runtime.h"
 
 #include "parser/Emitter.h"
+#include "telemetry/Metrics.h"
 #include "telemetry/Telemetry.h"
 #include "vm/Interpreter.h"
 
@@ -642,6 +643,8 @@ Value Runtime::callValue(const Value &Callee, const Value &ThisV,
     ++NumCalls;
     FunctionInfo *Info = F->info();
     ++Info->CallCount;
+    if (metricsEnabled())
+      metrics().functionTick(Info->Name);
     if (Observer)
       Observer->recordCall(Info, Args, NumArgs);
     bool Handled = false;
@@ -937,6 +940,7 @@ Value Runtime::run() {
 }
 
 Value Runtime::evaluate(const std::string &Source) {
+  MetricsPhaseTimer ScriptPhase(Phase::Script);
   if (!telemetryEnabled(TelScript)) {
     if (!load(Source))
       return Value::undefined();

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Compare two directories of BENCH_*.json files (jitvs-bench-v1).
+
+Usage:
+  bench_diff.py BASELINE_DIR CURRENT_DIR [--threshold PCT]
+                [--allow-missing] [--verbose]
+
+Only rows whose unit is "seconds" are compared (instruction counts,
+function tallies etc. are descriptive, not perf gates). A row regresses
+when current/baseline - 1 exceeds --threshold percent. Missing files or
+rows are errors unless --allow-missing is given; a row present only in
+the current run is always fine (new coverage is not a regression).
+
+Exit status: 0 clean, 1 regression (or missing data), 2 usage/schema
+errors.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+SCHEMA = "jitvs-bench-v1"
+
+
+def load_reports(directory):
+    """Returns {bench_name: doc}, validating the schema of every file."""
+    reports = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            sys.exit(f"bench_diff: cannot read {path}: {e}")
+        for key in ("schema", "bench", "reps", "rows", "metrics"):
+            if key not in doc:
+                sys.exit(f"bench_diff: {path}: missing key '{key}'")
+        if doc["schema"] != SCHEMA:
+            sys.exit(f"bench_diff: {path}: schema '{doc['schema']}', "
+                     f"expected '{SCHEMA}'")
+        for row in doc["rows"]:
+            for key in ("workload", "config", "value", "unit"):
+                if key not in row:
+                    sys.exit(f"bench_diff: {path}: row missing '{key}'")
+        reports[doc["bench"]] = doc
+    return reports
+
+
+def seconds_rows(doc):
+    """Returns {(workload, config): value} for the timed rows."""
+    return {(r["workload"], r["config"]): r["value"]
+            for r in doc["rows"] if r["unit"] == "seconds"}
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="diff BENCH_*.json runs against a baseline")
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="regression threshold in percent (default 10)")
+    ap.add_argument("--allow-missing", action="store_true",
+                    help="missing benches/rows warn instead of failing")
+    ap.add_argument("--verbose", action="store_true",
+                    help="print every compared row, not just regressions")
+    args = ap.parse_args()
+
+    base = load_reports(args.baseline)
+    cur = load_reports(args.current)
+    if not base:
+        sys.exit(f"bench_diff: no BENCH_*.json in {args.baseline}")
+    if not cur:
+        sys.exit(f"bench_diff: no BENCH_*.json in {args.current}")
+
+    regressions, missing, compared = [], [], 0
+    for bench, bdoc in sorted(base.items()):
+        if bench not in cur:
+            missing.append(f"bench '{bench}' absent from current run")
+            continue
+        brows, crows = seconds_rows(bdoc), seconds_rows(cur[bench])
+        for key, bval in sorted(brows.items()):
+            workload, config = key
+            label = f"{bench}: {workload} [{config}]"
+            if key not in crows:
+                missing.append(f"row {label} absent from current run")
+                continue
+            cval = crows[key]
+            if bval <= 0:
+                continue  # Degenerate baseline; nothing to gate on.
+            delta_pct = (cval / bval - 1.0) * 100.0
+            compared += 1
+            line = (f"{label}: {bval * 1e3:.3f}ms -> {cval * 1e3:.3f}ms "
+                    f"({delta_pct:+.1f}%)")
+            if delta_pct > args.threshold:
+                regressions.append(line)
+            elif args.verbose:
+                print("  ok " + line)
+
+    print(f"bench_diff: compared {compared} seconds-rows across "
+          f"{len(base)} benches (threshold +{args.threshold:g}%)")
+    for line in missing:
+        print(f"  MISSING {line}")
+    for line in regressions:
+        print(f"  REGRESSION {line}")
+    if regressions or (missing and not args.allow_missing):
+        return 1
+    print("bench_diff: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
