@@ -66,6 +66,20 @@ std::vector<EngineSetup> defaultMatrix() {
     K.CacheDepth = 2;
     K.ValueStabilityMax = 2;
   });
+  // Background compilation columns (vs the synchronous CompileThreads=0
+  // of every column above). Free-running: compiles land whenever the
+  // workers finish, so install timing varies run to run — observable
+  // behavior must not. Drained: block after each enqueue so compiles
+  // land at the same trigger points as the synchronous pipeline while
+  // still crossing the publication machinery — deterministic, and keyed
+  // to a different tier policy to widen coverage.
+  Add("paper-all-threads2", All,
+      [](EngineKnobs &K) { K.CompileThreads = 2; });
+  Add("tiered-threads2-drain", All, [](EngineKnobs &K) {
+    K.Policy = TierPolicy::Tiered;
+    K.CompileThreads = 2;
+    K.CompileDrain = true;
+  });
 
   return M;
 }

@@ -1,0 +1,129 @@
+//===- jit/CompileTask.h - One unit of background compilation ---*- C++ -*-===//
+///
+/// \file
+/// The job format of the off-thread compilation pipeline. A CompileTask
+/// carries an immutable snapshot of everything one compile needs — the
+/// specialized argument values, tier vectors, OSR frame slots and a
+/// whole-program type-feedback snapshot — so a worker thread can run
+/// MIR -> LIR -> native without touching any state the main thread
+/// mutates. The finished binary is published through a single atomic
+/// result slot: the worker release-stores a CompileOutcome, the main
+/// thread acquire-loads it at a dispatch boundary and links the code in.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITVS_JIT_COMPILETASK_H
+#define JITVS_JIT_COMPILETASK_H
+
+#include "mir/Tier.h"
+#include "vm/GC.h"
+#include "vm/TypeFeedback.h"
+#include "vm/Value.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace jitvs {
+
+struct FunctionInfo;
+class NativeCode;
+
+/// Queue ordering: despecialization/generic recompiles outrank first
+/// compiles — a function that lost its binary is interpreting *now*,
+/// while a first compile merely upgrades code that was never native.
+enum class CompilePriority : uint8_t {
+  Recompile = 0,    ///< Replaces a body the policy just invalidated.
+  FirstCompile = 1, ///< A function's (or loop's) first binary.
+};
+
+/// What a worker hands back: the binary plus everything the main thread
+/// needs to install it. Owned by the task's result slot; destroying an
+/// outcome whose donated allocations were never adopted frees them on
+/// the spot (the install was skipped, so nothing else references them).
+struct CompileOutcome {
+  CompileOutcome() = default;
+  CompileOutcome(const CompileOutcome &) = delete;
+  CompileOutcome &operator=(const CompileOutcome &) = delete;
+  ~CompileOutcome() {
+    if (!Donated.empty())
+      Heap::freeChain(Donated);
+  }
+
+  std::shared_ptr<NativeCode> Code;
+  /// Worker wall-clock spent in the pipeline (EngineStats::CompileSeconds
+  /// counts this; it is *not* main-thread stall).
+  double Seconds = 0.0;
+  /// Macro-op pairs fused (folded into EngineStats at install).
+  unsigned Fused = 0;
+
+  /// Whether the binary actually specializes (a worker-side tier choice
+  /// may conclude all-generic even when the task asked to specialize).
+  bool Specialized = false;
+  /// Entry tiers the build used; meaningful when HaveTiers (otherwise
+  /// the all-value default applied). The install path rebuilds the
+  /// dispatch signature from these plus the task's argument snapshot.
+  bool HaveTiers = false;
+  std::vector<ParamTier> Tiers;
+  /// OSR frame-slot tiers, same convention.
+  bool HaveSlotTiers = false;
+  std::vector<ParamTier> SlotTiers;
+
+  /// Objects constant folding allocated in the worker's private heap
+  /// (ConstPool entries may point into this chain). The install path
+  /// splices them into the main heap (Heap::adoptChain); the GC is
+  /// non-moving, so the pointers baked into the pool stay valid.
+  Heap::DetachedChain Donated;
+};
+
+/// One queued compilation. All input fields are immutable once the task
+/// is enqueued; Result is the only field written afterwards (by exactly
+/// one worker, with a release store).
+struct CompileTask {
+  CompileTask() = default;
+  CompileTask(const CompileTask &) = delete;
+  CompileTask &operator=(const CompileTask &) = delete;
+  ~CompileTask() { delete Result.load(std::memory_order_acquire); }
+
+  FunctionInfo *Info = nullptr;
+  /// Dedup key second component: one outstanding entry task and one
+  /// outstanding OSR task per function at most.
+  bool IsOsr = false;
+  CompilePriority Priority = CompilePriority::FirstCompile;
+  /// FIFO tiebreak within a priority class (assigned by the queue).
+  uint64_t Seq = 0;
+  /// FuncState generation at enqueue. The install path drops the result
+  /// when the function's policy state moved on (bailout discard,
+  /// despecialization decision) while the compile was in flight.
+  uint32_t Generation = 0;
+
+  // --- Immutable compile inputs ---
+  bool Specialized = false;
+  std::vector<Value> SpecArgs; ///< GC-rooted via CompileQueue::forEachTask.
+  bool HaveTiers = false;
+  std::vector<ParamTier> Tiers;
+  /// Tiered policy first compiles: the worker picks tiers itself from
+  /// the profiler's seqlock-published stability snapshot (reading the
+  /// live profile tables off-thread would race the interpreter).
+  bool ChooseTiersOnWorker = false;
+
+  bool HasOsr = false;
+  uint32_t OsrPc = 0;
+  std::vector<Value> OsrSlots; ///< GC-rooted via CompileQueue::forEachTask.
+  bool HaveOsrTiers = false;
+  std::vector<ParamTier> OsrTiers;
+
+  /// Whole-program feedback snapshot captured at enqueue; the builder
+  /// reads this instead of the live FunctionInfo::Feedback maps.
+  std::shared_ptr<const FeedbackSnapshot> Feedback;
+  uint64_t EnqueueNs = 0; ///< For the compile-wait histogram.
+
+  /// Publication slot: null until the worker release-stores the finished
+  /// outcome; the main thread's pump acquire-loads it exactly once.
+  std::atomic<CompileOutcome *> Result{nullptr};
+};
+
+} // namespace jitvs
+
+#endif // JITVS_JIT_COMPILETASK_H

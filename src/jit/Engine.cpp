@@ -10,11 +10,14 @@
 #include "support/Timer.h"
 #include "telemetry/Metrics.h"
 #include "telemetry/Telemetry.h"
+#include "vm/Bytecode.h"
 #include "vm/Interpreter.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 using namespace jitvs;
 
@@ -59,6 +62,13 @@ void recordCacheEvent(TelemetryEventKind Kind, const FunctionInfo *Info,
   telemetry().record(E);
 }
 
+uint64_t monotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 } // namespace
 
 /// Roots everything the engine keeps alive across GC: cached argument
@@ -77,15 +87,41 @@ public:
         if (P.Tier == ParamTier::Value)
           Marker.mark(P.V);
     };
+    auto MarkPool = [&Marker](const NativeCode &Code) {
+      for (const Value &V : Code.ConstPool)
+        Marker.mark(V);
+    };
     for (auto &[Info, FS] : E.States) {
       MarkSig(FS.Sig);
       MarkSig(FS.OsrSig);
-      for (const auto &[Sig, Code] : FS.ExtraSpecializations)
+      // Background-installed binaries are not in AllCode; root their
+      // pools directly (redundant but harmless in synchronous mode).
+      if (FS.Code)
+        MarkPool(*FS.Code);
+      for (const auto &[Sig, Code] : FS.ExtraSpecializations) {
         MarkSig(Sig);
+        if (Code)
+          MarkPool(*Code);
+      }
     }
     for (const auto &Code : E.AllCode)
-      for (const Value &V : Code->ConstPool)
-        Marker.mark(V);
+      MarkPool(*Code);
+    // Retired-but-unreclaimed binaries: in-flight frames may still
+    // execute them, so their pools must stay rooted until freed.
+    E.Reclaimer.forEachRetained(MarkPool);
+    // Queued/running/completed compiles: the argument and OSR-slot
+    // snapshots they bake in must survive until installed or dropped.
+    // (Completed-but-uninstalled pools need no marking: every main-heap
+    // value they hold is one of these snapshot values or a program
+    // constant; fold results live in the worker heap, which the main
+    // GC never sweeps.)
+    if (E.Queue)
+      E.Queue->forEachTask([&Marker](const CompileTask &T) {
+        for (const Value &V : T.SpecArgs)
+          Marker.mark(V);
+        for (const Value &V : T.OsrSlots)
+          Marker.mark(V);
+      });
   }
 
 private:
@@ -127,6 +163,9 @@ Engine::Engine(Runtime &RT, const OptConfig &Config,
   BailoutLimit = Knobs.BailoutLimit;
   CacheDepth = std::max(1u, Knobs.CacheDepth);
   ValueStabilityMax = Knobs.ValueStabilityMax;
+  CompileThreadCount = Knobs.CompileThreads;
+  CompileDrainMode = Knobs.CompileDrain;
+  initCompileQueue();
 }
 
 Engine::Engine(Runtime &RT, const OptConfig &Config)
@@ -144,11 +183,49 @@ Engine::Engine(Runtime &RT, const OptConfig &Config)
       ValueStabilityMax = static_cast<uint32_t>(V);
   if (const char *F = std::getenv("JITVS_FUSION"))
     FusionEnabled = std::strcmp(F, "0") != 0 && std::strcmp(F, "off") != 0;
+  if (const char *T = std::getenv("JITVS_COMPILE_THREADS")) {
+    if (!std::strcmp(T, "auto")) {
+      unsigned HW = std::thread::hardware_concurrency();
+      CompileThreadCount = HW > 1 ? HW - 1 : 1;
+    } else if (int V = std::atoi(T); V > 0) {
+      CompileThreadCount = static_cast<unsigned>(V);
+    }
+  }
+  if (const char *D = std::getenv("JITVS_COMPILE_DRAIN"))
+    CompileDrainMode = std::strcmp(D, "0") != 0 && std::strcmp(D, "off") != 0;
+  initCompileQueue();
+}
+
+void Engine::initCompileQueue() {
+  if (CompileThreadCount == 0)
+    return;
+  CompileThreadCount = std::min(CompileThreadCount, 16u);
+  for (unsigned I = 0; I != CompileThreadCount; ++I) {
+    auto FoldRT = std::make_unique<Runtime>();
+    // Fold temporaries are unrooted in the worker heap; a collection
+    // there would sweep constants mid-compile. Surviving allocations
+    // are donated to the main heap at install, so the worker heap only
+    // ever holds garbage from discarded compiles — bounded and freed
+    // with the Runtime.
+    FoldRT->heap().setGCThreshold(SIZE_MAX);
+    WorkerRTs.push_back(std::move(FoldRT));
+  }
+  Queue = std::make_unique<CompileQueue>(
+      CompileThreadCount, /*Bound=*/128,
+      [this](CompileTask &Task, unsigned WorkerIdx) {
+        workerCompile(Task, *WorkerRTs[WorkerIdx]);
+      });
 }
 
 Engine::~Engine() {
+  // Stop the workers before anything they compile against can go away.
+  // Pending jobs are dropped; running ones finish and are joined. The
+  // queue object survives until publishMetrics has read its counters.
+  if (Queue)
+    Queue->shutdown();
   if (metricsEnabled())
     publishMetrics();
+  Queue.reset();
   if (RT.hooks() == this)
     RT.setHooks(nullptr);
 }
@@ -202,12 +279,10 @@ ParamTier Engine::sigTier(const SpecSig &Sig) {
   return T;
 }
 
-std::vector<ParamTier> Engine::chooseTiers(FunctionInfo *Info,
-                                           size_t NumArgs) {
+std::vector<ParamTier>
+Engine::tiersFromStability(const std::vector<ParamStability> &Stab,
+                           size_t NumArgs) const {
   std::vector<ParamTier> Tiers(NumArgs, ParamTier::Value);
-  if (Policy != TierPolicy::Tiered || !Profiler)
-    return Tiers;
-  std::vector<ParamStability> Stab = Profiler->paramStability(Info);
   for (size_t I = 0; I != NumArgs && I != Stab.size(); ++I) {
     if (Stab[I].DistinctValues <= ValueStabilityMax)
       Tiers[I] = ParamTier::Value;
@@ -217,6 +292,21 @@ std::vector<ParamTier> Engine::chooseTiers(FunctionInfo *Info,
       Tiers[I] = ParamTier::Generic;
   }
   return Tiers;
+}
+
+std::vector<ParamTier> Engine::chooseTiers(FunctionInfo *Info,
+                                           size_t NumArgs) {
+  if (Policy != TierPolicy::Tiered || !Profiler)
+    return std::vector<ParamTier>(NumArgs, ParamTier::Value);
+  return tiersFromStability(Profiler->paramStability(Info), NumArgs);
+}
+
+std::vector<ParamTier>
+Engine::chooseTiersFromSnapshot(const FunctionInfo *Info,
+                                size_t NumArgs) const {
+  if (Policy != TierPolicy::Tiered || !Profiler)
+    return std::vector<ParamTier>(NumArgs, ParamTier::Value);
+  return tiersFromStability(Profiler->paramStabilitySnapshot(Info), NumArgs);
 }
 
 std::vector<ParamTier> Engine::demoteTiers(FunctionInfo *Info,
@@ -299,11 +389,12 @@ void Engine::recordCacheHit(FuncState &FS, const SpecSig &Sig,
   recordCacheEvent(TelemetryEventKind::CacheHit, Info);
 }
 
-std::shared_ptr<NativeCode>
-Engine::compile(FunctionInfo *Info, const std::vector<Value> *SpecArgs,
-                const std::vector<ParamTier> *Tiers, const uint32_t *OsrPc,
-                const std::vector<Value> *OsrSlots,
-                const std::vector<ParamTier> *OsrTiers) {
+Engine::PipelineOut Engine::runCompilePipeline(
+    FunctionInfo *Info, const std::vector<Value> *SpecArgs,
+    const std::vector<ParamTier> *Tiers, const uint32_t *OsrPc,
+    const std::vector<Value> *OsrSlots,
+    const std::vector<ParamTier> *OsrTiers, Runtime &FoldRT,
+    const FeedbackSnapshot *Feedback, bool OnMainThread) {
   Timer T;
   MetricsPhaseTimer CompilePhase(Phase::Compile);
 
@@ -330,26 +421,32 @@ Engine::compile(FunctionInfo *Info, const std::vector<Value> *SpecArgs,
     if (OsrTiers)
       Opts.OsrSlotTiers = *OsrTiers;
   }
+  Opts.Feedback = Feedback;
 
   std::unique_ptr<MIRGraph> Graph;
   {
     MetricsPhaseTimer BuildPhase(Phase::MIRBuild);
     Graph = buildMIR(Info, Opts);
   }
-  GraphRoots RootGuard(RT.heap(), *Graph);
+  // Main thread: folding allocates on the live heap, so the graph's
+  // constants must be rooted across a possible collection. Workers fold
+  // on a private GC-disabled heap instead — nothing can be swept there.
+  std::unique_ptr<GraphRoots> RootGuard;
+  if (OnMainThread)
+    RootGuard = std::make_unique<GraphRoots>(RT.heap(), *Graph);
 
   // §3.7: closures passed as parameters become constant callees under
   // specialization; inline them immediately, without guards.
   if (Config.ParameterSpecialization) {
     MetricsPhaseTimer PassPhase(Phase::OptPass);
     Timer InlineT;
-    runClosureInlining(*Graph, RT, Config);
+    runClosureInlining(*Graph, FoldRT, Config);
     if (metricsEnabled())
       metrics().recordPass("ClosureInlining",
                            static_cast<uint64_t>(InlineT.seconds() * 1e9));
   }
 
-  runOptimizationPipeline(*Graph, RT, Config);
+  runOptimizationPipeline(*Graph, FoldRT, Config);
 
 #ifndef NDEBUG
   std::string Violation = verifyGraph(*Graph);
@@ -365,12 +462,13 @@ Engine::compile(FunctionInfo *Info, const std::vector<Value> *SpecArgs,
     MetricsPhaseTimer CodegenPhase(Phase::Codegen);
     Code = generateCode(*Graph);
   }
+  unsigned TotalFused = 0;
   if (FusionEnabled) {
     MetricsPhaseTimer FusionPhase(Phase::Fusion);
     Timer FuseT;
     FusionStats FuseStats;
     unsigned Fused = fuseMacroOps(*Code, &FuseStats);
-    Stats.FusedOps += Fused;
+    TotalFused += Fused;
     if (telemetryEnabled(TelPass)) {
       // Same span shape as the MIR passes: A/B = dispatched instruction
       // count before/after (the static Code.size() is unchanged), C = 0
@@ -387,7 +485,6 @@ Engine::compile(FunctionInfo *Info, const std::vector<Value> *SpecArgs,
       telemetry().record(E);
     }
   }
-  AllCode.push_back(Code);
 
   double Seconds = T.seconds();
   if (telemetryEnabled(TelCompile)) {
@@ -401,7 +498,26 @@ Engine::compile(FunctionInfo *Info, const std::vector<Value> *SpecArgs,
     E.C = Code->sizeInInstructions();
     telemetry().record(E);
   }
-  Stats.CompileSeconds += Seconds;
+  PipelineOut Out;
+  Out.Code = std::move(Code);
+  Out.Seconds = Seconds;
+  Out.Fused = TotalFused;
+  return Out;
+}
+
+std::shared_ptr<NativeCode>
+Engine::compile(FunctionInfo *Info, const std::vector<Value> *SpecArgs,
+                const std::vector<ParamTier> *Tiers, const uint32_t *OsrPc,
+                const std::vector<Value> *OsrSlots,
+                const std::vector<ParamTier> *OsrTiers) {
+  PipelineOut Out =
+      runCompilePipeline(Info, SpecArgs, Tiers, OsrPc, OsrSlots, OsrTiers,
+                         RT, /*Feedback=*/nullptr, /*OnMainThread=*/true);
+  Stats.FusedOps += Out.Fused;
+  AllCode.push_back(Out.Code);
+  Stats.CompileSeconds += Out.Seconds;
+  // A synchronous compile blocks the caller for its whole duration.
+  Stats.CompileStallSeconds += Out.Seconds;
   ++Stats.Compilations;
   if (SpecArgs)
     ++Stats.SpecializedCompiles;
@@ -410,14 +526,220 @@ Engine::compile(FunctionInfo *Info, const std::vector<Value> *SpecArgs,
 
   FuncState &FS = state(Info);
   ++FS.Compiles;
-  FS.CompileSeconds += Seconds;
+  FS.CompileSeconds += Out.Seconds;
   if (FS.Compiles > 1)
     ++Stats.Recompilations;
-  FS.MinCodeSize = std::min(FS.MinCodeSize, Code->sizeInInstructions());
-  FS.MinCodeSizePostFusion =
-      std::min(FS.MinCodeSizePostFusion, Code->sizeInInstructionsPostFusion());
-  FS.FusedOps += Code->FusedPairs;
-  return Code;
+  FS.MinCodeSize = std::min(FS.MinCodeSize, Out.Code->sizeInInstructions());
+  FS.MinCodeSizePostFusion = std::min(FS.MinCodeSizePostFusion,
+                                      Out.Code->sizeInInstructionsPostFusion());
+  FS.FusedOps += Out.Code->FusedPairs;
+  return Out.Code;
+}
+
+static bool allGenericTiers(const std::vector<ParamTier> &Tiers) {
+  if (Tiers.empty())
+    return false;
+  for (ParamTier T : Tiers)
+    if (T != ParamTier::Generic)
+      return false;
+  return true;
+}
+
+void Engine::workerCompile(CompileTask &Task, Runtime &FoldRT) {
+  MetricsPhaseTimer QueuePhase(Phase::CompileQueue);
+
+  bool Specialized = Task.Specialized;
+  bool HaveTiers = Task.HaveTiers;
+  std::vector<ParamTier> Tiers = Task.Tiers;
+  if (Specialized && Task.ChooseTiersOnWorker) {
+    // Tiered first compiles read the profile here, off-thread, through
+    // the seqlock snapshot — by the time a queued compile runs, the
+    // profile is richer than it was at enqueue anyway.
+    Tiers = chooseTiersFromSnapshot(Task.Info, Task.SpecArgs.size());
+    HaveTiers = true;
+    if (allGenericTiers(Tiers))
+      Specialized = false; // Nothing stable: build generic instead.
+  }
+  bool HaveSlotTiers = Task.HaveOsrTiers;
+  std::vector<ParamTier> SlotTiers = Task.OsrTiers;
+  if (Task.HasOsr && Specialized && !HaveSlotTiers) {
+    // First OSR compile: frame slots are parameters first (sharing the
+    // entry tiers), then locals at the value tier — same shape the
+    // synchronous loop-head path builds.
+    SlotTiers.assign(Task.OsrSlots.size(), ParamTier::Value);
+    for (size_t I = 0; I != Tiers.size() && I != SlotTiers.size(); ++I)
+      SlotTiers[I] = Tiers[I];
+    HaveSlotTiers = true;
+  }
+
+  auto Out = std::make_unique<CompileOutcome>();
+  GCObject *Mark = FoldRT.heap().allocationMark();
+  const uint32_t *OsrPc = Task.HasOsr ? &Task.OsrPc : nullptr;
+  PipelineOut P = runCompilePipeline(
+      Task.Info, Specialized ? &Task.SpecArgs : nullptr,
+      Specialized && HaveTiers ? &Tiers : nullptr, OsrPc,
+      Task.HasOsr && Specialized ? &Task.OsrSlots : nullptr,
+      Task.HasOsr && Specialized && HaveSlotTiers ? &SlotTiers : nullptr,
+      FoldRT, Task.Feedback.get(), /*OnMainThread=*/false);
+  // Fold helpers may set the error flag (they never throw to users from
+  // a compile); clear it so one poisoned fold cannot taint later jobs.
+  FoldRT.clearError();
+
+  Out->Code = std::move(P.Code);
+  Out->Seconds = P.Seconds;
+  Out->Fused = P.Fused;
+  Out->Specialized = Specialized;
+  Out->HaveTiers = Specialized && HaveTiers;
+  if (Out->HaveTiers)
+    Out->Tiers = std::move(Tiers);
+  Out->HaveSlotTiers = Task.HasOsr && Specialized && HaveSlotTiers;
+  if (Out->HaveSlotTiers)
+    Out->SlotTiers = std::move(SlotTiers);
+  Out->Donated = FoldRT.heap().detachAllocatedSince(Mark);
+  // Publication: the release store pairs with the pump's acquire load,
+  // making every write above (including the code buffer) visible to the
+  // main thread before the pointer is.
+  Task.Result.store(Out.release(), std::memory_order_release);
+}
+
+std::shared_ptr<const FeedbackSnapshot>
+Engine::captureFeedback(FunctionInfo *Info) {
+  auto S = std::make_shared<FeedbackSnapshot>();
+  // Whole program, not just Info: closure inlining reads callee
+  // feedback, and any function reachable through a constant closure can
+  // be built into this graph.
+  if (Program *P = Info->Parent) {
+    for (size_t I = 0; I != P->numFunctions(); ++I) {
+      FunctionInfo *F = P->function(static_cast<uint32_t>(I));
+      S->add(F, F->Feedback);
+    }
+  } else {
+    S->add(Info, Info->Feedback);
+  }
+  return S;
+}
+
+void Engine::enqueueCompileTask(FunctionInfo *Info, FuncState &FS,
+                                std::unique_ptr<CompileTask> Task) {
+  Task->Info = Info;
+  Task->Generation = FS.Generation;
+  Task->Feedback = captureFeedback(Info);
+  Task->EnqueueNs = monotonicNowNs();
+  CompileQueue::EnqueueResult R =
+      Queue->enqueue(std::shared_ptr<CompileTask>(std::move(Task)));
+  if (R != CompileQueue::EnqueueResult::Full)
+    FS.CompilePending = true;
+  if (metricsEnabled())
+    metrics().setGauge("engine.compile_queue.depth",
+                       static_cast<double>(Queue->depth()));
+}
+
+void Engine::retireCode(std::shared_ptr<NativeCode> Code) {
+  if (!Code)
+    return;
+  if (Queue)
+    Reclaimer.retire(std::move(Code));
+  // Synchronous mode: AllCode keeps the pool rooted forever (legacy
+  // behavior); dropping the reference here is all the unlinking needed.
+}
+
+void Engine::pumpCompileQueue() {
+  if (!Queue)
+    return;
+  // Dispatch boundaries are the reclamation safepoints: any frame still
+  // executing retired code entered before this boundary and pins its
+  // binary via the execute()-local shared_ptr.
+  Reclaimer.tick();
+  if (!Queue->hasCompleted())
+    return;
+  for (const auto &Task : Queue->takeCompleted())
+    installCompleted(*Task);
+  if (metricsEnabled())
+    metrics().setGauge("engine.compile_queue.depth",
+                       static_cast<double>(Queue->depth()));
+}
+
+void Engine::installCompleted(CompileTask &Task) {
+  CompileOutcome *Out = Task.Result.load(std::memory_order_acquire);
+  if (!Out)
+    return; // Worker died mid-task; nothing was published.
+  FuncState &FS = state(Task.Info);
+  FS.CompilePending = false;
+
+  // The worker's wall-clock counts as compile time whether or not the
+  // result still installs — the work happened.
+  Stats.CompileSeconds += Out->Seconds;
+  if (metricsEnabled()) {
+    metrics().recordValue("compile_queue.wait_ns",
+                          monotonicNowNs() - Task.EnqueueNs);
+    metrics().recordValue("compile_queue.stall_hidden_ns",
+                          static_cast<uint64_t>(Out->Seconds * 1e9));
+  }
+
+  if (Task.Generation != FS.Generation || !Out->Code) {
+    // The policy moved on (bailout discard, newer despecialization)
+    // while this compile was in flight: drop it. The outcome destructor
+    // frees the donated fold allocations nothing ever referenced.
+    if (metricsEnabled())
+      metrics().addCounter("engine.compile_queue.stale_results", 1);
+    return;
+  }
+
+  // Adopt the worker-heap fold allocations the constant pool points
+  // into before the binary becomes reachable by the GC's root walk.
+  RT.heap().adoptChain(Out->Donated);
+  Out->Donated = {};
+
+  // Atomic-publication install: unlink (retire) the stale body, link
+  // the new one. In-flight frames of the old body drain through their
+  // existing bailout/resume points; the reclaimer frees it once they do.
+  retireCode(std::move(FS.Code));
+  for (auto &[Sig, ExtraCode] : FS.ExtraSpecializations)
+    retireCode(std::move(ExtraCode));
+  FS.ExtraSpecializations.clear();
+  FS.Code = Out->Code;
+
+  Stats.FusedOps += Out->Fused;
+  ++Stats.Compilations;
+  if (Out->Specialized)
+    ++Stats.SpecializedCompiles;
+  else
+    ++Stats.GenericCompiles;
+  ++FS.Compiles;
+  FS.CompileSeconds += Out->Seconds;
+  if (FS.Compiles > 1)
+    ++Stats.Recompilations;
+  FS.MinCodeSize = std::min(FS.MinCodeSize, FS.Code->sizeInInstructions());
+  FS.MinCodeSizePostFusion = std::min(
+      FS.MinCodeSizePostFusion, FS.Code->sizeInInstructionsPostFusion());
+  FS.FusedOps += FS.Code->FusedPairs;
+
+  FS.Specialized = Out->Specialized;
+  FS.Bailouts = 0;
+  if (Out->Specialized) {
+    FS.EverSpecialized = true;
+    FS.Sig = makeSig(Out->HaveTiers ? &Out->Tiers : nullptr,
+                     Task.SpecArgs.data(), Task.SpecArgs.size());
+    if (Task.HasOsr)
+      FS.OsrSig = makeSig(Out->HaveSlotTiers ? &Out->SlotTiers : nullptr,
+                          Task.OsrSlots.data(), Task.OsrSlots.size());
+    else
+      FS.OsrSig.clear();
+  } else {
+    FS.Sig.clear();
+    FS.OsrSig.clear();
+  }
+}
+
+void Engine::drainCompiles() {
+  if (!Queue)
+    return;
+  Timer T;
+  Queue->drain();
+  // Waiting on the queue is main-thread stall, the thing the background
+  // pipeline exists to avoid; drain mode measures it honestly.
+  Stats.CompileStallSeconds += T.seconds();
+  pumpCompileQueue();
 }
 
 Value Engine::execute(FuncState &FS, FunctionInfo *Info, const Value &ThisV,
@@ -516,26 +838,22 @@ Value Engine::execute(FuncState &FS, FunctionInfo *Info, const Value &ThisV,
   // bounds the nesting: the next compile uses the refreshed feedback.
   if (FS.Bailouts >= BailoutLimit && FS.Code == Code) {
     recordCacheEvent(TelemetryEventKind::Discard, Info, "bailout-limit");
-    FS.Code.reset();
+    retireCode(std::move(FS.Code));
     FS.Bailouts = 0;
     FS.Specialized = false;
+    // Invalidate any in-flight background compile: it was built from
+    // the pre-bailout feedback and would reinstate the failing guards.
+    ++FS.Generation;
   }
 
   BailoutPhase.stop();
   return RT.resumeFrame(Frame);
 }
 
-static bool allGeneric(const std::vector<ParamTier> &Tiers) {
-  if (Tiers.empty())
-    return false;
-  for (ParamTier T : Tiers)
-    if (T != ParamTier::Generic)
-      return false;
-  return true;
-}
-
 bool Engine::onCall(JSFunction *Callee, const Value &ThisV,
                     const Value *Args, size_t NumArgs, Value &Result) {
+  if (Queue)
+    return onCallAsync(Callee, ThisV, Args, NumArgs, Result);
   FunctionInfo *Info = Callee->info();
   FuncState &FS = state(Info);
 
@@ -603,7 +921,7 @@ bool Engine::onCall(JSFunction *Callee, const Value &ThisV,
       FS.Code.reset();
       FS.Sig.clear();
       FS.ExtraSpecializations.clear();
-      if (allGeneric(NewTiers)) {
+      if (allGenericTiers(NewTiers)) {
         ++Stats.GenericFallbacks;
         FS.Specialized = false;
         FS.NeverSpecialize = true;
@@ -633,7 +951,7 @@ bool Engine::onCall(JSFunction *Callee, const Value &ThisV,
       Config.ParameterSpecialization && !FS.NeverSpecialize;
   if (Specialize) {
     std::vector<ParamTier> Tiers = chooseTiers(Info, NumArgs);
-    if (allGeneric(Tiers)) {
+    if (allGenericTiers(Tiers)) {
       // The profile shows nothing stable: skip the ladder entirely.
       FS.Code = compile(Info, nullptr, nullptr, nullptr, nullptr);
     } else {
@@ -653,6 +971,8 @@ bool Engine::onCall(JSFunction *Callee, const Value &ThisV,
 }
 
 bool Engine::onLoopHead(InterpFrame &Frame, uint32_t PC, Value &Result) {
+  if (Queue)
+    return onLoopHeadAsync(Frame, PC, Result);
   FunctionInfo *Info = Frame.Info;
   if (Info->BackEdgeCount < LoopThreshold)
     return false;
@@ -692,7 +1012,7 @@ bool Engine::onLoopHead(InterpFrame &Frame, uint32_t PC, Value &Result) {
         FS.Code.reset();
         FS.Sig.clear();
         FS.OsrSig.clear();
-        if (allGeneric(SlotTiers)) {
+        if (allGenericTiers(SlotTiers)) {
           ++Stats.GenericFallbacks;
           FS.Specialized = false;
           FS.NeverSpecialize = true;
@@ -744,7 +1064,7 @@ bool Engine::onLoopHead(InterpFrame &Frame, uint32_t PC, Value &Result) {
         FS.Specialized = false;
         FS.Sig.clear();
         FS.OsrSig.clear();
-        if (allGeneric(Tiers)) {
+        if (allGenericTiers(Tiers)) {
           ++Stats.GenericFallbacks;
           FS.NeverSpecialize = true;
           Specialize = false;
@@ -759,7 +1079,7 @@ bool Engine::onLoopHead(InterpFrame &Frame, uint32_t PC, Value &Result) {
     if (Specialize) {
       if (!HaveTiers)
         Tiers = chooseTiers(Info, Frame.OrigArgs.size());
-      if (allGeneric(Tiers)) {
+      if (allGenericTiers(Tiers)) {
         FS.Code = compile(Info, nullptr, nullptr, &PC, nullptr);
       } else {
         std::vector<Value> ArgVec = Frame.OrigArgs;
@@ -798,6 +1118,272 @@ bool Engine::onLoopHead(InterpFrame &Frame, uint32_t PC, Value &Result) {
                    Frame.OrigArgs.size(), /*AtOsr=*/true, &OsrSlots,
                    Frame.Env, Frame.ClosureEnv);
   return true;
+}
+
+bool Engine::onCallAsync(JSFunction *Callee, const Value &ThisV,
+                         const Value *Args, size_t NumArgs, Value &Result) {
+  pumpCompileQueue();
+  FunctionInfo *Info = Callee->info();
+  FuncState &FS = state(Info);
+
+  // Drain mode retries the dispatch once after blocking on the queue so
+  // compiles take effect at the same trigger points as the synchronous
+  // pipeline (deterministic for differential testing).
+  for (int Attempt = 0;; ++Attempt) {
+    if (FS.Code) {
+      if (!FS.Specialized) {
+        ++Stats.NativeCalls;
+        Result = execute(FS, Info, ThisV, Args, NumArgs, /*AtOsr=*/false,
+                         nullptr, nullptr, Callee->environment());
+        return true;
+      }
+      if (sigMatches(FS.Sig, Args, NumArgs)) {
+        recordCacheHit(FS, FS.Sig, Info);
+        Result = execute(FS, Info, ThisV, Args, NumArgs, /*AtOsr=*/false,
+                         nullptr, nullptr, Callee->environment());
+        return true;
+      }
+      for (auto &[Sig, CachedCode] : FS.ExtraSpecializations) {
+        if (sigMatches(Sig, Args, NumArgs)) {
+          recordCacheHit(FS, Sig, Info);
+          Result = execute(FS, Info, ThisV, Args, NumArgs, /*AtOsr=*/false,
+                           nullptr, nullptr, Callee->environment(),
+                           CachedCode);
+          return true;
+        }
+      }
+      if (!FS.CompilePending) {
+        if (FS.ExtraSpecializations.size() + 1 < CacheDepth) {
+          // Cache-depth fill (non-default config): compile synchronously.
+          // Extra slots are additive — there is no stale body whose
+          // replacement latency a background compile would hide.
+          std::vector<Value> ArgVec(Args, Args + NumArgs);
+          std::vector<ParamTier> Tiers = chooseTiers(Info, NumArgs);
+          std::shared_ptr<NativeCode> NewCode =
+              compile(Info, &ArgVec, &Tiers, nullptr, nullptr);
+          FS.ExtraSpecializations.emplace_back(makeSig(&Tiers, Args, NumArgs),
+                                               NewCode);
+          ++Stats.NativeCalls;
+          Result = execute(FS, Info, ThisV, Args, NumArgs, /*AtOsr=*/false,
+                           nullptr, nullptr, Callee->environment(), NewCode);
+          return true;
+        }
+        // Specialization miss: make the policy decision now, but keep
+        // the stale body linked until its replacement publishes —
+        // matching calls still hit it; mismatching calls interpret.
+        ++Stats.Despecializations;
+        FS.EverDespecialized = true;
+        ++FS.Generation;
+        auto Task = std::make_unique<CompileTask>();
+        Task->Priority = CompilePriority::Recompile;
+        if (Policy == TierPolicy::Paper) {
+          FS.Cause = DespecializeCause::DifferentArgs;
+          recordCacheEvent(TelemetryEventKind::Despecialize, Info,
+                           "different-args");
+          FS.NeverSpecialize = true;
+        } else {
+          bool SawTypeMismatch = false;
+          std::vector<ParamTier> NewTiers =
+              demoteTiers(Info, FS.Sig, Args, NumArgs, SawTypeMismatch);
+          FS.Cause = SawTypeMismatch ? DespecializeCause::TypeMismatch
+                                     : DespecializeCause::ValueMismatch;
+          recordCacheEvent(TelemetryEventKind::Despecialize, Info,
+                           despecializeCauseName(FS.Cause));
+          if (allGenericTiers(NewTiers)) {
+            ++Stats.GenericFallbacks;
+            FS.NeverSpecialize = true;
+          } else {
+            Task->Specialized = true;
+            Task->SpecArgs.assign(Args, Args + NumArgs);
+            Task->HaveTiers = true;
+            Task->Tiers = std::move(NewTiers);
+          }
+        }
+        enqueueCompileTask(Info, FS, std::move(Task));
+      }
+    } else {
+      if (Info->CallCount < CallThreshold) {
+        ++Stats.InterpretedCalls;
+        return false;
+      }
+      if (!FS.CompilePending) {
+        bool Specialize =
+            Config.ParameterSpecialization && !FS.NeverSpecialize;
+        auto Task = std::make_unique<CompileTask>();
+        // A function that already had a binary (bailout discard) is
+        // interpreting right now; its recompile outranks first compiles.
+        Task->Priority = FS.Compiles ? CompilePriority::Recompile
+                                     : CompilePriority::FirstCompile;
+        if (Specialize) {
+          Task->Specialized = true;
+          Task->SpecArgs.assign(Args, Args + NumArgs);
+          Task->ChooseTiersOnWorker = Policy == TierPolicy::Tiered;
+        }
+        enqueueCompileTask(Info, FS, std::move(Task));
+      }
+    }
+    if (CompileDrainMode && FS.CompilePending && Attempt == 0) {
+      drainCompiles();
+      continue;
+    }
+    ++Stats.InterpretedCalls;
+    return false;
+  }
+}
+
+bool Engine::onLoopHeadAsync(InterpFrame &Frame, uint32_t PC, Value &Result) {
+  pumpCompileQueue();
+  FunctionInfo *Info = Frame.Info;
+  if (Info->BackEdgeCount < LoopThreshold)
+    return false;
+  FuncState &FS = state(Info);
+
+  for (int Attempt = 0;; ++Attempt) {
+    if (FS.Code && FS.Code->OsrPc == PC) {
+      if (FS.Specialized &&
+          !sigMatches(FS.OsrSig, Frame.Slots.data(), Frame.Slots.size())) {
+        // OSR revalidation miss. Decide the policy response once, queue
+        // the replacement, and keep interpreting the loop until it
+        // publishes (the stale body stays linked for entry calls whose
+        // arguments still match).
+        if (!FS.CompilePending) {
+          ++Stats.Despecializations;
+          FS.EverDespecialized = true;
+          ++FS.Generation;
+          auto Task = std::make_unique<CompileTask>();
+          Task->Priority = CompilePriority::Recompile;
+          Task->IsOsr = true;
+          Task->HasOsr = true;
+          Task->OsrPc = PC;
+          if (Policy == TierPolicy::Paper) {
+            FS.Cause = DespecializeCause::OsrRevalidation;
+            recordCacheEvent(TelemetryEventKind::Despecialize, Info,
+                             "osr-revalidation");
+            FS.NeverSpecialize = true;
+          } else {
+            bool SawTypeMismatch = false;
+            std::vector<ParamTier> SlotTiers =
+                demoteTiers(Info, FS.OsrSig, Frame.Slots.data(),
+                            Frame.Slots.size(), SawTypeMismatch);
+            FS.Cause = SawTypeMismatch ? DespecializeCause::TypeMismatch
+                                       : DespecializeCause::ValueMismatch;
+            recordCacheEvent(TelemetryEventKind::Despecialize, Info,
+                             despecializeCauseName(FS.Cause));
+            if (allGenericTiers(SlotTiers)) {
+              ++Stats.GenericFallbacks;
+              FS.NeverSpecialize = true;
+            } else {
+              std::vector<ParamTier> EntryTiers(
+                  SlotTiers.begin(),
+                  SlotTiers.begin() +
+                      std::min<size_t>(Info->NumParams, SlotTiers.size()));
+              Task->Specialized = true;
+              Task->SpecArgs = Frame.OrigArgs;
+              Task->HaveTiers = true;
+              Task->Tiers = std::move(EntryTiers);
+              Task->OsrSlots = Frame.Slots;
+              Task->HaveOsrTiers = true;
+              Task->OsrTiers = std::move(SlotTiers);
+            }
+          }
+          enqueueCompileTask(Info, FS, std::move(Task));
+        }
+        if (CompileDrainMode && FS.CompilePending && Attempt == 0) {
+          drainCompiles();
+          continue;
+        }
+        return false; // Stale OSR body is not enterable with these slots.
+      }
+    } else {
+      // No binary serves this loop head yet.
+      if (!FS.CompilePending) {
+        bool Specialize =
+            Config.ParameterSpecialization && !FS.NeverSpecialize;
+        bool HaveTiers = false;
+        std::vector<ParamTier> Tiers;
+        if (FS.Specialized && FS.Code &&
+            !sigMatches(FS.Sig, Frame.OrigArgs.data(),
+                        Frame.OrigArgs.size())) {
+          // The running frame's arguments differ from the cached
+          // specialization (mirrors the synchronous loop-head despec).
+          ++Stats.Despecializations;
+          FS.EverDespecialized = true;
+          ++FS.Generation;
+          if (Policy == TierPolicy::Paper) {
+            FS.Cause = DespecializeCause::DifferentArgs;
+            recordCacheEvent(TelemetryEventKind::Despecialize, Info,
+                             "different-args");
+            FS.NeverSpecialize = true;
+            Specialize = false;
+          } else {
+            bool SawTypeMismatch = false;
+            Tiers = demoteTiers(Info, FS.Sig, Frame.OrigArgs.data(),
+                                Frame.OrigArgs.size(), SawTypeMismatch);
+            HaveTiers = true;
+            FS.Cause = SawTypeMismatch ? DespecializeCause::TypeMismatch
+                                       : DespecializeCause::ValueMismatch;
+            recordCacheEvent(TelemetryEventKind::Despecialize, Info,
+                             despecializeCauseName(FS.Cause));
+            if (allGenericTiers(Tiers)) {
+              ++Stats.GenericFallbacks;
+              FS.NeverSpecialize = true;
+              Specialize = false;
+            }
+          }
+        }
+        // Same compile-storm guard as the synchronous path.
+        if (FS.Code && FS.Compiles > 8)
+          return false;
+        auto Task = std::make_unique<CompileTask>();
+        Task->Priority = FS.Code ? CompilePriority::Recompile
+                                 : CompilePriority::FirstCompile;
+        Task->IsOsr = true;
+        Task->HasOsr = true;
+        Task->OsrPc = PC;
+        if (Specialize) {
+          Task->Specialized = true;
+          Task->SpecArgs = Frame.OrigArgs;
+          Task->OsrSlots = Frame.Slots;
+          if (HaveTiers) {
+            Task->HaveTiers = true;
+            Task->Tiers = std::move(Tiers);
+          } else {
+            Task->ChooseTiersOnWorker = Policy == TierPolicy::Tiered;
+          }
+          // OSR slot tiers are derived on the worker (parameters share
+          // the entry tiers, locals stay value-tier), the same shape
+          // the synchronous path builds.
+        }
+        enqueueCompileTask(Info, FS, std::move(Task));
+      }
+      if (CompileDrainMode && FS.CompilePending && Attempt == 0) {
+        drainCompiles();
+        continue;
+      }
+      if (!FS.Code || FS.Code->OsrPc != PC)
+        return false;
+    }
+    // An installed binary serves this loop head: enter if it has a
+    // usable OSR entry and (when specialized) the live slots match.
+    if (!FS.Code || FS.Code->OsrPc != PC || FS.Code->OsrOffset == ~0u)
+      return false;
+    if (FS.Specialized &&
+        !sigMatches(FS.OsrSig, Frame.Slots.data(), Frame.Slots.size()))
+      return false; // Slots moved on while the compile was in flight.
+    ++Stats.OsrEntries;
+    if (telemetryEnabled(TelOsr)) {
+      TelemetryEvent E;
+      E.Kind = TelemetryEventKind::OsrEntry;
+      E.setFunc(Info->Name);
+      E.A = PC;
+      telemetry().record(E);
+    }
+    std::vector<Value> OsrSlots = Frame.Slots;
+    Result = execute(FS, Info, Frame.ThisV, Frame.OrigArgs.data(),
+                     Frame.OrigArgs.size(), /*AtOsr=*/true, &OsrSlots,
+                     Frame.Env, Frame.ClosureEnv);
+    return true;
+  }
 }
 
 std::vector<Engine::FunctionReport> Engine::functionReports() const {
@@ -854,6 +1440,18 @@ void Engine::publishMetrics() {
   M.addCounter("engine.calls.interpreted", Stats.InterpretedCalls);
   M.addCounter("engine.fused_ops", Stats.FusedOps);
   M.setGauge("engine.compile_seconds", Stats.CompileSeconds);
+  M.setGauge("engine.compile_stall_seconds", Stats.CompileStallSeconds);
+  if (Queue) {
+    CompileQueue::Counters QC = Queue->counters();
+    M.addCounter("engine.compile_queue.enqueued", QC.Enqueued);
+    M.addCounter("engine.compile_queue.coalesced", QC.Coalesced);
+    M.addCounter("engine.compile_queue.rejected_full", QC.RejectedFull);
+    M.addCounter("engine.compile_queue.compiled", QC.Compiled);
+    M.addCounter("engine.compile_queue.dropped_at_shutdown",
+                 QC.DroppedAtShutdown);
+    M.setGauge("engine.compile_queue.depth",
+               static_cast<double>(Queue->depth()));
+  }
 
   for (const FunctionReport &R : functionReports()) {
     Metrics::FunctionMetrics FM;

@@ -21,6 +21,7 @@
 #ifndef JITVS_JIT_ENGINE_H
 #define JITVS_JIT_ENGINE_H
 
+#include "jit/CompileQueue.h"
 #include "mir/Tier.h"
 #include "native/Executor.h"
 #include "native/NativeCode.h"
@@ -36,6 +37,7 @@
 namespace jitvs {
 
 class CallProfiler;
+struct ParamStability;
 
 /// How the engine specializes and reacts to specialization misses.
 enum class TierPolicy : uint8_t {
@@ -79,7 +81,14 @@ struct EngineStats {
   uint64_t InterpretedCalls = 0; ///< Calls the engine left to the interp.
   /// Macro-op pairs fused across all compiles (native/Fusion.cpp).
   uint64_t FusedOps = 0;
+  /// Total compile wall-clock, wherever it ran: synchronous compiles on
+  /// the main thread plus background compiles on worker threads.
   double CompileSeconds = 0.0;
+  /// The subset of compile time that actually blocked the main thread:
+  /// all of CompileSeconds in synchronous mode, only explicit
+  /// drainCompiles() waits in background mode. The gap between the two
+  /// is the stall the off-thread pipeline hid.
+  double CompileStallSeconds = 0.0;
 };
 
 /// Why a function lost its specialized binary (per-function reporting;
@@ -130,6 +139,16 @@ struct EngineKnobs {
   uint32_t BailoutLimit = 12;
   uint32_t CacheDepth = 1;
   uint32_t ValueStabilityMax = 1;
+  /// Background compilation workers. 0 (the default) is the legacy
+  /// synchronous pipeline, bit-for-bit identical to pre-queue behavior;
+  /// N >= 1 compiles off-thread while the caller keeps interpreting.
+  /// Env: JITVS_COMPILE_THREADS (a number, or "auto" = hw_concurrency-1).
+  uint32_t CompileThreads = 0;
+  /// Deterministic mode for differential testing: block on the queue
+  /// right after every enqueue, so compiles land at the same trigger
+  /// points as the synchronous pipeline while still exercising the
+  /// cross-thread publication machinery. Env: JITVS_COMPILE_DRAIN=1.
+  bool CompileDrain = false;
 };
 
 /// Per-function code-size record for Figure 10 (the paper reports the
@@ -197,6 +216,20 @@ public:
   /// JITVS_DISPATCH; see Executor::defaultDispatchMode).
   void setDispatchMode(DispatchMode M) { Exec.setDispatchMode(M); }
   DispatchMode dispatchMode() const { return Exec.dispatchMode(); }
+
+  /// Off-thread compilation (fixed at construction; see
+  /// EngineKnobs::CompileThreads). 0 = synchronous legacy pipeline.
+  unsigned compileThreads() const { return CompileThreadCount; }
+  bool compileDrainMode() const { return CompileDrainMode; }
+  /// Blocks until every queued compile has finished, then installs the
+  /// results. The wait is accounted to EngineStats::CompileStallSeconds.
+  /// No-op in synchronous mode.
+  void drainCompiles();
+  /// Queued-but-unstarted background compiles (0 in synchronous mode).
+  size_t pendingCompiles() const { return Queue ? Queue->depth() : 0; }
+  /// The deferred-reclamation parking lot for unlinked binaries
+  /// (test/introspection hook; only populated in background mode).
+  const CodeReclaimer &codeReclaimer() const { return Reclaimer; }
 
   /// Per-function facts for the reports.
   struct FunctionReport {
@@ -266,18 +299,81 @@ private:
     size_t MinCodeSize = SIZE_MAX;
     size_t MinCodeSizePostFusion = SIZE_MAX;
     uint32_t FusedOps = 0;
+    // --- Background-compilation state (unused in synchronous mode) ---
+    /// Bumped whenever the policy state an in-flight compile was built
+    /// against is invalidated (despecialization decision, bailout-limit
+    /// discard). A finished task whose stamped generation no longer
+    /// matches is dropped at publication time instead of installed.
+    uint32_t Generation = 0;
+    /// A queued/running compile exists for this function; gates
+    /// re-enqueueing and policy re-decisions until it publishes.
+    bool CompilePending = false;
   };
 
   FuncState &state(FunctionInfo *Info);
 
-  /// Compiles \p Info. \p SpecArgs non-null => parameter specialization
-  /// with per-parameter \p Tiers (nullptr = all value-tier).
-  /// \p OsrPc/\p OsrSlots/\p OsrTiers build an OSR entry.
+  /// Compiles \p Info synchronously on the main thread. \p SpecArgs
+  /// non-null => parameter specialization with per-parameter \p Tiers
+  /// (nullptr = all value-tier). \p OsrPc/\p OsrSlots/\p OsrTiers build
+  /// an OSR entry.
   std::shared_ptr<NativeCode>
   compile(FunctionInfo *Info, const std::vector<Value> *SpecArgs,
           const std::vector<ParamTier> *Tiers, const uint32_t *OsrPc,
           const std::vector<Value> *OsrSlots,
           const std::vector<ParamTier> *OsrTiers = nullptr);
+
+  /// The thread-agnostic middle of compile(): build -> inline ->
+  /// optimize -> verify -> codegen -> fuse. Touches no engine state;
+  /// \p FoldRT supplies the heap/helpers constant folding uses (the
+  /// engine's own Runtime on the main thread, a worker-private one
+  /// off-thread), \p Feedback overrides the live feedback maps for
+  /// background builds, and \p OnMainThread gates the GraphRoots
+  /// registration (worker fold allocations are instead kept alive by
+  /// the worker heap's disabled GC).
+  struct PipelineOut {
+    std::shared_ptr<NativeCode> Code;
+    double Seconds = 0.0;
+    unsigned Fused = 0;
+  };
+  PipelineOut runCompilePipeline(FunctionInfo *Info,
+                                 const std::vector<Value> *SpecArgs,
+                                 const std::vector<ParamTier> *Tiers,
+                                 const uint32_t *OsrPc,
+                                 const std::vector<Value> *OsrSlots,
+                                 const std::vector<ParamTier> *OsrTiers,
+                                 Runtime &FoldRT,
+                                 const FeedbackSnapshot *Feedback,
+                                 bool OnMainThread);
+
+  // --- Off-thread compilation (tentpole of the background pipeline) ---
+  /// Spawns the worker pool + per-worker fold Runtimes (no-op when
+  /// CompileThreadCount is 0).
+  void initCompileQueue();
+  /// Runs one task on a worker thread: optional profiler-driven tier
+  /// choice, the pipeline against \p FoldRT, then release-publication
+  /// of the outcome into the task's result slot.
+  void workerCompile(CompileTask &Task, Runtime &FoldRT);
+  /// Dispatch-boundary safepoint: ticks the reclamation epoch and
+  /// installs every finished compile (or drops stale ones).
+  void pumpCompileQueue();
+  void installCompleted(CompileTask &Task);
+  /// Unlinks a replaced binary. Background mode parks it on the
+  /// reclaimer (in-flight frames may still run it and its pool must
+  /// stay rooted); synchronous mode just drops the reference (AllCode
+  /// keeps the pool rooted, exactly the legacy behavior).
+  void retireCode(std::shared_ptr<NativeCode> Code);
+  /// Builds + enqueues an entry/OSR task; sets FS.CompilePending unless
+  /// the queue rejected it (backlog full — retried at the next trigger).
+  void enqueueCompileTask(FunctionInfo *Info, FuncState &FS,
+                          std::unique_ptr<CompileTask> Task);
+  /// Immutable whole-program feedback copy for one background build.
+  std::shared_ptr<const FeedbackSnapshot> captureFeedback(FunctionInfo *Info);
+  /// Async twins of the dispatch hooks, used when a queue exists. They
+  /// mirror the synchronous policy decisions but never compile inline:
+  /// the caller keeps interpreting while the compile is in flight.
+  bool onCallAsync(JSFunction *Callee, const Value &ThisV, const Value *Args,
+                   size_t NumArgs, Value &Result);
+  bool onLoopHeadAsync(InterpFrame &Frame, uint32_t PC, Value &Result);
 
   /// Builds the dispatch signature for \p Args under \p Tiers (nullptr =
   /// all value-tier). Value entries keep the value; type entries keep
@@ -295,8 +391,19 @@ private:
   static ParamTier sigTier(const SpecSig &Sig);
 
   /// Tiered policy: initial per-parameter tiers for \p Info, consulting
-  /// the profiler when attached (all-Value otherwise).
+  /// the profiler when attached (all-Value otherwise). Main-thread only
+  /// (reads the live profile tables).
   std::vector<ParamTier> chooseTiers(FunctionInfo *Info, size_t NumArgs);
+
+  /// Worker-safe variant: reads the profiler's seqlock-published
+  /// stability snapshot instead of the live tables.
+  std::vector<ParamTier> chooseTiersFromSnapshot(const FunctionInfo *Info,
+                                                 size_t NumArgs) const;
+
+  /// Shared ladder mapping from per-slot stability to initial tiers.
+  std::vector<ParamTier>
+  tiersFromStability(const std::vector<ParamStability> &Stab,
+                     size_t NumArgs) const;
 
   /// Tiered policy: the demotion step. Computes the post-miss tier of
   /// every signature entry given the observed \p Args, records demotion
@@ -336,6 +443,19 @@ private:
   uint32_t ValueStabilityMax = 1;
   bool FusionEnabled = true;
   bool MetricsPublished = false; ///< publishMetrics ran (at most once).
+
+  // --- Off-thread compilation ---
+  unsigned CompileThreadCount = 0; ///< 0 = synchronous legacy pipeline.
+  bool CompileDrainMode = false;
+  /// One private Runtime per worker: constant folding's heap and helper
+  /// state without racing the main heap. GC is disabled on these heaps
+  /// (fold temporaries are unrooted there); allocations that survive to
+  /// a constant pool are donated to the main heap at install.
+  std::vector<std::unique_ptr<Runtime>> WorkerRTs;
+  /// Declared after WorkerRTs so workers are joined (queue destroyed)
+  /// before the Runtimes they fold against go away.
+  std::unique_ptr<CompileQueue> Queue;
+  CodeReclaimer Reclaimer;
 
   class EngineRoots;
   std::unique_ptr<EngineRoots> Roots;

@@ -251,6 +251,10 @@ private:
   void translateSetElem(uint32_t PC);
 
   const SiteFeedback *feedback(uint32_t PC) const {
+    // Background compiles must not read the live map the interpreter is
+    // mutating; the graph carries the enqueue-time snapshot instead.
+    if (const FeedbackSnapshot *S = Graph.feedbackOverride())
+      return S->find(Info, PC);
     return Info->Feedback.find(PC);
   }
 
@@ -1259,6 +1263,7 @@ bool Builder::run() {
 std::unique_ptr<MIRGraph> jitvs::buildMIR(FunctionInfo *Info,
                                           const BuildOptions &Opts) {
   auto Graph = std::make_unique<MIRGraph>(Info);
+  Graph->setFeedbackOverride(Opts.Feedback);
   Builder B(*Graph, Info, Opts, /*InlineMode=*/false, {});
   B.run();
   return Graph;

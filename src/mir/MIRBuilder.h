@@ -24,6 +24,7 @@
 namespace jitvs {
 
 struct FunctionInfo;
+class FeedbackSnapshot;
 
 /// Options controlling graph construction.
 struct BuildOptions {
@@ -58,6 +59,12 @@ struct BuildOptions {
 
   /// Emit the CheckOverRecursed entry guard.
   bool EmitEntryChecks = true;
+
+  /// Immutable whole-program feedback snapshot to read instead of the
+  /// live FunctionInfo::Feedback maps. Required for background compiles
+  /// (the interpreter keeps mutating the live maps); null for
+  /// synchronous ones. Stored on the graph so inline builds see it too.
+  const FeedbackSnapshot *Feedback = nullptr;
 };
 
 /// Result of inline-building a callee into an existing graph.

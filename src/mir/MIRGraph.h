@@ -20,6 +20,7 @@
 namespace jitvs {
 
 struct FunctionInfo;
+class FeedbackSnapshot;
 
 /// A basic block: phis, a body of instructions ending in a terminator,
 /// and predecessor links (successors live on the terminator).
@@ -122,6 +123,14 @@ public:
 
   FunctionInfo *functionInfo() const { return Info; }
 
+  /// Type-feedback source for graph construction. Null (the default)
+  /// means "read the live FunctionInfo::Feedback maps" — correct for
+  /// synchronous compiles. Background compiles install an immutable
+  /// snapshot here so builders (including inline builds into this graph)
+  /// never race the interpreter's feedback writes.
+  const FeedbackSnapshot *feedbackOverride() const { return Feedback; }
+  void setFeedbackOverride(const FeedbackSnapshot *S) { Feedback = S; }
+
   // --- Construction ---
   MBasicBlock *createBlock();
   MInstr *create(MirOp Op, MIRType Type);
@@ -161,6 +170,7 @@ public:
 
 private:
   FunctionInfo *Info;
+  const FeedbackSnapshot *Feedback = nullptr;
   std::vector<std::unique_ptr<MBasicBlock>> Blocks;
   std::vector<std::unique_ptr<MInstr>> Instrs;
   std::vector<std::unique_ptr<MResumePoint>> ResumePoints;

@@ -166,6 +166,13 @@ ExecResult Executor::run(const NativeCode &Code, const Value &ThisV,
                          const Value *Args, size_t NumArgs, bool AtOsr,
                          const Value *OsrSlots, size_t NumOsrSlots,
                          Environment *Env, Environment *ClosureEnv) {
+  // Lifetime: \p Code is borrowed for the whole run. The engine's
+  // execute() pins it with a strong shared_ptr, so a background
+  // recompile that unlinks this body at a reentrant dispatch boundary
+  // (a Call handler below re-enters Engine::onCall, which may publish a
+  // replacement and retire this one) cannot reclaim it under us — the
+  // deferred-reclamation list only frees code whose use count has
+  // dropped to the list's own reference.
   MetricsPhaseTimer NativePhase(Phase::NativeExec);
   NativeFrame F(RT, Code.FrameSize);
   F.ThisV = ThisV;

@@ -235,6 +235,55 @@ public:
   std::string disassemble() const;
 };
 
+/// Deferred reclamation of unlinked binaries. When the engine replaces a
+/// function's code, in-flight native frames may still be executing the
+/// old body (each execution pins its binary with a shared_ptr), and its
+/// constant pool must stay GC-rooted until those frames drain through
+/// their bailout/resume points. Retired code therefore parks here; the
+/// engine ticks the epoch at dispatch boundaries (interpreter call /
+/// loop-head hooks — natural safepoints where no native frame of a
+/// *newly* retired body can be mid-flight without holding its pin), and
+/// an entry is freed only once it is at least two epochs old *and* the
+/// reclaimer holds the last reference. Single-threaded: main thread only.
+class CodeReclaimer {
+public:
+  void retire(std::shared_ptr<NativeCode> Code) {
+    if (Code)
+      Retired.push_back({std::move(Code), Epoch});
+  }
+
+  /// Advances the epoch and frees every eligible entry.
+  void tick() {
+    ++Epoch;
+    for (size_t I = 0; I != Retired.size();) {
+      if (Epoch >= Retired[I].RetiredAtEpoch + 2 &&
+          Retired[I].Code.use_count() == 1) {
+        Retired[I] = std::move(Retired.back());
+        Retired.pop_back();
+      } else {
+        ++I;
+      }
+    }
+  }
+
+  size_t pending() const { return Retired.size(); }
+  uint64_t epoch() const { return Epoch; }
+
+  /// Visits every binary still parked (GC rooting of constant pools).
+  template <typename Fn> void forEachRetained(Fn F) const {
+    for (const Entry &E : Retired)
+      F(*E.Code);
+  }
+
+private:
+  struct Entry {
+    std::shared_ptr<NativeCode> Code;
+    uint64_t RetiredAtEpoch = 0;
+  };
+  std::vector<Entry> Retired;
+  uint64_t Epoch = 0;
+};
+
 } // namespace jitvs
 
 #endif // JITVS_NATIVE_NATIVECODE_H

@@ -106,6 +106,15 @@ std::vector<NamedConfig> jitvs::figure9Configs() {
 
 void jitvs::runOptimizationPipeline(MIRGraph &Graph, Runtime &RT,
                                     const OptConfig &Config) {
+  // Thread-safety contract (audited for the background compiler): this
+  // pipeline may run concurrently on multiple compile workers. Every
+  // pass confines its mutable state to \p Graph and \p RT — callers off
+  // the main thread MUST pass a worker-private Runtime (constant folding
+  // allocates from RT's heap). No pass keeps function-local statics or
+  // globals; the only shared sinks are telemetry() and metrics(), which
+  // are internally synchronized, and Phase attribution, which is
+  // per-thread (thread_local phase stack).
+  //
   // Closure inlining happens before the pipeline (it needs the builder);
   // see jit::Engine. Pass order follows the paper: GVN (baseline), then
   // CP -> LI -> DCE -> BCE.

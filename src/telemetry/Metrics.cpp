@@ -43,6 +43,8 @@ const char *jitvs::phaseName(Phase P) {
     return "bailout";
   case Phase::GC:
     return "gc";
+  case Phase::CompileQueue:
+    return "compile-queue";
   }
   return "?";
 }
@@ -141,58 +143,82 @@ void Metrics::enable(bool On) {
 #endif
 }
 
+namespace {
+
+/// Per-thread phase-attribution stack: a compile worker's nested spans
+/// (CompileQueue > Compile > MIRBuild > ...) never interleave with the
+/// main thread's.
+thread_local std::vector<Metrics::StackEntry> PhaseStack;
+
+} // namespace
+
 void Metrics::reset() {
+  std::lock_guard<std::mutex> Lock(Mu);
   for (PhaseStat &S : Phases)
     S = PhaseStat();
   Counters.clear();
   Gauges.clear();
   PassHist.clear();
+  ValueHist.clear();
   Funcs.clear();
 }
 
 void Metrics::addCounter(const std::string &Name, uint64_t Delta) {
+  std::lock_guard<std::mutex> Lock(Mu);
   uint64_t &V = Counters[Name];
   V = V + Delta < V ? UINT64_MAX : V + Delta;
 }
 
 void Metrics::setGauge(const std::string &Name, double V) {
+  std::lock_guard<std::mutex> Lock(Mu);
   Gauges[Name] = V;
 }
 
 uint64_t Metrics::counter(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
   auto It = Counters.find(Name);
   return It == Counters.end() ? 0 : It->second;
 }
 
 double Metrics::gauge(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
   auto It = Gauges.find(Name);
   return It == Gauges.end() ? 0.0 : It->second;
 }
 
 void Metrics::enterPhase(Phase P) {
-  Stack.push_back({P, monotonicNowNs(), 0});
+  PhaseStack.push_back({P, monotonicNowNs(), 0});
 }
 
 void Metrics::exitPhase(Phase P) {
-  if (Stack.empty())
+  if (PhaseStack.empty())
     return; // Unbalanced exit: drop rather than corrupt.
-  StackEntry E = Stack.back();
-  Stack.pop_back();
+  StackEntry E = PhaseStack.back();
+  PhaseStack.pop_back();
   if (E.P != P)
     return;
   uint64_t Now = monotonicNowNs();
   uint64_t Incl = Now >= E.StartNs ? Now - E.StartNs : 0;
   uint64_t Self = Incl >= E.ChildNs ? Incl - E.ChildNs : 0;
-  PhaseStat &S = Phases[static_cast<size_t>(P)];
-  ++S.Count;
-  S.SelfNs += Self;
-  S.TotalNs += Incl;
-  S.SpanNs.record(Incl);
-  if (!Stack.empty())
-    Stack.back().ChildNs += Incl;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    PhaseStat &S = Phases[static_cast<size_t>(P)];
+    ++S.Count;
+    S.SelfNs += Self;
+    S.TotalNs += Incl;
+    S.SpanNs.record(Incl);
+  }
+  if (!PhaseStack.empty())
+    PhaseStack.back().ChildNs += Incl;
+}
+
+Metrics::PhaseStat Metrics::phase(Phase P) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Phases[static_cast<size_t>(P)];
 }
 
 uint64_t Metrics::totalSelfNs() const {
+  std::lock_guard<std::mutex> Lock(Mu);
   uint64_t Total = 0;
   for (const PhaseStat &S : Phases)
     Total += S.SelfNs;
@@ -200,13 +226,39 @@ uint64_t Metrics::totalSelfNs() const {
 }
 
 void Metrics::recordPass(const std::string &PassName, uint64_t DurNs) {
+  std::lock_guard<std::mutex> Lock(Mu);
   PassHist[PassName].record(DurNs);
 }
 
-void Metrics::functionTick(const std::string &Name) { ++Funcs[Name].Ticks; }
+std::map<std::string, LogHistogram> Metrics::passes() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return PassHist;
+}
+
+void Metrics::recordValue(const std::string &Name, uint64_t V) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ValueHist[Name].record(V);
+}
+
+LogHistogram Metrics::valueHistogram(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = ValueHist.find(Name);
+  return It == ValueHist.end() ? LogHistogram() : It->second;
+}
+
+void Metrics::functionTick(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Funcs[Name].Ticks;
+}
+
+std::map<std::string, Metrics::FunctionMetrics> Metrics::functions() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Funcs;
+}
 
 void Metrics::mergeFunction(const std::string &Name,
                             const FunctionMetrics &Delta) {
+  std::lock_guard<std::mutex> Lock(Mu);
   FunctionMetrics &M = Funcs[Name];
   M.Ticks += Delta.Ticks;
   M.NativeRuns += Delta.NativeRuns;
@@ -220,8 +272,9 @@ void Metrics::mergeFunction(const std::string &Name,
 
 std::vector<std::pair<std::string, Metrics::FunctionMetrics>>
 Metrics::functionsByTicks() const {
-  std::vector<std::pair<std::string, FunctionMetrics>> Out(Funcs.begin(),
-                                                           Funcs.end());
+  std::map<std::string, FunctionMetrics> Snapshot = functions();
+  std::vector<std::pair<std::string, FunctionMetrics>> Out(Snapshot.begin(),
+                                                           Snapshot.end());
   std::sort(Out.begin(), Out.end(), [](const auto &A, const auto &B) {
     if (A.second.Ticks != B.second.Ticks)
       return A.second.Ticks > B.second.Ticks;
@@ -248,6 +301,11 @@ void writeHistogramJson(std::ostream &OS, const LogHistogram &H) {
 } // namespace
 
 void Metrics::writeJson(std::ostream &OS) const {
+  // Snapshot everything up front so the writer never holds the registry
+  // lock while doing stream I/O (functionsByTicks locks internally).
+  auto Sorted = functionsByTicks();
+  std::unique_lock<std::mutex> Lock(Mu);
+
   OS << "{\"schema\":\"" << JsonSchema << "\"";
 
   OS << ",\"counters\":{";
@@ -299,9 +357,22 @@ void Metrics::writeJson(std::ostream &OS) const {
     OS << '}';
   }
 
+  OS << "],\"histograms\":[";
+  First = true;
+  for (const auto &[Name, H] : ValueHist) {
+    if (!First)
+      OS << ',';
+    First = false;
+    OS << "{\"name\":";
+    json::writeString(OS, Name);
+    OS << ",\"values\":";
+    writeHistogramJson(OS, H);
+    OS << '}';
+  }
+
   OS << "],\"functions\":[";
   First = true;
-  for (const auto &[Name, M] : functionsByTicks()) {
+  for (const auto &[Name, M] : Sorted) {
     if (!First)
       OS << ',';
     First = false;
@@ -338,6 +409,7 @@ std::string promEscape(const std::string &S) {
 
 void Metrics::writePrometheus(std::ostream &OS) const {
   char Buf[160];
+  std::unique_lock<std::mutex> Lock(Mu);
 
   OS << "# TYPE jitvs_counter_total counter\n";
   for (const auto &[Name, V] : Counters) {
@@ -391,6 +463,22 @@ void Metrics::writePrometheus(std::ostream &OS) const {
     }
     std::snprintf(Buf, sizeof(Buf),
                   "jitvs_pass_span_seconds_count{pass=\"%s\"} %llu\n",
+                  promEscape(Name).c_str(),
+                  static_cast<unsigned long long>(H.count()));
+    OS << Buf;
+  }
+
+  OS << "# TYPE jitvs_value_summary summary\n";
+  for (const auto &[Name, H] : ValueHist) {
+    for (double Q : {0.5, 0.9, 0.99}) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "jitvs_value_summary{name=\"%s\",quantile=\"%g\"} %llu\n",
+                    promEscape(Name).c_str(), Q,
+                    static_cast<unsigned long long>(H.percentile(Q * 100)));
+      OS << Buf;
+    }
+    std::snprintf(Buf, sizeof(Buf),
+                  "jitvs_value_summary_count{name=\"%s\"} %llu\n",
                   promEscape(Name).c_str(),
                   static_cast<unsigned long long>(H.count()));
     OS << Buf;

@@ -32,8 +32,11 @@
 ///    stdout; a path ending in `.prom` selects Prometheus exposition).
 ///  - programmatic: `metrics().enable()` then `metrics().writeJson(OS)`.
 ///
-/// Like the tracer, the registry is process-global and single-threaded
-/// by design.
+/// Like the tracer, the registry is process-global. It is thread-safe:
+/// compile workers record phases, passes and histograms concurrently
+/// with the main thread. The phase-attribution stack is thread-local
+/// (each thread nests its own spans); the aggregated tables are guarded
+/// by one registry mutex, taken only when metrics are enabled.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -43,6 +46,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -69,8 +73,9 @@ enum class Phase : uint8_t {
   NativeExec,   ///< Native-code execution (Executor::run).
   Bailout,      ///< Deoptimization: snapshot decode + frame rebuild.
   GC,           ///< Mark-sweep collection cycles.
+  CompileQueue, ///< Background compile job (worker-thread wall clock).
 };
-constexpr size_t NumPhases = 11;
+constexpr size_t NumPhases = 12;
 
 /// \returns a stable lower-case name ("script", "interpret", ...).
 const char *phaseName(Phase P);
@@ -160,20 +165,28 @@ public:
     LogHistogram SpanNs;  ///< Inclusive durations -> p50/p90/p99.
   };
 
-  /// Prefer MetricsPhaseTimer; these are the raw stack operations.
+  /// Prefer MetricsPhaseTimer; these are the raw stack operations. The
+  /// span stack is thread-local, so worker threads nest their own phases
+  /// without interleaving with the main thread's attribution.
   void enterPhase(Phase P);
   void exitPhase(Phase P);
-  const PhaseStat &phase(Phase P) const {
-    return Phases[static_cast<size_t>(P)];
-  }
+  /// Snapshot of one phase's aggregate (copy, for thread-safety).
+  PhaseStat phase(Phase P) const;
   /// Sum of self time over all phases (the denominator for "% of run").
   uint64_t totalSelfNs() const;
 
   // --- Per-pass compile-time split (finer than Phase::OptPass) ---
   void recordPass(const std::string &PassName, uint64_t DurNs);
-  const std::map<std::string, LogHistogram> &passes() const {
-    return PassHist;
-  }
+  std::map<std::string, LogHistogram> passes() const;
+
+  // --- Named value histograms (latencies outside the phase stack) ---
+
+  /// Records \p V into the named histogram (e.g. "compile_queue.wait_ns"
+  /// = enqueue-to-install latency, "compile_queue.stall_hidden_ns" =
+  /// compile wall time overlapped with interpretation).
+  void recordValue(const std::string &Name, uint64_t V);
+  /// Snapshot of one named histogram (copy; empty if never recorded).
+  LogHistogram valueHistogram(const std::string &Name) const;
 
   // --- Per-function profiles ---
 
@@ -198,9 +211,7 @@ public:
   void functionTick(const std::string &Name);
   /// Folds \p Delta into \p Name's profile (Engine::publishMetrics).
   void mergeFunction(const std::string &Name, const FunctionMetrics &Delta);
-  const std::map<std::string, FunctionMetrics> &functions() const {
-    return Funcs;
-  }
+  std::map<std::string, FunctionMetrics> functions() const;
   /// Profiles sorted hottest first (by ticks, then compile time).
   std::vector<std::pair<std::string, FunctionMetrics>>
   functionsByTicks() const;
@@ -220,20 +231,25 @@ public:
   bool writeJsonFile(const std::string &Path) const;
   bool writePrometheusFile(const std::string &Path) const;
 
-private:
-  Metrics() = default;
-
+  /// One in-flight span on a thread's attribution stack (public only so
+  /// the thread-local stack in Metrics.cpp can name it).
   struct StackEntry {
     Phase P;
     uint64_t StartNs;
     uint64_t ChildNs;
   };
 
+private:
+  Metrics() = default;
+
+  /// Guards every aggregate table below. The phase stack itself is
+  /// thread-local (see Metrics.cpp) and needs no lock.
+  mutable std::mutex Mu;
   PhaseStat Phases[NumPhases];
-  std::vector<StackEntry> Stack;
   std::map<std::string, uint64_t> Counters;
   std::map<std::string, double> Gauges;
   std::map<std::string, LogHistogram> PassHist;
+  std::map<std::string, LogHistogram> ValueHist;
   std::map<std::string, FunctionMetrics> Funcs;
 };
 

@@ -195,6 +195,7 @@ Telemetry &Telemetry::instance() {
 uint64_t Telemetry::nowNs() const { return monotonicNowNs() - EpochNs; }
 
 void Telemetry::configure(uint32_t CategoryMask, size_t Capacity) {
+  std::lock_guard<std::mutex> Lock(Mu);
   Mask = CategoryMask;
   if (Capacity != 0 && Capacity != Ring.size()) {
     Ring.assign(Capacity, TelemetryEvent());
@@ -205,17 +206,20 @@ void Telemetry::configure(uint32_t CategoryMask, size_t Capacity) {
 }
 
 void Telemetry::setSpewMask(uint32_t CategoryMask) {
+  std::lock_guard<std::mutex> Lock(Mu);
   Spew = CategoryMask;
   telemetry_detail::ActiveMask = Mask | Spew;
 }
 
 void Telemetry::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
   Head = Count = 0;
   Dropped = 0;
   Sites.clear();
 }
 
 void Telemetry::record(TelemetryEvent E) {
+  std::lock_guard<std::mutex> Lock(Mu);
   uint32_t Cat = telemetryEventCategory(E.Kind);
   if (!((Mask | Spew) & Cat))
     return;
@@ -248,6 +252,7 @@ void Telemetry::record(TelemetryEvent E) {
 }
 
 std::vector<TelemetryEvent> Telemetry::events() const {
+  std::lock_guard<std::mutex> Lock(Mu);
   std::vector<TelemetryEvent> Out;
   Out.reserve(Count);
   size_t Start = (Head + Ring.size() - Count) % Ring.size();
@@ -257,6 +262,7 @@ std::vector<TelemetryEvent> Telemetry::events() const {
 }
 
 std::vector<Telemetry::BailoutSite> Telemetry::bailoutSites() const {
+  std::lock_guard<std::mutex> Lock(Mu);
   std::vector<BailoutSite> Out;
   Out.reserve(Sites.size());
   for (const auto &[Key, S] : Sites)

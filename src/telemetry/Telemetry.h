@@ -21,8 +21,10 @@
 ///  - programmatic: `telemetry().configure(TelCompile | TelBailout)` then
 ///    `telemetry().writeChromeTrace(OS)`.
 ///
-/// The recorder is process-global and, like the rest of the engine,
-/// single-threaded by design.
+/// The recorder is process-global and thread-safe: compile workers emit
+/// compile/pass events concurrently with the main thread, so the ring
+/// and the per-site counters are guarded by a mutex (taken only when a
+/// category is enabled — the disabled path is still one branch).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -34,6 +36,7 @@
 #include <cstdint>
 #include <cstring>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -202,6 +205,8 @@ private:
 
   void spewEvent(const TelemetryEvent &E) const;
 
+  /// Guards the ring, per-site counters and mask updates.
+  mutable std::mutex Mu;
   uint32_t Mask = 0;
   uint32_t Spew = 0;
   std::vector<TelemetryEvent> Ring;

@@ -24,6 +24,45 @@ Heap::~Heap() {
   }
 }
 
+Heap::DetachedChain Heap::detachAllocatedSince(GCObject *Mark) {
+  DetachedChain Chain;
+  if (Head == Mark)
+    return Chain;
+  Chain.Head = Head;
+  GCObject *Obj = Head;
+  while (true) {
+    ++Chain.Count;
+    if (Obj->Next == Mark)
+      break;
+    Obj = Obj->Next;
+    assert(Obj && "allocation mark not found on the heap's object list");
+  }
+  Chain.Tail = Obj;
+  Obj->Next = nullptr;
+  Head = Mark;
+  NumObjects -= Chain.Count;
+  AllocationsSinceGC -= std::min(AllocationsSinceGC, Chain.Count);
+  return Chain;
+}
+
+void Heap::adoptChain(const DetachedChain &Chain) {
+  if (Chain.empty())
+    return;
+  Chain.Tail->Next = Head;
+  Head = Chain.Head;
+  NumObjects += Chain.Count;
+  AllocationsSinceGC += Chain.Count;
+}
+
+void Heap::freeChain(const DetachedChain &Chain) {
+  GCObject *Obj = Chain.Head;
+  while (Obj) {
+    GCObject *Next = Obj->Next;
+    delete Obj;
+    Obj = Next;
+  }
+}
+
 void Heap::addRootSource(RootSource *Source) { Sources.push_back(Source); }
 
 void Heap::removeRootSource(RootSource *Source) {

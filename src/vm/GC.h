@@ -122,6 +122,42 @@ public:
   /// Runs a full collection immediately.
   void collect();
 
+  // --- Cross-heap object donation -------------------------------------
+  //
+  // Compile workers fold constants on a private heap; the objects a
+  // finished compile references from its constant pool are donated to
+  // the main heap when the code is published (GC is non-moving, so the
+  // pointers stay valid). The protocol: capture allocationMark() before
+  // the work, detachAllocatedSince() after, hand the chain across the
+  // publication fence, adoptChain() on the receiving heap. All three
+  // calls must run on the thread owning their respective heap.
+
+  /// Opaque handle to a detached singly-linked run of objects.
+  struct DetachedChain {
+    GCObject *Head = nullptr;
+    GCObject *Tail = nullptr;
+    size_t Count = 0;
+    bool empty() const { return Head == nullptr; }
+  };
+
+  /// Current newest-allocation marker (allocation prepends, so objects
+  /// allocated later sit strictly in front of this node).
+  GCObject *allocationMark() const { return Head; }
+
+  /// Unlinks and returns every object allocated since \p Mark was
+  /// captured. \p Mark must be a previous allocationMark() of this heap
+  /// and no collection may have run in between.
+  DetachedChain detachAllocatedSince(GCObject *Mark);
+
+  /// Splices a donated chain into this heap's object list. The objects
+  /// become subject to this heap's collections (unrooted ones die at the
+  /// next GC, exactly like fresh garbage).
+  void adoptChain(const DetachedChain &Chain);
+
+  /// Frees a chain that will never be adopted (e.g. its compile was
+  /// discarded as stale).
+  static void freeChain(const DetachedChain &Chain);
+
   /// Number of collections performed so far.
   size_t gcCount() const { return NumCollections; }
   /// Number of objects currently on the heap.

@@ -298,6 +298,11 @@ Value Interpreter::execute(InterpFrame &Frame) {
     }
     case Op::LoopHead: {
       ++Info->BackEdgeCount;
+      // Safepoint: this hook (with the call hook in Runtime::callValue)
+      // is a dispatch boundary — the engine publishes finished
+      // background compiles and ticks the code-reclamation epoch inside
+      // it. The operand stack is empty and Frame.PC names a resumable
+      // bytecode, so a newly installed body can be OSR-entered here.
       if (ExecutionHooks *H = RT.hooks()) {
         assert(Stack.empty() && "operand stack must be empty at loop head");
         Frame.PC = OpPC;

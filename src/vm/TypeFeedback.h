@@ -87,6 +87,31 @@ private:
   std::unordered_map<uint32_t, SiteFeedback> Sites;
 };
 
+struct FunctionInfo;
+
+/// An immutable whole-program copy of type feedback, captured on the
+/// main thread when a compile job is enqueued. Background compiles read
+/// the snapshot instead of the live `FunctionInfo::Feedback` maps the
+/// interpreter keeps mutating; it covers every function because inlining
+/// reads callee feedback too. Once built it is never modified, so worker
+/// threads may read it without synchronization.
+class FeedbackSnapshot {
+public:
+  void add(const FunctionInfo *Info, const FeedbackMap &Map) {
+    ByFunc.emplace(Info, Map);
+  }
+
+  /// \returns the snapshotted feedback for \p PC in \p Info, or nullptr
+  /// when the site (or the whole function) was never recorded.
+  const SiteFeedback *find(const FunctionInfo *Info, uint32_t PC) const {
+    auto It = ByFunc.find(Info);
+    return It == ByFunc.end() ? nullptr : It->second.find(PC);
+  }
+
+private:
+  std::unordered_map<const FunctionInfo *, FeedbackMap> ByFunc;
+};
+
 } // namespace jitvs
 
 #endif // JITVS_VM_TYPEFEEDBACK_H

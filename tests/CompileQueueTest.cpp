@@ -1,0 +1,279 @@
+//===- tests/CompileQueueTest.cpp - Background compiler unit tests --------===//
+///
+/// \file
+/// The off-thread compilation pipeline: queue dedup/coalescing and
+/// priority ordering, shutdown with jobs still pending, cross-thread
+/// result publication through the atomic Result slot, deferred code
+/// reclamation, and the engine-level drain mode that makes background
+/// compiles land at the same trigger points as the synchronous pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#include "jit/CompileQueue.h"
+#include "jit/Engine.h"
+#include "native/NativeCode.h"
+#include "vm/Runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+using namespace jitvs;
+
+namespace {
+
+std::shared_ptr<CompileTask> makeTask(FunctionInfo *Info, bool IsOsr,
+                                      CompilePriority Priority) {
+  auto T = std::make_shared<CompileTask>();
+  T->Info = Info;
+  T->IsOsr = IsOsr;
+  T->Priority = Priority;
+  return T;
+}
+
+/// A gate the test holds closed while it stuffs the queue, so pop order
+/// is decided by the priority comparator and not by racing enqueues.
+struct Gate {
+  std::atomic<bool> Entered{false};
+  std::atomic<bool> Open{false};
+  void waitEntered() const {
+    while (!Entered.load(std::memory_order_acquire))
+      std::this_thread::yield();
+  }
+  void block() {
+    Entered.store(true, std::memory_order_release);
+    while (!Open.load(std::memory_order_acquire))
+      std::this_thread::yield();
+  }
+};
+
+TEST(CompileQueue, DedupCoalescesAndPromotesPriority) {
+  FunctionInfo Gatekeeper, A, B, C;
+  Gate G;
+  std::vector<FunctionInfo *> Order;
+  std::mutex OrderMu;
+  CompileQueue Q(/*NumThreads=*/1, /*Bound=*/16,
+                 [&](CompileTask &Task, unsigned) {
+                   if (Task.Info == &Gatekeeper)
+                     G.block();
+                   std::lock_guard<std::mutex> Lock(OrderMu);
+                   Order.push_back(Task.Info);
+                 });
+
+  // Occupy the single worker so everything below stays pending.
+  ASSERT_EQ(Q.enqueue(makeTask(&Gatekeeper, false, CompilePriority::Recompile)),
+            CompileQueue::EnqueueResult::Queued);
+  G.waitEntered();
+
+  EXPECT_EQ(Q.enqueue(makeTask(&A, false, CompilePriority::FirstCompile)),
+            CompileQueue::EnqueueResult::Queued);
+  EXPECT_EQ(Q.enqueue(makeTask(&B, false, CompilePriority::FirstCompile)),
+            CompileQueue::EnqueueResult::Queued);
+  // Same key folds into the pending job instead of queueing twice...
+  EXPECT_EQ(Q.enqueue(makeTask(&A, false, CompilePriority::FirstCompile)),
+            CompileQueue::EnqueueResult::Coalesced);
+  // ...and a more urgent duplicate promotes it past earlier arrivals.
+  EXPECT_EQ(Q.enqueue(makeTask(&B, false, CompilePriority::Recompile)),
+            CompileQueue::EnqueueResult::Coalesced);
+  // Entry and OSR jobs for one function are distinct keys.
+  EXPECT_EQ(Q.enqueue(makeTask(&A, true, CompilePriority::FirstCompile)),
+            CompileQueue::EnqueueResult::Queued);
+  EXPECT_EQ(Q.enqueue(makeTask(&C, false, CompilePriority::Recompile)),
+            CompileQueue::EnqueueResult::Queued);
+  // Coalescing also applies to the job the worker is running right now.
+  EXPECT_EQ(Q.enqueue(makeTask(&Gatekeeper, false, CompilePriority::Recompile)),
+            CompileQueue::EnqueueResult::Coalesced);
+  EXPECT_EQ(Q.depth(), 4u);
+
+  G.Open.store(true, std::memory_order_release);
+  Q.drain();
+
+  // Recompiles (B promoted, C) outrank first compiles; FIFO within a
+  // priority class (B before C, A-entry before A-OSR).
+  std::vector<FunctionInfo *> Expected = {&Gatekeeper, &B, &C, &A, &A};
+  EXPECT_EQ(Order, Expected);
+
+  CompileQueue::Counters Counts = Q.counters();
+  EXPECT_EQ(Counts.Enqueued, 5u);
+  EXPECT_EQ(Counts.Coalesced, 3u);
+  EXPECT_EQ(Counts.Compiled, 5u);
+  EXPECT_EQ(Counts.RejectedFull, 0u);
+}
+
+TEST(CompileQueue, BoundedBacklogRejectsWhenFull) {
+  FunctionInfo F[4];
+  CompileQueue Q(/*NumThreads=*/0, /*Bound=*/2,
+                 [](CompileTask &, unsigned) {});
+  EXPECT_EQ(Q.enqueue(makeTask(&F[0], false, CompilePriority::FirstCompile)),
+            CompileQueue::EnqueueResult::Queued);
+  EXPECT_EQ(Q.enqueue(makeTask(&F[1], false, CompilePriority::FirstCompile)),
+            CompileQueue::EnqueueResult::Queued);
+  EXPECT_EQ(Q.enqueue(makeTask(&F[2], false, CompilePriority::FirstCompile)),
+            CompileQueue::EnqueueResult::Full);
+  EXPECT_EQ(Q.counters().RejectedFull, 1u);
+  // A duplicate of a pending key still coalesces at the bound.
+  EXPECT_EQ(Q.enqueue(makeTask(&F[0], false, CompilePriority::FirstCompile)),
+            CompileQueue::EnqueueResult::Coalesced);
+}
+
+TEST(CompileQueue, ShutdownDropsPendingJobs) {
+  FunctionInfo F[3];
+  // No workers: everything enqueued stays pending until shutdown.
+  CompileQueue Q(/*NumThreads=*/0, /*Bound=*/16,
+                 [](CompileTask &, unsigned) {});
+  for (auto &Fi : F)
+    ASSERT_EQ(Q.enqueue(makeTask(&Fi, false, CompilePriority::FirstCompile)),
+              CompileQueue::EnqueueResult::Queued);
+  EXPECT_EQ(Q.depth(), 3u);
+  Q.shutdown();
+  EXPECT_EQ(Q.depth(), 0u);
+  CompileQueue::Counters Counts = Q.counters();
+  EXPECT_EQ(Counts.DroppedAtShutdown, 3u);
+  EXPECT_EQ(Counts.Compiled, 0u);
+  // Idempotent, and a stopped queue accepts nothing.
+  Q.shutdown();
+  EXPECT_EQ(Q.enqueue(makeTask(&F[0], false, CompilePriority::FirstCompile)),
+            CompileQueue::EnqueueResult::Full);
+}
+
+TEST(CompileQueue, PublicationIsVisibleThroughAcquireLoad) {
+  FunctionInfo FI;
+  CompileQueue Q(/*NumThreads=*/1, /*Bound=*/16,
+                 [](CompileTask &Task, unsigned WorkerIdx) {
+                   EXPECT_EQ(WorkerIdx, 0u);
+                   auto Out = std::make_unique<CompileOutcome>();
+                   Out->Seconds = 1.25;
+                   Out->Specialized = true;
+                   Task.Result.store(Out.release(),
+                                     std::memory_order_release);
+                 });
+  auto Task = makeTask(&FI, false, CompilePriority::FirstCompile);
+  ASSERT_EQ(Q.enqueue(Task), CompileQueue::EnqueueResult::Queued);
+
+  // Spin exactly the way the engine's pump does: acquire loads until the
+  // worker's release store becomes visible. Everything the worker wrote
+  // before the store must be visible after it.
+  const CompileOutcome *Out;
+  while (!(Out = Task->Result.load(std::memory_order_acquire)))
+    std::this_thread::yield();
+  EXPECT_EQ(Out->Seconds, 1.25);
+  EXPECT_TRUE(Out->Specialized);
+
+  while (!Q.hasCompleted())
+    std::this_thread::yield();
+  auto Done = Q.takeCompleted();
+  ASSERT_EQ(Done.size(), 1u);
+  EXPECT_EQ(Done[0].get(), Task.get());
+  EXPECT_FALSE(Q.hasCompleted());
+  EXPECT_TRUE(Q.takeCompleted().empty());
+}
+
+TEST(CodeReclaimer, NeverFreesCodeWithLiveReferences) {
+  FunctionInfo FI;
+  CodeReclaimer R;
+  auto Code = std::make_shared<NativeCode>(&FI);
+  std::weak_ptr<NativeCode> Watch = Code;
+  std::shared_ptr<NativeCode> LiveFrame = Code; // An executing frame.
+
+  R.retire(std::move(Code));
+  EXPECT_EQ(R.pending(), 1u);
+  // Epochs advance, but the live reference pins the entry indefinitely.
+  for (int I = 0; I != 5; ++I)
+    R.tick();
+  EXPECT_EQ(R.pending(), 1u);
+  EXPECT_FALSE(Watch.expired());
+
+  // Retained entries stay visible to the GC root walk.
+  size_t Visited = 0;
+  R.forEachRetained([&](const NativeCode &C) {
+    EXPECT_EQ(C.Info, &FI);
+    ++Visited;
+  });
+  EXPECT_EQ(Visited, 1u);
+
+  // Frame returns; the grace period has long elapsed, so the next epoch
+  // tick reclaims it.
+  LiveFrame.reset();
+  R.tick();
+  EXPECT_EQ(R.pending(), 0u);
+  EXPECT_TRUE(Watch.expired());
+}
+
+TEST(CodeReclaimer, HonorsEpochGracePeriod) {
+  FunctionInfo FI;
+  CodeReclaimer R;
+  R.retire(std::make_shared<NativeCode>(&FI)); // Unreferenced immediately.
+  // Freeing still waits two epochs: code retired at this dispatch
+  // boundary may be re-entered until the caller crosses the next one.
+  R.tick();
+  EXPECT_EQ(R.pending(), 1u);
+  R.tick();
+  EXPECT_EQ(R.pending(), 0u);
+}
+
+TEST(AsyncEngine, DrainModeMatchesSynchronousPipeline) {
+  const char *Source = "function f(x) { return x * 2 + 1; }"
+                       "var s = 0;"
+                       "for (var i = 0; i < 100; i++) s = s + f(7);"
+                       "f(9);" // Despecialize: different argument.
+                       "for (var i = 0; i < 100; i++) s = s + f(9);"
+                       "print(s);";
+
+  EngineKnobs Sync;
+  Sync.CallThreshold = 10;
+  Sync.LoopThreshold = 1000000; // Keep top-level code interpreted.
+  EngineKnobs Async = Sync;
+  Async.CompileThreads = 2;
+  Async.CompileDrain = true;
+
+  Runtime SyncRT;
+  Engine SyncE(SyncRT, OptConfig::all(), Sync);
+  SyncRT.evaluate(Source);
+  ASSERT_FALSE(SyncRT.hasError());
+
+  Runtime AsyncRT;
+  Engine AsyncE(AsyncRT, OptConfig::all(), Async);
+  EXPECT_EQ(AsyncE.compileThreads(), 2u);
+  AsyncRT.evaluate(Source);
+  ASSERT_FALSE(AsyncRT.hasError());
+
+  // Drain mode reproduces the synchronous compilation story exactly:
+  // same compiles, same specialization decisions, same despecialization.
+  EXPECT_EQ(AsyncE.stats().Compilations, SyncE.stats().Compilations);
+  EXPECT_EQ(AsyncE.stats().SpecializedCompiles,
+            SyncE.stats().SpecializedCompiles);
+  EXPECT_EQ(AsyncE.stats().GenericCompiles, SyncE.stats().GenericCompiles);
+  EXPECT_EQ(AsyncE.stats().Despecializations,
+            SyncE.stats().Despecializations);
+  EXPECT_GT(AsyncE.stats().Compilations, 0u);
+  // Every drain blocked the main thread, so stall time was recorded and
+  // is bounded by total compile time plus scheduling noise.
+  EXPECT_GT(AsyncE.stats().CompileStallSeconds, 0.0);
+}
+
+TEST(AsyncEngine, FreeRunningCompilePublishesAtDispatchBoundary) {
+  EngineKnobs Knobs;
+  Knobs.CallThreshold = 5;
+  Knobs.LoopThreshold = 1000000;
+  Knobs.CompileThreads = 1; // Free-running: no drain.
+
+  Runtime RT;
+  Engine E(RT, OptConfig::all(), Knobs);
+  RT.evaluate("function f(x) { return x + 1; }"
+              "for (var i = 0; i < 20; i++) f(7);");
+  ASSERT_FALSE(RT.hasError());
+
+  // The compile was requested (threshold crossed) but may still be in
+  // flight; the caller kept interpreting rather than stalling. Every
+  // call meanwhile was interpreted or ran an installed body — never
+  // blocked on the worker.
+  E.drainCompiles(); // Settle, then install at this dispatch boundary.
+  EXPECT_EQ(E.pendingCompiles(), 0u);
+  EXPECT_EQ(E.stats().Compilations, 1u);
+  EXPECT_EQ(E.stats().SpecializedCompiles, 1u);
+  EXPECT_EQ(E.stats().NativeCalls + E.stats().InterpretedCalls, 20u);
+}
+
+} // namespace
