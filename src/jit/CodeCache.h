@@ -1,0 +1,140 @@
+//===- jit/CodeCache.h - Shared SpecSig-keyed specialization cache -*- C++ -*-===//
+///
+/// \file
+/// The shared specialization code cache: every specialized entry body the
+/// engine compiles is published here, keyed by (function, SpecSig), so a
+/// later call — from the same caller, a different call site, or a
+/// different serving session replayed against the same long-lived engine
+/// — with an equivalent signature reuses the binary instead of paying
+/// the despecialize-and-recompile tax. This is the interprocedural
+/// analogue of type-specialized entry points (Chevalier-Boisvert &
+/// Feeley, PAPERS.md), generalized to the paper's value tier.
+///
+/// Memory discipline:
+///  - an explicit byte budget (EngineKnobs::CodeCacheBytes /
+///    JITVS_CODE_CACHE_BYTES) bounds resident compiled code;
+///  - going over budget evicts by cost-aware LRU: the victim maximizes
+///    staleness * bytes, so a huge body idle for a while goes before a
+///    small one touched at the same time;
+///  - evicted (and invalidated) bodies are NOT freed here: they are
+///    retired through the engine's CodeReclaimer, whose dispatch-boundary
+///    epochs guarantee no in-flight native frame still running the body
+///    can observe the free (the discipline of Flückiger et al.,
+///    "Correctness of Speculative Optimizations", PAPERS.md);
+///  - every entry is stamped with the function's policy generation at
+///    insert; a despecialization decision or bailout-limit discard bumps
+///    the generation and invalidates the function's entries, and lookup
+///    double-checks the stamp so a stale body can never be dispatched
+///    even if an invalidation was missed.
+///
+/// Single-threaded by design: lookups, inserts and eviction all happen on
+/// the main thread at dispatch boundaries (background compiles publish
+/// through CompileQueue and are inserted at install time, also on the
+/// main thread), so no locking is needed and the TSan matrix stays clean.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITVS_JIT_CODECACHE_H
+#define JITVS_JIT_CODECACHE_H
+
+#include "jit/SpecSig.h"
+#include "native/NativeCode.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace jitvs {
+
+struct FunctionInfo;
+
+class CodeCache {
+public:
+  explicit CodeCache(size_t BudgetBytes) : Budget(BudgetBytes) {}
+
+  struct Stats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0; ///< Compile-eligible lookups that found nothing.
+    uint64_t Insertions = 0;
+    uint64_t Evictions = 0; ///< Budget-driven cost-aware-LRU removals.
+    uint64_t Invalidations = 0; ///< Entries dropped by invalidate().
+    uint64_t StaleGenerationDrops = 0; ///< Caught by the lookup stamp check.
+    uint64_t RejectedOversize = 0; ///< Bodies larger than the whole budget.
+  };
+
+  /// One cached binary. Sig value-tier entries and the body's constant
+  /// pool are GC-rooted by the engine walking forEachEntry().
+  struct Entry {
+    SpecSig Sig;
+    uint32_t Generation = 0; ///< FuncState generation at insert.
+    std::shared_ptr<NativeCode> Code;
+    size_t Bytes = 0;
+    uint64_t LastUse = 0; ///< Cache clock at the last hit (or insert).
+  };
+
+  /// Finds a body for \p Args under the function's current \p Generation.
+  /// A hit refreshes the entry's LRU clock and returns the binary (with
+  /// \p SigOut pointing at the matching signature, valid until the next
+  /// mutating call); a mismatching generation stamp retires the entry
+  /// through \p Reclaimer on the spot. Does NOT count misses — the
+  /// engine reports a miss only for compile-eligible calls, via
+  /// noteMiss(), so the hit rate is not diluted by cold functions that
+  /// were never candidates.
+  std::shared_ptr<NativeCode> lookup(const FunctionInfo *Info,
+                                     uint32_t Generation, const Value *Args,
+                                     size_t NumArgs, CodeReclaimer &Reclaimer,
+                                     const SpecSig **SigOut = nullptr);
+
+  /// Records one compile-eligible lookup failure (the hit-rate
+  /// denominator).
+  void noteMiss() { ++Counters.Misses; }
+
+  /// Publishes a freshly compiled body. May evict (through \p Reclaimer)
+  /// to get back under budget; the new entry itself is never the victim
+  /// of its own insert. \returns false when the body alone exceeds the
+  /// whole budget — the caller still executes it once, routing it
+  /// straight to the reclaimer so its pool stays rooted until the frame
+  /// drains.
+  bool insert(const FunctionInfo *Info, uint32_t Generation, SpecSig Sig,
+              std::shared_ptr<NativeCode> Code, CodeReclaimer &Reclaimer);
+
+  /// Drops every entry of \p Info (despecialization decision or
+  /// bailout-limit discard bumped its generation). Bodies are retired
+  /// through \p Reclaimer, never freed inline: in-flight frames may
+  /// still be executing them.
+  void invalidate(const FunctionInfo *Info, CodeReclaimer &Reclaimer);
+
+  size_t residentBytes() const { return Bytes; }
+  size_t budgetBytes() const { return Budget; }
+  size_t size() const { return Count; }
+  size_t entriesFor(const FunctionInfo *Info) const;
+  const Stats &stats() const { return Counters; }
+
+  /// Visits every live entry (GC rooting; main thread only).
+  void forEachEntry(const std::function<void(const Entry &)> &Fn) const;
+
+  /// Byte-cost estimate of one binary: instructions, constant pool and
+  /// snapshot metadata. This is what the budget and the resident-bytes
+  /// gauge count.
+  static size_t codeBytes(const NativeCode &Code);
+
+private:
+  /// Evicts highest (staleness * bytes) entries until Bytes <= Budget,
+  /// never touching \p Keep (the just-inserted body).
+  void evictToBudget(const NativeCode *Keep, CodeReclaimer &Reclaimer);
+  void removeEntry(std::vector<Entry> &Vec, size_t Idx,
+                   CodeReclaimer &Reclaimer);
+
+  std::unordered_map<const FunctionInfo *, std::vector<Entry>> Map;
+  size_t Budget;
+  size_t Bytes = 0;
+  size_t Count = 0;
+  uint64_t Clock = 0;
+  Stats Counters;
+};
+
+} // namespace jitvs
+
+#endif // JITVS_JIT_CODECACHE_H

@@ -108,6 +108,13 @@ struct CompileTask {
   /// live profile tables off-thread would race the interpreter).
   bool ChooseTiersOnWorker = false;
 
+  /// The result is destined for the shared SpecSig code cache
+  /// (jit/CodeCache.h) instead of the function's primary slot: the
+  /// install path inserts the specialized body as a cache entry and
+  /// leaves FuncState::Code alone (a worker-side all-generic tier choice
+  /// still installs normally — generic bodies are never cache entries).
+  bool ForCodeCache = false;
+
   bool HasOsr = false;
   uint32_t OsrPc = 0;
   std::vector<Value> OsrSlots; ///< GC-rooted via CompileQueue::forEachTask.

@@ -2,6 +2,7 @@
 
 #include "jit/Engine.h"
 
+#include "jit/CodeCache.h"
 #include "lir/Codegen.h"
 #include "mir/MIRBuilder.h"
 #include "native/Fusion.h"
@@ -106,6 +107,14 @@ public:
     }
     for (const auto &Code : E.AllCode)
       MarkPool(*Code);
+    // Shared-cache entries: each signature's baked-in values and each
+    // body's constant pool stay live for as long as the entry can be
+    // dispatched.
+    if (E.Cache)
+      E.Cache->forEachEntry([&](const CodeCache::Entry &En) {
+        MarkSig(En.Sig);
+        MarkPool(*En.Code);
+      });
     // Retired-but-unreclaimed binaries: in-flight frames may still
     // execute them, so their pools must stay rooted until freed.
     E.Reclaimer.forEachRetained(MarkPool);
@@ -165,6 +174,8 @@ Engine::Engine(Runtime &RT, const OptConfig &Config,
   ValueStabilityMax = Knobs.ValueStabilityMax;
   CompileThreadCount = Knobs.CompileThreads;
   CompileDrainMode = Knobs.CompileDrain;
+  if (Knobs.CodeCacheBytes)
+    Cache = std::make_unique<CodeCache>(Knobs.CodeCacheBytes);
   initCompileQueue();
 }
 
@@ -193,6 +204,9 @@ Engine::Engine(Runtime &RT, const OptConfig &Config)
   }
   if (const char *D = std::getenv("JITVS_COMPILE_DRAIN"))
     CompileDrainMode = std::strcmp(D, "0") != 0 && std::strcmp(D, "off") != 0;
+  if (const char *B = std::getenv("JITVS_CODE_CACHE_BYTES"))
+    if (long long V = std::atoll(B); V > 0)
+      Cache = std::make_unique<CodeCache>(static_cast<size_t>(V));
   initCompileQueue();
 }
 
@@ -234,50 +248,8 @@ Engine::FuncState &Engine::state(FunctionInfo *Info) {
   return States[Info];
 }
 
-SpecSig Engine::makeSig(const std::vector<ParamTier> *Tiers,
-                        const Value *Args, size_t NumArgs) {
-  SpecSig Sig(NumArgs);
-  for (size_t I = 0; I != NumArgs; ++I) {
-    ParamTier T = !Tiers ? ParamTier::Value
-                 : I < Tiers->size() ? (*Tiers)[I]
-                                     : ParamTier::Value;
-    Sig[I].Tier = T;
-    if (T == ParamTier::Value)
-      Sig[I].V = Args[I];
-    else if (T == ParamTier::Type)
-      Sig[I].Tag = Args[I].tag();
-  }
-  return Sig;
-}
-
-bool Engine::sigMatches(const SpecSig &Sig, const Value *Args,
-                        size_t NumArgs) {
-  if (Sig.size() != NumArgs)
-    return false;
-  for (size_t I = 0; I != NumArgs; ++I) {
-    const ParamSig &P = Sig[I];
-    switch (P.Tier) {
-    case ParamTier::Value:
-      if (!P.V.sameSpecializationValue(Args[I]))
-        return false;
-      break;
-    case ParamTier::Type:
-      if (P.Tag != Args[I].tag())
-        return false;
-      break;
-    case ParamTier::Generic:
-      break;
-    }
-  }
-  return true;
-}
-
-ParamTier Engine::sigTier(const SpecSig &Sig) {
-  ParamTier T = ParamTier::Generic;
-  for (const ParamSig &P : Sig)
-    T = std::max(T, P.Tier);
-  return T;
-}
+// Signature helpers (makeSpecSig / specSigMatches / specSigTier) moved to
+// jit/SpecSig.{h,cpp}, shared with the SpecSig-keyed code cache.
 
 std::vector<ParamTier>
 Engine::tiersFromStability(const std::vector<ParamStability> &Stab,
@@ -378,7 +350,7 @@ void Engine::recordCacheHit(FuncState &FS, const SpecSig &Sig,
   // assumption is a tag; anything baking at least one exact value — and
   // the degenerate zero-parameter signature, which the paper policy
   // treats as (vacuously) value-specialized — counts as a value hit.
-  if (sigTier(Sig) == ParamTier::Type) {
+  if (specSigTier(Sig) == ParamTier::Type) {
     ++Stats.TypeTierHits;
     ++FS.TypeTierHits;
   } else {
@@ -509,12 +481,17 @@ std::shared_ptr<NativeCode>
 Engine::compile(FunctionInfo *Info, const std::vector<Value> *SpecArgs,
                 const std::vector<ParamTier> *Tiers, const uint32_t *OsrPc,
                 const std::vector<Value> *OsrSlots,
-                const std::vector<ParamTier> *OsrTiers) {
+                const std::vector<ParamTier> *OsrTiers, bool ForCache) {
   PipelineOut Out =
       runCompilePipeline(Info, SpecArgs, Tiers, OsrPc, OsrSlots, OsrTiers,
                          RT, /*Feedback=*/nullptr, /*OnMainThread=*/true);
   Stats.FusedOps += Out.Fused;
-  AllCode.push_back(Out.Code);
+  // Cache-destined bodies skip the forever-pin: their lifetime (and
+  // their pool's rooting) is owned by the cache entry, then by the
+  // reclaimer once evicted or invalidated — otherwise the byte budget
+  // could never free anything.
+  if (!ForCache)
+    AllCode.push_back(Out.Code);
   Stats.CompileSeconds += Out.Seconds;
   // A synchronous compile blocks the caller for its whole duration.
   Stats.CompileStallSeconds += Out.Seconds;
@@ -690,6 +667,29 @@ void Engine::installCompleted(CompileTask &Task) {
   RT.heap().adoptChain(Out->Donated);
   Out->Donated = {};
 
+  // Cache-bound compiles publish into the shared cache and leave the
+  // primary slot alone. (A worker-side all-generic tier choice falls
+  // through to the normal install: generic bodies are never entries.)
+  if (Task.ForCodeCache && Out->Specialized && Cache) {
+    Stats.FusedOps += Out->Fused;
+    ++Stats.Compilations;
+    ++Stats.SpecializedCompiles;
+    ++FS.Compiles;
+    FS.CompileSeconds += Out->Seconds;
+    if (FS.Compiles > 1)
+      ++Stats.Recompilations;
+    FS.MinCodeSize = std::min(FS.MinCodeSize, Out->Code->sizeInInstructions());
+    FS.MinCodeSizePostFusion = std::min(
+        FS.MinCodeSizePostFusion, Out->Code->sizeInInstructionsPostFusion());
+    FS.FusedOps += Out->Code->FusedPairs;
+    FS.EverSpecialized = true;
+    Cache->insert(Task.Info, FS.Generation,
+                  makeSpecSig(Out->HaveTiers ? &Out->Tiers : nullptr,
+                              Task.SpecArgs.data(), Task.SpecArgs.size()),
+                  Out->Code, Reclaimer);
+    return;
+  }
+
   // Atomic-publication install: unlink (retire) the stale body, link
   // the new one. In-flight frames of the old body drain through their
   // existing bailout/resume points; the reclaimer frees it once they do.
@@ -718,10 +718,10 @@ void Engine::installCompleted(CompileTask &Task) {
   FS.Bailouts = 0;
   if (Out->Specialized) {
     FS.EverSpecialized = true;
-    FS.Sig = makeSig(Out->HaveTiers ? &Out->Tiers : nullptr,
+    FS.Sig = makeSpecSig(Out->HaveTiers ? &Out->Tiers : nullptr,
                      Task.SpecArgs.data(), Task.SpecArgs.size());
     if (Task.HasOsr)
-      FS.OsrSig = makeSig(Out->HaveSlotTiers ? &Out->SlotTiers : nullptr,
+      FS.OsrSig = makeSpecSig(Out->HaveSlotTiers ? &Out->SlotTiers : nullptr,
                           Task.OsrSlots.data(), Task.OsrSlots.size());
     else
       FS.OsrSig.clear();
@@ -836,14 +836,27 @@ Value Engine::execute(FuncState &FS, FunctionInfo *Info, const Value &ThisV,
   // OSR, and re-entering the same failing code would nest bail/resume
   // cycles on the C++ stack for the rest of the loop. Discarding first
   // bounds the nesting: the next compile uses the refreshed feedback.
-  if (FS.Bailouts >= BailoutLimit && FS.Code == Code) {
-    recordCacheEvent(TelemetryEventKind::Discard, Info, "bailout-limit");
-    retireCode(std::move(FS.Code));
-    FS.Bailouts = 0;
-    FS.Specialized = false;
-    // Invalidate any in-flight background compile: it was built from
-    // the pre-bailout feedback and would reinstate the failing guards.
-    ++FS.Generation;
+  if (FS.Bailouts >= BailoutLimit) {
+    if (FS.Code == Code) {
+      recordCacheEvent(TelemetryEventKind::Discard, Info, "bailout-limit");
+      retireCode(std::move(FS.Code));
+      FS.Bailouts = 0;
+      FS.Specialized = false;
+      // Invalidate any in-flight background compile: it was built from
+      // the pre-bailout feedback and would reinstate the failing guards.
+      ++FS.Generation;
+      // Shared-cache entries were built from the same stale feedback;
+      // drop them too (the generation stamp backstops any we miss).
+      if (Cache)
+        Cache->invalidate(Info, Reclaimer);
+    } else if (Cache && Cache->entriesFor(Info)) {
+      // The bailing body is a shared-cache entry (dispatched via
+      // CodeOverride, so FS.Code never matched): same discard policy.
+      recordCacheEvent(TelemetryEventKind::Discard, Info, "bailout-limit");
+      Cache->invalidate(Info, Reclaimer);
+      FS.Bailouts = 0;
+      ++FS.Generation;
+    }
   }
 
   BailoutPhase.stop();
@@ -854,12 +867,16 @@ bool Engine::onCall(JSFunction *Callee, const Value &ThisV,
                     const Value *Args, size_t NumArgs, Value &Result) {
   if (Queue)
     return onCallAsync(Callee, ThisV, Args, NumArgs, Result);
+  // Cache mode retires evicted bodies through the reclaimer even without
+  // a compile queue; dispatch boundaries are its safepoints.
+  if (Cache)
+    Reclaimer.tick();
   FunctionInfo *Info = Callee->info();
   FuncState &FS = state(Info);
 
   if (FS.Code) {
     if (FS.Specialized) {
-      if (sigMatches(FS.Sig, Args, NumArgs)) {
+      if (specSigMatches(FS.Sig, Args, NumArgs)) {
         recordCacheHit(FS, FS.Sig, Info);
         Result = execute(FS, Info, ThisV, Args, NumArgs, /*AtOsr=*/false,
                          nullptr, nullptr, Callee->environment());
@@ -868,7 +885,7 @@ bool Engine::onCall(JSFunction *Callee, const Value &ThisV,
       // Cache depth > 1 (the paper's future-work heuristic): other
       // cached signatures, then free slots.
       for (auto &[Sig, CachedCode] : FS.ExtraSpecializations) {
-        if (sigMatches(Sig, Args, NumArgs)) {
+        if (specSigMatches(Sig, Args, NumArgs)) {
           recordCacheHit(FS, Sig, Info);
           Result = execute(FS, Info, ThisV, Args, NumArgs, /*AtOsr=*/false,
                            nullptr, nullptr, Callee->environment(),
@@ -876,13 +893,54 @@ bool Engine::onCall(JSFunction *Callee, const Value &ThisV,
           return true;
         }
       }
+      // Shared-cache secondary dispatch: a body specialized for these
+      // arguments by an earlier call (possibly another session) answers
+      // instead of despecializing. A miss with signature headroom grows
+      // the cache; only past the per-function cap does the policy fall
+      // back to generic.
+      if (Cache) {
+        const SpecSig *HitSig = nullptr;
+        if (std::shared_ptr<NativeCode> CachedCode = Cache->lookup(
+                Info, FS.Generation, Args, NumArgs, Reclaimer, &HitSig)) {
+          recordCacheHit(FS, *HitSig, Info);
+          Result = execute(FS, Info, ThisV, Args, NumArgs, /*AtOsr=*/false,
+                           nullptr, nullptr, Callee->environment(),
+                           std::move(CachedCode));
+          return true;
+        }
+        Cache->noteMiss();
+        if (Config.ParameterSpecialization && !FS.NeverSpecialize &&
+            Cache->entriesFor(Info) < CodeCacheSigLimit) {
+          std::vector<ParamTier> Tiers = chooseTiers(Info, NumArgs);
+          if (!allGenericTiers(Tiers)) {
+            std::vector<Value> ArgVec(Args, Args + NumArgs);
+            std::shared_ptr<NativeCode> NewCode =
+                compile(Info, &ArgVec, &Tiers, nullptr, nullptr, nullptr,
+                        /*ForCache=*/true);
+            FS.EverSpecialized = true;
+            Cache->insert(Info, FS.Generation,
+                          makeSpecSig(&Tiers, Args, NumArgs), NewCode,
+                          Reclaimer);
+            ++Stats.NativeCalls;
+            Result = execute(FS, Info, ThisV, Args, NumArgs, /*AtOsr=*/false,
+                             nullptr, nullptr, Callee->environment(),
+                             std::move(NewCode));
+            return true;
+          }
+        }
+        // Signature cap reached (or nothing stable to assume): fall
+        // through to the one-binary miss policy below, and drop the
+        // function's entries — it is going generic.
+        Cache->invalidate(Info, Reclaimer);
+        ++FS.Generation;
+      }
       if (FS.ExtraSpecializations.size() + 1 < CacheDepth) {
         std::vector<Value> ArgVec(Args, Args + NumArgs);
         std::vector<ParamTier> Tiers = chooseTiers(Info, NumArgs);
         std::shared_ptr<NativeCode> NewCode =
             compile(Info, &ArgVec, &Tiers, nullptr, nullptr);
         FS.ExtraSpecializations.emplace_back(
-            makeSig(&Tiers, Args, NumArgs), NewCode);
+            makeSpecSig(&Tiers, Args, NumArgs), NewCode);
         ++Stats.NativeCalls;
         Result = execute(FS, Info, ThisV, Args, NumArgs, /*AtOsr=*/false,
                          nullptr, nullptr, Callee->environment(), NewCode);
@@ -929,12 +987,25 @@ bool Engine::onCall(JSFunction *Callee, const Value &ThisV,
       } else {
         std::vector<Value> ArgVec(Args, Args + NumArgs);
         FS.Code = compile(Info, &ArgVec, &NewTiers, nullptr, nullptr);
-        FS.Sig = makeSig(&NewTiers, Args, NumArgs);
+        FS.Sig = makeSpecSig(&NewTiers, Args, NumArgs);
       }
       ++Stats.NativeCalls;
       Result = execute(FS, Info, ThisV, Args, NumArgs, /*AtOsr=*/false,
                        nullptr, nullptr, Callee->environment());
       return true;
+    }
+    // Generic primary (e.g. after an OSR-revalidation rebuild): prefer a
+    // matching specialized body from the shared cache when one exists.
+    if (Cache && Config.ParameterSpecialization && !FS.NeverSpecialize) {
+      const SpecSig *HitSig = nullptr;
+      if (std::shared_ptr<NativeCode> CachedCode = Cache->lookup(
+              Info, FS.Generation, Args, NumArgs, Reclaimer, &HitSig)) {
+        recordCacheHit(FS, *HitSig, Info);
+        Result = execute(FS, Info, ThisV, Args, NumArgs, /*AtOsr=*/false,
+                         nullptr, nullptr, Callee->environment(),
+                         std::move(CachedCode));
+        return true;
+      }
     }
     ++Stats.NativeCalls;
     Result = execute(FS, Info, ThisV, Args, NumArgs, /*AtOsr=*/false,
@@ -949,6 +1020,49 @@ bool Engine::onCall(JSFunction *Callee, const Value &ThisV,
 
   bool Specialize =
       Config.ParameterSpecialization && !FS.NeverSpecialize;
+  // Cache mode routes hot specialized compiles into the shared cache and
+  // leaves FuncState::Code for generic/OSR bodies: the cache *is* the
+  // entry dispatch, so a body compiled for one session's arguments
+  // answers every later session with an equivalent signature.
+  if (Cache && Specialize) {
+    const SpecSig *HitSig = nullptr;
+    if (std::shared_ptr<NativeCode> CachedCode = Cache->lookup(
+            Info, FS.Generation, Args, NumArgs, Reclaimer, &HitSig)) {
+      recordCacheHit(FS, *HitSig, Info);
+      Result = execute(FS, Info, ThisV, Args, NumArgs, /*AtOsr=*/false,
+                       nullptr, nullptr, Callee->environment(),
+                       std::move(CachedCode));
+      return true;
+    }
+    Cache->noteMiss();
+    if (Cache->entriesFor(Info) < CodeCacheSigLimit) {
+      std::vector<ParamTier> Tiers = chooseTiers(Info, NumArgs);
+      if (!allGenericTiers(Tiers)) {
+        std::vector<Value> ArgVec(Args, Args + NumArgs);
+        std::shared_ptr<NativeCode> NewCode =
+            compile(Info, &ArgVec, &Tiers, nullptr, nullptr, nullptr,
+                    /*ForCache=*/true);
+        FS.EverSpecialized = true;
+        Cache->insert(Info, FS.Generation,
+                      makeSpecSig(&Tiers, Args, NumArgs), NewCode,
+                      Reclaimer);
+        ++Stats.NativeCalls;
+        Result = execute(FS, Info, ThisV, Args, NumArgs, /*AtOsr=*/false,
+                         nullptr, nullptr, Callee->environment(),
+                         std::move(NewCode));
+        return true;
+      }
+    } else {
+      // Per-function signature cap: stop growing the cache for this
+      // function and install a generic primary as the fallback body.
+      // The cached signatures stay live — the generic-primary dispatch
+      // keeps consulting them — so the hot-argument traffic still runs
+      // specialized while the polymorphic tail runs generic, instead of
+      // the one-binary policy's all-or-nothing despecialization.
+      recordCacheEvent(TelemetryEventKind::Despecialize, Info, "sig-cap");
+    }
+    Specialize = false; // Nothing stable (or capped): generic primary.
+  }
   if (Specialize) {
     std::vector<ParamTier> Tiers = chooseTiers(Info, NumArgs);
     if (allGenericTiers(Tiers)) {
@@ -959,7 +1073,7 @@ bool Engine::onCall(JSFunction *Callee, const Value &ThisV,
       FS.Code = compile(Info, &ArgVec, &Tiers, nullptr, nullptr);
       FS.Specialized = true;
       FS.EverSpecialized = true;
-      FS.Sig = makeSig(&Tiers, Args, NumArgs);
+      FS.Sig = makeSpecSig(&Tiers, Args, NumArgs);
     }
   } else {
     FS.Code = compile(Info, nullptr, nullptr, nullptr, nullptr);
@@ -973,6 +1087,8 @@ bool Engine::onCall(JSFunction *Callee, const Value &ThisV,
 bool Engine::onLoopHead(InterpFrame &Frame, uint32_t PC, Value &Result) {
   if (Queue)
     return onLoopHeadAsync(Frame, PC, Result);
+  if (Cache)
+    Reclaimer.tick();
   FunctionInfo *Info = Frame.Info;
   if (Info->BackEdgeCount < LoopThreshold)
     return false;
@@ -985,7 +1101,7 @@ bool Engine::onLoopHead(InterpFrame &Frame, uint32_t PC, Value &Result) {
     // Existing binary has an OSR entry here; specialized code baked the
     // OSR frame values in, so revalidate them.
     if (FS.Specialized &&
-        !sigMatches(FS.OsrSig, Frame.Slots.data(), Frame.Slots.size())) {
+        !specSigMatches(FS.OsrSig, Frame.Slots.data(), Frame.Slots.size())) {
       ++Stats.Despecializations;
       FS.EverDespecialized = true;
       if (Policy == TierPolicy::Paper) {
@@ -994,7 +1110,11 @@ bool Engine::onLoopHead(InterpFrame &Frame, uint32_t PC, Value &Result) {
                          "osr-revalidation");
         FS.Code.reset();
         FS.Specialized = false;
-        FS.NeverSpecialize = true;
+        // Stale *frame slots* say nothing about entry signatures: in
+        // cache mode the shared entries stay valid and the function may
+        // keep specializing at entry.
+        if (!Cache)
+          FS.NeverSpecialize = true;
         FS.Sig.clear();
         FS.OsrSig.clear();
         FS.Code = compile(Info, nullptr, nullptr, &PC, nullptr);
@@ -1028,17 +1148,28 @@ bool Engine::onLoopHead(InterpFrame &Frame, uint32_t PC, Value &Result) {
           std::vector<Value> SlotVec = Frame.Slots;
           FS.Code =
               compile(Info, &ArgVec, &ParamTiers, &PC, &SlotVec, &SlotTiers);
-          FS.Sig = makeSig(&ParamTiers, ArgVec.data(), ArgVec.size());
-          FS.OsrSig = makeSig(&SlotTiers, SlotVec.data(), SlotVec.size());
+          FS.Sig = makeSpecSig(&ParamTiers, ArgVec.data(), ArgVec.size());
+          FS.OsrSig = makeSpecSig(&SlotTiers, SlotVec.data(), SlotVec.size());
         }
       }
     }
   } else {
+    // Avoid compile storms when several hot loops alternate in one
+    // function: after a few rebuilds, leave this loop to the
+    // interpreter. Checked BEFORE any policy mutation: the despec
+    // bookkeeping below clears FS.Specialized/FS.Sig, and bailing out
+    // after that would leave a stale value-baked binary installed as if
+    // it were generic — the entry dispatch would then run it without
+    // signature revalidation (a real miscompile the differential fuzzer
+    // caught once cache mode made nine-plus compiles per function
+    // commonplace).
+    if (FS.Code && FS.Compiles > 8)
+      return false;
     // Compile (or recompile) with an OSR entry at this loop head.
     std::vector<ParamTier> Tiers;
     bool HaveTiers = false;
     if (FS.Specialized && FS.Code &&
-        !sigMatches(FS.Sig, Frame.OrigArgs.data(), Frame.OrigArgs.size())) {
+        !specSigMatches(FS.Sig, Frame.OrigArgs.data(), Frame.OrigArgs.size())) {
       // The running frame's arguments differ from the cached
       // specialization.
       ++Stats.Despecializations;
@@ -1048,7 +1179,10 @@ bool Engine::onLoopHead(InterpFrame &Frame, uint32_t PC, Value &Result) {
         recordCacheEvent(TelemetryEventKind::Despecialize, Info,
                          "different-args");
         FS.Specialized = false;
-        FS.NeverSpecialize = true;
+        // Cache mode: this one OSR body goes generic, but the shared
+        // entry signatures remain valid — keep the function cacheable.
+        if (!Cache)
+          FS.NeverSpecialize = true;
         FS.Sig.clear();
         FS.OsrSig.clear();
         Specialize = false;
@@ -1071,10 +1205,6 @@ bool Engine::onLoopHead(InterpFrame &Frame, uint32_t PC, Value &Result) {
         }
       }
     }
-    // Avoid compile storms when several hot loops alternate in one
-    // function: after a few rebuilds, leave the loop to the interpreter.
-    if (FS.Code && FS.Compiles > 8)
-      return false;
     FS.Code.reset();
     if (Specialize) {
       if (!HaveTiers)
@@ -1094,8 +1224,8 @@ bool Engine::onLoopHead(InterpFrame &Frame, uint32_t PC, Value &Result) {
             compile(Info, &ArgVec, &Tiers, &PC, &SlotVec, &SlotTiers);
         FS.Specialized = true;
         FS.EverSpecialized = true;
-        FS.Sig = makeSig(&Tiers, ArgVec.data(), ArgVec.size());
-        FS.OsrSig = makeSig(&SlotTiers, SlotVec.data(), SlotVec.size());
+        FS.Sig = makeSpecSig(&Tiers, ArgVec.data(), ArgVec.size());
+        FS.OsrSig = makeSpecSig(&SlotTiers, SlotVec.data(), SlotVec.size());
       }
     } else {
       FS.Code = compile(Info, nullptr, nullptr, &PC, nullptr);
@@ -1132,23 +1262,50 @@ bool Engine::onCallAsync(JSFunction *Callee, const Value &ThisV,
   for (int Attempt = 0;; ++Attempt) {
     if (FS.Code) {
       if (!FS.Specialized) {
+        // Generic primary: prefer a matching specialized body from the
+        // shared cache when one exists.
+        if (Cache && Config.ParameterSpecialization && !FS.NeverSpecialize) {
+          const SpecSig *HitSig = nullptr;
+          if (std::shared_ptr<NativeCode> CachedCode = Cache->lookup(
+                  Info, FS.Generation, Args, NumArgs, Reclaimer, &HitSig)) {
+            recordCacheHit(FS, *HitSig, Info);
+            Result = execute(FS, Info, ThisV, Args, NumArgs, /*AtOsr=*/false,
+                             nullptr, nullptr, Callee->environment(),
+                             std::move(CachedCode));
+            return true;
+          }
+        }
         ++Stats.NativeCalls;
         Result = execute(FS, Info, ThisV, Args, NumArgs, /*AtOsr=*/false,
                          nullptr, nullptr, Callee->environment());
         return true;
       }
-      if (sigMatches(FS.Sig, Args, NumArgs)) {
+      if (specSigMatches(FS.Sig, Args, NumArgs)) {
         recordCacheHit(FS, FS.Sig, Info);
         Result = execute(FS, Info, ThisV, Args, NumArgs, /*AtOsr=*/false,
                          nullptr, nullptr, Callee->environment());
         return true;
       }
       for (auto &[Sig, CachedCode] : FS.ExtraSpecializations) {
-        if (sigMatches(Sig, Args, NumArgs)) {
+        if (specSigMatches(Sig, Args, NumArgs)) {
           recordCacheHit(FS, Sig, Info);
           Result = execute(FS, Info, ThisV, Args, NumArgs, /*AtOsr=*/false,
                            nullptr, nullptr, Callee->environment(),
                            CachedCode);
+          return true;
+        }
+      }
+      // Shared-cache secondary dispatch (mirrors the synchronous path):
+      // hit → run it; miss with signature headroom → queue a cache-bound
+      // specialized compile instead of despecializing.
+      if (Cache) {
+        const SpecSig *HitSig = nullptr;
+        if (std::shared_ptr<NativeCode> CachedCode = Cache->lookup(
+                Info, FS.Generation, Args, NumArgs, Reclaimer, &HitSig)) {
+          recordCacheHit(FS, *HitSig, Info);
+          Result = execute(FS, Info, ThisV, Args, NumArgs, /*AtOsr=*/false,
+                           nullptr, nullptr, Callee->environment(),
+                           std::move(CachedCode));
           return true;
         }
       }
@@ -1161,19 +1318,43 @@ bool Engine::onCallAsync(JSFunction *Callee, const Value &ThisV,
           std::vector<ParamTier> Tiers = chooseTiers(Info, NumArgs);
           std::shared_ptr<NativeCode> NewCode =
               compile(Info, &ArgVec, &Tiers, nullptr, nullptr);
-          FS.ExtraSpecializations.emplace_back(makeSig(&Tiers, Args, NumArgs),
+          FS.ExtraSpecializations.emplace_back(makeSpecSig(&Tiers, Args, NumArgs),
                                                NewCode);
           ++Stats.NativeCalls;
           Result = execute(FS, Info, ThisV, Args, NumArgs, /*AtOsr=*/false,
                            nullptr, nullptr, Callee->environment(), NewCode);
           return true;
         }
+        if (Cache && Config.ParameterSpecialization && !FS.NeverSpecialize &&
+            Cache->entriesFor(Info) < CodeCacheSigLimit) {
+          // Grow the shared cache: the caller interprets while the
+          // cache-bound body compiles (drain mode retries below and
+          // hits the fresh entry).
+          Cache->noteMiss();
+          auto Task = std::make_unique<CompileTask>();
+          Task->Priority = CompilePriority::Recompile;
+          Task->Specialized = true;
+          Task->SpecArgs.assign(Args, Args + NumArgs);
+          Task->ChooseTiersOnWorker = Policy == TierPolicy::Tiered;
+          Task->ForCodeCache = true;
+          enqueueCompileTask(Info, FS, std::move(Task));
+          if (CompileDrainMode && FS.CompilePending && Attempt == 0) {
+            drainCompiles();
+            continue;
+          }
+          ++Stats.InterpretedCalls;
+          return false;
+        }
         // Specialization miss: make the policy decision now, but keep
         // the stale body linked until its replacement publishes —
         // matching calls still hit it; mismatching calls interpret.
+        if (Cache)
+          Cache->noteMiss();
         ++Stats.Despecializations;
         FS.EverDespecialized = true;
         ++FS.Generation;
+        if (Cache)
+          Cache->invalidate(Info, Reclaimer);
         auto Task = std::make_unique<CompileTask>();
         Task->Priority = CompilePriority::Recompile;
         if (Policy == TierPolicy::Paper) {
@@ -1206,9 +1387,31 @@ bool Engine::onCallAsync(JSFunction *Callee, const Value &ThisV,
         ++Stats.InterpretedCalls;
         return false;
       }
+      // No primary yet: in cache mode the shared cache is the entry
+      // dispatch — an earlier session's body may already fit.
+      if (Cache && Config.ParameterSpecialization && !FS.NeverSpecialize) {
+        const SpecSig *HitSig = nullptr;
+        if (std::shared_ptr<NativeCode> CachedCode = Cache->lookup(
+                Info, FS.Generation, Args, NumArgs, Reclaimer, &HitSig)) {
+          recordCacheHit(FS, *HitSig, Info);
+          Result = execute(FS, Info, ThisV, Args, NumArgs, /*AtOsr=*/false,
+                           nullptr, nullptr, Callee->environment(),
+                           std::move(CachedCode));
+          return true;
+        }
+      }
       if (!FS.CompilePending) {
         bool Specialize =
             Config.ParameterSpecialization && !FS.NeverSpecialize;
+        if (Specialize && Cache &&
+            Cache->entriesFor(Info) >= CodeCacheSigLimit) {
+          // Per-function signature cap (see the synchronous path): the
+          // polymorphic tail gets a generic primary while the cached
+          // signatures keep serving the hot-argument traffic.
+          recordCacheEvent(TelemetryEventKind::Despecialize, Info,
+                           "sig-cap");
+          Specialize = false;
+        }
         auto Task = std::make_unique<CompileTask>();
         // A function that already had a binary (bailout discard) is
         // interpreting right now; its recompile outranks first compiles.
@@ -1218,6 +1421,12 @@ bool Engine::onCallAsync(JSFunction *Callee, const Value &ThisV,
           Task->Specialized = true;
           Task->SpecArgs.assign(Args, Args + NumArgs);
           Task->ChooseTiersOnWorker = Policy == TierPolicy::Tiered;
+          if (Cache) {
+            // Route the specialized body into the shared cache (misses
+            // are counted per compile decision, not per waiting call).
+            Cache->noteMiss();
+            Task->ForCodeCache = true;
+          }
         }
         enqueueCompileTask(Info, FS, std::move(Task));
       }
@@ -1241,7 +1450,7 @@ bool Engine::onLoopHeadAsync(InterpFrame &Frame, uint32_t PC, Value &Result) {
   for (int Attempt = 0;; ++Attempt) {
     if (FS.Code && FS.Code->OsrPc == PC) {
       if (FS.Specialized &&
-          !sigMatches(FS.OsrSig, Frame.Slots.data(), Frame.Slots.size())) {
+          !specSigMatches(FS.OsrSig, Frame.Slots.data(), Frame.Slots.size())) {
         // OSR revalidation miss. Decide the policy response once, queue
         // the replacement, and keep interpreting the loop until it
         // publishes (the stale body stays linked for entry calls whose
@@ -1250,6 +1459,8 @@ bool Engine::onLoopHeadAsync(InterpFrame &Frame, uint32_t PC, Value &Result) {
           ++Stats.Despecializations;
           FS.EverDespecialized = true;
           ++FS.Generation;
+          if (Cache)
+            Cache->invalidate(Info, Reclaimer);
           auto Task = std::make_unique<CompileTask>();
           Task->Priority = CompilePriority::Recompile;
           Task->IsOsr = true;
@@ -1259,7 +1470,10 @@ bool Engine::onLoopHeadAsync(InterpFrame &Frame, uint32_t PC, Value &Result) {
             FS.Cause = DespecializeCause::OsrRevalidation;
             recordCacheEvent(TelemetryEventKind::Despecialize, Info,
                              "osr-revalidation");
-            FS.NeverSpecialize = true;
+            // Cache mode: stale frame slots invalidate this OSR body,
+            // not the function's future entry specializations.
+            if (!Cache)
+              FS.NeverSpecialize = true;
           } else {
             bool SawTypeMismatch = false;
             std::vector<ParamTier> SlotTiers =
@@ -1297,23 +1511,35 @@ bool Engine::onLoopHeadAsync(InterpFrame &Frame, uint32_t PC, Value &Result) {
     } else {
       // No binary serves this loop head yet.
       if (!FS.CompilePending) {
+        // Same compile-storm guard as the synchronous path, same
+        // ordering: before the despec bookkeeping, so a storm-bound
+        // function neither re-counts despecializations on every loop
+        // head nor mutates policy state for a compile that will never
+        // be enqueued.
+        if (FS.Code && FS.Compiles > 8)
+          return false;
         bool Specialize =
             Config.ParameterSpecialization && !FS.NeverSpecialize;
         bool HaveTiers = false;
         std::vector<ParamTier> Tiers;
         if (FS.Specialized && FS.Code &&
-            !sigMatches(FS.Sig, Frame.OrigArgs.data(),
+            !specSigMatches(FS.Sig, Frame.OrigArgs.data(),
                         Frame.OrigArgs.size())) {
           // The running frame's arguments differ from the cached
           // specialization (mirrors the synchronous loop-head despec).
           ++Stats.Despecializations;
           FS.EverDespecialized = true;
           ++FS.Generation;
+          if (Cache)
+            Cache->invalidate(Info, Reclaimer);
           if (Policy == TierPolicy::Paper) {
             FS.Cause = DespecializeCause::DifferentArgs;
             recordCacheEvent(TelemetryEventKind::Despecialize, Info,
                              "different-args");
-            FS.NeverSpecialize = true;
+            // Cache mode: this OSR body goes generic without poisoning
+            // future entry specializations.
+            if (!Cache)
+              FS.NeverSpecialize = true;
             Specialize = false;
           } else {
             bool SawTypeMismatch = false;
@@ -1331,9 +1557,6 @@ bool Engine::onLoopHeadAsync(InterpFrame &Frame, uint32_t PC, Value &Result) {
             }
           }
         }
-        // Same compile-storm guard as the synchronous path.
-        if (FS.Code && FS.Compiles > 8)
-          return false;
         auto Task = std::make_unique<CompileTask>();
         Task->Priority = FS.Code ? CompilePriority::Recompile
                                  : CompilePriority::FirstCompile;
@@ -1368,7 +1591,7 @@ bool Engine::onLoopHeadAsync(InterpFrame &Frame, uint32_t PC, Value &Result) {
     if (!FS.Code || FS.Code->OsrPc != PC || FS.Code->OsrOffset == ~0u)
       return false;
     if (FS.Specialized &&
-        !sigMatches(FS.OsrSig, Frame.Slots.data(), Frame.Slots.size()))
+        !specSigMatches(FS.OsrSig, Frame.Slots.data(), Frame.Slots.size()))
       return false; // Slots moved on while the compile was in flight.
     ++Stats.OsrEntries;
     if (telemetryEnabled(TelOsr)) {
@@ -1452,6 +1675,23 @@ void Engine::publishMetrics() {
     M.setGauge("engine.compile_queue.depth",
                static_cast<double>(Queue->depth()));
   }
+  if (Cache) {
+    const CodeCache::Stats &CS = Cache->stats();
+    M.addCounter("engine.code_cache.hits", CS.Hits);
+    M.addCounter("engine.code_cache.misses", CS.Misses);
+    M.addCounter("engine.code_cache.insertions", CS.Insertions);
+    M.addCounter("engine.code_cache.evictions", CS.Evictions);
+    M.addCounter("engine.code_cache.invalidations", CS.Invalidations);
+    M.addCounter("engine.code_cache.stale_generation_drops",
+                 CS.StaleGenerationDrops);
+    M.addCounter("engine.code_cache.rejected_oversize", CS.RejectedOversize);
+    M.setGauge("engine.code_cache.resident_bytes",
+               static_cast<double>(Cache->residentBytes()));
+    M.setGauge("engine.code_cache.budget_bytes",
+               static_cast<double>(Cache->budgetBytes()));
+    M.setGauge("engine.code_cache.entries",
+               static_cast<double>(Cache->size()));
+  }
 
   for (const FunctionReport &R : functionReports()) {
     Metrics::FunctionMetrics FM;
@@ -1473,6 +1713,6 @@ NativeCode *Engine::compileNow(FunctionInfo *Info,
   FS.Code = compile(Info, Args, Args ? Tiers : nullptr, nullptr, nullptr);
   FS.Specialized = Args != nullptr;
   if (Args)
-    FS.Sig = makeSig(Tiers, Args->data(), Args->size());
+    FS.Sig = makeSpecSig(Tiers, Args->data(), Args->size());
   return FS.Code.get();
 }

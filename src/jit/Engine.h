@@ -22,6 +22,7 @@
 #define JITVS_JIT_ENGINE_H
 
 #include "jit/CompileQueue.h"
+#include "jit/SpecSig.h"
 #include "mir/Tier.h"
 #include "native/Executor.h"
 #include "native/NativeCode.h"
@@ -37,6 +38,7 @@
 namespace jitvs {
 
 class CallProfiler;
+class CodeCache;
 struct ParamStability;
 
 /// How the engine specializes and reacts to specialization misses.
@@ -106,21 +108,8 @@ enum class DespecializeCause : uint8_t {
 /// \returns a stable lower-case name ("different-args", ...).
 const char *despecializeCauseName(DespecializeCause C);
 
-/// One parameter's slice of a specialization signature: the tier plus the
-/// fact the binary depends on at that tier (exact value, or tag only).
-struct ParamSig {
-  ParamTier Tier = ParamTier::Value;
-  /// Value tier only: the baked-in value (GC-rooted via EngineRoots).
-  /// Undefined for the other tiers so dead objects are not kept alive.
-  Value V = Value::undefined();
-  /// Type tier only: the guarded tag.
-  ValueTag Tag = ValueTag::Undefined;
-};
-
-/// The dispatch key of one specialized binary: what each parameter (or,
-/// for OSR signatures, each frame slot) must look like for the binary to
-/// be reusable. An all-Value signature is the paper's policy.
-using SpecSig = std::vector<ParamSig>;
+// ParamSig / SpecSig — the dispatch key of one specialized binary — live
+// in jit/SpecSig.h, shared with the SpecSig-keyed code cache.
 
 /// Fully programmatic engine configuration. The default Engine
 /// constructor seeds its knobs from the JITVS_* environment (convenient
@@ -149,6 +138,12 @@ struct EngineKnobs {
   /// points as the synchronous pipeline while still exercising the
   /// cross-thread publication machinery. Env: JITVS_COMPILE_DRAIN=1.
   bool CompileDrain = false;
+  /// Byte budget of the shared SpecSig-keyed code cache (jit/CodeCache.h).
+  /// 0 (the default) disables the cache entirely — dispatch is bit-for-bit
+  /// the legacy one-binary-per-function policy. Non-zero enables
+  /// cross-session reuse of specialized bodies under cost-aware LRU
+  /// eviction. Env: JITVS_CODE_CACHE_BYTES.
+  size_t CodeCacheBytes = 0;
 };
 
 /// Per-function code-size record for Figure 10 (the paper reports the
@@ -228,8 +223,19 @@ public:
   /// Queued-but-unstarted background compiles (0 in synchronous mode).
   size_t pendingCompiles() const { return Queue ? Queue->depth() : 0; }
   /// The deferred-reclamation parking lot for unlinked binaries
-  /// (test/introspection hook; only populated in background mode).
+  /// (test/introspection hook; populated in background and cache modes).
   const CodeReclaimer &codeReclaimer() const { return Reclaimer; }
+
+  /// The shared SpecSig-keyed code cache, or nullptr when disabled
+  /// (EngineKnobs::CodeCacheBytes == 0). Test/harness introspection:
+  /// hit/miss/eviction counters, resident bytes.
+  const CodeCache *codeCache() const { return Cache.get(); }
+
+  /// Distinct specialized signatures the cache will hold per function
+  /// before the miss policy falls back to a generic binary (and stops
+  /// specializing that function) — the multi-signature analogue of the
+  /// paper's one-miss despecialization rule.
+  static constexpr uint32_t CodeCacheSigLimit = 8;
 
   /// Per-function facts for the reports.
   struct FunctionReport {
@@ -315,12 +321,16 @@ private:
   /// Compiles \p Info synchronously on the main thread. \p SpecArgs
   /// non-null => parameter specialization with per-parameter \p Tiers
   /// (nullptr = all value-tier). \p OsrPc/\p OsrSlots/\p OsrTiers build
-  /// an OSR entry.
+  /// an OSR entry. \p ForCache skips the AllCode pin — the body's
+  /// lifetime (and its pool's rooting) is owned by a CodeCache entry or
+  /// the reclaimer instead, so the cache's byte budget can actually free
+  /// memory.
   std::shared_ptr<NativeCode>
   compile(FunctionInfo *Info, const std::vector<Value> *SpecArgs,
           const std::vector<ParamTier> *Tiers, const uint32_t *OsrPc,
           const std::vector<Value> *OsrSlots,
-          const std::vector<ParamTier> *OsrTiers = nullptr);
+          const std::vector<ParamTier> *OsrTiers = nullptr,
+          bool ForCache = false);
 
   /// The thread-agnostic middle of compile(): build -> inline ->
   /// optimize -> verify -> codegen -> fuse. Touches no engine state;
@@ -375,20 +385,9 @@ private:
                    size_t NumArgs, Value &Result);
   bool onLoopHeadAsync(InterpFrame &Frame, uint32_t PC, Value &Result);
 
-  /// Builds the dispatch signature for \p Args under \p Tiers (nullptr =
-  /// all value-tier). Value entries keep the value; type entries keep
-  /// only the tag.
-  static SpecSig makeSig(const std::vector<ParamTier> *Tiers,
-                         const Value *Args, size_t NumArgs);
-
-  /// \returns true when \p Args satisfy \p Sig (value entries compare by
-  /// sameSpecializationValue, type entries by tag, generic always match).
-  static bool sigMatches(const SpecSig &Sig, const Value *Args,
-                         size_t NumArgs);
-
-  /// Strongest tier present in \p Sig (Value beats Type beats Generic);
-  /// classifies a binary for the hit-split counters.
-  static ParamTier sigTier(const SpecSig &Sig);
+  // Signature construction/matching (makeSpecSig, specSigMatches,
+  // specSigTier) are free functions in jit/SpecSig.h, shared with the
+  // code cache.
 
   /// Tiered policy: initial per-parameter tiers for \p Info, consulting
   /// the profiler when attached (all-Value otherwise). Main-thread only
@@ -456,6 +455,9 @@ private:
   /// before the Runtimes they fold against go away.
   std::unique_ptr<CompileQueue> Queue;
   CodeReclaimer Reclaimer;
+  /// Shared SpecSig-keyed code cache; nullptr when disabled (the
+  /// default). See EngineKnobs::CodeCacheBytes.
+  std::unique_ptr<CodeCache> Cache;
 
   class EngineRoots;
   std::unique_ptr<EngineRoots> Roots;

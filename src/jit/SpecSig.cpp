@@ -1,0 +1,52 @@
+//===- jit/SpecSig.cpp - Specialization-signature construction/matching ---===//
+
+#include "jit/SpecSig.h"
+
+#include <algorithm>
+
+using namespace jitvs;
+
+SpecSig jitvs::makeSpecSig(const std::vector<ParamTier> *Tiers,
+                           const Value *Args, size_t NumArgs) {
+  SpecSig Sig(NumArgs);
+  for (size_t I = 0; I != NumArgs; ++I) {
+    ParamTier T = !Tiers                ? ParamTier::Value
+                  : I < Tiers->size()   ? (*Tiers)[I]
+                                        : ParamTier::Value;
+    Sig[I].Tier = T;
+    if (T == ParamTier::Value)
+      Sig[I].V = Args[I];
+    else if (T == ParamTier::Type)
+      Sig[I].Tag = Args[I].tag();
+  }
+  return Sig;
+}
+
+bool jitvs::specSigMatches(const SpecSig &Sig, const Value *Args,
+                           size_t NumArgs) {
+  if (Sig.size() != NumArgs)
+    return false;
+  for (size_t I = 0; I != NumArgs; ++I) {
+    const ParamSig &P = Sig[I];
+    switch (P.Tier) {
+    case ParamTier::Value:
+      if (!P.V.sameSpecializationValue(Args[I]))
+        return false;
+      break;
+    case ParamTier::Type:
+      if (P.Tag != Args[I].tag())
+        return false;
+      break;
+    case ParamTier::Generic:
+      break;
+    }
+  }
+  return true;
+}
+
+ParamTier jitvs::specSigTier(const SpecSig &Sig) {
+  ParamTier T = ParamTier::Generic;
+  for (const ParamSig &P : Sig)
+    T = std::max(T, P.Tier);
+  return T;
+}

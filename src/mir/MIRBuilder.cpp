@@ -452,7 +452,7 @@ void Builder::buildPrologue() {
       }
       // Type-tier parameters load dynamically but carry the guarded tag
       // as their static type, guard-free: the specialization cache keys
-      // dispatch on the tag (Engine::sigMatches), so the fact is already
+      // dispatch on the tag (specSigMatches), so the fact is already
       // validated before the binary is ever entered — exactly as the
       // value tier trusts its baked-in constants. Typed uses therefore
       // need no per-site Unbox.
@@ -515,7 +515,7 @@ void Builder::buildOsrEntry(BCBlock &Header) {
     } else {
       // Type-tier slots load the live frame value but carry its tag as
       // their static type, guard-free: the engine revalidates the OSR
-      // signature (Engine::sigMatches on the frame slots) before every
+      // signature (specSigMatches on the frame slots) before every
       // OSR entry, mirroring the entry-parameter contract.
       MIRType ST = MIRType::Any;
       if (Opts.SpecializedArgs && osrSlotTier(I) == ParamTier::Type) {

@@ -1,0 +1,174 @@
+//===- serve/SessionWorkload.cpp - Multi-session serving workload ---------===//
+
+#include "serve/SessionWorkload.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace jitvs;
+
+uint32_t SiteBundle::sampleFunc(RNG &Rand) const {
+  double U = Rand.nextDouble();
+  size_t Lo = 0, Hi = FuncCdf.size() - 1;
+  while (Lo < Hi) {
+    size_t Mid = (Lo + Hi) / 2;
+    if (FuncCdf[Mid] < U)
+      Lo = Mid + 1;
+    else
+      Hi = Mid;
+  }
+  return static_cast<uint32_t>(Lo);
+}
+
+namespace {
+
+/// Parameter kind of function \p F: integers dominate (the
+/// specialization-friendliest tier), with a double and string minority
+/// so the cache holds mixed-tag signatures.
+enum class Kind { Int, Dbl, Str };
+
+Kind kindOf(unsigned F) {
+  switch (F % 4) {
+  case 2:
+    return Kind::Dbl;
+  case 3:
+    return Kind::Str;
+  default:
+    return Kind::Int;
+  }
+}
+
+const char *poolOf(Kind K) {
+  switch (K) {
+  case Kind::Int:
+    return "pool_int";
+  case Kind::Dbl:
+    return "pool_dbl";
+  case Kind::Str:
+    return "pool_str";
+  }
+  return "pool_int";
+}
+
+} // namespace
+
+SiteBundle jitvs::buildSiteBundle(const ServeModel &Model, uint64_t Seed) {
+  RNG Rand(Seed);
+  SiteBundle Site;
+  Site.PoolSize = Model.PoolSize;
+  Site.Source.reserve(1 << 16);
+  char Buf[192];
+  std::string &Out = Site.Source;
+
+  // Argument pools: stable, GC-rooted (MiniJS globals) value universes.
+  // Stability is the point — the same pool entry passed by two sessions
+  // is the same Value, so value-tier signatures match across sessions.
+  Out += "var pool_int = [];\n"
+         "var pool_dbl = [];\n"
+         "var pool_str = [];\n";
+  std::snprintf(Buf, sizeof(Buf), "for (var i = 0; i < %u; i++) {\n",
+                Model.PoolSize);
+  Out += Buf;
+  Out += "  pool_int.push(i * 7 + 3);\n"
+         "  pool_dbl.push(i + 0.25);\n"
+         "  pool_str.push('u' + i);\n"
+         "}\n"
+         "var sink = 0;\n";
+
+  // Function population. Bodies vary in size (the trailing statement
+  // run) so cost-aware LRU eviction has real byte differences to weigh.
+  for (unsigned F = 0; F != Model.NumFunctions; ++F) {
+    unsigned Extra = F % 7;
+    switch (kindOf(F)) {
+    case Kind::Int:
+      std::snprintf(Buf, sizeof(Buf),
+                    "function sf%u(p) { var t = (p * 3 + %u) | 0;"
+                    " t = (t ^ (p << 1)) | 0;",
+                    F, F);
+      Out += Buf;
+      for (unsigned E = 0; E != Extra; ++E) {
+        std::snprintf(Buf, sizeof(Buf), " t = (t + (p * %u)) | 0;", E + 2);
+        Out += Buf;
+      }
+      Out += " return t; }\n";
+      break;
+    case Kind::Dbl:
+      std::snprintf(Buf, sizeof(Buf),
+                    "function sf%u(p) { var t = p * 1.5 + %u;", F, F);
+      Out += Buf;
+      for (unsigned E = 0; E != Extra; ++E) {
+        std::snprintf(Buf, sizeof(Buf), " t = t + p * %u.25;", E + 1);
+        Out += Buf;
+      }
+      Out += " return t; }\n";
+      break;
+    case Kind::Str:
+      std::snprintf(Buf, sizeof(Buf),
+                    "function sf%u(p) { var t = p + 'x%u'; return t; }\n", F,
+                    F);
+      Out += Buf;
+      break;
+    }
+  }
+
+  // Dispatch tables + the single entry point the harness calls. drive
+  // itself goes polymorphic immediately (f and a churn), so under every
+  // policy it settles on a generic binary; the interesting dispatch is
+  // the inner fns[f](...) call, which reaches Engine::onCall with the
+  // pool value as the argument.
+  Out += "var fns = [";
+  for (unsigned F = 0; F != Model.NumFunctions; ++F) {
+    if (F)
+      Out += ", ";
+    std::snprintf(Buf, sizeof(Buf), "sf%u", F);
+    Out += Buf;
+  }
+  Out += "];\n";
+  Out += "var fargs = [";
+  for (unsigned F = 0; F != Model.NumFunctions; ++F) {
+    if (F)
+      Out += ", ";
+    Out += poolOf(kindOf(F));
+  }
+  Out += "];\n";
+  Out += "function drive(f, a) { sink = sink + 1;"
+         " return fns[f](fargs[f][a]); }\n";
+
+  // Site-wide dominant argument per function.
+  Site.DominantArg.resize(Model.NumFunctions);
+  for (unsigned F = 0; F != Model.NumFunctions; ++F)
+    Site.DominantArg[F] =
+        static_cast<uint32_t>(Rand.nextBelow(Model.PoolSize));
+
+  // Zipf popularity CDF (function 0 is the site's hottest endpoint).
+  Site.FuncCdf.resize(Model.NumFunctions);
+  double Sum = 0.0;
+  for (unsigned F = 0; F != Model.NumFunctions; ++F) {
+    Sum += 1.0 / std::pow(static_cast<double>(F + 1), Model.FuncZipfAlpha);
+    Site.FuncCdf[F] = Sum;
+  }
+  for (double &C : Site.FuncCdf)
+    C /= Sum;
+
+  return Site;
+}
+
+std::vector<CallEvent> jitvs::generateSession(const SiteBundle &Site,
+                                              const ServeModel &Model,
+                                              RNG &Rand) {
+  std::vector<CallEvent> Events;
+  Events.reserve(static_cast<size_t>(Model.RequestsPerSession) *
+                 Model.CallsPerRequest);
+  for (unsigned R = 0; R != Model.RequestsPerSession; ++R) {
+    for (unsigned C = 0; C != Model.CallsPerRequest; ++C) {
+      CallEvent E;
+      E.Func = Site.sampleFunc(Rand);
+      if (Rand.nextDouble() < Model.MonomorphicShare)
+        E.Arg = Site.DominantArg[E.Func];
+      else
+        E.Arg = static_cast<uint32_t>(Rand.nextBelow(Site.PoolSize));
+      Events.push_back(E);
+    }
+  }
+  return Events;
+}

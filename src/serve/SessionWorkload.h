@@ -1,0 +1,83 @@
+//===- serve/SessionWorkload.h - Multi-session serving workload -*- C++ -*-===//
+///
+/// \file
+/// The workload model of the serving harness: one "site bundle" — a
+/// MiniJS program defining the function population and GC-rooted
+/// argument pools of a synthetic web application — shared by every
+/// session, plus a per-session stream of call events replayed against
+/// it. The distributions mirror profiling/WebSession.h (Zipf function
+/// popularity, a dominant argument per function matching the paper's
+/// 59.91% monomorphic-call share), but where WebSession bakes the call
+/// sequence into the program text, here the calls are driven from C++
+/// so tens of thousands of *distinct* sessions can share one long-lived
+/// Engine — the scenario the shared SpecSig code cache (jit/CodeCache.h)
+/// exists for: session N hits a specialized body compiled for session
+/// N-k with the same signature.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITVS_SERVE_SESSIONWORKLOAD_H
+#define JITVS_SERVE_SESSIONWORKLOAD_H
+
+#include "support/RNG.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jitvs {
+
+/// Tunables of the synthetic site. Defaults keep a 10k-session run in
+/// seconds while still forcing compiles, cache reuse and (under a small
+/// budget) eviction.
+struct ServeModel {
+  /// Distinct user functions the site bundle defines.
+  unsigned NumFunctions = 96;
+  /// Distinct values per argument pool (the per-kind value universe).
+  unsigned PoolSize = 32;
+  /// Zipf exponent of site-wide function popularity: most traffic
+  /// concentrates on a hot head, as in the paper's Figure 1.
+  double FuncZipfAlpha = 1.1;
+  /// Probability a call uses its function's site-wide dominant argument
+  /// (the paper's 59.91% same-arguments share).
+  double MonomorphicShare = 0.60;
+  /// Requests per session; one request is the harness's scheduling and
+  /// latency-accounting unit.
+  unsigned RequestsPerSession = 4;
+  /// Function calls per request.
+  unsigned CallsPerRequest = 8;
+};
+
+/// One call the harness replays: `drive(Func, Arg)` in the bundle.
+struct CallEvent {
+  uint32_t Func = 0;
+  uint32_t Arg = 0;
+};
+
+/// The generated site: MiniJS source plus the sampling tables sessions
+/// draw their traffic from.
+struct SiteBundle {
+  std::string Source;
+  /// Site-wide dominant argument index per function (what the
+  /// monomorphic share of calls passes).
+  std::vector<uint32_t> DominantArg;
+  /// CDF over functions (Zipf popularity), for sampleFunc.
+  std::vector<double> FuncCdf;
+  unsigned PoolSize = 0;
+
+  /// Samples a function index by site-wide popularity.
+  uint32_t sampleFunc(RNG &Rand) const;
+};
+
+/// Builds the site bundle for \p Model. Deterministic in \p Seed.
+SiteBundle buildSiteBundle(const ServeModel &Model, uint64_t Seed);
+
+/// Generates one session's call stream (RequestsPerSession *
+/// CallsPerRequest events) against \p Site. Deterministic in the state
+/// of \p Rand, so seeding it from a session id reproduces the session.
+std::vector<CallEvent> generateSession(const SiteBundle &Site,
+                                       const ServeModel &Model, RNG &Rand);
+
+} // namespace jitvs
+
+#endif // JITVS_SERVE_SESSIONWORKLOAD_H

@@ -1,0 +1,240 @@
+//===- tools/serve_main.cpp - jitvs_serve: multi-session serving bench ----===//
+///
+/// \file
+/// CLI of the serving harness (serve/ServeHarness.h). Replays a stream
+/// of synthetic user sessions against one long-lived engine per
+/// configuration, prints the latency/cache table, and emits
+/// BENCH_serve.json (jitvs-bench-v1, honoring $JITVS_BENCH_OUT) for
+/// tools/bench_diff.py and the CI bench job.
+///
+/// Default configuration matrix:
+///   paper-nocache  — the paper's policy, legacy one-binary dispatch
+///   paper-cache    — paper policy + shared SpecSig code cache
+///   tiered-cache   — adaptive tier ladder + cache
+///   tiered-cache-async — ditto, with two background compile workers
+///                    (the compile-queue-depth column is live here)
+///
+/// Self-checks (always on): session calls must not error, and every
+/// cache-enabled config of a big-enough run must show cross-session
+/// reuse (hits > 0). Violations exit non-zero, so serve_smoke is a real
+/// functional gate, not just a timing sample.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../bench/BenchUtil.h"
+#include "serve/ServeHarness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace jitvs;
+
+namespace {
+
+struct CliOptions {
+  ServeOptions Serve;
+  size_t CacheBytes = 1u << 20; ///< Budget of the cache-enabled configs.
+  bool SingleConfig = false; ///< --config NAME: run one column only.
+  std::string ConfigName;
+  bool WriteJson = true;
+};
+
+struct ServeConfig {
+  const char *Name;
+  EngineKnobs Knobs;
+};
+
+std::vector<ServeConfig> configMatrix(size_t CacheBytes) {
+  std::vector<ServeConfig> Cfgs;
+  {
+    ServeConfig C{"paper-nocache", {}};
+    Cfgs.push_back(C);
+  }
+  {
+    ServeConfig C{"paper-cache", {}};
+    C.Knobs.CodeCacheBytes = CacheBytes;
+    Cfgs.push_back(C);
+  }
+  {
+    ServeConfig C{"tiered-cache", {}};
+    C.Knobs.Policy = TierPolicy::Tiered;
+    C.Knobs.CodeCacheBytes = CacheBytes;
+    Cfgs.push_back(C);
+  }
+  {
+    ServeConfig C{"tiered-cache-async", {}};
+    C.Knobs.Policy = TierPolicy::Tiered;
+    C.Knobs.CodeCacheBytes = CacheBytes;
+    C.Knobs.CompileThreads = 2;
+    Cfgs.push_back(C);
+  }
+  return Cfgs;
+}
+
+[[noreturn]] void usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --sessions N      sessions to replay per config (default 10000)\n"
+      "  --concurrency N   live-session window width (default 64)\n"
+      "  --functions N     site bundle function count (default 96)\n"
+      "  --requests N      requests per session (default 4)\n"
+      "  --calls N         calls per request (default 8)\n"
+      "  --seed N          workload seed (default 1)\n"
+      "  --cache-bytes N   budget of the cache configs (default 1048576)\n"
+      "  --config NAME     run a single config (paper-nocache, paper-cache,\n"
+      "                    tiered-cache, tiered-cache-async)\n"
+      "  --no-json         skip BENCH_serve.json emission\n",
+      Argv0);
+  std::exit(2);
+}
+
+unsigned parseUnsigned(const char *Arg, const char *Flag) {
+  char *End = nullptr;
+  unsigned long V = std::strtoul(Arg, &End, 10);
+  if (!End || *End || !V) {
+    std::fprintf(stderr, "jitvs_serve: bad value '%s' for %s\n", Arg, Flag);
+    std::exit(2);
+  }
+  return static_cast<unsigned>(V);
+}
+
+CliOptions parseArgs(int Argc, char **Argv) {
+  CliOptions Opts;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= Argc)
+        usage(Argv[0]);
+      return Argv[++I];
+    };
+    if (A == "--sessions")
+      Opts.Serve.Sessions = parseUnsigned(Next(), "--sessions");
+    else if (A == "--concurrency")
+      Opts.Serve.Concurrency = parseUnsigned(Next(), "--concurrency");
+    else if (A == "--functions")
+      Opts.Serve.Model.NumFunctions = parseUnsigned(Next(), "--functions");
+    else if (A == "--requests")
+      Opts.Serve.Model.RequestsPerSession =
+          parseUnsigned(Next(), "--requests");
+    else if (A == "--calls")
+      Opts.Serve.Model.CallsPerRequest = parseUnsigned(Next(), "--calls");
+    else if (A == "--seed")
+      Opts.Serve.Seed = parseUnsigned(Next(), "--seed");
+    else if (A == "--cache-bytes")
+      Opts.CacheBytes = parseUnsigned(Next(), "--cache-bytes");
+    else if (A == "--config") {
+      Opts.SingleConfig = true;
+      Opts.ConfigName = Next();
+    } else if (A == "--no-json")
+      Opts.WriteJson = false;
+    else
+      usage(Argv[0]);
+  }
+  return Opts;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Cli = parseArgs(Argc, Argv);
+
+  std::vector<ServeConfig> Matrix = configMatrix(Cli.CacheBytes);
+  if (Cli.SingleConfig) {
+    std::vector<ServeConfig> One;
+    for (const ServeConfig &C : Matrix)
+      if (Cli.ConfigName == C.Name)
+        One.push_back(C);
+    if (One.empty()) {
+      std::fprintf(stderr, "jitvs_serve: unknown --config '%s'\n",
+                   Cli.ConfigName.c_str());
+      return 2;
+    }
+    Matrix = std::move(One);
+  }
+
+  std::printf("jitvs_serve: %u sessions x %u configs (window %u, "
+              "%u requests x %u calls, %u functions, cache budget %zu)\n\n",
+              Cli.Serve.Sessions, static_cast<unsigned>(Matrix.size()),
+              Cli.Serve.Concurrency, Cli.Serve.Model.RequestsPerSession,
+              Cli.Serve.Model.CallsPerRequest, Cli.Serve.Model.NumFunctions,
+              Cli.CacheBytes);
+  std::printf("%-20s %9s %9s %9s %8s %7s %9s %10s %7s\n", "config",
+              "p50(us)", "p99(us)", "total(s)", "compiles", "queue",
+              "hit-rate", "resident", "evict");
+
+  bench::BenchReport Report("serve", 1);
+  Report.setMeta("sessions", std::to_string(Cli.Serve.Sessions));
+  Report.setMeta("concurrency", std::to_string(Cli.Serve.Concurrency));
+  Report.setMeta("cache_budget_bytes", std::to_string(Cli.CacheBytes));
+  Report.setMeta("seed", std::to_string(Cli.Serve.Seed));
+
+  bool Failed = false;
+  for (const ServeConfig &C : Matrix) {
+    ServeResult R = runServe(Cli.Serve, OptConfig::all(), C.Knobs);
+
+    std::printf("%-20s %9.1f %9.1f %9.3f %8llu %7zu %9.3f %10zu %7llu\n",
+                C.Name, R.P50Seconds * 1e6, R.P99Seconds * 1e6,
+                R.TotalSeconds,
+                static_cast<unsigned long long>(R.Engine.Compilations),
+                R.MaxQueueDepth, R.CacheHitRate, R.ResidentCodeBytes,
+                static_cast<unsigned long long>(R.Cache.Evictions));
+
+    // Timed rows (gated by bench_diff.py against bench/baseline).
+    Report.addRow("session_p50", C.Name, R.P50Seconds, "seconds");
+    Report.addRow("session_p99", C.Name, R.P99Seconds, "seconds");
+    // Descriptive rows: functional shape, not perf gates.
+    Report.addRow("cache_hit_rate", C.Name, R.CacheHitRate, "ratio");
+    Report.addRow("resident_code_bytes", C.Name,
+                  static_cast<double>(R.ResidentCodeBytes), "bytes");
+    Report.addRow("cache_evictions", C.Name,
+                  static_cast<double>(R.Cache.Evictions), "count");
+    Report.addRow("cache_insertions", C.Name,
+                  static_cast<double>(R.Cache.Insertions), "count");
+    Report.addRow("max_queue_depth", C.Name,
+                  static_cast<double>(R.MaxQueueDepth), "count");
+    Report.addRow("mean_queue_depth", C.Name, R.MeanQueueDepth, "count");
+    Report.addRow("compilations", C.Name,
+                  static_cast<double>(R.Engine.Compilations), "count");
+    Report.addRow("sessions", C.Name, static_cast<double>(R.Sessions),
+                  "count");
+
+    if (R.Errors) {
+      std::fprintf(stderr,
+                   "jitvs_serve: FAIL %s: %llu session calls errored\n",
+                   C.Name, static_cast<unsigned long long>(R.Errors));
+      Failed = true;
+    }
+    if (R.Sessions != Cli.Serve.Sessions) {
+      std::fprintf(stderr,
+                   "jitvs_serve: FAIL %s: completed %llu of %u sessions\n",
+                   C.Name, static_cast<unsigned long long>(R.Sessions),
+                   Cli.Serve.Sessions);
+      Failed = true;
+    }
+    // Cross-session reuse is the whole point of the cache configs; a
+    // run long enough to warm any function must show hits.
+    if (R.CacheEnabled && Cli.Serve.Sessions >= 50 && !R.Cache.Hits) {
+      std::fprintf(stderr,
+                   "jitvs_serve: FAIL %s: cache enabled but zero hits\n",
+                   C.Name);
+      Failed = true;
+    }
+    if (R.CacheEnabled && R.ResidentCodeBytes > R.CacheBudgetBytes) {
+      std::fprintf(stderr,
+                   "jitvs_serve: FAIL %s: resident %zu exceeds budget %zu\n",
+                   C.Name, R.ResidentCodeBytes, R.CacheBudgetBytes);
+      Failed = true;
+    }
+  }
+
+  if (Cli.WriteJson)
+    Report.write();
+  if (Failed)
+    return 1;
+  std::printf("\njitvs_serve: ok\n");
+  return 0;
+}
