@@ -61,6 +61,11 @@ std::vector<EngineSetup> defaultMatrix() {
     K.Dispatch = DispatchMode::Switch;
   });
   Add("paper-oce", AllOce, [](EngineKnobs &) {});
+  // Shapes/ICs off: property ops stay generic in both tiers. Diffing
+  // this against the shape-specialized columns catches wrong-slot loads,
+  // missed transitions and bad guard sets as observable divergence.
+  Add("paper-noshapes", All, [](EngineKnobs &) {});
+  M.back().ShapesOff = true;
   Add("tiered-cache2", All, [](EngineKnobs &K) {
     K.Policy = TierPolicy::Tiered;
     K.CacheDepth = 2;
@@ -100,6 +105,7 @@ std::vector<EngineSetup> defaultMatrix() {
 RunOutcome runOnce(const std::string &Source, const EngineSetup &Setup) {
   RunOutcome Out;
   Runtime RT;
+  RT.setShapesEnabled(!Setup.ShapesOff);
   std::unique_ptr<Engine> E;
   if (Setup.UseJit)
     E = std::make_unique<Engine>(RT, Setup.Opt, Setup.Knobs);

@@ -29,6 +29,9 @@ struct EngineSetup {
   std::string Name;
   /// false = plain interpreter, no Engine attached (the reference).
   bool UseJit = true;
+  /// true = Runtime::setShapesEnabled(false): no IC fast paths, no shape
+  /// feedback, property ops stay generic in both tiers.
+  bool ShapesOff = false;
   OptConfig Opt;
   EngineKnobs Knobs;
 };

@@ -41,12 +41,18 @@ namespace {
 /// single splitmix64 stream, so the output is a pure function of the seed.
 class Gen {
 public:
-  explicit Gen(uint64_t Seed) : R(Seed * 0x9e3779b97f4a7c15ull + 1) {}
+  explicit Gen(uint64_t Seed)
+      : R(Seed * 0x9e3779b97f4a7c15ull + 1),
+        PropHeavy(R.nextBelow(100) < 35) {}
 
   FuzzProgram run();
 
 private:
   RNG R;
+  /// Property-heavy mode (seed-derived): biases generation toward the
+  /// shape/IC surface — object-literal reads and writes, conditional
+  /// property adds, and method calls through shared objects.
+  const bool PropHeavy;
   FuzzProgram P;
 
   struct FnInfo {
@@ -219,10 +225,36 @@ private:
     if (D < 76 && C.AllowCalls && C.CalleeLimit > 0)
       return callExpr(C, Depth);
     if (D < 86)
-      return memoryExpr(C);
+      return chance(PropHeavy ? 45 : 15) ? propExpr() : memoryExpr(C);
     if (D < 92)
       return mathExpr(C, Depth);
     return atom(C);
+  }
+
+  // --- property surface ---
+  // Four shared objects: two literals with seed-varying key orders
+  // (distinct insertion orders make distinct shapes from the same key
+  // set) and two instances of a shared constructor with a conditional
+  // property add (one shape per branch). Reads of keys an object lacks
+  // yield undefined — NaN under the numeric coercions, still bounded.
+  std::string propName() { return pick({"pa", "pb", "pc", "pd"}); }
+  std::string propObj() { return pick({"go0", "go1", "gp0", "gp1"}); }
+  std::string propExpr() { return propObj() + "." + propName(); }
+
+  /// \returns an object literal over a seed-shuffled key subset.
+  std::string objLit() {
+    static const char *Keys[] = {"pa", "pb", "pc", "pd"};
+    std::vector<const char *> Order(std::begin(Keys), std::end(Keys));
+    for (size_t I = Order.size(); I > 1; --I)
+      std::swap(Order[I - 1], Order[below(I)]);
+    unsigned N = 1 + below(Order.size());
+    std::string Out = "{";
+    for (unsigned I = 0; I < N; ++I) {
+      if (I)
+        Out += ", ";
+      Out += std::string(Order[I]) + ": " + intLit();
+    }
+    return Out + "}";
   }
 
   /// Reads through the shared globals: array loads (often out of range),
@@ -327,6 +359,18 @@ void Gen::genSimpleStmt(FuzzProgram::Unit &U, Ctx &C, unsigned &LocalSeq) {
     }
     U.Stmts.push_back("  if (" + expr(C, 1) + ") { " + T + " = " + A +
                       "; } else { " + T + " = " + B + "; }");
+    return;
+  }
+  if (D < (PropHeavy ? 95u : 91u)) {
+    // Property write — sometimes conditional, so the add transitions the
+    // shape on one path only. Stored values stay numeric: the shared
+    // objects persist across calls (same discipline as the globals).
+    std::string W = propObj() + "." + propName() + " = " +
+                    numCoerce(expr(C, 1)) + ";";
+    if (chance(30))
+      U.Stmts.push_back("  if (" + expr(C, 1) + ") { " + W + " }");
+    else
+      U.Stmts.push_back("  " + W);
     return;
   }
   // Array elements persist across calls: store a number or a short
@@ -463,7 +507,27 @@ void Gen::genGlobals() {
   }
   U.Stmts.push_back(Arr + "];");
   U.Stmts.push_back("var gs = " + strLit() + ";");
+  // The shared property-surface objects (see propExpr). MkO's
+  // conditional add means its instances split over two shapes depending
+  // on the argument order at the `new` sites.
+  U.Stmts.push_back("var go0 = " + objLit() + ";");
+  U.Stmts.push_back("var go1 = " + objLit() + ";");
   P.Units.push_back(std::move(U));
+
+  FuzzProgram::Unit Ctor;
+  Ctor.Header = "function MkO(a, b) {";
+  Ctor.Stmts.push_back("  this.pa = a;");
+  Ctor.Stmts.push_back("  this.pb = (a - b);");
+  Ctor.Stmts.push_back("  if (a > b) { this.pc = (b | 0); }");
+  Ctor.Footer = "}";
+  P.Units.push_back(std::move(Ctor));
+
+  FuzzProgram::Unit Insts;
+  Insts.Stmts.push_back("var gp0 = new MkO(" + intLit() + ", " + intLit() +
+                        ");");
+  Insts.Stmts.push_back("var gp1 = new MkO(" + intLit() + ", " + intLit() +
+                        ");");
+  P.Units.push_back(std::move(Insts));
 }
 
 void Gen::genOsrLoop() {
@@ -493,8 +557,9 @@ void Gen::genDriver() {
     if (!F.HigherOrder && !F.ReturnsClosure)
       PlainFns.push_back(F.Name);
 
-  auto CallArgs = [&](const FnInfo &F, const std::string &Var) {
-    std::string Out = F.Name + "(";
+  auto CallArgs = [&](const FnInfo &F, const std::string &Var,
+                      const std::string &Callee = std::string()) {
+    std::string Out = (Callee.empty() ? F.Name : Callee) + "(";
     for (unsigned I = 0; I < F.Arity; ++I) {
       if (I)
         Out += ", ";
@@ -552,6 +617,37 @@ void Gen::genDriver() {
     U.Stmts.push_back("print(" + Rv + ", (1 / " + Rv + "), typeof " + Rv +
                       ");");
   }
+
+  // Method-call sites: a plain function installed as a property of a
+  // shared object and called through it in a hot loop (the CallMethod
+  // IC / shape-guarded call path). A second install on another object
+  // makes the site polymorphic over receivers.
+  if (!PlainFns.empty() && chance(PropHeavy ? 85 : 40)) {
+    size_t FI = 0;
+    for (size_t I = 0; I < Fns.size(); ++I)
+      if (!Fns[I].HigherOrder && !Fns[I].ReturnsClosure) {
+        FI = I;
+        break;
+      }
+    const FnInfo &F = Fns[FI];
+    U.Stmts.push_back("go0.mf = " + F.Name + ";");
+    bool TwoRecv = chance(50);
+    if (TwoRecv)
+      U.Stmts.push_back("gp0.mf = " + F.Name + ";");
+    U.Stmts.push_back("var rm = 0;");
+    unsigned Iters = 11 + below(15);
+    std::string Recv =
+        TwoRecv ? std::string("((hm & 1) ? go0 : gp0)") : std::string("go0");
+    U.Stmts.push_back("for (var hm = 0; hm < " + std::to_string(Iters) +
+                      "; hm++) { rm = ((rm + " +
+                      CallArgs(F, "hm", Recv + ".mf") + ") % 1000000007); }");
+    U.Stmts.push_back("print(rm, typeof rm);");
+  }
+
+  // Observe the shared objects' final property values (NaN-safe probes:
+  // undefined reads print as undefined, not as a silent hole).
+  U.Stmts.push_back("print(go0.pa, go0.pb, go0.pc, go0.pd);");
+  U.Stmts.push_back("print(go1.pa, gp0.pb, gp0.pc, gp1.pc, gp1.pa);");
 
   U.Stmts.push_back("print(ga.length, ga[0], ga[" +
                     std::to_string(below(12)) + "], gs.length);");

@@ -50,6 +50,8 @@ OpInfo opInfo(NOp O) {
   case NOp::NewArrLen:
   case NOp::CallV:
   case NOp::CallM:
+  case NOp::CallT:
+  case NOp::LoadSlot:
   case NOp::NewCall:
   case NOp::NegD:
   case NOp::BitNot:
@@ -121,6 +123,7 @@ OpInfo opInfo(NOp O) {
     I.HasSnapshot = true;
     break;
   case NOp::GuardNumber:
+  case NOp::GuardShape:
     I.ADef = I.BUse = true;
     I.HasSnapshot = true;
     break;
@@ -138,6 +141,8 @@ OpInfo opInfo(NOp O) {
     break;
   case NOp::InitProp:
   case NOp::GenSetProp:
+  case NOp::StoreSlot:
+  case NOp::AddSlot:
     I.AUse = I.BUse = true;
     break;
   case NOp::BrCmpII:
@@ -652,6 +657,42 @@ void CodeGenerator::lowerInstr(MInstr *I) {
     uint32_t A0 = use(I->operand(0));
     uint32_t A1 = I->numOperands() > 1 ? use(I->operand(1)) : 0xFFFFu;
     emit(NOp::MathFn, vregOf(I), A0, A1, static_cast<int32_t>(I->AuxA));
+    return;
+  }
+
+  case MirOp::GuardShape: {
+    // Copy the graph's shape set into the binary's pool as a
+    // nullptr-terminated run; C names its base index.
+    const std::vector<const Shape *> &Set = Graph.shapeSet(I->AuxA);
+    uint16_t Base = Out->addShape(Set[0]);
+    for (size_t S = 1, E = Set.size(); S != E; ++S)
+      Out->addShape(Set[S]);
+    Out->addShape(nullptr);
+    emit(NOp::GuardShape, vregOf(I), use(I->operand(0)), Base,
+         snapshotFor(I->resumePoint()));
+    return;
+  }
+  case MirOp::LoadSlot:
+    emit(NOp::LoadSlot, vregOf(I), use(I->operand(0)), 0,
+         static_cast<int32_t>(I->AuxA));
+    return;
+  case MirOp::StoreSlot:
+    emit(NOp::StoreSlot, use(I->operand(0)), use(I->operand(1)), 0,
+         static_cast<int32_t>(I->AuxA));
+    return;
+  case MirOp::AddSlot:
+    emit(NOp::AddSlot, use(I->operand(0)), use(I->operand(1)),
+         Out->addShape(Graph.shapeSet(I->AuxA)[0]),
+         static_cast<int32_t>(I->AuxB));
+    return;
+  case MirOp::CallWithThis: {
+    uint32_t Callee = use(I->operand(0));
+    for (size_t A = 2, E = I->numOperands(); A != E; ++A)
+      emit(NOp::PushArg, use(I->operand(A)));
+    emit(NOp::PushArg, use(I->operand(1))); // `this` is staged last.
+    emit(NOp::CallT, vregOf(I), Callee,
+         static_cast<uint32_t>(I->numOperands() - 2),
+         static_cast<int32_t>(I->AuxB));
     return;
   }
   }

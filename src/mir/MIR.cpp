@@ -213,6 +213,16 @@ const char *jitvs::mirOpName(MirOp O) {
     return "new";
   case MirOp::MathFunction:
     return "mathfunction";
+  case MirOp::GuardShape:
+    return "guardshape";
+  case MirOp::LoadSlot:
+    return "loadslot";
+  case MirOp::StoreSlot:
+    return "storeslot";
+  case MirOp::AddSlot:
+    return "addslot";
+  case MirOp::CallWithThis:
+    return "callwiththis";
   }
   JITVS_UNREACHABLE("bad MirOp");
 }
@@ -371,6 +381,7 @@ bool MInstr::isGuard() const {
   case MirOp::NegI:
   case MirOp::BoundsCheck:
   case MirOp::GuardArrayLength:
+  case MirOp::GuardShape:
     return true;
   default:
     return false;
@@ -389,7 +400,10 @@ bool MInstr::isEffectful() const {
   case MirOp::InitProp:
   case MirOp::Call:
   case MirOp::CallMethod:
+  case MirOp::CallWithThis:
   case MirOp::New:
+  case MirOp::StoreSlot:
+  case MirOp::AddSlot:
   case MirOp::CheckOverRecursed:
     return true;
   default:
@@ -424,6 +438,10 @@ bool MInstr::isCongruenceCandidate() const {
   case MirOp::MakeClosure: // Distinct identities per evaluation.
   case MirOp::ArrayLength: // Mutable between stores.
   case MirOp::LoadElement:
+  case MirOp::GuardShape: // Shapes mutate across effectful ops; a guard
+  case MirOp::LoadSlot:   // (and the slot behind it) must not be merged
+                          // across a call or store that could transition
+                          // the receiver.
   case MirOp::GetGlobal:
   case MirOp::GetEnvSlot:
     return false;

@@ -145,6 +145,18 @@ enum class MirOp : uint8_t {
 
   // Inlined Math intrinsics. AuxA = MathIntrinsic.
   MathFunction,
+
+  // Shape-guarded property fast paths (vm/Shape.h). Shapes are referenced
+  // through the graph's shape-set table (MIRGraph::addShapeSet) since the
+  // MInstr payload has no pointer field.
+  GuardShape,   ///< Operand: object. AuxA = graph shape-set index. Guard;
+                ///< Object-typed pass-through of its operand.
+  LoadSlot,     ///< Operand: object (a GuardShape). AuxA = slot index.
+  StoreSlot,    ///< Operands: object, value. AuxA = slot index. Effectful.
+  AddSlot,      ///< Operands: object, value. AuxA = shape-set index of the
+                ///< transition target, AuxB = appended slot index.
+  CallWithThis, ///< Operands: callee, thisv, args... AuxA = argc, AuxB =
+                ///< name id (for the not-a-function error message).
 };
 
 const char *mirOpName(MirOp O);

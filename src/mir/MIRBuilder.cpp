@@ -258,6 +258,46 @@ private:
     return Info->Feedback.find(PC);
   }
 
+  /// \returns a still-valid GuardShape of \p Obj for exactly \p Set in
+  /// the current block, or null. Scans backward and gives up at any op
+  /// that can transition an object's shape — GVN cannot merge shape
+  /// guards (no effect barriers there), so redundant guards from
+  /// back-to-back property ops on one receiver are reused at build time.
+  MInstr *findShapeGuard(MInstr *Obj, const std::vector<const Shape *> &Set) {
+    const std::vector<MInstr *> &Instrs = Cur->instructions();
+    unsigned Scanned = 0;
+    for (size_t I = Instrs.size(); I-- > 0 && Scanned < 64; ++Scanned) {
+      MInstr *G = Instrs[I];
+      if (G->op() == MirOp::GuardShape) {
+        if ((G == Obj || G->operand(0) == Obj) &&
+            Graph.shapeSet(G->AuxA) == Set)
+          return G;
+        continue; // A guard of another receiver is not a hazard.
+      }
+      switch (G->op()) {
+      case MirOp::Call:
+      case MirOp::CallMethod:
+      case MirOp::CallWithThis:
+      case MirOp::New:
+      case MirOp::AddSlot:
+      case MirOp::InitProp:
+      case MirOp::GenericSetProp:
+      case MirOp::GenericSetElem:
+        return nullptr; // May have transitioned the receiver's shape.
+      default:
+        break;
+      }
+    }
+    return nullptr;
+  }
+  /// findShapeGuard, or a fresh guard when no earlier one serves.
+  MInstr *guardShape(MInstr *Obj, std::vector<const Shape *> Set) {
+    if (MInstr *G = findShapeGuard(Obj, Set))
+      return G;
+    return guard(MirOp::GuardShape, MIRType::Object, {Obj},
+                 Graph.addShapeSet(std::move(Set)));
+  }
+
   // --- Cleanup ---
   void prunePhis();
   void inferPhiTypes();
@@ -858,6 +898,27 @@ void Builder::translateCallMethod(uint32_t PC) {
     }
   }
 
+  // Shape-specialized method call: a monomorphic receiver whose cached
+  // way holds the method's slot becomes guard + raw slot load + direct
+  // call with an explicit `this` (no per-call property lookup).
+  if (!Opts.GenericOnly && FB && FB->NumWays == 1 && !FB->Megamorphic &&
+      FB->Ways[0].Slot >= 0) {
+    const PropICWay &W = FB->Ways[0];
+    MInstr *O = guardShape(Recv, {W.S});
+    MInstr *Callee = ins(MirOp::LoadSlot, MIRType::Any, {O},
+                         static_cast<uint32_t>(W.Slot));
+    MInstr *Call = Graph.create(MirOp::CallWithThis, MIRType::Any);
+    Call->appendOperand(Callee);
+    Call->appendOperand(O);
+    for (MInstr *A : Args)
+      Call->appendOperand(A);
+    Call->AuxA = Argc;
+    Call->AuxB = NameId;
+    Cur->append(Call);
+    push(Call);
+    return;
+  }
+
   MInstr *Call = Graph.create(MirOp::CallMethod, MIRType::Any);
   Call->appendOperand(Recv);
   for (MInstr *A : Args)
@@ -1137,13 +1198,68 @@ bool Builder::translateOp(uint32_t PC, uint32_t Len) {
                {unboxTo(MIRType::String, Obj)}));
       return false;
     }
+    // Shape-specialized load: every cached IC way reads the same present
+    // slot, so one guard on the shape set plus a raw slot load serves the
+    // whole site (mono- or polymorphic).
+    if (!Opts.GenericOnly && FB && FB->NumWays > 0 && !FB->Megamorphic) {
+      int32_t Slot = FB->Ways[0].Slot;
+      bool Uniform = Slot >= 0;
+      std::vector<const Shape *> Set;
+      for (unsigned I = 0; I < FB->NumWays && Uniform; ++I) {
+        if (FB->Ways[I].Slot != Slot)
+          Uniform = false;
+        else
+          Set.push_back(FB->Ways[I].S);
+      }
+      if (Uniform) {
+        MInstr *O = guardShape(Obj, std::move(Set));
+        push(ins(MirOp::LoadSlot, MIRType::Any, {O},
+                 static_cast<uint32_t>(Slot)));
+        return false;
+      }
+    }
     push(ins(MirOp::GenericGetProp, MIRType::Any, {Obj}, NameId));
     return false;
   }
   case Op::SetProp: {
+    uint16_t NameId = Info->u16At(PC + 1);
     MInstr *V = pop(), *Obj = pop();
-    push(ins(MirOp::GenericSetProp, MIRType::Any, {Obj, V},
-             Info->u16At(PC + 1)));
+    const SiteFeedback *FB = feedback(PC);
+    if (!Opts.GenericOnly && FB && FB->NumWays > 0 && !FB->Megamorphic) {
+      // Monomorphic: in-place store, or a property add following the
+      // site's one cached transition.
+      if (FB->NumWays == 1) {
+        const PropICWay &W = FB->Ways[0];
+        MInstr *O = guardShape(Obj, {W.S});
+        if (W.To)
+          ins(MirOp::AddSlot, MIRType::None, {O, V},
+              Graph.addShapeSet({W.To}), static_cast<uint32_t>(W.Slot));
+        else
+          ins(MirOp::StoreSlot, MIRType::None, {O, V},
+              static_cast<uint32_t>(W.Slot));
+        push(V);
+        return false;
+      }
+      // Polymorphic: all ways must be in-place stores to a common slot.
+      int32_t Slot = FB->Ways[0].Slot;
+      bool Uniform = true;
+      std::vector<const Shape *> Set;
+      for (unsigned I = 0; I < FB->NumWays; ++I) {
+        if (FB->Ways[I].To || FB->Ways[I].Slot != Slot) {
+          Uniform = false;
+          break;
+        }
+        Set.push_back(FB->Ways[I].S);
+      }
+      if (Uniform) {
+        MInstr *O = guardShape(Obj, std::move(Set));
+        ins(MirOp::StoreSlot, MIRType::None, {O, V},
+            static_cast<uint32_t>(Slot));
+        push(V);
+        return false;
+      }
+    }
+    push(ins(MirOp::GenericSetProp, MIRType::Any, {Obj, V}, NameId));
     return false;
   }
 

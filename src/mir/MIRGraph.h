@@ -21,6 +21,7 @@ namespace jitvs {
 
 struct FunctionInfo;
 class FeedbackSnapshot;
+class Shape;
 
 /// A basic block: phis, a body of instructions ending in a terminator,
 /// and predecessor links (successors live on the terminator).
@@ -166,6 +167,18 @@ public:
 
   std::string toString() const;
 
+  /// Shape sets referenced by GuardShape/AddSlot through AuxA (the MInstr
+  /// payload has no pointer field). Shapes outlive the graph: the
+  /// Runtime's ShapeTree owns them for the Runtime's lifetime.
+  uint32_t addShapeSet(std::vector<const Shape *> Set) {
+    ShapeSets.push_back(std::move(Set));
+    return static_cast<uint32_t>(ShapeSets.size() - 1);
+  }
+  const std::vector<const Shape *> &shapeSet(uint32_t I) const {
+    assert(I < ShapeSets.size() && "bad shape set index");
+    return ShapeSets[I];
+  }
+
   uint32_t nextInstrId() const { return NextId; }
 
 private:
@@ -174,6 +187,7 @@ private:
   std::vector<std::unique_ptr<MBasicBlock>> Blocks;
   std::vector<std::unique_ptr<MInstr>> Instrs;
   std::vector<std::unique_ptr<MResumePoint>> ResumePoints;
+  std::vector<std::vector<const Shape *>> ShapeSets;
   MBasicBlock *Entry = nullptr;
   MBasicBlock *Osr = nullptr;
   uint32_t NextId = 0;

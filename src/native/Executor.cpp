@@ -89,6 +89,8 @@ BailoutReason bailoutReasonForOp(NOp Op) {
     return BailoutReason::BoundsCheck;
   case NOp::GuardArrLen:
     return BailoutReason::ArrayLengthGuard;
+  case NOp::GuardShape:
+    return BailoutReason::ShapeGuard;
   default:
     return BailoutReason::Unknown;
   }

@@ -28,6 +28,7 @@ size_t NativeCode::guardCount() const {
     case NOp::GuardNumber:
     case NOp::BoundsCheck:
     case NOp::GuardArrLen:
+    case NOp::GuardShape:
     case NOp::AddI:
     case NOp::SubI:
     case NOp::MulI:

@@ -28,6 +28,7 @@
 namespace jitvs {
 
 struct FunctionInfo;
+class Shape;
 
 /// Number of addressable physical registers (instruction operands).
 constexpr unsigned NumPhysRegs = 16;
@@ -110,6 +111,13 @@ constexpr unsigned NumPhysRegs = 16;
   M(GenSetElem, "gensetelem") /* A=obj, B=index, C=value. */                   \
   M(GenGetProp, "gengetprop") /* A=dst, B=obj, Imm=name id. */                 \
   M(GenSetProp, "gensetprop") /* A=obj, B=value, Imm=name id. */               \
+  /* Shape-guarded property fast paths (vm/Shape.h). GuardShape scans a */     \
+  /* nullptr-terminated run of ShapePool starting at C; AddSlot's C names */   \
+  /* the single pool entry holding the transition-target shape. */             \
+  M(GuardShape, "guardshape") /* A=dst, B=obj, C=pool run, Imm=snapshot. */    \
+  M(LoadSlot, "loadslot")     /* A=dst, B=obj, Imm=slot index. */              \
+  M(StoreSlot, "storeslot")   /* A=obj, B=value, Imm=slot index. */            \
+  M(AddSlot, "addslot")       /* A=obj, B=value, C=pool idx, Imm=slot. */      \
   M(GetGlobal, "getglobal")   /* A=dst, Imm=global slot. */                    \
   M(SetGlobal, "setglobal")   /* A=src, Imm=global slot. */                    \
   M(GetEnv, "getenv")         /* A=dst, B=depth, Imm=env slot. */              \
@@ -124,6 +132,8 @@ constexpr unsigned NumPhysRegs = 16;
   M(PushArg, "pusharg") /* A=src. */                                           \
   M(CallV, "callv")     /* A=dst, B=callee, Imm=argc. */                       \
   M(CallM, "callm")     /* A=dst, B=receiver, C=argc, Imm=name id. */          \
+  M(CallT, "callt")     /* A=dst, B=callee, C=argc, Imm=name id (for the */    \
+                        /* not-a-function error); args then `this` staged. */  \
   M(NewCall, "newcall") /* A=dst, B=callee, Imm=argc. */                       \
   M(MathFn, "mathfn") /* A=dst, B=arg0, C=arg1 or 0xFFFF, Imm=intrinsic. */    \
   /* Control flow. Imm = code offset. */                                       \
@@ -197,6 +207,10 @@ public:
   FunctionInfo *Info;
   std::vector<NInstr> Code;
   std::vector<Value> ConstPool; ///< GC-rooted by the engine.
+  /// Shapes referenced by GuardShape (nullptr-terminated runs) and
+  /// AddSlot (single entries). Not GC-rooted: shapes live as long as the
+  /// Runtime's ShapeTree, which outlives any compiled code.
+  std::vector<const Shape *> ShapePool;
   std::vector<Snapshot> Snapshots;
 
   uint32_t EntryOffset = 0;
@@ -230,6 +244,11 @@ public:
   uint16_t addConstant(const Value &V) {
     ConstPool.push_back(V);
     return static_cast<uint16_t>(ConstPool.size() - 1);
+  }
+
+  uint16_t addShape(const Shape *S) {
+    ShapePool.push_back(S);
+    return static_cast<uint16_t>(ShapePool.size() - 1);
   }
 
   std::string disassemble() const;

@@ -33,6 +33,7 @@ enum class BailoutReason : uint8_t {
   BoundsCheck,      ///< Array/string index out of bounds.
   ArrayLengthGuard, ///< Specialized-on array length changed.
   OsrRevalidation,  ///< OSR entry: baked-in frame values no longer match.
+  ShapeGuard,       ///< GuardShape: receiver shape not in the cached set.
   Count             ///< Number of reasons (array sizing), not a reason.
 };
 
@@ -57,6 +58,8 @@ inline const char *bailoutReasonName(BailoutReason R) {
     return "array-length-guard";
   case BailoutReason::OsrRevalidation:
     return "osr-revalidation";
+  case BailoutReason::ShapeGuard:
+    return "shape-guard";
   case BailoutReason::Count:
     break;
   }

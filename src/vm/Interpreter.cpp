@@ -339,8 +339,36 @@ Value Interpreter::execute(InterpFrame &Frame) {
         if (Argc > 0)
           FB.B.add(Stack[Base].tag()); // First argument (intrinsics).
       }
-      Value R =
-          RT.callMethod(Recv, NameId, Argc ? &Stack[Base] : nullptr, Argc);
+      Value R;
+      bool Done = false;
+      // Method-call inline cache: shape compare -> slot load -> call.
+      // The callee *value* is not cached (a slot overwrite must be
+      // seen), only its slot; a non-function slot value falls back to
+      // the generic path for the canonical error.
+      if (RT.shapesEnabled() && Recv.isObject()) {
+        SiteFeedback &FB = Info->Feedback.at(OpPC);
+        JSObject *O = Recv.asObject();
+        const Shape *S = O->shape();
+        if (const PropICWay *W = FB.findWay(S)) {
+          ++RT.icStats().CallHits;
+          if (W->Slot >= 0) {
+            Value Callee = O->slotAt(static_cast<uint32_t>(W->Slot));
+            if (Callee.isFunction()) {
+              R = RT.callValue(Callee, Recv, Argc ? &Stack[Base] : nullptr,
+                               Argc);
+              Done = true;
+            }
+          }
+        } else {
+          ++RT.icStats().CallMisses;
+          bool WasMega = FB.Megamorphic;
+          if (!FB.addWay(S, nullptr, S->lookup(NameId), RT.icWays()) &&
+              !WasMega)
+            ++RT.icStats().MegamorphicSites;
+        }
+      }
+      if (!Done)
+        R = RT.callMethod(Recv, NameId, Argc ? &Stack[Base] : nullptr, Argc);
       Stack.resize(Base - 1);
       Info->Feedback.at(OpPC).Result.add(R.tag());
       Push(R);
@@ -374,13 +402,13 @@ Value Interpreter::execute(InterpFrame &Frame) {
       break;
     }
     case Op::NewObject:
-      Push(Value::object(RT.heap().allocate<JSObject>()));
+      Push(Value::object(RT.heap().allocate<JSObject>(RT.shapes().root())));
       break;
     case Op::InitProp: {
       Value V = Pop();
       Value Obj = Top();
       assert(Obj.isObject() && "initprop on non-object");
-      Obj.asObject()->setProperty(Info->u16At(OpPC + 1), V);
+      Obj.asObject()->setProperty(RT.shapes(), Info->u16At(OpPC + 1), V);
       break;
     }
     case Op::GetElem: {
@@ -403,14 +431,69 @@ Value Interpreter::execute(InterpFrame &Frame) {
     }
     case Op::GetProp: {
       Value Obj = Pop();
-      Feedback1(OpPC, Obj);
-      Push(RT.genericGetProp(Obj, Info->u16At(OpPC + 1)));
+      uint16_t NameId = Info->u16At(OpPC + 1);
+      SiteFeedback &FB = Info->Feedback.at(OpPC);
+      FB.A.add(Obj.tag());
+      // Inline cache: shape compare -> direct slot load. Misses install
+      // a new way until the way limit, then the site goes megamorphic
+      // and stays on the generic path. The recorded ways double as the
+      // shape feedback MIRBuilder specializes against.
+      if (RT.shapesEnabled() && Obj.isObject()) {
+        JSObject *O = Obj.asObject();
+        const Shape *S = O->shape();
+        if (const PropICWay *W = FB.findWay(S)) {
+          ++RT.icStats().GetHits;
+          Push(W->Slot < 0 ? Value::undefined() : O->slotAt(W->Slot));
+          break;
+        }
+        ++RT.icStats().GetMisses;
+        bool WasMega = FB.Megamorphic;
+        if (!FB.addWay(S, nullptr, S->lookup(NameId), RT.icWays()) &&
+            !WasMega)
+          ++RT.icStats().MegamorphicSites;
+        Push(O->getProperty(NameId));
+        break;
+      }
+      Push(RT.genericGetProp(Obj, NameId));
       break;
     }
     case Op::SetProp: {
       Value V = Pop(), Obj = Pop();
-      Feedback1(OpPC, Obj);
-      Push(RT.genericSetProp(Obj, Info->u16At(OpPC + 1), V));
+      uint16_t NameId = Info->u16At(OpPC + 1);
+      SiteFeedback &FB = Info->Feedback.at(OpPC);
+      FB.A.add(Obj.tag());
+      if (RT.shapesEnabled() && Obj.isObject()) {
+        JSObject *O = Obj.asObject();
+        const Shape *S = O->shape();
+        if (const PropICWay *W = FB.findWay(S)) {
+          ++RT.icStats().SetHits;
+          // To != null caches the property-add transition; otherwise the
+          // write is in-place.
+          if (W->To)
+            O->addSlot(W->To, V);
+          else
+            O->setSlotAt(static_cast<uint32_t>(W->Slot), V);
+          Push(V);
+          break;
+        }
+        ++RT.icStats().SetMisses;
+        int32_t Slot = S->lookup(NameId);
+        const Shape *To = nullptr;
+        if (Slot < 0) {
+          To = RT.shapes().transition(S, NameId);
+          Slot = static_cast<int32_t>(To->slot());
+        }
+        bool WasMega = FB.Megamorphic;
+        if (!FB.addWay(S, To, Slot, RT.icWays()) && !WasMega)
+          ++RT.icStats().MegamorphicSites;
+        if (To)
+          O->addSlot(To, V);
+        else
+          O->setSlotAt(static_cast<uint32_t>(Slot), V);
+        Push(V);
+        break;
+      }
+      Push(RT.genericSetProp(Obj, NameId, V));
       break;
     }
 

@@ -23,8 +23,10 @@ void jitvs::traceObject(GCObject *Obj, GCMarker &Marker) {
     return;
   }
   case GCKind::Object: {
+    // The shape is not a GC object (the Runtime's ShapeTree owns it for
+    // the Runtime's lifetime); only the slot values are traced.
     auto *O = static_cast<JSObject *>(Obj);
-    for (const auto &[Id, V] : O->properties())
+    for (const Value &V : O->slots())
       Marker.mark(V);
     return;
   }

@@ -13,6 +13,7 @@
 #define JITVS_VM_OBJECT_H
 
 #include "vm/GC.h"
+#include "vm/Shape.h"
 #include "vm/Value.h"
 
 #include <string>
@@ -65,9 +66,17 @@ public:
       return Value::undefined();
     return Elems[I];
   }
-  /// Generic indexed write: grows the array for indices past the end.
+  /// Dense-growth ceiling: a store past this index is dropped instead of
+  /// materializing gigabytes of undefined filler (`a[1e9] = x` used to
+  /// resize the backing vector to a billion entries). Reads past the end
+  /// already yield undefined, and both execution tiers share this path,
+  /// so the clamp is observably identical across configurations.
+  static constexpr int64_t MaxDenseLength = int64_t(1) << 20;
+
+  /// Generic indexed write: grows the array for indices past the end, up
+  /// to MaxDenseLength; negative or huge indices are dropped.
   void setElement(int64_t I, const Value &V) {
-    if (I < 0)
+    if (I < 0 || I >= MaxDenseLength)
       return;
     if (static_cast<size_t>(I) >= Elems.size())
       Elems.resize(static_cast<size_t>(I) + 1);
@@ -89,44 +98,62 @@ private:
   std::vector<Value> Elems;
 };
 
-/// A plain object: a small flat property map keyed by interned name id.
+/// A plain object: a hidden-class shape describing the layout (which
+/// interned name id lives in which slot) plus a flat slot vector with
+/// the property values. Objects built by the same sequence of property
+/// adds share a shape, so property access sites can cache a shape
+/// pointer and read/write the slot directly (vm/Shape.h).
 class JSObject final : public GCObject {
 public:
-  JSObject() : GCObject(GCKind::Object) {}
+  explicit JSObject(const Shape *S) : GCObject(GCKind::Object), S(S) {}
+
+  const Shape *shape() const { return S; }
+
+  /// Direct slot access for shape-guarded fast paths: the caller has
+  /// already matched shape() against a cached shape.
+  const Value &slotAt(uint32_t I) const {
+    assert(I < Slots.size() && "object slot out of range");
+    return Slots[I];
+  }
+  void setSlotAt(uint32_t I, const Value &V) {
+    assert(I < Slots.size() && "object slot out of range");
+    Slots[I] = V;
+  }
+
+  /// Shape-guarded property add: transitions to \p To (the cached child
+  /// shape) and appends the value to its new slot.
+  void addSlot(const Shape *To, const Value &V) {
+    assert(To->parent() == S && To->numSlots() == Slots.size() + 1 &&
+           "addSlot target is not a direct transition of this shape");
+    S = To;
+    Slots.push_back(V);
+  }
 
   /// \returns the property value, or undefined when absent.
   Value getProperty(uint32_t NameId) const {
-    for (const auto &[Id, V] : Props)
-      if (Id == NameId)
-        return V;
-    return Value::undefined();
+    int32_t Slot = S->lookup(NameId);
+    return Slot < 0 ? Value::undefined() : Slots[Slot];
   }
 
   /// \returns true if the property exists.
-  bool hasProperty(uint32_t NameId) const {
-    for (const auto &[Id, V] : Props)
-      if (Id == NameId)
-        return true;
-    return false;
-  }
+  bool hasProperty(uint32_t NameId) const { return S->lookup(NameId) >= 0; }
 
-  /// Creates or overwrites the property.
-  void setProperty(uint32_t NameId, const Value &V) {
-    for (auto &[Id, Slot] : Props) {
-      if (Id == NameId) {
-        Slot = V;
-        return;
-      }
+  /// Creates or overwrites the property; new properties transition the
+  /// shape through \p Tree.
+  void setProperty(ShapeTree &Tree, uint32_t NameId, const Value &V) {
+    int32_t Slot = S->lookup(NameId);
+    if (Slot >= 0) {
+      Slots[Slot] = V;
+      return;
     }
-    Props.emplace_back(NameId, V);
+    addSlot(Tree.transition(S, NameId), V);
   }
 
-  const std::vector<std::pair<uint32_t, Value>> &properties() const {
-    return Props;
-  }
+  const std::vector<Value> &slots() const { return Slots; }
 
 private:
-  std::vector<std::pair<uint32_t, Value>> Props;
+  const Shape *S;
+  std::vector<Value> Slots;
 };
 
 /// A closure environment: boxed slots for locals captured by inner

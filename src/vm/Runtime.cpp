@@ -43,9 +43,42 @@ private:
   Runtime &RT;
 };
 
-Runtime::Runtime() { Roots = std::make_unique<GlobalRoots>(*this); }
+Runtime::Runtime() {
+  Roots = std::make_unique<GlobalRoots>(*this);
+  // Shape/IC knobs are ambient-environment seeded like the dispatch-mode
+  // default: harnesses that need per-instance control (the fuzz matrix)
+  // override through the setters after construction.
+  if (const char *E = std::getenv("JITVS_SHAPES"))
+    ShapesOn = !(std::strcmp(E, "off") == 0 || std::strcmp(E, "0") == 0);
+  if (const char *E = std::getenv("JITVS_IC_WAYS"))
+    setICWays(static_cast<unsigned>(std::strtoul(E, nullptr, 10)));
+}
 
-Runtime::~Runtime() = default;
+Runtime::~Runtime() {
+  if (metricsEnabled())
+    publishShapeMetrics();
+}
+
+void Runtime::setICWays(unsigned N) {
+  ICWays = std::max(1u, std::min(N, SiteFeedback::MaxICWays));
+}
+
+void Runtime::publishShapeMetrics() {
+  // Publish-once: the destructor path must not double-count a harness's
+  // explicit publish.
+  if (!metricsEnabled() || ShapeMetricsPublished)
+    return;
+  ShapeMetricsPublished = true;
+  Metrics &M = metrics();
+  M.addCounter("shape.shapes", Shapes.size());
+  M.addCounter("ic.get.hits", TheICStats.GetHits);
+  M.addCounter("ic.get.misses", TheICStats.GetMisses);
+  M.addCounter("ic.set.hits", TheICStats.SetHits);
+  M.addCounter("ic.set.misses", TheICStats.SetMisses);
+  M.addCounter("ic.call.hits", TheICStats.CallHits);
+  M.addCounter("ic.call.misses", TheICStats.CallMisses);
+  M.addCounter("ic.sites.megamorphic", TheICStats.MegamorphicSites);
+}
 
 void Runtime::printLine(const std::string &S) {
   Output += S;
@@ -325,7 +358,7 @@ Value Runtime::genericSetElem(const Value &Obj, const Value &Index,
   case ValueTag::Object: {
     std::string Key = Index.toDisplayString();
     uint32_t Id = Prog->names().intern(Key);
-    Obj.asObject()->setProperty(Id, V);
+    Obj.asObject()->setProperty(Shapes, Id, V);
     return V;
   }
   case ValueTag::Undefined:
@@ -363,13 +396,16 @@ Value Runtime::genericSetProp(const Value &Obj, uint32_t NameId,
                               const Value &V) {
   switch (Obj.tag()) {
   case ValueTag::Object:
-    Obj.asObject()->setProperty(NameId, V);
+    Obj.asObject()->setProperty(Shapes, NameId, V);
     return V;
   case ValueTag::Array:
     if (NameId == LengthId) {
       int64_t NewLen = asElementIndex(V);
       if (NewLen >= 0) {
         // Resizing through the generic path; shrink or grow with holes.
+        // Growth honors the same dense ceiling as setElement: a stray
+        // `a.length = 1e9` must not materialize gigabytes of filler.
+        NewLen = std::min(NewLen, JSArray::MaxDenseLength);
         JSArray *A = Obj.asArray();
         std::vector<Value> Elems = A->elements();
         Elems.resize(static_cast<size_t>(NewLen));
@@ -667,7 +703,7 @@ Value Runtime::construct(const Value &Callee, const Value *Args,
   if (F->isNative())
     return F->native()(*this, Value::undefined(), Args, NumArgs);
 
-  JSObject *Obj = TheHeap.allocate<JSObject>();
+  JSObject *Obj = TheHeap.allocate<JSObject>(Shapes.root());
   TempRoots Roots(TheHeap);
   Value ThisV = Value::object(Obj);
   Roots.add(ThisV);
@@ -868,11 +904,11 @@ void Runtime::installGlobals() {
     else if (Name == "NaN")
       Globals[Slot] = Value::makeDouble(std::nan(""));
     else if (Name == "Math") {
-      JSObject *Math = TheHeap.allocate<JSObject>();
+      JSObject *Math = TheHeap.allocate<JSObject>(Shapes.root());
       Value MathV = Value::object(Math);
       InternalRoots.push_back(MathV);
       auto Def = [&](const char *N, NativeFn Fn) {
-        Math->setProperty(Prog->names().intern(N), DefineFn(N, Fn));
+        Math->setProperty(Shapes, Prog->names().intern(N), DefineFn(N, Fn));
       };
       Def("sin", mathSin);
       Def("cos", mathCos);
@@ -890,16 +926,16 @@ void Runtime::installGlobals() {
       Def("min", mathMin);
       Def("max", mathMax);
       Def("random", mathRandom);
-      Math->setProperty(Prog->names().intern("PI"),
+      Math->setProperty(Shapes, Prog->names().intern("PI"),
                         Value::makeDouble(3.141592653589793));
-      Math->setProperty(Prog->names().intern("E"),
+      Math->setProperty(Shapes, Prog->names().intern("E"),
                         Value::makeDouble(2.718281828459045));
       Globals[Slot] = MathV;
     } else if (Name == "String") {
-      JSObject *Str = TheHeap.allocate<JSObject>();
+      JSObject *Str = TheHeap.allocate<JSObject>(Shapes.root());
       Value StrV = Value::object(Str);
       InternalRoots.push_back(StrV);
-      Str->setProperty(Prog->names().intern("fromCharCode"),
+      Str->setProperty(Shapes, Prog->names().intern("fromCharCode"),
                        DefineFn("fromCharCode", builtinFromCharCode));
       Globals[Slot] = StrV;
     }

@@ -16,6 +16,7 @@
 #include "vm/Bytecode.h"
 #include "vm/GC.h"
 #include "vm/Object.h"
+#include "vm/Shape.h"
 #include "vm/Value.h"
 
 #include <memory>
@@ -104,6 +105,35 @@ public:
   Heap &heap() { return TheHeap; }
   Program *program() { return Prog.get(); }
   RNG &rng() { return Rand; }
+
+  // --- Hidden-class shapes and property inline caches (vm/Shape.h) ---
+  ShapeTree &shapes() { return Shapes; }
+
+  /// Master switch for the shape-guarded fast paths: interpreter inline
+  /// caches and (because disabling also stops IC way recording) the
+  /// JIT's shape-specialized property MIR. Objects always carry shapes —
+  /// this gates the optimization, not the storage model. Env escape
+  /// hatch: JITVS_SHAPES=off|0.
+  bool shapesEnabled() const { return ShapesOn; }
+  void setShapesEnabled(bool On) { ShapesOn = On; }
+
+  /// Distinct receiver shapes a property site caches before going
+  /// megamorphic (1..SiteFeedback::MaxICWays; env: JITVS_IC_WAYS).
+  unsigned icWays() const { return ICWays; }
+  void setICWays(unsigned N);
+
+  /// Aggregate inline-cache counters across all sites (telemetry).
+  struct ICStats {
+    uint64_t GetHits = 0, GetMisses = 0;
+    uint64_t SetHits = 0, SetMisses = 0;
+    uint64_t CallHits = 0, CallMisses = 0;
+    uint64_t MegamorphicSites = 0; ///< Sites that exhausted the way limit.
+  };
+  ICStats &icStats() { return TheICStats; }
+  const ICStats &icStats() const { return TheICStats; }
+  /// Folds IC counters and the shape count into the global metrics
+  /// registry under "shape.*" / "ic.*" (no-op when metrics are off).
+  void publishShapeMetrics();
 
   Value &global(uint32_t Slot) {
     assert(Slot < Globals.size() && "bad global slot");
@@ -216,6 +246,15 @@ private:
   std::unique_ptr<Program> Prog;
   std::vector<Value> Globals;
   RNG Rand;
+
+  /// Owns every shape of this Runtime; never shrinks, so Shape pointers
+  /// cached in ICs, feedback and native code stay valid for the
+  /// Runtime's (and thus any attached Engine's) whole lifetime.
+  ShapeTree Shapes;
+  bool ShapesOn = true;
+  unsigned ICWays = SiteFeedback::MaxICWays;
+  ICStats TheICStats;
+  bool ShapeMetricsPublished = false;
 
   bool HadError = false;
   std::string ErrorMsg;

@@ -1,0 +1,35 @@
+//===- vm/Shape.cpp - Hidden-class object shapes --------------------------===//
+
+#include "vm/Shape.h"
+
+#include <cassert>
+
+using namespace jitvs;
+
+ShapeTree::ShapeTree() {
+  Shapes.emplace_back(
+      new Shape(nullptr, Shape::NoProp, 0, 0, /*Id=*/0));
+  Root = Shapes.back().get();
+}
+
+const Shape *ShapeTree::transition(const Shape *From, uint32_t NameId) {
+  assert(From->lookup(NameId) < 0 && "transition on an existing property");
+  std::lock_guard<std::mutex> Lock(Mu);
+  // The immutable fields of From never change, but its transition map is
+  // shared mutable state: find-or-create under the tree mutex.
+  Shape *Mutable = const_cast<Shape *>(From);
+  auto It = Mutable->Transitions.find(NameId);
+  if (It != Mutable->Transitions.end())
+    return It->second;
+  Shapes.emplace_back(new Shape(From, NameId, From->NumSlots,
+                                From->NumSlots + 1,
+                                static_cast<uint32_t>(Shapes.size())));
+  Shape *Child = Shapes.back().get();
+  Mutable->Transitions.emplace(NameId, Child);
+  return Child;
+}
+
+size_t ShapeTree::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Shapes.size();
+}

@@ -1,0 +1,112 @@
+//===- vm/Shape.h - Hidden-class object shapes ------------------*- C++ -*-===//
+///
+/// \file
+/// Hidden-class shapes for JSObject ("Extending Basic Block Versioning
+/// with Typed Object Shapes", Chevalier-Boisvert & Feeley). A Shape
+/// describes one object layout: which property name ids an object has
+/// and which slot index each one occupies. Objects built by the same
+/// sequence of property adds share a shape, so a property access
+/// becomes a pointer compare (shape guard) plus a direct slot load.
+///
+/// Shapes form a transition tree rooted at the empty shape: adding
+/// property P to an object with shape S moves it to the unique child
+/// S.transition(P), created on first use. The describing fields of a
+/// Shape (parent, property id, slot, id) are immutable after
+/// construction, so lookups walk the parent chain lock-free from any
+/// thread — background compile workers read shapes recorded in
+/// feedback snapshots while the mutator keeps transitioning. Only the
+/// per-shape transition map mutates, and every access to it goes
+/// through the owning ShapeTree's single mutex.
+///
+/// Shapes are not GC objects: the ShapeTree (owned by the Runtime)
+/// keeps every shape it ever created alive for the Runtime's lifetime.
+/// That is what makes `const Shape *` safe to embed in inline caches,
+/// feedback snapshots, MIR graphs and native-code shape pools without
+/// any rooting protocol — a shape pointer can never dangle while any
+/// code that could mention it can still run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITVS_VM_SHAPE_H
+#define JITVS_VM_SHAPE_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace jitvs {
+
+class ShapeTree;
+
+/// One object layout. Immutable except for the transition map, which is
+/// only touched under the owning ShapeTree's mutex.
+class Shape {
+public:
+  /// Property name id this shape added relative to its parent (the root
+  /// shape has none).
+  static constexpr uint32_t NoProp = ~0u;
+
+  const Shape *parent() const { return Parent; }
+  uint32_t propId() const { return PropId; }
+  /// Slot index PropId occupies (valid when PropId != NoProp).
+  uint32_t slot() const { return Slot; }
+  /// Total slot count of objects with this shape.
+  uint32_t numSlots() const { return NumSlots; }
+  /// Dense id, stable for the tree's lifetime (root is 0).
+  uint32_t id() const { return Id; }
+
+  /// Slot index of \p NameId, or -1 when absent. Walks the immutable
+  /// parent chain: safe from any thread without locking.
+  int32_t lookup(uint32_t NameId) const {
+    for (const Shape *S = this; S->PropId != NoProp; S = S->Parent)
+      if (S->PropId == NameId)
+        return static_cast<int32_t>(S->Slot);
+    return -1;
+  }
+
+private:
+  friend class ShapeTree;
+  Shape(const Shape *Parent, uint32_t PropId, uint32_t Slot,
+        uint32_t NumSlots, uint32_t Id)
+      : Parent(Parent), PropId(PropId), Slot(Slot), NumSlots(NumSlots),
+        Id(Id) {}
+
+  const Shape *Parent;
+  const uint32_t PropId;
+  const uint32_t Slot;
+  const uint32_t NumSlots;
+  const uint32_t Id;
+  /// NameId -> child shape. Guarded by ShapeTree::Mu.
+  std::unordered_map<uint32_t, Shape *> Transitions;
+};
+
+/// Owns every shape of one Runtime. Transition lookup/creation is
+/// serialized by a single mutex; everything a reader needs afterwards
+/// lives in the immutable part of Shape.
+class ShapeTree {
+public:
+  ShapeTree();
+  ShapeTree(const ShapeTree &) = delete;
+  ShapeTree &operator=(const ShapeTree &) = delete;
+
+  /// The empty shape every fresh object starts with.
+  const Shape *root() const { return Root; }
+
+  /// The child of \p From that adds \p NameId, created on first use.
+  /// \p From must not already contain \p NameId.
+  const Shape *transition(const Shape *From, uint32_t NameId);
+
+  /// Number of shapes ever created (telemetry).
+  size_t size() const;
+
+private:
+  mutable std::mutex Mu;
+  std::vector<std::unique_ptr<Shape>> Shapes;
+  Shape *Root;
+};
+
+} // namespace jitvs
+
+#endif // JITVS_VM_SHAPE_H

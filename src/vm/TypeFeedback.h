@@ -19,6 +19,8 @@
 
 namespace jitvs {
 
+class Shape;
+
 /// A small set of observed value tags, one bit per ValueTag.
 class TypeSet {
 public:
@@ -57,6 +59,19 @@ private:
   uint16_t Bits = 0;
 };
 
+/// One way of a property-site inline cache: a receiver shape plus what
+/// the site does for it. Shape pointers stay valid for the Runtime's
+/// lifetime (vm/Shape.h), so copying ways into FeedbackSnapshot is safe.
+struct PropICWay {
+  const Shape *S = nullptr;  ///< Receiver shape this way matches.
+  /// SetProp only: the child shape a property-add transitions to;
+  /// nullptr when the write is in-place (the property already existed).
+  const Shape *To = nullptr;
+  /// Slot index: the slot to load/store, the appended slot for a
+  /// transitioning SetProp, or -1 for a GetProp of an absent property.
+  int32_t Slot = -1;
+};
+
 /// Feedback recorded for one bytecode site.
 struct SiteFeedback {
   TypeSet A;      ///< First operand (or receiver / sole operand).
@@ -67,6 +82,38 @@ struct SiteFeedback {
   bool SawIntOverflow = false; ///< Int32 arithmetic overflowed.
   bool SawOutOfBounds = false; ///< Element access was out of bounds / grew.
   bool SawNonInt32Index = false;
+
+  // --- Property-site inline cache (GetProp / SetProp / CallMethod) ---
+  /// Hard ceiling on the way count (JITVS_IC_WAYS clamps within this).
+  static constexpr unsigned MaxICWays = 4;
+  PropICWay Ways[MaxICWays];
+  uint8_t NumWays = 0;
+  /// The site saw more distinct receiver shapes than the way limit:
+  /// stop recording and stay on the generic path for good.
+  bool Megamorphic = false;
+
+  /// \returns the way matching \p S, or nullptr on an IC miss.
+  const PropICWay *findWay(const Shape *S) const {
+    for (unsigned I = 0; I < NumWays; ++I)
+      if (Ways[I].S == S)
+        return &Ways[I];
+    return nullptr;
+  }
+
+  /// Installs a new way after a miss (first \p Limit ways win; beyond
+  /// that the site goes megamorphic). \returns the installed way, or
+  /// nullptr when the site is (or just went) megamorphic.
+  PropICWay *addWay(const Shape *S, const Shape *To, int32_t Slot,
+                    unsigned Limit) {
+    if (Megamorphic)
+      return nullptr;
+    if (NumWays >= Limit || NumWays >= MaxICWays) {
+      Megamorphic = true;
+      return nullptr;
+    }
+    Ways[NumWays] = {S, To, Slot};
+    return &Ways[NumWays++];
+  }
 };
 
 /// Feedback for a whole function, keyed by bytecode offset.

@@ -202,9 +202,13 @@ TEST(MIRBuilder, MathIntrinsicsOnConstantReceiver) {
   auto G = buildMIR(T.function("f"), BuildOptions());
   // Math is a global object (not a constant in generic mode), so the
   // intrinsic only fires when Math is loaded as a constant... which
-  // requires the receiver to be constant. GenericGetProp + CallMethod is
-  // the generic shape:
-  EXPECT_EQ(count(*G, MirOp::CallMethod), 2u);
+  // requires the receiver to be constant. The method-call IC saw Math's
+  // shape at both sites, so the shape-specialized call form is built:
+  // GuardShape + LoadSlot(callee) + CallWithThis. The second site cannot
+  // reuse the first site's guard: the first call could transition shapes.
+  EXPECT_EQ(count(*G, MirOp::CallMethod), 0u);
+  EXPECT_EQ(count(*G, MirOp::CallWithThis), 2u);
+  EXPECT_EQ(count(*G, MirOp::GuardShape), 2u);
 }
 
 TEST(MIRBuilder, CharCodeAtSpecializes) {

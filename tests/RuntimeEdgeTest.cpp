@@ -244,6 +244,25 @@ TEST(ArrayEdge, OutOfBoundsReadsMatchInterpreter) {
             "undefined undefined undefined\n");
 }
 
+TEST(ArrayEdge, HugeIndexWriteDoesNotGrowDenseStorage) {
+  // Regression: `a[1e9] = x` used to resize the dense backing store to a
+  // billion entries. Writes at or past MaxDenseLength are dropped;
+  // reads there stay undefined, identically in both tiers.
+  EXPECT_EQ(both("var a = [1, 2];"
+                 "a[1000000000] = 7;"
+                 "a[-5] = 8;"
+                 "print(a.length, a[1000000000], a[-5], a[1]);"),
+            "2 undefined undefined 2\n");
+  // The boundary itself: the last index below the cap grows the array,
+  // the first index at the cap does not.
+  EXPECT_EQ(both("var a = [];"
+                 "a[1048575] = 1;"
+                 "var n1 = a.length;"
+                 "a[1048576] = 2;"
+                 "print(n1, a.length, a[1048575], a[1048576]);"),
+            "1048576 1048576 1 undefined\n");
+}
+
 TEST(StringEdge, Boundaries) {
   EXPECT_EQ(both("print(''.length, 'a'.charCodeAt(5));"), "0 NaN\n");
   EXPECT_EQ(both("print('abc'.substring(2, 1));"), "b\n"); // Swapped.

@@ -25,6 +25,7 @@ TEST(Value, NumberCanonicalization) {
 
 TEST(Value, Truthiness) {
   Heap H;
+  ShapeTree T;
   EXPECT_FALSE(Value::undefined().toBoolean());
   EXPECT_FALSE(Value::null().toBoolean());
   EXPECT_FALSE(Value::int32(0).toBoolean());
@@ -33,11 +34,12 @@ TEST(Value, Truthiness) {
   EXPECT_FALSE(Value::string(H.allocate<JSString>("")).toBoolean());
   EXPECT_TRUE(Value::int32(-1).toBoolean());
   EXPECT_TRUE(Value::string(H.allocate<JSString>("x")).toBoolean());
-  EXPECT_TRUE(Value::object(H.allocate<JSObject>()).toBoolean());
+  EXPECT_TRUE(Value::object(H.allocate<JSObject>(T.root())).toBoolean());
 }
 
 TEST(Value, StrictEquality) {
   Heap H;
+  ShapeTree T;
   // Cross-tag numeric equality.
   EXPECT_TRUE(Value::int32(3).strictEquals(Value::makeDouble(3.0)));
   EXPECT_FALSE(Value::int32(3).strictEquals(Value::makeDouble(3.5)));
@@ -48,8 +50,8 @@ TEST(Value, StrictEquality) {
   Value S1 = Value::string(H.allocate<JSString>("abc"));
   Value S2 = Value::string(H.allocate<JSString>("abc"));
   EXPECT_TRUE(S1.strictEquals(S2));
-  Value O1 = Value::object(H.allocate<JSObject>());
-  Value O2 = Value::object(H.allocate<JSObject>());
+  Value O1 = Value::object(H.allocate<JSObject>(T.root()));
+  Value O2 = Value::object(H.allocate<JSObject>(T.root()));
   EXPECT_FALSE(O1.strictEquals(O2));
   EXPECT_TRUE(O1.strictEquals(O1));
 }
@@ -72,6 +74,7 @@ TEST(Value, SpecializationIdentity) {
 
 TEST(Value, DisplayStrings) {
   Heap H;
+  ShapeTree T;
   EXPECT_EQ(Value::int32(-7).toDisplayString(), "-7");
   EXPECT_EQ(Value::makeDouble(2.5).toDisplayString(), "2.5");
   EXPECT_EQ(Value::makeDouble(1e21).toDisplayString(), "1e+21");
@@ -79,7 +82,7 @@ TEST(Value, DisplayStrings) {
   EXPECT_EQ(Value::makeDouble(INFINITY).toDisplayString(), "Infinity");
   EXPECT_EQ(Value::boolean(true).toDisplayString(), "true");
   EXPECT_EQ(Value::undefined().toDisplayString(), "undefined");
-  EXPECT_EQ(Value::object(H.allocate<JSObject>()).toDisplayString(),
+  EXPECT_EQ(Value::object(H.allocate<JSObject>(T.root())).toDisplayString(),
             "[object Object]");
 }
 
@@ -159,16 +162,17 @@ TEST(GC, TracesThroughChains) {
   } R(H);
 
   // Object -> array -> string chain, plus an environment chain.
-  JSObject *O = H.allocate<JSObject>();
+  ShapeTree T;
+  JSObject *O = H.allocate<JSObject>(T.root());
   R.Root = Value::object(O);
   JSArray *A = H.allocate<JSArray>();
-  O->setProperty(0, Value::array(A));
+  O->setProperty(T, 0, Value::array(A));
   A->push(Value::string(H.allocate<JSString>("deep")));
   Environment *Parent = H.allocate<Environment>(nullptr, 1);
   Environment *Child = H.allocate<Environment>(Parent, 1);
   Parent->setSlot(0, Value::string(H.allocate<JSString>("env")));
   JSFunction *F = H.allocate<JSFunction>(nullptr, Child);
-  O->setProperty(1, Value::function(F));
+  O->setProperty(T, 1, Value::function(F));
 
   size_t Before = H.objectCount();
   H.collect();

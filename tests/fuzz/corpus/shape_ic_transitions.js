@@ -1,0 +1,20 @@
+// Shape/IC hazards: a constructor whose conditional add splits its
+// instances over two shapes, a call *between* two reads of the same
+// receiver that transitions it (the redundant-guard-elimination hazard:
+// the second read must re-check the shape), a property added after the
+// read site went hot (shape-guard bailout + despecialization), and a
+// site driven through six layouts so the IC retires to megamorphic.
+function MkP(a, b) { this.x = a; this.y = b; if (a > b) { this.z = (a - b); } }
+function read(o) { return o.x + o.y; }
+function grow(o, i) { if (i == 7) { o.late = i; } return o.x; }
+function readTwice(o, i) { var s = o.x; s = (s + grow(o, i)); return (s + o.late); }
+var g = 0;
+for (var i = 0; i < 40; i++) {
+  var p = new MkP((i % 5), 2);
+  g = ((g + read(p) + (readTwice(p, (i % 9)) | 0)) % 1000003);
+}
+var os = [{x: 1, y: 2}, {y: 1, x: 2}, {x: 3, y: 4, w: 5}, {w: 0, x: 5, y: 6},
+          {x: 7, y: 8, u: 9, v: 10}, {q: 0, x: 9, y: 1}];
+for (var j = 0; j < 60; j++) { g = ((g + read(os[(j % 6)])) % 1000003); }
+print(g, typeof g, 1 / g);
+print(os[2].w, os[0].w, os[5].q);

@@ -125,6 +125,39 @@ void printFunctionTable(size_t TopN) {
     std::printf("  (none recorded)\n");
 }
 
+/// Shape and inline-cache section: per-kind IC hit rates, megamorphic
+/// site count and transition-tree size (published by ~Runtime from the
+/// interpreter ICs; the JIT's shape guards show up as shape-guard
+/// bailouts in the function table instead).
+void printShapeTable() {
+  const Metrics &M = metrics();
+  struct Row {
+    const char *Name;
+    uint64_t Hits, Misses;
+  };
+  const Row Rows[] = {
+      {"getprop", M.counter("ic.get.hits"), M.counter("ic.get.misses")},
+      {"setprop", M.counter("ic.set.hits"), M.counter("ic.set.misses")},
+      {"callmethod", M.counter("ic.call.hits"), M.counter("ic.call.misses")},
+  };
+  std::printf("\nInline caches\n");
+  std::printf("  %-12s %12s %12s %8s\n", "site kind", "hits", "misses",
+              "hit-%");
+  for (const Row &R : Rows) {
+    uint64_t Total = R.Hits + R.Misses;
+    std::printf("  %-12s %12llu %12llu %7.2f%%\n", R.Name,
+                static_cast<unsigned long long>(R.Hits),
+                static_cast<unsigned long long>(R.Misses),
+                Total ? 100.0 * static_cast<double>(R.Hits) /
+                            static_cast<double>(Total)
+                      : 0.0);
+  }
+  std::printf("  megamorphic sites: %llu, shapes allocated: %llu\n",
+              static_cast<unsigned long long>(
+                  M.counter("ic.sites.megamorphic")),
+              static_cast<unsigned long long>(M.counter("shape.shapes")));
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -218,6 +251,7 @@ int main(int argc, char **argv) {
 
   printPhaseTable();
   printFunctionTable(TopN);
+  printShapeTable();
 
   if (!JsonPath.empty()) {
     if (JsonPath == "-") {
