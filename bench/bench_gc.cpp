@@ -1,0 +1,207 @@
+//===- bench/bench_gc.cpp - Generational vs mark-sweep collection ---------===//
+///
+/// \file
+/// Measures what the two-space generational collector buys over the
+/// seed's pure mark-sweep heap. Each kernel runs under two configs:
+///
+///   gen        nursery on (the default): bump allocation, copying
+///              minor collections at safepoints, remembered-set scans
+///   marksweep  Heap::setNurseryEnabled(false): the pre-generational
+///              behavior — every allocation tenures onto the old-space
+///              list and majors walk the entire live graph
+///
+/// Kernels, by what they stress:
+///
+///   churn           short-lived allocation storm, tiny retained graph:
+///                   the generational sweet spot (die-young hypothesis)
+///   retained-churn  same storm against a large retained live graph:
+///                   majors must traverse the graph, minors must not
+///   serve-replay    serve-shaped request loop: per-request young
+///                   objects + a bounded long-lived session cache, the
+///                   allocation profile of tools/jitvs_serve
+///
+/// Expected shape: churn kernels >= 1.5x (the acceptance floor for this
+/// reproduction), retained-churn the largest win, serve-replay in
+/// between. Also reports minor/major collection counts per config so a
+/// regression in collection *frequency* is visible even when wall-clock
+/// noise hides it.
+///
+/// Env: JITVS_BENCH_REPS (repetitions), JITVS_NURSERY_KB (nursery
+/// size; the gen config uses whatever the environment selects).
+///
+//===----------------------------------------------------------------------===//
+
+#include "../bench/BenchUtil.h"
+
+using namespace jitvs;
+using namespace jitvs::bench;
+
+namespace {
+
+// Pure allocation churn: every iteration allocates an object, an array
+// and strings that die within a few iterations. The rolling window
+// keeps a handful alive across a minor collection so promotion and the
+// write barrier stay on the measured path.
+const char *const ChurnSrc =
+    "function main() {"
+    "  var window = [];"
+    "  for (var i = 0; i < 8; i = i + 1)"
+    "    window.push({ id: 0, pair: [0, 0], tag: 'seed' });"
+    "  var t = 0;"
+    "  for (var i = 0; i < 400000; i = i + 1) {"
+    "    var o = { id: i, pair: [i, i + 1], tag: 'n' + (i % 16) };"
+    "    var spill = [o.tag, 'x' + (i % 8)];"
+    "    t = t + spill.length;"
+    "    window[i % 8] = o;"
+    "    t = t + o.pair[0] + window[(i + 4) % 8].id;"
+    "  }"
+    "  return t;"
+    "}"
+    "print(main());";
+
+// The same storm with ~60k objects of retained live graph: a mark-sweep
+// major pays for the whole graph on every collection, a minor pays only
+// for the nursery survivors plus the remembered set.
+const char *const RetainedChurnSrc =
+    "function main() {"
+    "  var retained = [];"
+    "  for (var i = 0; i < 20000; i = i + 1)"
+    "    retained.push({ id: i, body: [i, i * 2, 'r' + (i % 64)] });"
+    "  var t = 0;"
+    "  for (var i = 0; i < 400000; i = i + 1) {"
+    "    var o = { id: i, pair: [i, i + 1] };"
+    "    t = t + o.pair[1] + retained[i % 20000].id;"
+    "    if ((i % 1000) == 0) { retained[i % 20000].body = [i, t]; }"
+    "  }"
+    "  return t;"
+    "}"
+    "print(main());";
+
+// Serve-shaped replay: each "request" builds a young argument object,
+// runs a small compute kernel over it, renders a response string, and
+// touches a bounded session cache whose entries live across many
+// requests (old objects receiving young stores — remembered-set
+// traffic, exactly the jitvs_serve allocation profile).
+const char *const ServeReplaySrc =
+    "function handle(req, cache) {"
+    "  var key = 's' + (req.id % 32);"
+    "  var sess = cache[key];"
+    "  if (!sess) { sess = { hits: 0, last: '' }; cache[key] = sess; }"
+    "  var body = 0;"
+    "  for (var i = 0; i < req.work; i = i + 1) { body = body + i * req.id; }"
+    "  sess.hits = sess.hits + 1;"
+    "  sess.last = 'resp:' + (body % 9973);"
+    "  return sess.last;"
+    "}"
+    "function main() {"
+    "  var cache = {};"
+    "  var ok = 0;"
+    "  for (var r = 0; r < 120000; r = r + 1) {"
+    "    var req = { id: r, work: 20 + (r % 10), hdrs: ['h' + (r % 4)] };"
+    "    var resp = handle(req, cache);"
+    "    if (resp != '') { ok = ok + 1; }"
+    "  }"
+    "  return ok;"
+    "}"
+    "print(main());";
+
+const Workload Kernels[] = {
+    {"gc", "churn", ChurnSrc},
+    {"gc", "retained-churn", RetainedChurnSrc},
+    {"gc", "serve-replay", ServeReplaySrc},
+};
+constexpr size_t NumKernels = sizeof(Kernels) / sizeof(Kernels[0]);
+
+const char *const ConfigNames[] = {"gen", "marksweep"};
+constexpr size_t NumConfigs = 2;
+
+struct GCCounts {
+  size_t Minors = 0;
+  size_t Majors = 0;
+};
+
+/// One timed run; also checks that both heap configs observe identical
+/// program output (the collector must be invisible to the program).
+double runConfig(const Workload &W, bool Generational,
+                 std::string &OutputOut, GCCounts &Counts) {
+  Runtime RT;
+  if (!Generational)
+    RT.heap().setNurseryEnabled(false);
+  OptConfig Config = OptConfig::all();
+  Engine E(RT, Config);
+  Timer T;
+  RT.evaluate(W.Source);
+  double Seconds = T.seconds();
+  if (RT.hasError()) {
+    std::fprintf(stderr, "workload %s failed: %s\n", W.Name,
+                 RT.errorMessage().c_str());
+    std::exit(1);
+  }
+  OutputOut = RT.output();
+  Counts.Minors = RT.heap().minorCount();
+  Counts.Majors = RT.heap().gcCount();
+  return Seconds;
+}
+
+} // namespace
+
+int main() {
+  int Reps = repetitions();
+  std::printf("Generational vs mark-sweep heap (%d reps, median ms; "
+              "speedup of gen vs marksweep)\n\n", Reps);
+
+  // Interleaved sampling, same protocol as measureMatrix.
+  std::vector<std::vector<std::vector<double>>> Samples(
+      NumKernels, std::vector<std::vector<double>>(NumConfigs));
+  GCCounts Counts[NumKernels][NumConfigs];
+  std::string Expected[NumKernels];
+  for (int R = 0; R < Reps; ++R)
+    for (size_t K = 0; K != NumKernels; ++K)
+      for (size_t C = 0; C != NumConfigs; ++C) {
+        std::string Out;
+        Samples[K][C].push_back(
+            runConfig(Kernels[K], C == 0, Out, Counts[K][C]));
+        if (R == 0 && C == 0)
+          Expected[K] = Out;
+        else if (Out != Expected[K]) {
+          std::fprintf(stderr, "bench_gc: %s output diverged under %s\n",
+                       Kernels[K].Name, ConfigNames[C]);
+          return 1;
+        }
+      }
+
+  std::printf("  %-16s %12s %12s %9s | %15s %15s\n", "kernel", "gen",
+              "marksweep", "speedup", "gen minor/major",
+              "ms minor/major");
+  printRule(16 + 13 + 13 + 10 + 3 + 16 + 16 + 2);
+
+  BenchReport Report("gc", Reps);
+  Report.setMeta("gen_config", "nursery on (default size)");
+  Report.setMeta("marksweep_config", "setNurseryEnabled(false)");
+  for (size_t K = 0; K != NumKernels; ++K) {
+    double Med[NumConfigs];
+    for (size_t C = 0; C != NumConfigs; ++C) {
+      Med[C] = median(Samples[K][C]);
+      Report.addRow(Kernels[K].Name, ConfigNames[C], Med[C], "seconds",
+                    &Samples[K][C]);
+      Report.addRow(std::string(Kernels[K].Name) + "_minors",
+                    ConfigNames[C],
+                    static_cast<double>(Counts[K][C].Minors), "count");
+      Report.addRow(std::string(Kernels[K].Name) + "_majors",
+                    ConfigNames[C],
+                    static_cast<double>(Counts[K][C].Majors), "count");
+    }
+    double Speedup = Med[1] / Med[0];
+    std::printf("  %-16s %9.2f ms %9.2f ms %8.2fx | %9zu/%-5zu %9zu/%-5zu\n",
+                Kernels[K].Name, Med[0] * 1e3, Med[1] * 1e3, Speedup,
+                Counts[K][0].Minors, Counts[K][0].Majors,
+                Counts[K][1].Minors, Counts[K][1].Majors);
+    Report.addMetric(std::string(Kernels[K].Name) + "_speedup", Speedup);
+  }
+
+  std::printf("\nExpected shape: churn >= 1.5x (acceptance floor), "
+              "retained-churn the largest win,\nserve-replay in between; "
+              "gen majors should be near zero on every kernel.\n");
+  Report.write();
+  return 0;
+}

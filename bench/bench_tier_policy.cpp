@@ -49,10 +49,10 @@ public:
     R.Args.assign(Args, Args + NumArgs);
   }
 
-  void markRoots(GCMarker &Marker) override {
+  void traceRoots(GCVisitor &Visitor) override {
     for (auto &[Info, R] : Funcs)
-      for (const Value &V : R.Args)
-        Marker.mark(V);
+      for (Value &V : R.Args)
+        Visitor.visit(V);
   }
 
   std::map<FunctionInfo *, Rec> Funcs;

@@ -98,6 +98,20 @@ std::vector<EngineSetup> defaultMatrix() {
     K.CompileThreads = 2;
     K.CompileDrain = true;
   });
+  // GC-stress columns: a moving minor collection at *every* allocation
+  // safepoint. The synchronous column catches values the interpreter and
+  // native tier fail to root across allocating ops; the drained
+  // background column additionally crosses collections with the
+  // enqueue-time tenuring of compile-task snapshots — the interleaving
+  // that finds stale raw callee/environment pointers in the engine.
+  Add("paper-all-gcstress", All, [](EngineKnobs &) {});
+  M.back().GCStress = true;
+  Add("tiered-threads2-drain-gcstress", All, [](EngineKnobs &K) {
+    K.Policy = TierPolicy::Tiered;
+    K.CompileThreads = 2;
+    K.CompileDrain = true;
+  });
+  M.back().GCStress = true;
 
   return M;
 }
@@ -106,6 +120,8 @@ RunOutcome runOnce(const std::string &Source, const EngineSetup &Setup) {
   RunOutcome Out;
   Runtime RT;
   RT.setShapesEnabled(!Setup.ShapesOff);
+  if (Setup.GCStress)
+    RT.heap().setGCStress(true);
   std::unique_ptr<Engine> E;
   if (Setup.UseJit)
     E = std::make_unique<Engine>(RT, Setup.Opt, Setup.Knobs);

@@ -32,6 +32,11 @@ struct EngineSetup {
   /// true = Runtime::setShapesEnabled(false): no IC fast paths, no shape
   /// feedback, property ops stay generic in both tiers.
   bool ShapesOff = false;
+  /// true = Heap::setGCStress(true): a moving minor collection at every
+  /// allocation-site safepoint. Shakes out unrooted values and stale raw
+  /// pointers held across allocating calls. (JITVS_GC_STRESS=1 in the
+  /// environment stresses every column regardless of this flag.)
+  bool GCStress = false;
   OptConfig Opt;
   EngineKnobs Knobs;
 };

@@ -128,9 +128,8 @@ size_t CodeCache::entriesFor(const FunctionInfo *Info) const {
   return It == Map.end() ? 0 : It->second.size();
 }
 
-void CodeCache::forEachEntry(
-    const std::function<void(const Entry &)> &Fn) const {
-  for (const auto &KV : Map)
-    for (const Entry &E : KV.second)
+void CodeCache::forEachEntry(const std::function<void(Entry &)> &Fn) {
+  for (auto &KV : Map)
+    for (Entry &E : KV.second)
       Fn(E);
 }

@@ -112,8 +112,10 @@ public:
   size_t entriesFor(const FunctionInfo *Info) const;
   const Stats &stats() const { return Counters; }
 
-  /// Visits every live entry (GC rooting; main thread only).
-  void forEachEntry(const std::function<void(const Entry &)> &Fn) const;
+  /// Visits every live entry (GC rooting; main thread only). The entry
+  /// is mutable so a moving collection can rewrite the pointers baked
+  /// into value-tier signatures in place.
+  void forEachEntry(const std::function<void(Entry &)> &Fn);
 
   /// Byte-cost estimate of one binary: instructions, constant pool and
   /// snapshot metadata. This is what the budget and the resident-bytes

@@ -154,7 +154,7 @@ CompileQueue::Counters CompileQueue::counters() const {
 }
 
 void CompileQueue::forEachTask(
-    const std::function<void(const CompileTask &)> &Fn) const {
+    const std::function<void(CompileTask &)> &Fn) const {
   std::lock_guard<std::mutex> Lock(Mu);
   for (const auto &T : Pending)
     Fn(*T);

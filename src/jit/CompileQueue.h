@@ -81,9 +81,12 @@ public:
 
   /// Visits every task the queue still references — pending, running and
   /// completed — under the queue lock. Main-thread only; used to GC-root
-  /// the value snapshots tasks carry. Only immutable task fields may be
-  /// touched (a running task's Result is concurrently written).
-  void forEachTask(const std::function<void(const CompileTask &)> &Fn) const;
+  /// the value snapshots tasks carry. The task is mutable so tracing can
+  /// rewrite moved pointers, but a running task's snapshots are read
+  /// concurrently by its worker — the engine tenures them at enqueue so
+  /// a minor collection never actually relocates them (the visitor only
+  /// writes when a pointer moved). Result stays worker-owned.
+  void forEachTask(const std::function<void(CompileTask &)> &Fn) const;
 
 private:
   void workerLoop(unsigned Idx);

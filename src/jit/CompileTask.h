@@ -72,8 +72,10 @@ struct CompileOutcome {
 
   /// Objects constant folding allocated in the worker's private heap
   /// (ConstPool entries may point into this chain). The install path
-  /// splices them into the main heap (Heap::adoptChain); the GC is
-  /// non-moving, so the pointers baked into the pool stay valid.
+  /// splices them into the main heap (Heap::adoptChain) directly into
+  /// the old generation — worker heaps run with the nursery disabled,
+  /// so every donated object is pointer-stable and the addresses baked
+  /// into the pool stay valid across minor collections.
   Heap::DetachedChain Donated;
 };
 

@@ -80,56 +80,58 @@ public:
   explicit EngineRoots(Engine &E) : E(E) { E.RT.heap().addRootSource(this); }
   ~EngineRoots() override { E.RT.heap().removeRootSource(this); }
 
-  void markRoots(GCMarker &Marker) override {
+  void traceRoots(GCVisitor &Visitor) override {
     // Only value-tier signature entries hold live values; type-tier
     // entries record a tag alone precisely so stale objects can die.
-    auto MarkSig = [&Marker](const SpecSig &Sig) {
-      for (const ParamSig &P : Sig)
+    auto TraceSig = [&Visitor](SpecSig &Sig) {
+      for (ParamSig &P : Sig)
         if (P.Tier == ParamTier::Value)
-          Marker.mark(P.V);
+          Visitor.visit(P.V);
     };
-    auto MarkPool = [&Marker](const NativeCode &Code) {
-      for (const Value &V : Code.ConstPool)
-        Marker.mark(V);
+    auto TracePool = [&Visitor](NativeCode &Code) {
+      for (Value &V : Code.ConstPool)
+        Visitor.visit(V);
     };
     for (auto &[Info, FS] : E.States) {
-      MarkSig(FS.Sig);
-      MarkSig(FS.OsrSig);
+      TraceSig(FS.Sig);
+      TraceSig(FS.OsrSig);
       // Background-installed binaries are not in AllCode; root their
       // pools directly (redundant but harmless in synchronous mode).
       if (FS.Code)
-        MarkPool(*FS.Code);
-      for (const auto &[Sig, Code] : FS.ExtraSpecializations) {
-        MarkSig(Sig);
+        TracePool(*FS.Code);
+      for (auto &[Sig, Code] : FS.ExtraSpecializations) {
+        TraceSig(Sig);
         if (Code)
-          MarkPool(*Code);
+          TracePool(*Code);
       }
     }
     for (const auto &Code : E.AllCode)
-      MarkPool(*Code);
+      TracePool(*Code);
     // Shared-cache entries: each signature's baked-in values and each
     // body's constant pool stay live for as long as the entry can be
     // dispatched.
     if (E.Cache)
-      E.Cache->forEachEntry([&](const CodeCache::Entry &En) {
-        MarkSig(En.Sig);
-        MarkPool(*En.Code);
+      E.Cache->forEachEntry([&](CodeCache::Entry &En) {
+        TraceSig(En.Sig);
+        TracePool(*En.Code);
       });
     // Retired-but-unreclaimed binaries: in-flight frames may still
     // execute them, so their pools must stay rooted until freed.
-    E.Reclaimer.forEachRetained(MarkPool);
+    E.Reclaimer.forEachRetained(TracePool);
     // Queued/running/completed compiles: the argument and OSR-slot
     // snapshots they bake in must survive until installed or dropped.
-    // (Completed-but-uninstalled pools need no marking: every main-heap
-    // value they hold is one of these snapshot values or a program
-    // constant; fold results live in the worker heap, which the main
-    // GC never sweeps.)
+    // These were tenured at enqueue, so a minor collection never moves
+    // them — the visitor reads but never writes, which keeps this walk
+    // race-free against the worker reading the same vectors. (Completed
+    // -but-uninstalled pools need no tracing: every main-heap value they
+    // hold is one of these snapshot values or a program constant; fold
+    // results live in the worker heap, which the main GC never sweeps.)
     if (E.Queue)
-      E.Queue->forEachTask([&Marker](const CompileTask &T) {
-        for (const Value &V : T.SpecArgs)
-          Marker.mark(V);
-        for (const Value &V : T.OsrSlots)
-          Marker.mark(V);
+      E.Queue->forEachTask([&Visitor](CompileTask &T) {
+        for (Value &V : T.SpecArgs)
+          Visitor.visit(V);
+        for (Value &V : T.OsrSlots)
+          Visitor.visit(V);
       });
   }
 
@@ -148,8 +150,8 @@ public:
   }
   ~GraphRoots() override { H.removeRootSource(this); }
 
-  void markRoots(GCMarker &Marker) override {
-    Graph.forEachConstant([&Marker](const Value &V) { Marker.mark(V); });
+  void traceRoots(GCVisitor &Visitor) override {
+    Graph.forEachConstant([&Visitor](Value &V) { Visitor.visit(V); });
   }
 
 private:
@@ -220,8 +222,11 @@ void Engine::initCompileQueue() {
     // there would sweep constants mid-compile. Surviving allocations
     // are donated to the main heap at install, so the worker heap only
     // ever holds garbage from discarded compiles — bounded and freed
-    // with the Runtime.
+    // with the Runtime. The nursery is off so every fold allocation is
+    // pointer-stable and chain-linked — detachAllocatedSince hands the
+    // whole run to the main heap's old space without copying.
     FoldRT->heap().setGCThreshold(SIZE_MAX);
+    FoldRT->heap().setNurseryEnabled(false);
     WorkerRTs.push_back(std::move(FoldRT));
   }
   Queue = std::make_unique<CompileQueue>(
@@ -602,6 +607,16 @@ void Engine::enqueueCompileTask(FunctionInfo *Info, FuncState &FS,
   Task->Generation = FS.Generation;
   Task->Feedback = captureFeedback(Info);
   Task->EnqueueNs = monotonicNowNs();
+  // Tenure the value snapshots before a worker can see them: a minor
+  // collection moves nursery objects, and the worker reads these vectors
+  // without the heap lock. After this the snapshots only reference
+  // old-space objects, which never move.
+  if (RT.heap().nurseryEnabled()) {
+    TempRoots Roots(RT.heap());
+    Roots.addVector(Task->SpecArgs);
+    Roots.addVector(Task->OsrSlots);
+    RT.heap().minorCollect();
+  }
   CompileQueue::EnqueueResult R =
       Queue->enqueue(std::shared_ptr<CompileTask>(std::move(Task)));
   if (R != CompileQueue::EnqueueResult::Full)
@@ -1256,10 +1271,19 @@ bool Engine::onCallAsync(JSFunction *Callee, const Value &ThisV,
   FunctionInfo *Info = Callee->info();
   FuncState &FS = state(Info);
 
+  // enqueueCompileTask can run a moving minor collection (it tenures the
+  // task's value snapshots), which would leave the raw callee pointer
+  // stale across a drain-mode retry. Keep a rooted handle and re-derive
+  // at each attempt.
+  TempRoots CalleeRoot(RT.heap());
+  Value CalleeV = Value::function(Callee);
+  CalleeRoot.add(CalleeV);
+
   // Drain mode retries the dispatch once after blocking on the queue so
   // compiles take effect at the same trigger points as the synchronous
   // pipeline (deterministic for differential testing).
   for (int Attempt = 0;; ++Attempt) {
+    Callee = CalleeV.asFunction();
     if (FS.Code) {
       if (!FS.Specialized) {
         // Generic primary: prefer a matching specialized body from the

@@ -24,6 +24,28 @@ struct LIns {
 
 constexpr uint32_t NoReg = ~0u;
 
+/// Whether a value of MIR type \p T can be a GC-managed pointer. Stores
+/// whose value operand is provably primitive skip the generational
+/// write barrier (the flag rides in the op's spare immediate field).
+bool mirTypeMayBeGC(MIRType T) {
+  switch (T) {
+  case MIRType::Int32:
+  case MIRType::Double:
+  case MIRType::Boolean:
+  case MIRType::Undefined:
+  case MIRType::Null:
+  case MIRType::None:
+    return false;
+  case MIRType::Any:
+  case MIRType::String:
+  case MIRType::Object:
+  case MIRType::Array:
+  case MIRType::Function:
+    return true;
+  }
+  return true;
+}
+
 /// Which fields of an op are register defs/uses (others are immediates).
 struct OpInfo {
   bool ADef = false, AUse = false, BUse = false, CUse = false;
@@ -560,7 +582,8 @@ void CodeGenerator::lowerInstr(MInstr *I) {
     return;
   case MirOp::StoreElement:
     emit(NOp::StoreElem, use(I->operand(0)), use(I->operand(1)),
-         use(I->operand(2)));
+         use(I->operand(2)),
+         mirTypeMayBeGC(I->operand(2)->type()) ? 1 : 0);
     return;
   case MirOp::FromCharCode:
     emit(NOp::FromCharCode, vregOf(I), use(I->operand(0)));
@@ -603,7 +626,8 @@ void CodeGenerator::lowerInstr(MInstr *I) {
     emit(NOp::GetEnv, vregOf(I), I->AuxB, 0, static_cast<int32_t>(I->AuxA));
     return;
   case MirOp::SetEnvSlot:
-    emit(NOp::SetEnv, use(I->operand(0)), I->AuxB, 0,
+    emit(NOp::SetEnv, use(I->operand(0)), I->AuxB,
+         mirTypeMayBeGC(I->operand(0)->type()) ? 1u : 0u,
          static_cast<int32_t>(I->AuxA));
     return;
 
@@ -621,7 +645,8 @@ void CodeGenerator::lowerInstr(MInstr *I) {
     emit(NOp::NewObj, vregOf(I));
     return;
   case MirOp::InitProp:
-    emit(NOp::InitProp, use(I->operand(0)), use(I->operand(1)), 0,
+    emit(NOp::InitProp, use(I->operand(0)), use(I->operand(1)),
+         mirTypeMayBeGC(I->operand(1)->type()) ? 1u : 0u,
          static_cast<int32_t>(I->AuxA));
     return;
   case MirOp::MakeClosure:
@@ -677,7 +702,8 @@ void CodeGenerator::lowerInstr(MInstr *I) {
          static_cast<int32_t>(I->AuxA));
     return;
   case MirOp::StoreSlot:
-    emit(NOp::StoreSlot, use(I->operand(0)), use(I->operand(1)), 0,
+    emit(NOp::StoreSlot, use(I->operand(0)), use(I->operand(1)),
+         mirTypeMayBeGC(I->operand(1)->type()) ? 1u : 0u,
          static_cast<int32_t>(I->AuxA));
     return;
   case MirOp::AddSlot:
@@ -992,6 +1018,31 @@ std::unique_ptr<NativeCode> CodeGenerator::emitFinal(CodegenStats *Stats) {
       N.B = MapUse(L.B);
     if (OI.CUse || mathFnHasSecondArg(L))
       N.C = MapUse(L.C);
+
+    // Record a stack map at every runtime-call site: the frame
+    // locations the allocator proved live across the call. Operands
+    // that die at the call (End == P) and the call's own def are
+    // excluded — the executor poisons everything else, so a location
+    // omitted here can never smuggle a stale pointer past a moving
+    // collection. Keyed by the call's final instruction index (spill
+    // reloads for its uses were already emitted above), and emission
+    // order keeps StackMaps sorted by PC for mapForPC's binary search.
+    if (L.Op == NOp::CallV || L.Op == NOp::CallM || L.Op == NOp::CallT ||
+        L.Op == NOp::NewCall) {
+      StackMap M;
+      M.PC = static_cast<uint32_t>(Out->Code.size());
+      for (const Interval &Iv : Intervals) {
+        if (Iv.Start > P || Iv.End <= P || Iv.VReg == L.A)
+          continue;
+        M.Live.push_back(Iv.Reg >= 0
+                             ? static_cast<uint16_t>(Iv.Reg)
+                             : static_cast<uint16_t>(NumPhysRegs + Iv.Slot));
+      }
+      std::sort(M.Live.begin(), M.Live.end());
+      M.Live.erase(std::unique(M.Live.begin(), M.Live.end()), M.Live.end());
+      Out->StackMaps.push_back(std::move(M));
+    }
+
     if (OI.AUse)
       N.A = MapUse(L.A);
     else if (OI.ADef) {

@@ -187,7 +187,7 @@ size_t MIRGraph::numInstructions() const {
 }
 
 void MIRGraph::forEachConstant(
-    const std::function<void(const Value &)> &Fn) const {
+    const std::function<void(Value &)> &Fn) const {
   for (const auto &I : Instrs)
     if (I->op() == MirOp::Constant)
       Fn(I->ConstVal);

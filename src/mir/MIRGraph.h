@@ -163,7 +163,7 @@ public:
   size_t numInstructions() const;
 
   /// Values owned by the graph's constants (GC roots while compiling).
-  void forEachConstant(const std::function<void(const Value &)> &Fn) const;
+  void forEachConstant(const std::function<void(Value &)> &Fn) const;
 
   std::string toString() const;
 

@@ -97,6 +97,18 @@ BailoutReason bailoutReasonForOp(NOp Op) {
 }
 
 /// GC root source covering a native activation.
+///
+/// Register visitation has two precision levels. At runtime-call sites
+/// (CallV/CallM/CallT/NewCall and the slow-path helpers) the handler
+/// publishes the call's stack map in CurMap, and tracing visits exactly
+/// the registers the register allocator proved live across the call —
+/// the rest are *poisoned* to undefined. At back-edge safepoint polls no
+/// map is in effect (CurMap == nullptr) and every register is visited
+/// conservatively; poisoning at the precise sites is what keeps that
+/// sound — a dead register can never carry a stale pointer into a later
+/// conservative visit after the referent was swept. It also converts a
+/// wrong stack map into a deterministic observable divergence under GC
+/// stress instead of silent heap corruption.
 struct NativeFrame final : public RootSource {
   NativeFrame(Runtime &RT, size_t FrameSize) : RT(RT) {
     Regs.resize(FrameSize);
@@ -104,21 +116,40 @@ struct NativeFrame final : public RootSource {
   }
   ~NativeFrame() override { RT.heap().removeRootSource(this); }
 
-  void markRoots(GCMarker &Marker) override {
-    for (const Value &V : Regs)
-      Marker.mark(V);
-    for (const Value &V : ArgStage)
-      Marker.mark(V);
-    for (const Value &V : Args)
-      Marker.mark(V);
-    for (const Value &V : OsrSlots)
-      Marker.mark(V);
-    Marker.mark(ThisV);
-    if (Env)
-      Marker.mark(static_cast<GCObject *>(Env));
-    if (ClosureEnv)
-      Marker.mark(static_cast<GCObject *>(ClosureEnv));
+  void traceRoots(GCVisitor &Visitor) override {
+    if (CurMap) {
+      // CurMap->Live is sorted ascending; walk it and poison the gaps.
+      size_t Next = 0;
+      for (uint16_t Reg : CurMap->Live) {
+        for (; Next < Reg && Next < Regs.size(); ++Next)
+          if (Regs[Next].isGCThing())
+            Regs[Next] = Value::undefined();
+        if (Reg < Regs.size())
+          Visitor.visit(Regs[Reg]);
+        Next = static_cast<size_t>(Reg) + 1;
+      }
+      for (; Next < Regs.size(); ++Next)
+        if (Regs[Next].isGCThing())
+          Regs[Next] = Value::undefined();
+    } else {
+      for (Value &V : Regs)
+        Visitor.visit(V);
+    }
+    for (Value &V : ArgStage)
+      Visitor.visit(V);
+    for (Value &V : Args)
+      Visitor.visit(V);
+    for (Value &V : OsrSlots)
+      Visitor.visit(V);
+    Visitor.visit(ThisV);
+    Visitor.visitPtr(Env);
+    Visitor.visitPtr(ClosureEnv);
   }
+
+  /// The environment visible to GetEnv/SetEnv/MakeClos. Computed on
+  /// demand (not cached in a local) because a moving collection updates
+  /// Env/ClosureEnv in place.
+  Environment *curEnv() const { return Env ? Env : ClosureEnv; }
 
   Runtime &RT;
   std::vector<Value> Regs;
@@ -128,6 +159,8 @@ struct NativeFrame final : public RootSource {
   Value ThisV;
   Environment *Env = nullptr;
   Environment *ClosureEnv = nullptr;
+  const StackMap *CurMap = nullptr; ///< Live-register map while a
+                                    ///< runtime call is in flight.
 };
 
 double mathApply(MathIntrinsic F, double A, double B) {
@@ -192,8 +225,6 @@ ExecResult Executor::run(const NativeCode &Code, const Value &ThisV,
                      ParamSlot < F.Args.size() ? F.Args[ParamSlot]
                                                : Value::undefined());
   }
-  Environment *CurEnv = F.Env ? F.Env : F.ClosureEnv;
-
   std::vector<Value> &R = F.Regs;
   const std::vector<Value> &Pool = Code.ConstPool;
   uint32_t PC = AtOsr ? Code.OsrOffset : Code.EntryOffset;

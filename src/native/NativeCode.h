@@ -101,7 +101,8 @@ constexpr unsigned NumPhysRegs = 16;
   M(ArrayLen, "arraylen")         /* A=dst, B=array. */                        \
   M(StrLen, "strlen")             /* A=dst, B=string. */                       \
   M(LoadElem, "loadelem")         /* A=dst, B=array, C=index. */               \
-  M(StoreElem, "storeelem")       /* A=array, B=index, C=value. */             \
+  M(StoreElem, "storeelem")       /* A=array, B=index, C=value, Imm=GC */      \
+                                  /* write-barrier flag. */                    \
   M(CharCodeAt, "charcodeat")     /* A=dst, B=string, C=index. */              \
   M(FromCharCode, "fromcharcode") /* A=dst, B=code(int32). */                  \
   /* Generic helper calls. Imm carries the bytecode op / name id. */           \
@@ -116,17 +117,18 @@ constexpr unsigned NumPhysRegs = 16;
   /* the single pool entry holding the transition-target shape. */             \
   M(GuardShape, "guardshape") /* A=dst, B=obj, C=pool run, Imm=snapshot. */    \
   M(LoadSlot, "loadslot")     /* A=dst, B=obj, Imm=slot index. */              \
-  M(StoreSlot, "storeslot")   /* A=obj, B=value, Imm=slot index. */            \
-  M(AddSlot, "addslot")       /* A=obj, B=value, C=pool idx, Imm=slot. */      \
+  M(StoreSlot, "storeslot")   /* A=obj, B=value, C=barrier flag, Imm=slot. */  \
+  M(AddSlot, "addslot")       /* A=obj, B=value, C=pool idx, Imm=slot */       \
+                              /* (no free field: always barriers). */          \
   M(GetGlobal, "getglobal")   /* A=dst, Imm=global slot. */                    \
   M(SetGlobal, "setglobal")   /* A=src, Imm=global slot. */                    \
   M(GetEnv, "getenv")         /* A=dst, B=depth, Imm=env slot. */              \
-  M(SetEnv, "setenv")         /* A=src, B=depth, Imm=env slot. */              \
+  M(SetEnv, "setenv")         /* A=src, B=depth, C=barrier flag, Imm=slot. */  \
   /* Allocation. */                                                            \
   M(NewArrElems, "newarrelems") /* A=dst, Imm=count (staged args). */          \
   M(NewArrLen, "newarrlen")     /* A=dst, B=length(int32). */                  \
   M(NewObj, "newobj")           /* A=dst. */                                   \
-  M(InitProp, "initprop")       /* A=obj, B=value, Imm=name id. */             \
+  M(InitProp, "initprop") /* A=obj, B=value, C=barrier flag, Imm=name id. */   \
   M(MakeClos, "makeclos")       /* A=dst, Imm=function index. */               \
   /* Calls (arguments staged with PushArg). */                                 \
   M(PushArg, "pusharg") /* A=src. */                                           \
@@ -199,6 +201,18 @@ struct Snapshot {
   uint32_t NumFrameSlots = 0;
 };
 
+/// Precise GC liveness for one runtime-call site: the frame locations
+/// (physical registers and NumPhysRegs+spill slots) whose values are
+/// live across the call, per the register allocator's intervals —
+/// including values kept alive only by bailout resume points, whose uses
+/// the allocator already folds into the same intervals. The executor
+/// publishes the current call's map while the call is in flight; tracing
+/// visits exactly these locations and poisons the rest.
+struct StackMap {
+  uint32_t PC = 0;            ///< Instruction index of the call.
+  std::vector<uint16_t> Live; ///< Live frame locations, sorted ascending.
+};
+
 /// A compiled function binary.
 class NativeCode {
 public:
@@ -212,6 +226,9 @@ public:
   /// Runtime's ShapeTree, which outlives any compiled code.
   std::vector<const Shape *> ShapePool;
   std::vector<Snapshot> Snapshots;
+  /// Per-call-site GC liveness, sorted by PC (codegen emits call sites
+  /// in instruction order).
+  std::vector<StackMap> StackMaps;
 
   uint32_t EntryOffset = 0;
   uint32_t OsrOffset = ~0u; ///< ~0 = no OSR entry.
@@ -249,6 +266,23 @@ public:
   uint16_t addShape(const Shape *S) {
     ShapePool.push_back(S);
     return static_cast<uint16_t>(ShapePool.size() - 1);
+  }
+
+  /// \returns the stack map for the call instruction at \p PC, or
+  /// nullptr when none was recorded (the frame then traces every
+  /// register conservatively, which is always sound — maps only tighten
+  /// liveness).
+  const StackMap *mapForPC(uint32_t PC) const {
+    size_t Lo = 0, Hi = StackMaps.size();
+    while (Lo < Hi) {
+      size_t Mid = Lo + (Hi - Lo) / 2;
+      if (StackMaps[Mid].PC < PC)
+        Lo = Mid + 1;
+      else
+        Hi = Mid;
+    }
+    return Lo < StackMaps.size() && StackMaps[Lo].PC == PC ? &StackMaps[Lo]
+                                                           : nullptr;
   }
 
   std::string disassemble() const;

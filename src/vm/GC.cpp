@@ -1,4 +1,4 @@
-//===- vm/GC.cpp - Mark-sweep collection ----------------------------------===//
+//===- vm/GC.cpp - Generational collection --------------------------------===//
 
 #include "vm/GC.h"
 
@@ -6,6 +6,8 @@
 #include "vm/Object.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
 using namespace jitvs;
 
@@ -15,16 +17,38 @@ TempRoots::TempRoots(Heap &H) : TheHeap(H) { TheHeap.addRootSource(this); }
 
 TempRoots::~TempRoots() { TheHeap.removeRootSource(this); }
 
+Heap::Heap() {
+  size_t NurseryBytes = DefaultNurseryBytes;
+  if (const char *Env = std::getenv("JITVS_NURSERY_KB"))
+    NurseryBytes = static_cast<size_t>(std::strtoull(Env, nullptr, 10)) * 1024;
+  if (const char *Env = std::getenv("JITVS_GC_STRESS"))
+    StressGC = *Env && std::strcmp(Env, "0") != 0 && std::strcmp(Env, "off") != 0;
+  if (NurseryBytes) {
+    NurseryMem = std::make_unique<char[]>(NurseryBytes);
+    NurseryBase = NurseryMem.get();
+    NurseryTop = NurseryBase;
+    NurseryEnd = NurseryBase + NurseryBytes;
+    NurseryEnabled = true;
+  }
+}
+
 Heap::~Heap() {
+  // Nursery residents were placement-constructed in the bump buffer: run
+  // their destructors by hand, then free the old-space list.
+  for (GCObject *Obj : NurseryObjs)
+    destroyObject(Obj);
   GCObject *Obj = Head;
   while (Obj) {
     GCObject *Next = Obj->Next;
-    delete Obj;
+    deleteObject(Obj);
     Obj = Next;
   }
 }
 
 Heap::DetachedChain Heap::detachAllocatedSince(GCObject *Mark) {
+  assert(!NurseryEnabled &&
+         "donation requires a nursery-disabled (worker) heap: nursery "
+         "objects are not on the old-space list and are not pointer-stable");
   DetachedChain Chain;
   if (Head == Mark)
     return Chain;
@@ -52,13 +76,15 @@ void Heap::adoptChain(const DetachedChain &Chain) {
   Head = Chain.Head;
   NumObjects += Chain.Count;
   AllocationsSinceGC += Chain.Count;
+  if (AllocationsSinceGC >= Threshold)
+    MajorRequested = true;
 }
 
 void Heap::freeChain(const DetachedChain &Chain) {
   GCObject *Obj = Chain.Head;
   while (Obj) {
     GCObject *Next = Obj->Next;
-    delete Obj;
+    deleteObject(Obj);
     Obj = Next;
   }
 }
@@ -73,7 +99,140 @@ void Heap::removeRootSource(RootSource *Source) {
   Sources.erase(std::next(It).base());
 }
 
+void Heap::setNurseryEnabled(bool Enabled) {
+  if (NurseryEnabled && !Enabled && !NurseryObjs.empty())
+    minorCollect(); // Tenure current residents before stores stop
+                    // being barriered.
+  if (Enabled && !NurseryMem) {
+    NurseryMem = std::make_unique<char[]>(DefaultNurseryBytes);
+    NurseryBase = NurseryMem.get();
+    NurseryTop = NurseryBase;
+    NurseryEnd = NurseryBase + DefaultNurseryBytes;
+  }
+  NurseryEnabled = Enabled;
+}
+
+void Heap::safepointSlow() {
+  if (MajorRequested)
+    collect();
+  else
+    minorCollect();
+}
+
+namespace jitvs {
+
+/// The minor collection's visitor: evacuates nursery referents into the
+/// old generation and rewrites the visited slot to the new address.
+class NurseryEvacuator final : public GCVisitor {
+public:
+  explicit NurseryEvacuator(Heap &H) : H(H) {}
+
+  void visitObj(GCObject *&Obj) override {
+    if (!Obj || !H.inNursery(Obj))
+      return;
+    Obj = H.evacuate(Obj);
+  }
+
+private:
+  Heap &H;
+};
+
+} // namespace jitvs
+
+GCObject *Heap::evacuate(GCObject *Obj) {
+  if (Obj->Flags & GCObject::ForwardedFlag)
+    return Obj->Next;
+  GCObject *Copy = nullptr;
+  switch (Obj->Kind) {
+  case GCKind::String:
+    Copy = new JSString(std::move(*static_cast<JSString *>(Obj)));
+    break;
+  case GCKind::Array:
+    Copy = new JSArray(std::move(*static_cast<JSArray *>(Obj)));
+    break;
+  case GCKind::Object:
+    Copy = new JSObject(std::move(*static_cast<JSObject *>(Obj)));
+    break;
+  case GCKind::Function:
+    Copy = new JSFunction(std::move(*static_cast<JSFunction *>(Obj)));
+    break;
+  case GCKind::Environment:
+    Copy = new Environment(std::move(*static_cast<Environment *>(Obj)));
+    break;
+  }
+  // Promote into the old generation (counts toward the major-GC
+  // threshold like any other tenured allocation).
+  Copy->Next = Head;
+  Head = Copy;
+  ++NumObjects;
+  ++NumPromoted;
+  if (++AllocationsSinceGC >= Threshold)
+    MajorRequested = true;
+  // Leave a forwarding pointer in the hollowed-out original.
+  Obj->Flags |= GCObject::ForwardedFlag;
+  Obj->Next = Copy;
+  EvacScanList.push_back(Copy);
+  return Copy;
+}
+
+void Heap::minorCollect() {
+  MetricsPhaseTimer GCPhase(Phase::GC);
+  MinorRequested = false;
+  ++NumMinorCollections;
+  size_t NurseryBefore = NurseryObjs.size();
+  size_t PromotedBefore = NumPromoted;
+
+  NurseryEvacuator Evac(*this);
+
+  // Roots: every registered source, with slots updated in place.
+  for (RootSource *Source : Sources)
+    Source->traceRoots(Evac);
+
+  // Remembered set: old objects holding (or suspected of holding) young
+  // edges. Their contents are rewritten to the promoted copies.
+  for (GCObject *Obj : RememberedSet) {
+    Obj->Flags &= ~GCObject::RememberedFlag;
+    traceObject(Obj, Evac);
+  }
+  RememberedSet.clear();
+
+  // Transitive closure over everything the survivors reference.
+  while (!EvacScanList.empty()) {
+    GCObject *Obj = EvacScanList.back();
+    EvacScanList.pop_back();
+    traceObject(Obj, Evac);
+  }
+
+  // Every nursery original is now either dead or a moved-from shell:
+  // run destructors and reset the bump pointer. (NumObjects counts the
+  // old generation only; survivors entered it at promotion.)
+  for (GCObject *Obj : NurseryObjs)
+    destroyObject(Obj);
+  NurseryObjs.clear();
+  NurseryTop = NurseryBase;
+
+  if (metricsEnabled()) {
+    metrics().addCounter("gc.minor_collections");
+    metrics().addCounter("gc.minor_promoted", NumPromoted - PromotedBefore);
+    metrics().addCounter("gc.minor_swept",
+                         NurseryBefore - (NumPromoted - PromotedBefore));
+    metrics().setGauge("gc.objects_live", static_cast<double>(NumObjects));
+  }
+}
+
 void Heap::collect() {
+  // Evacuate the nursery first so the mark-sweep phase sees a single
+  // (old) generation; promoted survivors are immediately marked through
+  // the same roots.
+  if (NurseryEnabled)
+    minorCollect(); // Also drains the remembered set, so the sweep
+                    // below cannot leave it dangling.
+  MinorRequested = false;
+  MajorRequested = false;
+  markAndSweepOld();
+}
+
+void Heap::markAndSweepOld() {
   MetricsPhaseTimer GCPhase(Phase::GC);
   AllocationsSinceGC = 0;
   ++NumCollections;
@@ -83,23 +242,26 @@ void Heap::collect() {
   std::vector<GCObject *> Stack;
   GCMarker Marker(Stack);
   for (RootSource *Source : Sources)
-    Source->markRoots(Marker);
+    Source->traceRoots(Marker);
   while (!Stack.empty()) {
     GCObject *Obj = Stack.back();
     Stack.pop_back();
     traceObject(Obj, Marker);
   }
 
-  // Sweep phase.
+  // Sweep phase. Remembered objects stay pinned regardless of marks:
+  // the remembered set holds raw pointers that the next minor collection
+  // will dereference. (Entries are rare and short-lived — the set is
+  // drained at every minor collection.)
   GCObject **Link = &Head;
   while (GCObject *Obj = *Link) {
-    if (Obj->Marked) {
-      Obj->Marked = false;
+    if (Obj->Flags & (GCObject::MarkedFlag | GCObject::RememberedFlag)) {
+      Obj->Flags &= ~GCObject::MarkedFlag;
       Link = &Obj->Next;
       continue;
     }
     *Link = Obj->Next;
-    delete Obj;
+    deleteObject(Obj);
     --NumObjects;
   }
 

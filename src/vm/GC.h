@@ -1,10 +1,32 @@
-//===- vm/GC.h - Mark-sweep heap for MiniJS objects -------------*- C++ -*-===//
+//===- vm/GC.h - Generational heap for MiniJS objects -----------*- C++ -*-===//
 ///
 /// \file
-/// A precise stop-the-world mark-sweep collector. Roots are enumerated
-/// through RootSource objects that register with the heap for their
-/// lifetime (interpreter frames, native executor frames, the runtime's
-/// global table, and temporary root scopes around allocation windows).
+/// A two-space generational collector. New objects are bump-allocated in
+/// a fixed-size nursery and evacuated by copying minor collections into
+/// the old generation, which the original mark-sweep collector still
+/// manages. Old-to-young edges are tracked by an object-granular
+/// remembered set fed by write barriers at every mutating store site
+/// (interpreter IC stores, generic set-prop/set-elem helpers, array
+/// builtins, and the native backend's StoreSlot/AddSlot/StoreElem/
+/// SetEnv/InitProp handlers).
+///
+/// Collections are safepoint-deferred: Heap::allocate NEVER collects.
+/// A full nursery (or JITVS_GC_STRESS) merely arms a request flag; the
+/// collection itself runs at the next Heap::safepoint(), which the
+/// engine places at dispatch boundaries only — Runtime::callValue entry,
+/// the interpreter's LoopHead handler, and the native dispatch loop's
+/// back-edge polls. At those points every live value is reachable from a
+/// registered RootSource, so the copying collector can move objects and
+/// re-point the roots in place. This ordering also makes it structurally
+/// impossible for a collection triggered mid-allocate to reclaim (or
+/// move) the partially-constructed object before the caller stores it.
+///
+/// Roots are enumerated through RootSource objects that register with
+/// the heap for their lifetime (interpreter frames, native executor
+/// frames with per-call stack maps, the runtime's global table, engine
+/// code pools, and temporary root scopes around call windows). Root
+/// tracing uses an *updating* visitor: a minor collection rewrites every
+/// root slot that referenced a moved object.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -14,11 +36,14 @@
 #include "vm/Value.h"
 
 #include <cstddef>
+#include <memory>
+#include <new>
 #include <vector>
 
 namespace jitvs {
 
 class Heap;
+class GCVisitor;
 
 /// Kind discriminator for heap objects (hand-rolled RTTI).
 enum class GCKind : uint8_t {
@@ -29,7 +54,10 @@ enum class GCKind : uint8_t {
   Environment,
 };
 
-/// Base class of every heap-allocated VM object.
+/// Base class of every heap-allocated VM object. No virtual functions:
+/// tracing and destruction dispatch on Kind (traceObject/destroyObject
+/// in vm/Object.{h,cpp}), keeping the header to one pointer plus two
+/// bytes.
 class GCObject {
 public:
   GCKind kind() const { return Kind; }
@@ -37,31 +65,85 @@ public:
 protected:
   explicit GCObject(GCKind K) : Kind(K) {}
 
+  /// Copy/move construction starts a fresh heap identity: the list link,
+  /// mark bit and remembered-set state never travel with the payload
+  /// (promotion move-constructs the old-space copy from the nursery
+  /// original).
+  GCObject(const GCObject &O) : Kind(O.Kind) {}
+
+  /// Whole-object assignment is a heap-corruption footgun: the implicit
+  /// base assignment would overwrite the intrusive list link / forwarding
+  /// pointer of the destination. Replace contents member-wise instead
+  /// (e.g. JSArray::replaceElements).
+  GCObject &operator=(const GCObject &) = delete;
+
 private:
   friend class Heap;
+  friend class GCVisitor;
   friend class GCMarker;
+
+  enum : uint8_t {
+    MarkedFlag = 1 << 0,     ///< Mark-sweep liveness (old space).
+    ForwardedFlag = 1 << 1,  ///< Nursery object already evacuated; Next
+                             ///< holds the forwarding pointer.
+    RememberedFlag = 1 << 2, ///< Old-space object in the remembered set.
+  };
+
+  /// Intrusive old-space list link; during a minor collection, the
+  /// forwarding pointer of an evacuated nursery object.
   GCObject *Next = nullptr;
   GCKind Kind;
-  bool Marked = false;
+  uint8_t Flags = 0;
 };
 
-/// Visitor handed to root sources and to object tracing during marking.
-class GCMarker {
+/// Visitor handed to root sources and to object tracing. The pointer
+/// hook may *update* the reference (copying minor collections re-point
+/// references to the promoted copy); the mark-sweep marker leaves it
+/// unchanged. Value/typed-pointer wrappers write back only when the
+/// pointer actually changed, so tracing data that is immutable by
+/// contract (e.g. enqueued compile-task snapshots read by worker
+/// threads, which the engine tenures before publication) never stores.
+class GCVisitor {
+public:
+  virtual ~GCVisitor() = default;
+
+  /// Visits one object reference; may rewrite it.
+  virtual void visitObj(GCObject *&Obj) = 0;
+
+  /// Visits the GC thing held by \p V, if any, updating the payload when
+  /// the object moved.
+  void visit(Value &V) {
+    if (!V.isGCThing())
+      return;
+    GCObject *Obj = V.asGCThing();
+    GCObject *Orig = Obj;
+    visitObj(Obj);
+    if (Obj != Orig)
+      V.setGCThing(Obj);
+  }
+
+  /// Visits a typed object pointer (Environment*, JSObject*...).
+  template <typename T> void visitPtr(T *&P) {
+    if (!P)
+      return;
+    GCObject *Obj = P;
+    visitObj(Obj);
+    if (Obj != P)
+      P = static_cast<T *>(Obj);
+  }
+};
+
+/// The mark phase's visitor: marks and schedules for tracing, never
+/// moves.
+class GCMarker final : public GCVisitor {
 public:
   explicit GCMarker(std::vector<GCObject *> &Stack) : Stack(Stack) {}
 
-  /// Marks \p Obj live and schedules it for tracing.
-  void mark(GCObject *Obj) {
-    if (!Obj || Obj->Marked)
+  void visitObj(GCObject *&Obj) override {
+    if (!Obj || (Obj->Flags & GCObject::MarkedFlag))
       return;
-    Obj->Marked = true;
+    Obj->Flags |= GCObject::MarkedFlag;
     Stack.push_back(Obj);
-  }
-
-  /// Marks the GC thing held by \p V, if any.
-  void mark(const Value &V) {
-    if (V.isGCThing())
-      mark(V.asGCThing());
   }
 
 private:
@@ -73,64 +155,165 @@ private:
 class RootSource {
 public:
   virtual ~RootSource();
-  /// Reports every live value/object this source holds.
-  virtual void markRoots(GCMarker &Marker) = 0;
+  /// Visits every live value/object this source holds. The visitor may
+  /// update the visited slots (moving minor collections), so sources
+  /// must report their *storage*, not copies.
+  virtual void traceRoots(GCVisitor &Visitor) = 0;
 };
 
-/// RAII list of temporary roots protecting values during windows where
-/// they are held only on the C++ stack (e.g. popped operands that are
-/// still needed while allocating their result).
+/// RAII list of temporary roots protecting values that live only on the
+/// C++ stack across a safepoint (a callValue window: sort's scratch
+/// buffers, construct's `this`, the entry closure in Runtime::run).
+/// Holds *pointers* to the values so a moving collection updates the
+/// caller's actual storage; add() therefore requires lvalues that
+/// outlive this scope.
 class TempRoots final : public RootSource {
 public:
   explicit TempRoots(Heap &H);
   ~TempRoots() override;
 
-  void add(const Value &V) { Values.push_back(V); }
-  void markRoots(GCMarker &Marker) override {
-    for (const Value &V : Values)
-      Marker.mark(V);
+  void add(Value &V) { Values.push_back(&V); }
+  /// Roots every element of \p Vec, tracking the vector itself so
+  /// resizes between safepoints stay safe.
+  void addVector(std::vector<Value> &Vec) { Vectors.push_back(&Vec); }
+
+  void traceRoots(GCVisitor &Visitor) override {
+    for (Value *V : Values)
+      Visitor.visit(*V);
+    for (std::vector<Value> *Vec : Vectors)
+      for (Value &V : *Vec)
+        Visitor.visit(V);
   }
 
 private:
   Heap &TheHeap;
-  std::vector<Value> Values;
+  std::vector<Value *> Values;
+  std::vector<std::vector<Value> *> Vectors;
 };
 
-/// The mark-sweep heap. Allocation may trigger a collection when the
-/// number of live allocations since the last GC crosses a threshold.
+/// The generational heap: bump-allocated nursery in front of the
+/// original mark-sweep old space.
 class Heap {
 public:
-  Heap() = default;
+  Heap();
   ~Heap();
   Heap(const Heap &) = delete;
   Heap &operator=(const Heap &) = delete;
 
-  /// Allocates a T (must derive from GCObject). May collect first.
+  /// Default nursery size (overridden by JITVS_NURSERY_KB; 0 disables
+  /// the nursery and restores pure mark-sweep behavior).
+  static constexpr size_t DefaultNurseryBytes = 256 * 1024;
+
+  /// Allocates a T (must derive from GCObject). NEVER collects: a full
+  /// nursery overflow-allocates into the old space (pre-remembered, so
+  /// its barrier-less initialization stores are still scanned) and arms
+  /// the minor-collection request served by the next safepoint().
   template <typename T, typename... Args> T *allocate(Args &&...As) {
-    maybeCollect();
-    T *Obj = new T(std::forward<Args>(As)...);
-    Obj->Next = Head;
-    Head = Obj;
-    ++NumObjects;
-    ++AllocationsSinceGC;
-    return Obj;
+    if (StressGC)
+      MinorRequested = true;
+    if (NurseryEnabled) {
+      size_t Size = (sizeof(T) + NurseryAlign - 1) & ~(NurseryAlign - 1);
+      if (static_cast<size_t>(NurseryEnd - NurseryTop) >= Size) {
+        T *Obj = new (NurseryTop) T(std::forward<Args>(As)...);
+        NurseryTop += Size;
+        NurseryObjs.push_back(Obj);
+        return Obj;
+      }
+      MinorRequested = true;
+      T *Obj = allocateTenured<T>(std::forward<Args>(As)...);
+      // Initialization stores into an overflow-tenured object skip the
+      // write barrier (the object "looks" old the moment it is born), so
+      // conservatively remember it for the next minor collection.
+      rememberObject(Obj);
+      return Obj;
+    }
+    return allocateTenured<T>(std::forward<Args>(As)...);
   }
 
   void addRootSource(RootSource *Source);
   void removeRootSource(RootSource *Source);
 
-  /// Runs a full collection immediately.
+  // --- Safepoints ------------------------------------------------------
+
+  /// True when a collection is pending; the native back-edge poll reads
+  /// this directly so the fast path is one load and branch.
+  bool collectionRequested() const { return MinorRequested || MajorRequested; }
+
+  /// Dispatch-boundary collection point: runs whatever collection has
+  /// been requested since the last one. Every registered RootSource must
+  /// be accurate here — this is the only place objects move.
+  void safepoint() {
+    if (MinorRequested || MajorRequested)
+      safepointSlow();
+  }
+
+  /// Runs a full collection immediately: nursery evacuation, then
+  /// mark-sweep over the old space. Callers must be at a point where all
+  /// roots are registered (the gc() builtin qualifies: its caller sits
+  /// in callValue with call roots and frame sources live).
   void collect();
+
+  /// Runs a minor collection immediately: evacuates every nursery
+  /// survivor into the old generation and resets the bump pointer. Also
+  /// the engine's tenuring primitive — after this, every previously
+  /// allocated object is pointer-stable for its lifetime.
+  void minorCollect();
+
+  /// Turns the nursery on or off. Disabling first evacuates any current
+  /// nursery residents so no stale young objects survive un-barriered
+  /// (compile-worker fold Runtimes run nursery-off: their allocations
+  /// must be pointer-stable and delete-able for chain donation).
+  void setNurseryEnabled(bool Enabled);
+  bool nurseryEnabled() const { return NurseryEnabled; }
+
+  /// Collect-at-every-safepoint stress mode (JITVS_GC_STRESS): every
+  /// allocation arms the minor-GC request, so each safepoint moves the
+  /// whole nursery. Maximizes exposure of unrooted temporaries and
+  /// missing write barriers.
+  void setGCStress(bool Enabled) { StressGC = Enabled; }
+  bool gcStress() const { return StressGC; }
+
+  // --- Write barrier ---------------------------------------------------
+
+  /// Post-write barrier for `Owner.field = V`: records \p Owner in the
+  /// remembered set when the store created an old-to-young edge. Called
+  /// unconditionally at store sites; filters internally.
+  void writeBarrier(GCObject *Owner, const Value &V) {
+    if (!NurseryEnabled || !V.isGCThing())
+      return;
+    if (!inNursery(V.asGCThing()) || inNursery(Owner))
+      return;
+    rememberObject(Owner);
+  }
+
+  /// Barrier for whole-contents replacement (array shift / length
+  /// truncation): conservatively remembers \p Owner without inspecting
+  /// the new contents.
+  void writeBarrierAll(GCObject *Owner) {
+    if (!NurseryEnabled || inNursery(Owner))
+      return;
+    rememberObject(Owner);
+  }
+
+  /// True when \p Obj lives in the nursery's bump buffer.
+  bool inNursery(const GCObject *Obj) const {
+    const char *P = reinterpret_cast<const char *>(Obj);
+    return P >= NurseryBase && P < NurseryEnd;
+  }
 
   // --- Cross-heap object donation -------------------------------------
   //
   // Compile workers fold constants on a private heap; the objects a
   // finished compile references from its constant pool are donated to
-  // the main heap when the code is published (GC is non-moving, so the
-  // pointers stay valid). The protocol: capture allocationMark() before
-  // the work, detachAllocatedSince() after, hand the chain across the
-  // publication fence, adoptChain() on the receiving heap. All three
-  // calls must run on the thread owning their respective heap.
+  // the main heap when the code is published. Worker heaps run with the
+  // nursery disabled, so every donated object is an ordinary old-space
+  // allocation: pointer-stable (the pool's baked-in pointers stay valid)
+  // and adopted directly into the receiving heap's old generation, where
+  // it promotes/collects exactly like a native old-space object. The
+  // protocol: capture allocationMark() before the work,
+  // detachAllocatedSince() after, hand the chain across the publication
+  // fence, adoptChain() on the receiving heap. All three calls must run
+  // on the thread owning their respective heap.
 
   /// Opaque handle to a detached singly-linked run of objects.
   struct DetachedChain {
@@ -141,43 +324,98 @@ public:
   };
 
   /// Current newest-allocation marker (allocation prepends, so objects
-  /// allocated later sit strictly in front of this node).
+  /// allocated later sit strictly in front of this node). Only
+  /// meaningful on nursery-disabled heaps, where every allocation lands
+  /// on the old-space list.
   GCObject *allocationMark() const { return Head; }
 
   /// Unlinks and returns every object allocated since \p Mark was
   /// captured. \p Mark must be a previous allocationMark() of this heap
-  /// and no collection may have run in between.
+  /// and no collection may have run in between. Requires the nursery to
+  /// be disabled (worker fold heaps).
   DetachedChain detachAllocatedSince(GCObject *Mark);
 
-  /// Splices a donated chain into this heap's object list. The objects
-  /// become subject to this heap's collections (unrooted ones die at the
-  /// next GC, exactly like fresh garbage).
+  /// Splices a donated chain into this heap's old generation. The
+  /// objects become subject to this heap's collections (unrooted ones
+  /// die at the next major GC, exactly like fresh garbage).
   void adoptChain(const DetachedChain &Chain);
 
   /// Frees a chain that will never be adopted (e.g. its compile was
   /// discarded as stale).
   static void freeChain(const DetachedChain &Chain);
 
-  /// Number of collections performed so far.
-  size_t gcCount() const { return NumCollections; }
-  /// Number of objects currently on the heap.
-  size_t objectCount() const { return NumObjects; }
+  // --- Statistics ------------------------------------------------------
 
-  /// Sets how many allocations are allowed between collections.
+  /// Number of full (major) collections performed so far.
+  size_t gcCount() const { return NumCollections; }
+  /// Number of minor (nursery) collections performed so far.
+  size_t minorCount() const { return NumMinorCollections; }
+  /// Number of objects promoted into the old generation, cumulative.
+  size_t promotedCount() const { return NumPromoted; }
+  /// Number of objects currently in the old generation.
+  size_t objectCount() const { return NumObjects; }
+  /// Number of objects currently in the nursery.
+  size_t nurseryCount() const { return NurseryObjs.size(); }
+  size_t nurseryCapacityBytes() const {
+    return static_cast<size_t>(NurseryEnd - NurseryBase);
+  }
+
+  /// Sets how many old-space allocations (tenured allocations plus
+  /// promotions) are allowed between major collections.
   void setGCThreshold(size_t N) { Threshold = N; }
 
 private:
-  void maybeCollect() {
-    if (AllocationsSinceGC >= Threshold)
-      collect();
+  static constexpr size_t NurseryAlign = 16;
+
+  template <typename T, typename... Args> T *allocateTenured(Args &&...As) {
+    T *Obj = new T(std::forward<Args>(As)...);
+    Obj->Next = Head;
+    Head = Obj;
+    ++NumObjects;
+    if (++AllocationsSinceGC >= Threshold)
+      MajorRequested = true;
+    return Obj;
   }
 
+  void rememberObject(GCObject *Obj) {
+    if (Obj->Flags & GCObject::RememberedFlag)
+      return;
+    Obj->Flags |= GCObject::RememberedFlag;
+    RememberedSet.push_back(Obj);
+  }
+
+  void safepointSlow();
+  /// Copies one nursery object into the old generation (or returns the
+  /// existing copy) and returns the new address.
+  GCObject *evacuate(GCObject *Obj);
+  void markAndSweepOld();
+
+  friend class NurseryEvacuator;
+
+  // Old generation: intrusive singly-linked list, mark-sweep.
   GCObject *Head = nullptr;
   std::vector<RootSource *> Sources;
   size_t NumObjects = 0;
   size_t AllocationsSinceGC = 0;
   size_t Threshold = 1 << 18;
   size_t NumCollections = 0;
+
+  // Nursery: fixed bump buffer plus a side list for destructor sweeps.
+  std::unique_ptr<char[]> NurseryMem;
+  char *NurseryBase = nullptr;
+  char *NurseryTop = nullptr;
+  char *NurseryEnd = nullptr;
+  bool NurseryEnabled = false;
+  std::vector<GCObject *> NurseryObjs;
+  std::vector<GCObject *> RememberedSet;
+  std::vector<GCObject *> EvacScanList; ///< Minor-GC transitive worklist.
+
+  bool MinorRequested = false;
+  bool MajorRequested = false;
+  bool StressGC = false;
+
+  size_t NumMinorCollections = 0;
+  size_t NumPromoted = 0;
 };
 
 } // namespace jitvs

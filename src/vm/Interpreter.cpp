@@ -16,18 +16,16 @@ InterpFrame::InterpFrame(Runtime &RT, FunctionInfo *Info)
 
 InterpFrame::~InterpFrame() { RT.heap().removeRootSource(this); }
 
-void InterpFrame::markRoots(GCMarker &Marker) {
-  for (const Value &V : Slots)
-    Marker.mark(V);
-  for (const Value &V : Stack)
-    Marker.mark(V);
-  for (const Value &V : OrigArgs)
-    Marker.mark(V);
-  Marker.mark(ThisV);
-  if (Env)
-    Marker.mark(static_cast<GCObject *>(Env));
-  if (ClosureEnv)
-    Marker.mark(static_cast<GCObject *>(ClosureEnv));
+void InterpFrame::traceRoots(GCVisitor &Visitor) {
+  for (Value &V : Slots)
+    Visitor.visit(V);
+  for (Value &V : Stack)
+    Visitor.visit(V);
+  for (Value &V : OrigArgs)
+    Visitor.visit(V);
+  Visitor.visit(ThisV);
+  Visitor.visitPtr(Env);
+  Visitor.visitPtr(ClosureEnv);
 }
 
 Value Interpreter::invoke(JSFunction *Callee, const Value &ThisV,
@@ -124,7 +122,9 @@ Value Interpreter::execute(InterpFrame &Frame) {
     }
     case Op::SetEnvSlot: {
       Environment *E = Frame.currentEnv()->hop(Info->u8At(OpPC + 1));
-      E->setSlot(Info->u16At(OpPC + 2), Pop());
+      Value V = Pop();
+      E->setSlot(Info->u16At(OpPC + 2), V);
+      RT.heap().writeBarrier(E, V);
       break;
     }
     case Op::GetGlobal:
@@ -298,6 +298,11 @@ Value Interpreter::execute(InterpFrame &Frame) {
     }
     case Op::LoopHead: {
       ++Info->BackEdgeCount;
+      // GC safepoint: allocation never collects, so loops that allocate
+      // without calling out still have to reach a point where the frame's
+      // roots are complete. The operand stack is empty here and every
+      // live value sits in Slots/Stack/Env — all traced by this frame.
+      RT.heap().safepoint();
       // Safepoint: this hook (with the call hook in Runtime::callValue)
       // is a dispatch boundary — the engine publishes finished
       // background compiles and ticks the code-reclamation epoch inside
@@ -409,6 +414,7 @@ Value Interpreter::execute(InterpFrame &Frame) {
       Value Obj = Top();
       assert(Obj.isObject() && "initprop on non-object");
       Obj.asObject()->setProperty(RT.shapes(), Info->u16At(OpPC + 1), V);
+      RT.heap().writeBarrier(Obj.asObject(), V);
       break;
     }
     case Op::GetElem: {
@@ -473,6 +479,7 @@ Value Interpreter::execute(InterpFrame &Frame) {
             O->addSlot(W->To, V);
           else
             O->setSlotAt(static_cast<uint32_t>(W->Slot), V);
+          RT.heap().writeBarrier(O, V);
           Push(V);
           break;
         }
@@ -490,6 +497,7 @@ Value Interpreter::execute(InterpFrame &Frame) {
           O->addSlot(To, V);
         else
           O->setSlotAt(static_cast<uint32_t>(Slot), V);
+        RT.heap().writeBarrier(O, V);
         Push(V);
         break;
       }

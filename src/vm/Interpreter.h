@@ -25,7 +25,7 @@ struct InterpFrame final : public RootSource {
   InterpFrame(Runtime &RT, FunctionInfo *Info);
   ~InterpFrame() override;
 
-  void markRoots(GCMarker &Marker) override;
+  void traceRoots(GCVisitor &Visitor) override;
 
   Runtime &RT;
   FunctionInfo *Info;

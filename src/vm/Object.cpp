@@ -12,38 +12,78 @@ std::string JSFunction::displayName() const {
   return Info ? Info->Name : "<anonymous>";
 }
 
-void jitvs::traceObject(GCObject *Obj, GCMarker &Marker) {
+void jitvs::traceObject(GCObject *Obj, GCVisitor &Visitor) {
   switch (Obj->kind()) {
   case GCKind::String:
     return;
   case GCKind::Array: {
     auto *A = static_cast<JSArray *>(Obj);
-    for (const Value &V : A->elements())
-      Marker.mark(V);
+    for (Value &V : A->Elems)
+      Visitor.visit(V);
     return;
   }
   case GCKind::Object: {
     // The shape is not a GC object (the Runtime's ShapeTree owns it for
     // the Runtime's lifetime); only the slot values are traced.
     auto *O = static_cast<JSObject *>(Obj);
-    for (const Value &V : O->slots())
-      Marker.mark(V);
+    for (Value &V : O->Slots)
+      Visitor.visit(V);
     return;
   }
   case GCKind::Function: {
     auto *F = static_cast<JSFunction *>(Obj);
-    if (F->environment())
-      Marker.mark(static_cast<GCObject *>(F->environment()));
+    Visitor.visitPtr(F->Env);
     return;
   }
   case GCKind::Environment: {
     auto *E = static_cast<Environment *>(Obj);
-    if (E->parent())
-      Marker.mark(static_cast<GCObject *>(E->parent()));
-    for (size_t I = 0, N = E->numSlots(); I != N; ++I)
-      Marker.mark(E->getSlot(I));
+    Visitor.visitPtr(E->Parent);
+    for (Value &V : E->Slots)
+      Visitor.visit(V);
     return;
   }
+  }
+  JITVS_UNREACHABLE("bad GCKind");
+}
+
+void jitvs::destroyObject(GCObject *Obj) {
+  switch (Obj->kind()) {
+  case GCKind::String:
+    static_cast<JSString *>(Obj)->~JSString();
+    return;
+  case GCKind::Array:
+    static_cast<JSArray *>(Obj)->~JSArray();
+    return;
+  case GCKind::Object:
+    static_cast<JSObject *>(Obj)->~JSObject();
+    return;
+  case GCKind::Function:
+    static_cast<JSFunction *>(Obj)->~JSFunction();
+    return;
+  case GCKind::Environment:
+    static_cast<Environment *>(Obj)->~Environment();
+    return;
+  }
+  JITVS_UNREACHABLE("bad GCKind");
+}
+
+void jitvs::deleteObject(GCObject *Obj) {
+  switch (Obj->kind()) {
+  case GCKind::String:
+    delete static_cast<JSString *>(Obj);
+    return;
+  case GCKind::Array:
+    delete static_cast<JSArray *>(Obj);
+    return;
+  case GCKind::Object:
+    delete static_cast<JSObject *>(Obj);
+    return;
+  case GCKind::Function:
+    delete static_cast<JSFunction *>(Obj);
+    return;
+  case GCKind::Environment:
+    delete static_cast<Environment *>(Obj);
+    return;
   }
   JITVS_UNREACHABLE("bad GCKind");
 }

@@ -94,7 +94,13 @@ public:
 
   const std::vector<Value> &elements() const { return Elems; }
 
+  /// Swaps in a whole new element vector (shift, length truncation).
+  /// Callers on the mutator side must pair this with
+  /// Heap::writeBarrierAll — the new contents are not inspected here.
+  void replaceElements(std::vector<Value> Els) { Elems = std::move(Els); }
+
 private:
+  friend void traceObject(GCObject *, GCVisitor &);
   std::vector<Value> Elems;
 };
 
@@ -152,6 +158,7 @@ public:
   const std::vector<Value> &slots() const { return Slots; }
 
 private:
+  friend void traceObject(GCObject *, GCVisitor &);
   const Shape *S;
   std::vector<Value> Slots;
 };
@@ -187,6 +194,7 @@ public:
 
 private:
   friend class Heap;
+  friend void traceObject(GCObject *, GCVisitor &);
   Environment *Parent;
   std::vector<Value> Slots;
 };
@@ -214,14 +222,23 @@ public:
   std::string displayName() const;
 
 private:
+  friend void traceObject(GCObject *, GCVisitor &);
   FunctionInfo *Info = nullptr;
   Environment *Env = nullptr;
   NativeFn Native = nullptr;
   std::string NativeName;
 };
 
-/// Traces the outgoing references of \p Obj during marking.
-void traceObject(GCObject *Obj, GCMarker &Marker);
+/// Visits the outgoing references of \p Obj; the visitor may update them
+/// (moving minor collections) or just mark them (the old-space sweep).
+void traceObject(GCObject *Obj, GCVisitor &Visitor);
+
+/// Kind-dispatched destruction. GCObject deliberately has no virtual
+/// destructor (no vtable word per object), so deleting through the base
+/// pointer would never run the derived destructors — the seed collector
+/// leaked every string/vector payload it swept this way.
+void destroyObject(GCObject *Obj); ///< Destructor only (nursery storage).
+void deleteObject(GCObject *Obj);  ///< Destructor plus operator delete.
 
 } // namespace jitvs
 

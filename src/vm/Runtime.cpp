@@ -25,18 +25,20 @@ public:
   explicit GlobalRoots(Runtime &RT) : RT(RT) { RT.TheHeap.addRootSource(this); }
   ~GlobalRoots() override { RT.TheHeap.removeRootSource(this); }
 
-  void markRoots(GCMarker &Marker) override {
-    for (const Value &V : RT.Globals)
-      Marker.mark(V);
-    for (const Value &V : RT.InternalRoots)
-      Marker.mark(V);
+  void traceRoots(GCVisitor &Visitor) override {
+    for (Value &V : RT.Globals)
+      Visitor.visit(V);
+    for (Value &V : RT.InternalRoots)
+      Visitor.visit(V);
     if (RT.TypeofStringsReady)
-      for (const Value &V : RT.TypeofStrings)
-        Marker.mark(V);
+      for (Value &V : RT.TypeofStrings)
+        Visitor.visit(V);
+    // Program constants are tenured at load() (compile workers read them
+    // lock-free), so visiting them here never writes after that point.
     if (Program *P = RT.Prog.get())
       for (size_t I = 0, E = P->numFunctions(); I != E; ++I)
-        for (const Value &C : P->function(static_cast<uint32_t>(I))->Constants)
-          Marker.mark(C);
+        for (Value &C : P->function(static_cast<uint32_t>(I))->Constants)
+          Visitor.visit(C);
   }
 
 private:
@@ -172,9 +174,8 @@ Value Runtime::genericAdd(const Value &A, const Value &B) {
                              static_cast<double>(B.asInt32()));
   }
   if (A.isString() || B.isString()) {
-    TempRoots Roots(TheHeap);
-    Roots.add(A);
-    Roots.add(B);
+    // Allocation never collects (safepoint-deferred GC), so A and B need
+    // no rooting across newStringValue.
     return newStringValue(A.toDisplayString() + B.toDisplayString());
   }
   return Value::number(toNumber(A) + toNumber(B));
@@ -322,8 +323,6 @@ Value Runtime::genericGetElem(const Value &Obj, const Value &Index) {
       OutOfBoundsFlag = true;
       return Value::undefined();
     }
-    TempRoots Roots(TheHeap);
-    Roots.add(Obj);
     return newStringValue(std::string(1, S->str()[static_cast<size_t>(I)]));
   }
   case ValueTag::Object: {
@@ -353,12 +352,14 @@ Value Runtime::genericSetElem(const Value &Obj, const Value &Index,
     if (static_cast<size_t>(I) >= A->length())
       OutOfBoundsFlag = true;
     A->setElement(I, V);
+    TheHeap.writeBarrier(A, V);
     return V;
   }
   case ValueTag::Object: {
     std::string Key = Index.toDisplayString();
     uint32_t Id = Prog->names().intern(Key);
     Obj.asObject()->setProperty(Shapes, Id, V);
+    TheHeap.writeBarrier(Obj.asObject(), V);
     return V;
   }
   case ValueTag::Undefined:
@@ -397,6 +398,7 @@ Value Runtime::genericSetProp(const Value &Obj, uint32_t NameId,
   switch (Obj.tag()) {
   case ValueTag::Object:
     Obj.asObject()->setProperty(Shapes, NameId, V);
+    TheHeap.writeBarrier(Obj.asObject(), V);
     return V;
   case ValueTag::Array:
     if (NameId == LengthId) {
@@ -409,7 +411,11 @@ Value Runtime::genericSetProp(const Value &Obj, uint32_t NameId,
         JSArray *A = Obj.asArray();
         std::vector<Value> Elems = A->elements();
         Elems.resize(static_cast<size_t>(NewLen));
-        *A = JSArray(std::move(Elems));
+        // NOT `*A = JSArray(...)`: whole-object assignment would clobber
+        // the GC header (GCObject::operator= is deleted for exactly this
+        // reason — the seed's assignment here truncated the heap list).
+        A->replaceElements(std::move(Elems));
+        TheHeap.writeBarrierAll(A);
       }
     }
     return V;
@@ -481,8 +487,10 @@ Value Runtime::callMethod(const Value &Recv, uint32_t NameId,
   if (Recv.isArray()) {
     JSArray *A = Recv.asArray();
     if (Name == "push") {
-      for (size_t I = 0; I != NumArgs; ++I)
+      for (size_t I = 0; I != NumArgs; ++I) {
         A->push(Args[I]);
+        TheHeap.writeBarrier(A, Args[I]);
+      }
       return Value::number(static_cast<double>(A->length()));
     }
     if (Name == "pop")
@@ -534,7 +542,10 @@ Value Runtime::callMethod(const Value &Recv, uint32_t NameId,
       Value First = A->getDense(0);
       std::vector<Value> Elems(A->elements().begin() + 1,
                                A->elements().end());
-      *A = JSArray(std::move(Elems));
+      // replaceElements, not `*A = JSArray(...)`: whole-object assignment
+      // would clobber the GC header (see GCObject::operator=).
+      A->replaceElements(std::move(Elems));
+      TheHeap.writeBarrierAll(A);
       return First;
     }
     if (Name == "concat") {
@@ -550,27 +561,64 @@ Value Runtime::callMethod(const Value &Recv, uint32_t NameId,
       return Value::array(TheHeap.allocate<JSArray>(std::move(Elems)));
     }
     if (Name == "sort") {
+      TempRoots Roots(TheHeap);
+      Value RecvRoot = Recv;
+      Roots.add(RecvRoot);
       std::vector<Value> Elems = A->elements();
+      Roots.addVector(Elems);
       if (NumArgs > 0 && Args[0].isFunction()) {
+        // Hand-rolled bottom-up stable merge sort. std::stable_sort
+        // would hold unrooted Value temporaries inside the algorithm
+        // while the user comparator runs (and callValue is a safepoint
+        // where the collector moves objects), so every value the sort
+        // touches must live in the two rooted vectors.
         Value Cmp = Args[0];
-        std::stable_sort(Elems.begin(), Elems.end(),
-                         [this, &Cmp](const Value &X, const Value &Y) {
-                           if (hasError())
-                             return false;
-                           Value Pair[2] = {X, Y};
-                           Value R = callValue(Cmp, Value::undefined(), Pair,
-                                               2);
-                           return toNumber(R) < 0;
-                         });
+        Roots.add(Cmp);
+        std::vector<Value> Aux(Elems.size());
+        Roots.addVector(Aux);
+        auto Less = [this, &Cmp](const Value &X, const Value &Y) {
+          if (hasError())
+            return false;
+          Value Pair[2] = {X, Y};
+          Value R = callValue(Cmp, Value::undefined(), Pair, 2);
+          return toNumber(R) < 0;
+        };
+        size_t N = Elems.size();
+        for (size_t Width = 1; Width < N; Width *= 2) {
+          for (size_t Lo = 0; Lo + Width < N; Lo += 2 * Width) {
+            size_t Mid = Lo + Width;
+            size_t Hi = std::min(Lo + 2 * Width, N);
+            size_t L = Lo, R = Mid, O = Lo;
+            while (L < Mid && R < Hi) {
+              // Stable: take the left run's element unless right < left.
+              if (Less(Elems[R], Elems[L]))
+                Aux[O++] = Elems[R++];
+              else
+                Aux[O++] = Elems[L++];
+            }
+            while (L < Mid)
+              Aux[O++] = Elems[L++];
+            while (R < Hi)
+              Aux[O++] = Elems[R++];
+            for (size_t I = Lo; I < Hi; ++I)
+              Elems[I] = Aux[I];
+          }
+        }
       } else {
+        // No user code runs in this comparator, so no safepoint can
+        // interleave with the algorithm's internal temporaries.
         std::stable_sort(Elems.begin(), Elems.end(),
                          [](const Value &X, const Value &Y) {
                            return X.toDisplayString() < Y.toDisplayString();
                          });
       }
+      // The comparator may have run a moving collection: re-derive the
+      // array from the rooted receiver before writing back.
+      JSArray *Arr = RecvRoot.asArray();
       for (size_t I = 0, E = Elems.size(); I != E; ++I)
-        A->setDense(I, Elems[I]);
-      return Recv;
+        Arr->setDense(I, Elems[I]);
+      TheHeap.writeBarrierAll(Arr);
+      return RecvRoot;
     }
     fail("array has no method '" + Name + "'");
     return Value::undefined();
@@ -617,10 +665,9 @@ Value Runtime::callMethod(const Value &Recv, uint32_t NameId,
     }
     if (Name == "split") {
       std::string Sep = NumArgs > 0 ? Args[0].toDisplayString() : "";
+      // No rooting needed: allocation never collects, and nothing below
+      // reaches a safepoint, so Out and the pushed strings stay put.
       JSArray *Out = TheHeap.allocate<JSArray>();
-      TempRoots Roots(TheHeap);
-      Roots.add(Value::array(Out));
-      Roots.add(Recv);
       if (Sep.empty()) {
         for (char C : S)
           Out->push(newStringValue(std::string(1, C)));
@@ -660,6 +707,43 @@ Value Runtime::callMethod(const Value &Recv, uint32_t NameId,
 // Call dispatch
 //===----------------------------------------------------------------------===//
 
+namespace {
+
+/// Roots one call's callee, receiver and argument span for the call's
+/// duration. Callee/this are rooted as private copies (the caller's
+/// originals may be unrooted temporaries); the argument span is rooted
+/// *in place* — every callValue caller passes arguments backed by
+/// updatable storage (the interpreter's value stack, the native
+/// executor's ArgStage, callGlobal's vector, or builtin stack arrays),
+/// so a moving collection rewrites the storage the callee will read.
+class CallRoots final : public RootSource {
+public:
+  CallRoots(Heap &H, const Value &Callee, const Value &ThisV,
+            const Value *Args, size_t NumArgs)
+      : TheHeap(H), Callee(Callee), ThisV(ThisV),
+        Args(const_cast<Value *>(Args)), NumArgs(NumArgs) {
+    TheHeap.addRootSource(this);
+  }
+  ~CallRoots() override { TheHeap.removeRootSource(this); }
+
+  void traceRoots(GCVisitor &Visitor) override {
+    Visitor.visit(Callee);
+    Visitor.visit(ThisV);
+    for (size_t I = 0; I != NumArgs; ++I)
+      Visitor.visit(Args[I]);
+  }
+
+  Value Callee; ///< Rooted copy; use instead of the ctor argument.
+  Value ThisV;  ///< Rooted copy; use instead of the ctor argument.
+
+private:
+  Heap &TheHeap;
+  Value *Args;
+  size_t NumArgs;
+};
+
+} // namespace
+
 Value Runtime::callValue(const Value &Callee, const Value &ThisV,
                          const Value *Args, size_t NumArgs) {
   if (hasError())
@@ -668,13 +752,19 @@ Value Runtime::callValue(const Value &Callee, const Value &ThisV,
     fail(Callee.toDisplayString() + " is not a function");
     return Value::undefined();
   }
-  JSFunction *F = Callee.asFunction();
   if (!enterCall())
     return Value::undefined();
 
+  // Call entry is a safepoint: with the call's inputs rooted just above,
+  // any collection requested since the last dispatch boundary runs here,
+  // before the callee pointer is materialized.
+  CallRoots Roots(TheHeap, Callee, ThisV, Args, NumArgs);
+  TheHeap.safepoint();
+  JSFunction *F = Roots.Callee.asFunction();
+
   Value Result;
   if (F->isNative()) {
-    Result = F->native()(*this, ThisV, Args, NumArgs);
+    Result = F->native()(*this, Roots.ThisV, Args, NumArgs);
   } else {
     ++NumCalls;
     FunctionInfo *Info = F->info();
@@ -685,9 +775,13 @@ Value Runtime::callValue(const Value &Callee, const Value &ThisV,
       Observer->recordCall(Info, Args, NumArgs);
     bool Handled = false;
     if (Hooks)
-      Handled = Hooks->onCall(F, ThisV, Args, NumArgs, Result);
-    if (!Handled)
-      Result = interpretCall(F, ThisV, Args, NumArgs);
+      Handled = Hooks->onCall(F, Roots.ThisV, Args, NumArgs, Result);
+    if (!Handled) {
+      // The hook may have run a moving collection (it tenures compile
+      // -task snapshots); re-derive the callee from its rooted slot.
+      F = Roots.Callee.asFunction();
+      Result = interpretCall(F, Roots.ThisV, Args, NumArgs);
+    }
   }
   leaveCall();
   return Result;
@@ -955,6 +1049,12 @@ bool Runtime::load(const std::string &Source) {
   }
   Prog = std::move(CR.Prog);
   installGlobals();
+  // Tenure everything allocated so far — the program's constant-pool
+  // strings/functions and the builtins just installed. Compile workers
+  // read the constant pool lock-free, so nothing reachable from it may
+  // sit in the (moving) nursery once compiles can start.
+  if (TheHeap.nurseryEnabled())
+    TheHeap.minorCollect();
   return true;
 }
 
@@ -967,10 +1067,11 @@ Value Runtime::run() {
   // Top-level code runs as a closure with no environment.
   JSFunction *MainFn = TheHeap.allocate<JSFunction>(Main, nullptr);
   TempRoots Roots(TheHeap);
-  Roots.add(Value::function(MainFn));
+  Value MainV = Value::function(MainFn);
+  Roots.add(MainV);
   if (!enterCall())
     return Value::undefined();
-  Value R = interpretCall(MainFn, Value::undefined(), nullptr, 0);
+  Value R = interpretCall(MainV.asFunction(), Value::undefined(), nullptr, 0);
   leaveCall();
   return R;
 }

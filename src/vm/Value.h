@@ -119,6 +119,12 @@ public:
     assert(isGCThing() && "not a GC thing");
     return Payload.Obj;
   }
+  /// Re-points a GC value at the moved copy of its object, keeping the
+  /// tag. Only the moving collector's visitor should call this.
+  void setGCThing(GCObject *Obj) {
+    assert(isGCThing() && Obj && "not a GC thing");
+    Payload.Obj = Obj;
+  }
 
   /// JavaScript truthiness: false, +-0, NaN, "", null and undefined are
   /// falsy; everything else is truthy.

@@ -338,6 +338,9 @@ TEST(JitEngine, BailoutsResumeCorrectly) {
 
 TEST(JitEngine, GCDuringNativeExecution) {
   Runtime RT;
+  // Stress mode requests a minor collection at every allocation; the low
+  // old-space threshold then forces majors through promotion pressure.
+  RT.heap().setGCStress(true);
   RT.heap().setGCThreshold(128);
   Engine E(RT, OptConfig::all());
   E.setCallThreshold(3);
@@ -350,6 +353,7 @@ TEST(JitEngine, GCDuringNativeExecution) {
               "print(last.length, last[49]);");
   ASSERT_FALSE(RT.hasError()) << RT.errorMessage();
   EXPECT_EQ(RT.output(), "50 v49\n");
+  EXPECT_GT(RT.heap().minorCount(), 0u);
   EXPECT_GT(RT.heap().gcCount(), 0u);
 }
 

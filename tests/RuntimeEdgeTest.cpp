@@ -366,6 +366,9 @@ TEST(SortEdge, ComparatorCallsJitCode) {
 
 TEST(GCEdge, CollectionsDuringJitWithClosures) {
   Runtime RT;
+  // Stress mode requests a minor collection at every allocation; the low
+  // old-space threshold then forces majors through promotion pressure.
+  RT.heap().setGCStress(true);
   RT.heap().setGCThreshold(64);
   Engine E(RT, OptConfig::all());
   E.setCallThreshold(3);
@@ -384,7 +387,40 @@ TEST(GCEdge, CollectionsDuringJitWithClosures) {
               "print(out.length, out[0], out[39]);");
   ASSERT_FALSE(RT.hasError()) << RT.errorMessage();
   EXPECT_EQ(RT.output(), "40 r0:19 r39:19\n");
+  EXPECT_GT(RT.heap().minorCount(), 0u);
   EXPECT_GT(RT.heap().gcCount(), 0u);
+}
+
+TEST(GCEdge, AllocationNeverCollectsMidConstruction) {
+  // Regression: Heap::allocate must never run a collection itself, even
+  // under stress with an exhausted old-space budget. A collection inside
+  // allocate would reclaim (or move) the just-returned, not-yet-rooted
+  // object while its caller is still wiring it up. Collections are
+  // armed at allocation and served only at safepoint(), where every
+  // root source is accurate.
+  Heap H;
+  if (!H.nurseryEnabled())
+    GTEST_SKIP() << "nursery disabled via JITVS_NURSERY_KB=0";
+  H.setGCStress(true);
+  H.setGCThreshold(1); // Any tenured allocation also requests a major.
+  size_t Minors = H.minorCount();
+  size_t Majors = H.gcCount();
+
+  // Back-to-back unrooted allocations: the first object is exactly a
+  // "partially constructed" value a mid-allocate collection would kill.
+  JSString *A = H.allocate<JSString>("first");
+  JSArray *Arr = H.allocate<JSArray>();
+  Arr->push(Value::string(A));
+
+  EXPECT_EQ(H.minorCount(), Minors);
+  EXPECT_EQ(H.gcCount(), Majors);
+  EXPECT_TRUE(H.collectionRequested());
+  EXPECT_EQ(Arr->getDense(0).asString()->str(), "first");
+
+  // The deferred collection runs at the next safepoint — and only
+  // there. (Arr/A are dead at this point; do not touch them after.)
+  H.safepoint();
+  EXPECT_GT(H.minorCount(), Minors);
 }
 
 TEST(OutputEdge, PrintingIsDeterministicAcrossTiers) {

@@ -1,0 +1,16 @@
+// Whole-contents replacement edges: `a.length = n` and shift() swap in
+// a brand-new element vector, so the store of each *young* element was
+// never seen by the per-store write barrier — the conservative
+// writeBarrierAll on the owner must remember it instead. (The seed's
+// length-assignment also clobbered the GC header via whole-object
+// assignment; this pins both.) Survivors are read back only after many
+// further allocations so a missed edge is observable, not latent.
+var a = [];
+for (var i = 0; i < 30; i++) { a.push({ id: "v" + i }); }
+a.length = 7;
+a.shift();
+var junk = [];
+for (var j = 0; j < 200; j++) { junk.push([j, "pad" + j]); }
+var s = "";
+for (var k = 0; k < a.length; k++) { s = s + a[k].id + ","; }
+print(a.length, s);

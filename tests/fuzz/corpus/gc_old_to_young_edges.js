@@ -1,0 +1,24 @@
+// Remembered-set coverage across both tiers: a long-lived (promoted)
+// object graph keeps receiving freshly allocated (nursery-young)
+// values through every barriered store shape — property store on an
+// old object, element store into an old array, closure-environment
+// slot store — and the values are read back only at the end, after
+// enough churn that every one of them has crossed a minor collection.
+var hub = { arr: [], map: {}, n: 0 };
+function cell(v) { return function () { return v; }; }
+var cells = [];
+function step(i) {
+  hub.arr[i] = { id: i, s: "s" + i };   // old array <- young object
+  hub.map["k" + (i % 10)] = "m" + i;     // old object <- young string
+  cells.push(cell("c" + i));             // env slot holds young string
+  hub.n = hub.n + 1;
+  return hub.arr[i].id;
+}
+var t = 0;
+for (var i = 0; i < 60; i++) { t = t + step(i); }
+var ok = 0;
+for (var j = 0; j < 60; j++) {
+  if (hub.arr[j].s == "s" + j) { ok = ok + 1; }
+  if (cells[j]() == "c" + j) { ok = ok + 1; }
+}
+print(t, ok, hub.n, hub.map.k3, hub.map.k9);

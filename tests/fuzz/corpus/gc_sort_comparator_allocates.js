@@ -1,0 +1,17 @@
+// sort() with an allocating comparator: every comparison allocates
+// (string concatenation), so under GC stress each comparator call is a
+// moving safepoint. The sort's scratch buffers and the not-yet-placed
+// elements must all be rooted or the merge reads moved-from shells.
+function cmp(x, y) {
+  var kx = "" + x.k; var ky = "" + y.k;
+  if (kx < ky) { return 0 - 1; }
+  if (kx > ky) { return 1; }
+  return 0;
+}
+var a = [];
+for (var i = 0; i < 25; i++) { a.push({ k: ((i * 7) % 26), tag: "t" + i }); }
+a.sort(cmp);
+var s = "";
+for (var j = 0; j < a.length; j++) { s = s + a[j].k + "."; }
+print(s);
+print(a[0].tag, a[24].tag);

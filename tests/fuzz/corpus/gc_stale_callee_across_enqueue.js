@@ -1,0 +1,19 @@
+// Stale-callee hazard: with background compile workers, every enqueue
+// tenures the task's value snapshots with a *moving* minor collection,
+// so any raw JSFunction* held across the engine's onCall hook dangles.
+// The original crash (fuzzer seed 12, paper-all-threads2): a young
+// closure becomes hot, its call enqueues a compile, the moved-from
+// callee is then dispatched into the interpreter. Closures are
+// re-created every outer iteration so the callee is always
+// nursery-young when its call count trips the threshold.
+function mk(tag) {
+  return function (i) { return tag + ":" + (i * 2); };
+}
+var out = [];
+for (var r = 0; r < 12; r++) {
+  var f = mk("r" + r);
+  var acc = "";
+  for (var i = 0; i < 9; i++) { acc = f(i); }
+  out.push(acc);
+}
+print(out.length, out[0], out[11]);
